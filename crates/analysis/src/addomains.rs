@@ -1,0 +1,93 @@
+//! Figure 3: the share of distinct native-contact domains that are
+//! third-party ad/analytics domains, "as classified by the popular
+//! Steven Black host list" (§3.1).
+
+use std::collections::BTreeSet;
+
+use panoptes::campaign::CampaignResult;
+use panoptes_blocklist::data::steven_black_excerpt;
+use panoptes_blocklist::HostsList;
+
+/// One browser's Figure 3 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdDomainRow {
+    /// Browser name.
+    pub browser: String,
+    /// Distinct hosts contacted natively.
+    pub native_hosts: Vec<String>,
+    /// The subset classified ad/analytics-related.
+    pub ad_hosts: Vec<String>,
+    /// `ad_hosts / native_hosts` as a percentage.
+    pub ad_percent: f64,
+}
+
+/// Computes the Figure 3 row for one campaign against the bundled list.
+pub fn ad_domain_row(result: &CampaignResult) -> AdDomainRow {
+    ad_domain_row_with(result, &steven_black_excerpt())
+}
+
+/// Computes the row against a caller-provided hosts list.
+pub fn ad_domain_row_with(result: &CampaignResult, list: &HostsList) -> AdDomainRow {
+    let hosts: BTreeSet<String> = result
+        .store
+        .native_flows()
+        .iter()
+        .map(|f| f.host.clone())
+        .collect();
+    let ad_hosts: Vec<String> =
+        hosts.iter().filter(|h| list.contains(h)).cloned().collect();
+    let percent = if hosts.is_empty() {
+        0.0
+    } else {
+        100.0 * ad_hosts.len() as f64 / hosts.len() as f64
+    };
+    AdDomainRow {
+        browser: result.profile.name.to_string(),
+        native_hosts: hosts.into_iter().collect(),
+        ad_hosts,
+        ad_percent: percent,
+    }
+}
+
+/// Figure 3 over a set of campaigns, in input order.
+pub fn figure3(results: &[CampaignResult]) -> Vec<AdDomainRow> {
+    results.iter().map(ad_domain_row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    #[test]
+    fn kiwi_is_ad_heavy_chrome_is_clean() {
+        let world =
+            World::build(&GeneratorConfig { popular: 6, sensitive: 3, ..Default::default() });
+        let config = CampaignConfig::default();
+        let kiwi = ad_domain_row(&run_crawl(
+            &world,
+            &profile_by_name("Kiwi").unwrap(),
+            &world.sites,
+            &config,
+        ));
+        assert!(
+            (30.0..=50.0).contains(&kiwi.ad_percent),
+            "kiwi ≈40%, got {:.1} ({:?})",
+            kiwi.ad_percent,
+            kiwi.ad_hosts
+        );
+        assert!(kiwi.ad_hosts.iter().any(|h| h.contains("rubiconproject")));
+
+        let chrome = ad_domain_row(&run_crawl(
+            &world,
+            &profile_by_name("Chrome").unwrap(),
+            &world.sites,
+            &config,
+        ));
+        assert_eq!(chrome.ad_percent, 0.0, "{:?}", chrome.ad_hosts);
+    }
+}

@@ -1,0 +1,161 @@
+//! The user-borne cost of native tracking.
+//!
+//! §3.1: "such unsolicited network traffic consumes system resources and
+//! energy from the user's device" (citing the hidden-cost-of-mobile-ads
+//! literature), and §3.1 again on Figure 4: "such unsolicited and
+//! unnecessary traffic can have considerable impact on the user's data
+//! plan and performance." This module turns the captured native flows
+//! into those two user-facing quantities:
+//!
+//! * **data-plan cost** — native bytes on the wire (both directions),
+//!   normalized per 1000 page visits;
+//! * **radio energy** — a deliberately coarse first-order model: every
+//!   flow pays a fixed radio-burst overhead (wakeup + tail) plus a
+//!   per-byte transfer cost. Real radios batch transfers, so treating
+//!   each flow as a burst is an upper bound; the *relative* ordering
+//!   across browsers is the meaningful output.
+
+use panoptes::campaign::CampaignResult;
+use panoptes_mitm::FlowClass;
+
+/// First-order radio energy model.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    /// Joules charged per transfer burst (radio promotion + tail).
+    pub joules_per_burst: f64,
+    /// Joules per transferred byte.
+    pub joules_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// A Wi-Fi-ish model: cheap bursts, cheap bytes.
+    pub fn wifi() -> EnergyModel {
+        EnergyModel { joules_per_burst: 0.1, joules_per_byte: 4.0e-8 }
+    }
+
+    /// An LTE-ish model: expensive bursts (long radio tail), pricier
+    /// bytes — where the paper's data-plan/energy concern bites hardest.
+    pub fn lte() -> EnergyModel {
+        EnergyModel { joules_per_burst: 1.2, joules_per_byte: 2.0e-7 }
+    }
+
+    /// Energy of `flows` transfers moving `bytes` in total.
+    pub fn energy_joules(&self, flows: u64, bytes: u64) -> f64 {
+        flows as f64 * self.joules_per_burst + bytes as f64 * self.joules_per_byte
+    }
+}
+
+/// One browser's cost row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Browser name.
+    pub browser: String,
+    /// Pages visited in the campaign.
+    pub visits: usize,
+    /// Native flows captured.
+    pub native_flows: u64,
+    /// Native bytes on the wire, both directions.
+    pub native_bytes: u64,
+    /// Extra data-plan megabytes per 1000 page visits.
+    pub mb_per_1000_pages: f64,
+    /// Extra radio energy per 1000 page visits (the supplied model), in
+    /// joules.
+    pub joules_per_1000_pages: f64,
+}
+
+/// Computes the §3.1 cost quantities for one campaign.
+pub fn cost_row(result: &CampaignResult, model: &EnergyModel) -> CostRow {
+    let mut flows = 0u64;
+    let mut bytes = 0u64;
+    for f in result.store.all() {
+        if f.class == FlowClass::Native {
+            flows += 1;
+            bytes += f.bytes_out + f.bytes_in;
+        }
+    }
+    let visits = result.visits.len().max(1);
+    let scale = 1000.0 / visits as f64;
+    CostRow {
+        browser: result.profile.name.to_string(),
+        visits: result.visits.len(),
+        native_flows: flows,
+        native_bytes: bytes,
+        mb_per_1000_pages: bytes as f64 * scale / 1_048_576.0,
+        joules_per_1000_pages: model.energy_joules(flows, bytes) * scale,
+    }
+}
+
+/// Cost table over a study, most expensive first.
+pub fn cost_table(results: &[CampaignResult], model: &EnergyModel) -> Vec<CostRow> {
+    let mut rows: Vec<CostRow> = results.iter().map(|r| cost_row(r, model)).collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.native_bytes));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    fn crawl(name: &str) -> CampaignResult {
+        let world =
+            World::build(&GeneratorConfig { popular: 6, sensitive: 4, ..Default::default() });
+        run_crawl(
+            &world,
+            &profile_by_name(name).unwrap(),
+            &world.sites,
+            &CampaignConfig::default(),
+        )
+    }
+
+    #[test]
+    fn chatty_browsers_cost_more_than_quiet_ones() {
+        let model = EnergyModel::lte();
+        let qq = cost_row(&crawl("QQ"), &model);
+        let brave = cost_row(&crawl("Brave"), &model);
+        // Brave's few startup fetches pull sizable static responses, so
+        // the gap is in multiples, not orders of magnitude, at this
+        // scale — the per-visit chatter is what grows with browsing.
+        assert!(qq.native_bytes > brave.native_bytes * 3, "{} vs {}", qq.native_bytes, brave.native_bytes);
+        assert!(qq.native_flows > brave.native_flows * 20);
+        assert!(qq.joules_per_1000_pages > brave.joules_per_1000_pages);
+        assert!(qq.mb_per_1000_pages > 1.0, "QQ costs real megabytes: {}", qq.mb_per_1000_pages);
+    }
+
+    #[test]
+    fn lte_costs_more_than_wifi() {
+        let result = crawl("Edge");
+        let wifi = cost_row(&result, &EnergyModel::wifi());
+        let lte = cost_row(&result, &EnergyModel::lte());
+        assert!(lte.joules_per_1000_pages > wifi.joules_per_1000_pages * 5.0);
+        // Data volume is radio-independent.
+        assert_eq!(wifi.mb_per_1000_pages, lte.mb_per_1000_pages);
+    }
+
+    #[test]
+    fn table_sorts_by_cost() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() });
+        let config = CampaignConfig::default();
+        let results: Vec<_> = ["Brave", "QQ", "Chrome"]
+            .iter()
+            .map(|n| run_crawl(&world, &profile_by_name(n).unwrap(), &world.sites, &config))
+            .collect();
+        let table = cost_table(&results, &EnergyModel::wifi());
+        assert_eq!(table[0].browser, "QQ");
+        // Rows are sorted by native bytes, descending.
+        assert!(table[0].native_bytes >= table[1].native_bytes);
+        assert!(table[1].native_bytes >= table[2].native_bytes);
+    }
+
+    #[test]
+    fn energy_model_arithmetic() {
+        let m = EnergyModel { joules_per_burst: 2.0, joules_per_byte: 0.001 };
+        assert_eq!(m.energy_joules(3, 1000), 7.0);
+        assert_eq!(m.energy_joules(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! §3.2's DNS finding: "8 out of all 15 mobile browsers in our dataset
+//! query Cloudflare's or Google's third-party DNS-over-HTTPS services
+//! for the visited domains with the rest (7) of them using the device's
+//! local DNS stub resolver."
+
+use panoptes::campaign::CampaignResult;
+use panoptes_simnet::dns::{DohProvider, ResolverKind};
+
+/// What the wire shows about a browser's resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedResolver {
+    /// Plain UDP/53 to the device stub.
+    LocalStub,
+    /// DoH to the given provider.
+    Doh(DohProvider),
+    /// No lookups observed at all.
+    None,
+}
+
+/// One browser's DNS row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsRow {
+    /// Browser name.
+    pub browser: String,
+    /// The resolver observed.
+    pub resolver: ObservedResolver,
+    /// Number of lookups observed.
+    pub lookups: usize,
+}
+
+/// Classifies one campaign's DNS behaviour from the capture: DoH flows
+/// appear as native HTTPS to the provider; stub queries only show in the
+/// resolver log.
+pub fn dns_row(result: &CampaignResult) -> DnsRow {
+    let doh = result
+        .dns_log
+        .iter()
+        .find_map(|e| match e.resolver {
+            ResolverKind::Doh(p) => Some(p),
+            ResolverKind::LocalStub => None,
+        });
+    let lookups = result.dns_log.len();
+    let resolver = match (doh, lookups) {
+        (Some(p), _) => ObservedResolver::Doh(p),
+        (None, 0) => ObservedResolver::None,
+        (None, _) => ObservedResolver::LocalStub,
+    };
+    DnsRow { browser: result.profile.name.to_string(), resolver, lookups }
+}
+
+/// The §3.2 split over a full study.
+pub fn doh_split(results: &[CampaignResult]) -> (Vec<DnsRow>, usize, usize) {
+    let rows: Vec<DnsRow> = results.iter().map(dns_row).collect();
+    let doh = rows.iter().filter(|r| matches!(r.resolver, ObservedResolver::Doh(_))).count();
+    let stub = rows
+        .iter()
+        .filter(|r| r.resolver == ObservedResolver::LocalStub)
+        .count();
+    (rows, doh, stub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::all_profiles;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    #[test]
+    fn split_is_8_doh_7_stub() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() });
+        let config = CampaignConfig::default();
+        let results: Vec<_> = all_profiles()
+            .iter()
+            .map(|p| run_crawl(&world, p, &world.sites, &config))
+            .collect();
+        let (rows, doh, stub) = doh_split(&results);
+        assert_eq!(doh, 8, "{rows:?}");
+        assert_eq!(stub, 7);
+        let edge = rows.iter().find(|r| r.browser == "Edge").unwrap();
+        assert_eq!(edge.resolver, ObservedResolver::Doh(DohProvider::Cloudflare));
+        let chrome = rows.iter().find(|r| r.browser == "Chrome").unwrap();
+        assert_eq!(chrome.resolver, ObservedResolver::LocalStub);
+        assert!(chrome.lookups > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Device/user identifier tracking across native destinations.
+//!
+//! §3.1/§3.3 of the paper: browsers communicate "with third-party ad
+//! servers while leaking personal and device identifiers" — Listing 1's
+//! `operaId` is the canonical example. This analysis finds every
+//! high-entropy token that stays *stable across flows* to a destination:
+//! each one is a tracking handle that survives cookie clearing, IP
+//! changes and VPNs.
+
+use std::collections::{BTreeMap, HashMap};
+
+use panoptes::campaign::CampaignResult;
+use panoptes_blocklist::data::steven_black_excerpt;
+
+use crate::scan::{looks_like_identifier, observations};
+
+/// One stable identifier observed at one destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentifierSighting {
+    /// Browser under test.
+    pub browser: String,
+    /// Destination receiving the identifier.
+    pub destination: String,
+    /// Parameter name / JSON path carrying it.
+    pub key: String,
+    /// The identifier value.
+    pub value: String,
+    /// Number of flows carrying exactly this value.
+    pub flows: usize,
+    /// Whether the destination is on the ad/tracker hosts list — the
+    /// §3.3 aggravating factor (identifier shared with an ad server, not
+    /// the vendor).
+    pub ad_related: bool,
+}
+
+/// Finds stable identifiers in a campaign's native traffic: a token
+/// counts when it looks high-entropy and recurs in at least
+/// `min_flows` flows to the same destination under the same key.
+pub fn find_identifiers(result: &CampaignResult, min_flows: usize) -> Vec<IdentifierSighting> {
+    let ad_list = steven_black_excerpt();
+    // (destination, key, value) → count
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for flow in result.store.native_flows() {
+        let mut seen_in_flow: HashMap<(String, String), ()> = HashMap::new();
+        for obs in observations(&flow) {
+            if !looks_like_identifier(&obs.value) {
+                continue;
+            }
+            // Count each (key,value) once per flow.
+            if seen_in_flow.insert((obs.key.clone(), obs.value.clone()), ()).is_none() {
+                *counts
+                    .entry((flow.host.clone(), obs.key, obs.value))
+                    .or_default() += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|(_, n)| *n >= min_flows)
+        .map(|((destination, key, value), flows)| IdentifierSighting {
+            browser: result.profile.name.to_string(),
+            ad_related: ad_list.contains(&destination),
+            destination,
+            key,
+            value,
+            flows,
+        })
+        .collect()
+}
+
+/// Per-browser roll-up: does any stable identifier reach an ad server?
+pub fn identifier_to_ad_server(result: &CampaignResult) -> Option<IdentifierSighting> {
+    find_identifiers(result, 2).into_iter().find(|s| s.ad_related)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    fn crawl(name: &str) -> CampaignResult {
+        let world =
+            World::build(&GeneratorConfig { popular: 5, sensitive: 3, ..Default::default() });
+        run_crawl(
+            &world,
+            &profile_by_name(name).unwrap(),
+            &world.sites,
+            &CampaignConfig::default(),
+        )
+    }
+
+    #[test]
+    fn opera_id_reaches_the_oleads_ad_server() {
+        // Listing 1: the 64-hex operaId rides every ad-SDK fetch.
+        let result = crawl("Opera");
+        let sighting = identifier_to_ad_server(&result).expect("operaId found");
+        assert_eq!(sighting.destination, "s-odx.oleads.com");
+        assert_eq!(sighting.key, "operaId");
+        assert_eq!(sighting.value.len(), 64);
+        assert!(sighting.flows >= 8, "every visit carries it: {}", sighting.flows);
+        assert!(sighting.ad_related);
+    }
+
+    #[test]
+    fn yandex_uid_is_stable_but_goes_to_the_vendor() {
+        let result = crawl("Yandex");
+        let sightings = find_identifiers(&result, 2);
+        let yuid = sightings
+            .iter()
+            .find(|s| s.destination == "api.browser.yandex.ru")
+            .expect("yandexuid");
+        assert_eq!(yuid.key, "yandexuid");
+        assert!(!yuid.ad_related, "vendor endpoint, not an ad server");
+    }
+
+    #[test]
+    fn clean_browsers_have_no_stable_identifiers() {
+        for name in ["Chrome", "Brave", "DuckDuckGo"] {
+            let result = crawl(name);
+            let sightings = find_identifiers(&result, 2);
+            assert!(sightings.is_empty(), "{name}: {sightings:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_filters_one_off_tokens() {
+        let result = crawl("Opera");
+        let all = find_identifiers(&result, 1);
+        let recurring = find_identifiers(&result, 2);
+        assert!(all.len() >= recurring.len());
+        for s in &recurring {
+            assert!(s.flows >= 2);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! §3.2's incognito experiment: "we find that these browsers that leak
+//! the browsing history of their users, continue to do so, no matter
+//! what mode the user is browsing on."
+
+use panoptes::campaign::CampaignResult;
+
+use crate::history::{detect_history_leaks, LeakGranularity};
+
+/// Comparison of one browser's normal vs incognito campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncognitoRow {
+    /// Browser name.
+    pub browser: String,
+    /// Worst granularity leaked in normal mode.
+    pub normal: Option<LeakGranularity>,
+    /// Worst granularity leaked in incognito mode.
+    pub incognito: Option<LeakGranularity>,
+    /// The paper's finding: leaking continued in incognito.
+    pub still_leaks: bool,
+}
+
+/// Compares two campaigns of the same browser (normal, incognito).
+pub fn compare(normal: &CampaignResult, incognito: &CampaignResult) -> IncognitoRow {
+    assert_eq!(
+        normal.profile.package, incognito.profile.package,
+        "comparing different browsers"
+    );
+    let n = detect_history_leaks(normal).iter().map(|l| l.granularity).max();
+    let i = detect_history_leaks(incognito).iter().map(|l| l.granularity).max();
+    IncognitoRow {
+        browser: normal.profile.name.to_string(),
+        normal: n,
+        incognito: i,
+        still_leaks: n.is_some() && i == n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    #[test]
+    fn edge_opera_uc_keep_leaking_in_incognito() {
+        let world =
+            World::build(&GeneratorConfig { popular: 5, sensitive: 3, ..Default::default() });
+        let normal_cfg = CampaignConfig::default();
+        let incog_cfg = CampaignConfig::default().incognito();
+        // The three §3.2 incognito subjects (Yandex and QQ have no
+        // incognito mode to test — footnote 5).
+        for name in ["Edge", "Opera", "UC International"] {
+            let p = profile_by_name(name).unwrap();
+            let normal = run_crawl(&world, &p, &world.sites, &normal_cfg);
+            let incognito = run_crawl(&world, &p, &world.sites, &incog_cfg);
+            let row = compare(&normal, &incognito);
+            assert!(row.still_leaks, "{name}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn clean_browser_is_clean_in_both() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() });
+        let p = profile_by_name("Chrome").unwrap();
+        let normal = run_crawl(&world, &p, &world.sites, &CampaignConfig::default());
+        let incognito =
+            run_crawl(&world, &p, &world.sites, &CampaignConfig::default().incognito());
+        let row = compare(&normal, &incognito);
+        assert_eq!(row.normal, None);
+        assert_eq!(row.incognito, None);
+        assert!(!row.still_leaks);
+    }
+}

@@ -1,0 +1,47 @@
+//! # panoptes-analysis
+//!
+//! The measurement analyses of the paper's §3, run against captured flow
+//! databases. Each module regenerates one artefact:
+//!
+//! * [`volume`] — Figure 2 (request counts + native/engine ratio) and
+//!   Figure 4 (outgoing traffic volume),
+//! * [`addomains`] — Figure 3 (% of distinct native-contact domains that
+//!   are third-party/ad-related, per the Steven Black list),
+//! * [`history`] — §3.2: browsing-history leak detection at three
+//!   granularities (full URL — plain, percent- or Base64-encoded —
+//!   hostname, registrable domain), persistent-identifier detection,
+//!   and the JS-injection channel,
+//! * [`pii`] — Table 2: PII / device-information extraction from query
+//!   parameters and JSON bodies via keyword + value heuristics,
+//! * [`dns`] — §3.2's DoH-vs-stub split,
+//! * [`transfers`] — §3.4: international transfers of history leaks,
+//! * [`incognito`] — §3.2's incognito comparison,
+//! * [`sensitive`] — §3.2's sensitive-category leak check,
+//! * [`idle`] — Figure 5 timelines and §3.5 destination shares,
+//! * [`study`] — the full 15-browser study orchestration,
+//! * [`summary`] — a machine-readable JSON document of every result,
+//! * [`compare`] — per-browser deltas between two studies (longitudinal
+//!   / A-B workflows),
+//! * [`identifiers`] — stable device/user identifiers across native
+//!   destinations (Listing 1's `operaId` pattern),
+//! * [`cost`] — §3.1's user-borne costs: data-plan bytes and radio
+//!   energy attributable to native tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addomains;
+pub mod compare;
+pub mod cost;
+pub mod dns;
+pub mod history;
+pub mod identifiers;
+pub mod idle;
+pub mod incognito;
+pub mod pii;
+pub mod scan;
+pub mod sensitive;
+pub mod study;
+pub mod summary;
+pub mod transfers;
+pub mod volume;

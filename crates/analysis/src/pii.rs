@@ -1,0 +1,170 @@
+//! Table 2: PII and device-specific information leaked natively.
+//!
+//! §3.3: "we use keyword matching (via regex) and heuristics to extract
+//! potential Personally Identifying Information (PII) and
+//! device-specific information the browsers may leak via the URL
+//! parameters of the natively generated requests. We exclude the Android
+//! version and the device model ... as such information is reported by
+//! default ... through the HTTP User-Agent header."
+//!
+//! The detectors below combine a value match (against the known device
+//! state — ReCon-style) with key-name hints where the value alone is
+//! ambiguous (e.g. DPI numbers).
+
+use panoptes::campaign::CampaignResult;
+use panoptes_browsers::PiiField;
+use panoptes_device::DeviceProperties;
+
+use crate::scan::observations;
+
+/// One browser's Table 2 row: which fields were observed leaking, with
+/// an example destination per field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiiRow {
+    /// Browser name.
+    pub browser: String,
+    /// `(field, example destination host)` for each leaked field.
+    pub leaked: Vec<(PiiField, String)>,
+}
+
+impl PiiRow {
+    /// Whether `field` was observed.
+    pub fn leaks(&self, field: PiiField) -> bool {
+        self.leaked.iter().any(|(f, _)| *f == field)
+    }
+}
+
+fn key_hint(key: &str, hints: &[&str]) -> bool {
+    let key = key.to_ascii_lowercase();
+    hints.iter().any(|h| key.contains(h))
+}
+
+/// Tests one observation against one field, given the device's ground
+/// truth.
+fn matches_field(field: PiiField, key: &str, value: &str, props: &DeviceProperties) -> bool {
+    match field {
+        PiiField::DeviceType => value.eq_ignore_ascii_case(&props.device_type),
+        PiiField::DeviceManufacturer => {
+            value.eq_ignore_ascii_case(&props.manufacturer)
+                && key_hint(key, &["vendor", "manuf", "brand", "make"])
+        }
+        PiiField::Timezone => value == props.timezone,
+        PiiField::Resolution => {
+            value == props.resolution_string()
+                || (key_hint(key, &["width"]) && value == props.resolution.0.to_string())
+                || (key_hint(key, &["height"]) && value == props.resolution.1.to_string())
+        }
+        PiiField::LocalIp => value == props.local_ip.to_string(),
+        PiiField::Dpi => key_hint(key, &["dpi", "density"]) && value == props.dpi.to_string(),
+        PiiField::RootedStatus => {
+            key_hint(key, &["root"]) && matches!(value, "true" | "1" | "TRUE")
+        }
+        PiiField::Locale => value == props.locale,
+        PiiField::Country => {
+            value == props.country && key_hint(key, &["country", "geo", "region"])
+        }
+        PiiField::Location => {
+            let Ok(v) = value.parse::<f64>() else { return false };
+            (key_hint(key, &["lat"]) && (v - props.location.0).abs() < 0.05)
+                || (key_hint(key, &["lon", "lng"]) && (v - props.location.1).abs() < 0.05)
+        }
+        PiiField::ConnectionType => value == props.connection.as_str(),
+        PiiField::NetworkType => value == props.network.as_str(),
+    }
+}
+
+/// Scans a campaign's *native* flows for the Table 2 fields.
+pub fn pii_row(result: &CampaignResult, props: &DeviceProperties) -> PiiRow {
+    let mut leaked: Vec<(PiiField, String)> = Vec::new();
+    for flow in result.store.native_flows() {
+        for obs in observations(&flow) {
+            for field in PiiField::ALL {
+                if leaked.iter().any(|(f, _)| *f == field) {
+                    continue;
+                }
+                if matches_field(field, &obs.key, &obs.value, props) {
+                    leaked.push((field, flow.host.clone()));
+                }
+            }
+        }
+    }
+    leaked.sort_by_key(|(f, _)| PiiField::ALL.iter().position(|x| x == f));
+    PiiRow { browser: result.profile.name.to_string(), leaked }
+}
+
+/// Table 2 over a set of campaigns (device props shared — one testbed).
+pub fn table2(results: &[CampaignResult], props: &DeviceProperties) -> Vec<PiiRow> {
+    results.iter().map(|r| pii_row(r, props)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    fn row(name: &str) -> PiiRow {
+        let world =
+            World::build(&GeneratorConfig { popular: 5, sensitive: 3, ..Default::default() });
+        let result = run_crawl(
+            &world,
+            &profile_by_name(name).unwrap(),
+            &world.sites,
+            &CampaignConfig::default(),
+        );
+        pii_row(&result, &DeviceProperties::testbed_tablet())
+    }
+
+    #[test]
+    fn whale_row_matches_table2() {
+        let whale = row("Whale");
+        for field in [
+            PiiField::Resolution,
+            PiiField::LocalIp,
+            PiiField::RootedStatus,
+            PiiField::Locale,
+            PiiField::Country,
+            PiiField::NetworkType,
+        ] {
+            assert!(whale.leaks(field), "whale should leak {field:?}: {:?}", whale.leaked);
+        }
+        assert!(!whale.leaks(PiiField::Location));
+        assert!(!whale.leaks(PiiField::Dpi));
+    }
+
+    #[test]
+    fn opera_leaks_coordinates_to_ad_server() {
+        let opera = row("Opera");
+        assert!(opera.leaks(PiiField::Location), "{:?}", opera.leaked);
+        let (_, dest) =
+            opera.leaked.iter().find(|(f, _)| *f == PiiField::Location).unwrap();
+        assert_eq!(dest, "s-odx.oleads.com", "shared with the ad server, not the vendor (§3.3)");
+    }
+
+    #[test]
+    fn chrome_and_brave_leak_nothing() {
+        for name in ["Chrome", "Brave", "DuckDuckGo", "Dolphin", "Kiwi"] {
+            let r = row(name);
+            assert!(r.leaked.is_empty(), "{name}: {:?}", r.leaked);
+        }
+    }
+
+    #[test]
+    fn field_detectors_are_value_grounded() {
+        let props = DeviceProperties::testbed_tablet();
+        assert!(matches_field(PiiField::Timezone, "tz", "Europe/Athens", &props));
+        assert!(!matches_field(PiiField::Timezone, "tz", "Europe/Berlin", &props));
+        assert!(matches_field(PiiField::Resolution, "screen", "1200x1920", &props));
+        assert!(matches_field(PiiField::Resolution, "deviceScreenWidth", "1200", &props));
+        assert!(!matches_field(PiiField::Resolution, "slot", "1200", &props));
+        assert!(matches_field(PiiField::Dpi, "dpi", "224", &props));
+        assert!(!matches_field(PiiField::Dpi, "count", "224", &props));
+        assert!(matches_field(PiiField::Location, "latitude", "35.3387", &props));
+        assert!(!matches_field(PiiField::Location, "latitude", "48.85", &props));
+        assert!(matches_field(PiiField::Country, "countryCode", "GR", &props));
+        assert!(!matches_field(PiiField::Country, "param", "GR", &props));
+    }
+}

@@ -1,0 +1,105 @@
+//! §3.2's sensitive-content check: the history-leaking browsers
+//! "continue to leak the entire URL the user visits" even for sites in
+//! Google Ads' blocked sensitive categories (religion, sexuality,
+//! politics, health) — no local filtering at all.
+
+use std::collections::HashSet;
+
+use panoptes::campaign::CampaignResult;
+
+use crate::scan::{decodings, observations};
+
+/// One browser's sensitive-leak row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitiveRow {
+    /// Browser name.
+    pub browser: String,
+    /// Sensitive URLs visited in the campaign.
+    pub sensitive_visits: usize,
+    /// How many of them were observed leaking in full (path included).
+    pub sensitive_urls_leaked: usize,
+    /// Example leaked URL (the smoking gun for the report).
+    pub example: Option<String>,
+}
+
+/// Checks whether sensitive visits leak in full detail.
+pub fn sensitive_row(result: &CampaignResult) -> SensitiveRow {
+    let sensitive_urls: HashSet<&str> = result
+        .visits
+        .iter()
+        .filter(|v| v.sensitive)
+        .map(|v| v.url.as_str())
+        .collect();
+    let visited_domains: HashSet<&str> =
+        result.visits.iter().map(|v| v.domain.as_str()).collect();
+
+    let mut leaked: HashSet<String> = HashSet::new();
+    for flow in result.store.all() {
+        if visited_domains.contains(flow.registrable_domain().as_str()) {
+            continue; // first-party traffic is not a leak
+        }
+        for obs in observations(&flow) {
+            for decoded in decodings(&obs.value) {
+                if sensitive_urls.contains(decoded.as_str()) {
+                    leaked.insert(decoded);
+                }
+            }
+        }
+    }
+    let example = leaked.iter().min().cloned();
+    SensitiveRow {
+        browser: result.profile.name.to_string(),
+        sensitive_visits: sensitive_urls.len(),
+        sensitive_urls_leaked: leaked.len(),
+        example,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    #[test]
+    fn full_url_leakers_spare_nothing_sensitive() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 8, ..Default::default() });
+        let config = CampaignConfig::default();
+        for name in ["Yandex", "QQ", "UC International"] {
+            let result =
+                run_crawl(&world, &profile_by_name(name).unwrap(), &world.sites, &config);
+            let row = sensitive_row(&result);
+            assert_eq!(row.sensitive_visits, 8, "{name}");
+            assert_eq!(
+                row.sensitive_urls_leaked, 8,
+                "{name}: no local filtering of sensitive categories"
+            );
+            let example = row.example.unwrap();
+            assert!(
+                example.contains("/health/")
+                    || example.contains("/religion/")
+                    || example.contains("/sexuality/")
+                    || example.contains("/society/"),
+                "{example}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_only_leakers_do_not_leak_full_sensitive_urls() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 6, ..Default::default() });
+        let result = run_crawl(
+            &world,
+            &profile_by_name("Edge").unwrap(),
+            &world.sites,
+            &CampaignConfig::default(),
+        );
+        let row = sensitive_row(&result);
+        assert_eq!(row.sensitive_urls_leaked, 0, "Edge reports domains, not full URLs");
+    }
+}

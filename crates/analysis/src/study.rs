@@ -1,0 +1,51 @@
+//! Full-study orchestration: all 15 browsers over the same site list.
+
+use panoptes::campaign::{run_crawl, CampaignResult};
+use panoptes::config::CampaignConfig;
+use panoptes::idle::{run_idle, IdleResult};
+use panoptes_browsers::registry::all_profiles;
+use panoptes_simnet::clock::SimDuration;
+use panoptes_web::site::SiteSpec;
+use panoptes_web::World;
+
+/// Crawls every browser in Table 1 over `sites`.
+pub fn run_full_crawl(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+) -> Vec<CampaignResult> {
+    all_profiles()
+        .iter()
+        .map(|profile| run_crawl(world, profile, sites, config))
+        .collect()
+}
+
+/// Runs the §3.5 idle experiment for every browser.
+pub fn run_full_idle(
+    world: &World,
+    duration: SimDuration,
+    config: &CampaignConfig,
+) -> Vec<IdleResult> {
+    all_profiles()
+        .iter()
+        .map(|profile| run_idle(world, profile, duration, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_web::generator::GeneratorConfig;
+
+    #[test]
+    fn full_crawl_covers_all_browsers() {
+        let world =
+            World::build(&GeneratorConfig { popular: 3, sensitive: 2, ..Default::default() });
+        let results = run_full_crawl(&world, &world.sites, &CampaignConfig::default());
+        assert_eq!(results.len(), 15);
+        for r in &results {
+            assert_eq!(r.visits.len(), 5, "{}", r.profile.name);
+            assert!(!r.store.is_empty(), "{}", r.profile.name);
+        }
+    }
+}

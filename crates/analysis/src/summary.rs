@@ -1,0 +1,242 @@
+//! Machine-readable study summary: every analysis result as one JSON
+//! document, for downstream tooling (plotting, dashboards, regression
+//! tracking across crawls).
+
+use panoptes::campaign::CampaignResult;
+use panoptes::idle::IdleResult;
+use panoptes_device::DeviceProperties;
+use panoptes_geo::GeoDb;
+use panoptes_http::json::{self, Value};
+use panoptes_simnet::clock::SimDuration;
+
+use crate::addomains::figure3;
+use crate::dns::{doh_split, ObservedResolver};
+use crate::history::detect_history_leaks;
+use crate::idle::{destination_shares, timeline};
+use crate::pii::table2;
+use crate::transfers::transfers;
+use crate::volume::figure2;
+
+/// Renders the full study (crawl campaigns + optional idle runs) as one
+/// JSON document.
+pub fn study_json(results: &[CampaignResult], idles: &[IdleResult]) -> Value {
+    let props = DeviceProperties::testbed_tablet();
+    let geo = GeoDb::standard();
+
+    let fig2: Vec<Value> = figure2(results)
+        .into_iter()
+        .map(|r| {
+            Value::object(vec![
+                ("browser", Value::str(&r.browser)),
+                ("engine_requests", Value::from(r.engine_requests)),
+                ("native_requests", Value::from(r.native_requests)),
+                ("request_ratio", Value::Number(r.request_ratio)),
+                ("engine_bytes", Value::from(r.engine_bytes)),
+                ("native_bytes", Value::from(r.native_bytes)),
+                ("volume_ratio", Value::Number(r.volume_ratio)),
+            ])
+        })
+        .collect();
+
+    let fig3: Vec<Value> = figure3(results)
+        .into_iter()
+        .map(|r| {
+            Value::object(vec![
+                ("browser", Value::str(&r.browser)),
+                ("native_hosts", Value::from(r.native_hosts.len() as u64)),
+                (
+                    "ad_hosts",
+                    Value::Array(r.ad_hosts.iter().map(Value::str).collect()),
+                ),
+                ("ad_percent", Value::Number(r.ad_percent)),
+            ])
+        })
+        .collect();
+
+    let leaks: Vec<Value> = results
+        .iter()
+        .flat_map(detect_history_leaks)
+        .map(|l| {
+            Value::object(vec![
+                ("browser", Value::str(&l.browser)),
+                ("destination", Value::str(&l.destination)),
+                ("granularity", Value::str(l.granularity.as_str())),
+                ("encoding", Value::str(format!("{:?}", l.encoding))),
+                ("channel", Value::str(format!("{:?}", l.channel))),
+                ("visits_leaked", Value::from(l.visits_leaked as u64)),
+                (
+                    "persistent_id",
+                    l.persistent_id.map(Value::String).unwrap_or(Value::Null),
+                ),
+            ])
+        })
+        .collect();
+
+    let pii: Vec<Value> = table2(results, &props)
+        .into_iter()
+        .map(|row| {
+            Value::object(vec![
+                ("browser", Value::str(&row.browser)),
+                (
+                    "fields",
+                    Value::Array(
+                        row.leaked
+                            .iter()
+                            .map(|(f, dest)| {
+                                Value::object(vec![
+                                    ("field", Value::str(f.label())),
+                                    ("destination", Value::str(dest)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+
+    let (dns_rows, doh, stub) = doh_split(results);
+    let dns: Vec<Value> = dns_rows
+        .into_iter()
+        .map(|r| {
+            let resolver = match r.resolver {
+                ObservedResolver::LocalStub => "stub".to_string(),
+                ObservedResolver::Doh(p) => format!("doh:{}", p.host()),
+                ObservedResolver::None => "none".to_string(),
+            };
+            Value::object(vec![
+                ("browser", Value::str(&r.browser)),
+                ("resolver", Value::str(resolver)),
+                ("lookups", Value::from(r.lookups as u64)),
+            ])
+        })
+        .collect();
+
+    let transfer_rows: Vec<Value> = transfers(results, &geo)
+        .into_iter()
+        .map(|t| {
+            Value::object(vec![
+                ("browser", Value::str(&t.browser)),
+                ("granularity", Value::str(t.granularity.as_str())),
+                (
+                    "destinations",
+                    Value::Array(
+                        t.destinations
+                            .iter()
+                            .map(|(host, country)| {
+                                Value::object(vec![
+                                    ("host", Value::str(host)),
+                                    ("country", Value::str(country.as_str())),
+                                    ("eu", Value::Bool(country.is_eu())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("leaves_eu", Value::Bool(t.leaves_eu)),
+            ])
+        })
+        .collect();
+
+    let idle_json: Vec<Value> = idles
+        .iter()
+        .map(|r| {
+            let tl = timeline(r, SimDuration::from_secs(30));
+            Value::object(vec![
+                ("browser", Value::str(r.profile.name)),
+                ("idle_sent", Value::from(r.idle_sent)),
+                ("first_minute_share", Value::Number(tl.first_minute_share())),
+                (
+                    "cumulative",
+                    Value::Array(
+                        tl.cumulative
+                            .iter()
+                            .map(|(t, n)| Value::Array(vec![Value::from(*t), Value::from(*n)]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "top_destinations",
+                    Value::Array(
+                        destination_shares(r)
+                            .into_iter()
+                            .take(5)
+                            .map(|s| {
+                                Value::object(vec![
+                                    ("domain", Value::str(&s.domain)),
+                                    ("percent", Value::Number(s.percent)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+
+    Value::object(vec![
+        ("figure2", Value::Array(fig2)),
+        ("figure3", Value::Array(fig3)),
+        ("history_leaks", Value::Array(leaks)),
+        ("table2_pii", Value::Array(pii)),
+        (
+            "dns",
+            Value::object(vec![
+                ("doh_browsers", Value::from(doh as u64)),
+                ("stub_browsers", Value::from(stub as u64)),
+                ("rows", Value::Array(dns)),
+            ]),
+        ),
+        ("transfers", Value::Array(transfer_rows)),
+        ("figure5_idle", Value::Array(idle_json)),
+    ])
+}
+
+/// Pretty-printed form of [`study_json`].
+pub fn study_report(results: &[CampaignResult], idles: &[IdleResult]) -> String {
+    json::to_string_pretty(&study_json(results, idles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes::idle::run_idle;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    #[test]
+    fn report_is_valid_json_with_all_sections() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 3, ..Default::default() });
+        let config = CampaignConfig::default();
+        let results: Vec<_> = ["Yandex", "Chrome"]
+            .iter()
+            .map(|n| run_crawl(&world, &profile_by_name(n).unwrap(), &world.sites, &config))
+            .collect();
+        let idles = vec![run_idle(
+            &world,
+            &profile_by_name("Opera").unwrap(),
+            SimDuration::from_secs(120),
+            &config,
+        )];
+        let text = study_report(&results, &idles);
+        let parsed = json::parse(&text).unwrap();
+        for section in
+            ["figure2", "figure3", "history_leaks", "table2_pii", "dns", "transfers", "figure5_idle"]
+        {
+            assert!(parsed.get(section).is_some(), "{section} missing");
+        }
+        // Yandex's leak is in the document.
+        let leaks = parsed.get("history_leaks").unwrap().as_array().unwrap();
+        assert!(leaks
+            .iter()
+            .any(|l| l.get("destination").unwrap().as_str() == Some("sba.yandex.net")));
+        // Idle timeline is present and monotone.
+        let idle = &parsed.get("figure5_idle").unwrap().as_array().unwrap()[0];
+        let series = idle.get("cumulative").unwrap().as_array().unwrap();
+        assert!(!series.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! §3.4: international data transfers.
+//!
+//! "We extract the IP address of every remote server receiving native
+//! requests from the tested browsers, and use a popular
+//! IP-to-geolocation service to extract its country-level location. We
+//! see that while the crawls took place from EU, in case of the mobile
+//! browsers Yandex, QQ and UC International which leak in full detail
+//! the browsing history of the users, the requests are being received by
+//! servers located in Russia, China, and Canada, respectively."
+
+use std::collections::BTreeMap;
+
+use panoptes::campaign::CampaignResult;
+use panoptes_geo::{Country, GeoDb};
+use panoptes_http::netaddr::IpAddr;
+
+use crate::history::{detect_history_leaks, LeakGranularity};
+
+/// Where one browser's history leaks land.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRow {
+    /// Browser name.
+    pub browser: String,
+    /// Worst leak granularity (context for severity).
+    pub granularity: LeakGranularity,
+    /// `(destination host, country)` of each leak destination.
+    pub destinations: Vec<(String, Country)>,
+    /// True when any full-detail leak lands outside the EU.
+    pub leaves_eu: bool,
+}
+
+/// Geolocates every history-leak destination of a campaign.
+pub fn transfer_row(result: &CampaignResult, geo: &GeoDb) -> Option<TransferRow> {
+    let leaks = detect_history_leaks(result);
+    let worst = leaks.iter().map(|l| l.granularity).max()?;
+
+    // Destination host → IP from the capture itself (the flows carry the
+    // dst address, exactly what the paper extracts).
+    let mut dest_ip: BTreeMap<String, IpAddr> = BTreeMap::new();
+    for flow in result.store.all() {
+        if let Some(ip) = IpAddr::parse(&flow.dst_ip) {
+            dest_ip.entry(flow.host.clone()).or_insert(ip);
+        }
+    }
+
+    let mut destinations = Vec::new();
+    for leak in &leaks {
+        if leak.granularity != worst {
+            continue;
+        }
+        if let Some(country) = dest_ip.get(&leak.destination).and_then(|ip| geo.country_of(*ip)) {
+            if !destinations.iter().any(|(h, _)| h == &leak.destination) {
+                destinations.push((leak.destination.clone(), country));
+            }
+        }
+    }
+    let leaves_eu = destinations.iter().any(|(_, c)| !c.is_eu());
+    Some(TransferRow {
+        browser: result.profile.name.to_string(),
+        granularity: worst,
+        destinations,
+        leaves_eu,
+    })
+}
+
+/// §3.4 over a full study: rows for every browser that leaks history.
+pub fn transfers(results: &[CampaignResult], geo: &GeoDb) -> Vec<TransferRow> {
+    results.iter().filter_map(|r| transfer_row(r, geo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::config::CampaignConfig;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+    use panoptes_web::World;
+
+    #[test]
+    fn full_detail_leakers_land_outside_eu() {
+        let world =
+            World::build(&GeneratorConfig { popular: 6, sensitive: 3, ..Default::default() });
+        let config = CampaignConfig::default();
+        let geo = GeoDb::standard();
+        let cases = [
+            ("Yandex", "RU"),
+            ("QQ", "CN"),
+            ("UC International", "CA"),
+        ];
+        for (name, country) in cases {
+            let result =
+                run_crawl(&world, &profile_by_name(name).unwrap(), &world.sites, &config);
+            let row = transfer_row(&result, &geo).unwrap_or_else(|| panic!("{name} leaks"));
+            assert_eq!(row.granularity, LeakGranularity::FullUrl, "{name}");
+            assert!(row.leaves_eu, "{name}");
+            assert!(
+                row.destinations.iter().any(|(_, c)| c.as_str() == country),
+                "{name} → {country}, got {:?}",
+                row.destinations
+            );
+        }
+    }
+
+    #[test]
+    fn clean_browser_has_no_transfer_row() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() });
+        let result = run_crawl(
+            &world,
+            &profile_by_name("Brave").unwrap(),
+            &world.sites,
+            &CampaignConfig::default(),
+        );
+        assert!(transfer_row(&result, &GeoDb::standard()).is_none());
+    }
+}

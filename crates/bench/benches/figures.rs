@@ -1,0 +1,226 @@
+//! One benchmark per paper artefact: each target regenerates the
+//! corresponding table or figure end-to-end (crawl → capture → analysis)
+//! at a reduced-but-representative scale, so `cargo bench` both times
+//! the pipeline and re-validates every result's shape.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use panoptes::campaign::{run_crawl, CampaignResult};
+use panoptes::config::CampaignConfig;
+use panoptes::idle::run_idle;
+use panoptes_analysis::addomains::figure3;
+use panoptes_analysis::dns::doh_split;
+use panoptes_analysis::history::detect_history_leaks;
+use panoptes_analysis::idle::{destination_shares, timeline};
+use panoptes_analysis::incognito::compare;
+use panoptes_analysis::pii::table2;
+use panoptes_analysis::sensitive::sensitive_row;
+use panoptes_analysis::transfers::transfers;
+use panoptes_analysis::volume::figure2;
+use panoptes_browsers::registry::{all_profiles, profile_by_name};
+use panoptes_device::DeviceProperties;
+use panoptes_geo::GeoDb;
+use panoptes_simnet::clock::SimDuration;
+use panoptes_web::generator::GeneratorConfig;
+use panoptes_web::World;
+
+fn bench_world() -> World {
+    World::build(&GeneratorConfig { popular: 12, sensitive: 8, ..Default::default() })
+}
+
+/// Crawls all 15 browsers once; reused by the analysis benches.
+fn crawl_everyone(world: &World) -> Vec<CampaignResult> {
+    let config = CampaignConfig::default();
+    all_profiles()
+        .iter()
+        .map(|p| run_crawl(world, p, &world.sites, &config))
+        .collect()
+}
+
+fn table1_registry(c: &mut Criterion) {
+    c.bench_function("table1_registry", |b| {
+        b.iter(|| {
+            let profiles = all_profiles();
+            assert_eq!(profiles.len(), 15);
+            profiles
+        })
+    });
+}
+
+fn fig2_native_ratio(c: &mut Criterion) {
+    let world = bench_world();
+    let config = CampaignConfig::default();
+    c.bench_function("fig2_native_ratio", |b| {
+        b.iter(|| {
+            let yandex = run_crawl(
+                &world,
+                &profile_by_name("Yandex").unwrap(),
+                &world.sites,
+                &config,
+            );
+            let rows = figure2(std::slice::from_ref(&yandex));
+            assert!(rows[0].request_ratio > 0.25);
+            rows
+        })
+    });
+}
+
+fn fig3_ad_domains(c: &mut Criterion) {
+    let world = bench_world();
+    let config = CampaignConfig::default();
+    let kiwi = run_crawl(&world, &profile_by_name("Kiwi").unwrap(), &world.sites, &config);
+    c.bench_function("fig3_ad_domains", |b| {
+        b.iter(|| {
+            let rows = figure3(std::slice::from_ref(&kiwi));
+            assert!(rows[0].ad_percent > 30.0);
+            rows
+        })
+    });
+}
+
+fn fig4_volume(c: &mut Criterion) {
+    let world = bench_world();
+    let config = CampaignConfig::default();
+    let qq = run_crawl(&world, &profile_by_name("QQ").unwrap(), &world.sites, &config);
+    c.bench_function("fig4_volume", |b| {
+        b.iter(|| {
+            let rows = figure2(std::slice::from_ref(&qq));
+            assert!(rows[0].volume_ratio > 0.3);
+            rows
+        })
+    });
+}
+
+fn table2_pii(c: &mut Criterion) {
+    let world = bench_world();
+    let results = crawl_everyone(&world);
+    let props = DeviceProperties::testbed_tablet();
+    c.bench_function("table2_pii", |b| {
+        b.iter(|| {
+            let rows = table2(&results, &props);
+            assert_eq!(rows.len(), 15);
+            rows
+        })
+    });
+}
+
+fn fig5_idle(c: &mut Criterion) {
+    let world = bench_world();
+    let config = CampaignConfig::default();
+    c.bench_function("fig5_idle", |b| {
+        b.iter(|| {
+            let opera = run_idle(
+                &world,
+                &profile_by_name("Opera").unwrap(),
+                SimDuration::from_secs(600),
+                &config,
+            );
+            let tl = timeline(&opera, SimDuration::from_secs(10));
+            assert!(tl.total() > 50);
+            let shares = destination_shares(&opera);
+            assert!(!shares.is_empty());
+            (tl, shares)
+        })
+    });
+}
+
+fn sec32_history_leaks(c: &mut Criterion) {
+    let world = bench_world();
+    let config = CampaignConfig::default();
+    let yandex = run_crawl(&world, &profile_by_name("Yandex").unwrap(), &world.sites, &config);
+    c.bench_function("sec32_history_leaks", |b| {
+        b.iter(|| {
+            let leaks = detect_history_leaks(&yandex);
+            assert!(leaks.iter().any(|l| l.persistent_id.is_some()));
+            leaks
+        })
+    });
+}
+
+fn sec32_dns_split(c: &mut Criterion) {
+    let world = bench_world();
+    let results = crawl_everyone(&world);
+    c.bench_function("sec32_dns_split", |b| {
+        b.iter(|| {
+            let (rows, doh, stub) = doh_split(&results);
+            assert_eq!((doh, stub), (8, 7));
+            rows
+        })
+    });
+}
+
+fn sec32_incognito(c: &mut Criterion) {
+    let world = bench_world();
+    let p = profile_by_name("Edge").unwrap();
+    let normal = run_crawl(&world, &p, &world.sites, &CampaignConfig::default());
+    let incog = run_crawl(&world, &p, &world.sites, &CampaignConfig::default().incognito());
+    c.bench_function("sec32_incognito", |b| {
+        b.iter(|| {
+            let row = compare(&normal, &incog);
+            assert!(row.still_leaks);
+            row
+        })
+    });
+}
+
+fn sec32_sensitive(c: &mut Criterion) {
+    let world = bench_world();
+    let qq = run_crawl(
+        &world,
+        &profile_by_name("QQ").unwrap(),
+        &world.sites,
+        &CampaignConfig::default(),
+    );
+    c.bench_function("sec32_sensitive", |b| {
+        b.iter(|| {
+            let row = sensitive_row(&qq);
+            assert!(row.sensitive_urls_leaked > 0);
+            row
+        })
+    });
+}
+
+fn sec34_transfers(c: &mut Criterion) {
+    let world = bench_world();
+    let results = crawl_everyone(&world);
+    let geo = GeoDb::standard();
+    c.bench_function("sec34_transfers", |b| {
+        b.iter(|| {
+            let rows = transfers(&results, &geo);
+            assert!(rows.iter().any(|r| r.browser == "Yandex" && r.leaves_eu));
+            rows
+        })
+    });
+}
+
+fn full_campaign_crawl(c: &mut Criterion) {
+    let world = bench_world();
+    let config = CampaignConfig::default();
+    let profile = profile_by_name("Edge").unwrap();
+    c.bench_function("full_campaign_crawl_20_sites", |b| {
+        b.iter_batched(
+            || (),
+            |_| run_crawl(&world, &profile, &world.sites, &config),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table1_registry,
+        fig2_native_ratio,
+        fig3_ad_domains,
+        fig4_volume,
+        table2_pii,
+        fig5_idle,
+        sec32_history_leaks,
+        sec32_dns_split,
+        sec32_incognito,
+        sec32_sensitive,
+        sec34_transfers,
+        full_campaign_crawl,
+}
+criterion_main!(figures);

@@ -1,0 +1,184 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--popular N] [--sensitive N] [--seed S] [--only SECTION]
+//! ```
+//!
+//! Sections: `table1 fig2 fig3 fig4 table2 fig5 leaks dns incognito
+//! sensitive transfers idle-dest listing1`. Default: everything at paper
+//! scale (500 + 500 sites, 10-minute idle).
+//!
+//! `--har DIR` additionally writes one HAR 1.2 file per browser campaign
+//! into DIR, for inspection with off-the-shelf HAR tooling. `--json FILE`
+//! writes the machine-readable study summary (every analysis result as
+//! one JSON document).
+
+use panoptes::campaign::run_crawl;
+use panoptes_bench::experiments::{crawl_all, idle_all, Scale};
+use panoptes_bench::render;
+use panoptes_browsers::registry::profile_by_name;
+use panoptes_device::DeviceProperties;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::paper();
+    let mut only: Option<String> = None;
+    let mut har_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--popular" => {
+                i += 1;
+                scale.popular = args[i].parse().expect("--popular N");
+            }
+            "--sensitive" => {
+                i += 1;
+                scale.sensitive = args[i].parse().expect("--sensitive N");
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args[i].parse().expect("--seed S");
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args[i].clone());
+            }
+            "--har" => {
+                i += 1;
+                har_dir = Some(args[i].clone());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
+
+    eprintln!(
+        "# Panoptes reproduction — {} popular + {} sensitive sites, seed {:#x}",
+        scale.popular, scale.sensitive, scale.seed
+    );
+    println!(
+        "# Panoptes reproduction run ({} popular + {} sensitive sites, seed {:#x})\n",
+        scale.popular, scale.sensitive, scale.seed
+    );
+
+    eprintln!("crawling 15 browsers...");
+    let (world, results) = crawl_all(&scale);
+    let props = DeviceProperties::testbed_tablet();
+
+    if let Some(dir) = &har_dir {
+        std::fs::create_dir_all(dir).expect("create --har directory");
+        for r in &results {
+            let path = format!("{dir}/{}.har", r.profile.name.replace(' ', "_").to_lowercase());
+            std::fs::write(&path, panoptes_mitm::har::store_to_har(&r.store))
+                .expect("write har file");
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if want("table1") {
+        println!("{}", render::table1(&results));
+    }
+    if want("fig2") {
+        println!("{}", render::fig2(&results));
+    }
+    if want("fig3") {
+        println!("{}", render::fig3(&results));
+    }
+    if want("fig4") {
+        println!("{}", render::fig4(&results));
+    }
+    if want("table2") {
+        println!("{}", render::table2_md(&results, &props));
+    }
+    if want("leaks") {
+        println!("{}", render::leaks_md(&results));
+        println!("{}", render::leak_summary_md(&results));
+    }
+    if want("dns") {
+        println!("{}", render::dns_md(&results));
+    }
+    if want("sensitive") {
+        println!("{}", render::sensitive_md(&results));
+    }
+    if want("transfers") {
+        println!("{}", render::transfers_md(&results));
+    }
+    if want("listing1") {
+        println!("{}", render::listing1(&results));
+    }
+    if want("identifiers") {
+        println!("{}", render::identifiers_md(&results));
+    }
+    if want("cost") {
+        println!("{}", render::cost_md(&results));
+    }
+
+    if want("incognito") {
+        eprintln!("incognito re-crawls (Edge / Opera / UC International)...");
+        let config = scale.config();
+        let incog = config.clone().incognito();
+        let pairs: Vec<_> = ["Edge", "Opera", "UC International"]
+            .iter()
+            .map(|name| {
+                let p = profile_by_name(name).expect("known browser");
+                let normal = run_crawl(&world, &p, &world.sites, &config);
+                let incognito = run_crawl(&world, &p, &world.sites, &incog);
+                (normal, incognito)
+            })
+            .collect();
+        println!("{}", render::incognito_md(&pairs));
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create --csv directory");
+        std::fs::write(format!("{dir}/fig2.csv"), render::fig2_csv(&results)).expect("fig2.csv");
+        std::fs::write(format!("{dir}/fig3.csv"), render::fig3_csv(&results)).expect("fig3.csv");
+        eprintln!("wrote {dir}/fig2.csv, {dir}/fig3.csv");
+    }
+
+    if want("fig5") || want("idle-dest") || json_path.is_some() || csv_dir.is_some() {
+        eprintln!("idle experiment (15 browsers x {}s)...", scale.idle.as_secs());
+        let idle = idle_all(&scale);
+        if want("fig5") {
+            println!("{}", render::fig5(&idle));
+        }
+        if want("idle-dest") {
+            println!("{}", render::idle_dest_md(&idle));
+        }
+        if let Some(path) = &json_path {
+            std::fs::write(path, panoptes_analysis::summary::study_report(&results, &idle))
+                .expect("write --json file");
+            eprintln!("wrote {path}");
+        }
+        if let Some(dir) = &csv_dir {
+            std::fs::write(
+                format!("{dir}/fig5.csv"),
+                render::fig5_csv(&idle, panoptes_simnet::SimDuration::from_secs(10)),
+            )
+            .expect("fig5.csv");
+            eprintln!("wrote {dir}/fig5.csv");
+        }
+    }
+    eprintln!("done.");
+}

@@ -1,0 +1,72 @@
+//! Experiment drivers: one function per paper artefact.
+
+use panoptes::campaign::CampaignResult;
+use panoptes::config::CampaignConfig;
+use panoptes::idle::IdleResult;
+use panoptes_analysis::study::{run_full_crawl, run_full_idle};
+use panoptes_simnet::clock::SimDuration;
+use panoptes_web::generator::GeneratorConfig;
+use panoptes_web::World;
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Popular (Tranco-like) sites.
+    pub popular: u32,
+    /// Sensitive (Curlie-like) sites.
+    pub sensitive: u32,
+    /// Idle-window length.
+    pub idle: SimDuration,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full workload: 500 + 500 sites, 10-minute idle.
+    pub fn paper() -> Scale {
+        Scale {
+            popular: 500,
+            sensitive: 500,
+            idle: SimDuration::from_secs(600),
+            seed: CampaignConfig::default().seed,
+        }
+    }
+
+    /// A reduced workload for quick runs and benches.
+    pub fn quick() -> Scale {
+        Scale {
+            popular: 30,
+            sensitive: 20,
+            idle: SimDuration::from_secs(600),
+            seed: CampaignConfig::default().seed,
+        }
+    }
+
+    /// Builds the world for this scale.
+    pub fn world(&self) -> World {
+        World::build(&GeneratorConfig {
+            seed: self.seed,
+            popular: self.popular,
+            sensitive: self.sensitive,
+        })
+    }
+
+    /// The campaign configuration for this scale.
+    pub fn config(&self) -> CampaignConfig {
+        CampaignConfig { seed: self.seed, ..Default::default() }
+    }
+}
+
+/// Runs the full 15-browser crawl at the given scale.
+pub fn crawl_all(scale: &Scale) -> (World, Vec<CampaignResult>) {
+    let world = scale.world();
+    let config = scale.config();
+    let results = run_full_crawl(&world, &world.sites, &config);
+    (world, results)
+}
+
+/// Runs the 15-browser idle experiment at the given scale.
+pub fn idle_all(scale: &Scale) -> Vec<IdleResult> {
+    let world = scale.world();
+    run_full_idle(&world, scale.idle, &scale.config())
+}

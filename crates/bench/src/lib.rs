@@ -1,0 +1,12 @@
+//! # panoptes-bench
+//!
+//! The reproduction harness: shared experiment drivers used both by the
+//! `repro` binary (which regenerates every table and figure of the paper
+//! as Markdown) and by the Criterion benchmarks (one bench target per
+//! artefact).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;

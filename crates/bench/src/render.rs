@@ -1,0 +1,366 @@
+//! Markdown rendering of every table and figure.
+
+use panoptes::campaign::CampaignResult;
+use panoptes::idle::IdleResult;
+use panoptes_analysis::addomains::figure3;
+use panoptes_analysis::dns::{doh_split, ObservedResolver};
+use panoptes_analysis::history::{detect_history_leaks, summarize_leaks, LeakChannel, LeakGranularity};
+use panoptes_analysis::idle::{destination_shares, timeline};
+use panoptes_analysis::incognito::compare;
+use panoptes_analysis::pii::table2;
+use panoptes_analysis::sensitive::sensitive_row;
+use panoptes_analysis::transfers::transfers;
+use panoptes_analysis::volume::figure2;
+use panoptes_browsers::PiiField;
+use panoptes_device::DeviceProperties;
+use panoptes_geo::GeoDb;
+use panoptes_simnet::clock::SimDuration;
+
+/// Table 1: the browser dataset.
+pub fn table1(results: &[CampaignResult]) -> String {
+    let mut out = String::from("## Table 1 — Browser dataset\n\n| Browser | Version |\n|---|---|\n");
+    for r in results {
+        out.push_str(&format!("| {} | {} |\n", r.profile.name, r.profile.version));
+    }
+    out
+}
+
+/// Figure 2: request counts + native/engine ratio.
+pub fn fig2(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "## Figure 2 — Requests: website (engine) vs browser (native)\n\n\
+         | Browser | Engine reqs | Native reqs | Native/Engine |\n|---|---|---|---|\n",
+    );
+    for row in figure2(results) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} |\n",
+            row.browser, row.engine_requests, row.native_requests, row.request_ratio
+        ));
+    }
+    out
+}
+
+/// Figure 3: % of native-contact domains that are ad-related.
+pub fn fig3(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "## Figure 3 — Native destinations that are third-party/ad domains\n\n\
+         | Browser | Native hosts | Ad hosts | Ad % |\n|---|---|---|---|\n",
+    );
+    for row in figure3(results) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1}% |\n",
+            row.browser,
+            row.native_hosts.len(),
+            row.ad_hosts.len(),
+            row.ad_percent
+        ));
+    }
+    out
+}
+
+/// Figure 4: outgoing traffic volume.
+pub fn fig4(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "## Figure 4 — Outgoing volume: website vs browser-native\n\n\
+         | Browser | Engine bytes | Native bytes | Native/Engine |\n|---|---|---|---|\n",
+    );
+    for row in figure2(results) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} |\n",
+            row.browser, row.engine_bytes, row.native_bytes, row.volume_ratio
+        ));
+    }
+    out
+}
+
+/// Table 2: the PII matrix.
+pub fn table2_md(results: &[CampaignResult], props: &DeviceProperties) -> String {
+    let mut out = String::from("## Table 2 — PII / device info leaked natively\n\n| Browser |");
+    for f in PiiField::ALL {
+        out.push_str(&format!(" {} |", f.label()));
+    }
+    out.push_str("\n|---|");
+    out.push_str(&"---|".repeat(12));
+    out.push('\n');
+    for row in table2(results, props) {
+        out.push_str(&format!("| {} |", row.browser));
+        for f in PiiField::ALL {
+            out.push_str(if row.leaks(f) { " Yes |" } else { " No |" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// §3.2: the history-leak findings.
+pub fn leaks_md(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "## §3.2 — Browsing-history leaks\n\n\
+         | Browser | Granularity | Destination(s) | Encoding | Channel | Persistent ID |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for r in results {
+        let leaks = detect_history_leaks(r);
+        if leaks.is_empty() {
+            continue;
+        }
+        for l in &leaks {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:?} | {} | {} |\n",
+                l.browser,
+                l.granularity.as_str(),
+                l.destination,
+                l.encoding,
+                match l.channel {
+                    LeakChannel::NativeRequest => "native",
+                    LeakChannel::InjectedScript => "injected JS",
+                },
+                l.persistent_id.as_deref().map(|id| &id[..12.min(id.len())]).unwrap_or("—"),
+            ));
+        }
+    }
+    out
+}
+
+/// §3.2: the DoH/stub split.
+pub fn dns_md(results: &[CampaignResult]) -> String {
+    let (rows, doh, stub) = doh_split(results);
+    let mut out = format!(
+        "## §3.2 — DNS behaviour ({doh} DoH / {stub} stub)\n\n| Browser | Resolver | Lookups |\n|---|---|---|\n"
+    );
+    for row in rows {
+        let resolver = match row.resolver {
+            ObservedResolver::LocalStub => "local stub".to_string(),
+            ObservedResolver::Doh(p) => format!("DoH ({})", p.host()),
+            ObservedResolver::None => "none observed".to_string(),
+        };
+        out.push_str(&format!("| {} | {} | {} |\n", row.browser, resolver, row.lookups));
+    }
+    out
+}
+
+/// §3.2: incognito comparison (normal vs incognito campaign pairs).
+pub fn incognito_md(pairs: &[(CampaignResult, CampaignResult)]) -> String {
+    let mut out = String::from(
+        "## §3.2 — Incognito mode\n\n| Browser | Normal | Incognito | Still leaks |\n|---|---|---|---|\n",
+    );
+    for (normal, incog) in pairs {
+        let row = compare(normal, incog);
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            row.browser,
+            row.normal.map(LeakGranularity::as_str).unwrap_or("—"),
+            row.incognito.map(LeakGranularity::as_str).unwrap_or("—"),
+            if row.still_leaks { "YES" } else { "no" },
+        ));
+    }
+    out
+}
+
+/// §3.2: sensitive-category leaking.
+pub fn sensitive_md(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "## §3.2 — Sensitive-category visits leaked in full\n\n\
+         | Browser | Sensitive visits | Leaked in full | Example |\n|---|---|---|---|\n",
+    );
+    for r in results {
+        let row = sensitive_row(r);
+        if row.sensitive_urls_leaked == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            row.browser,
+            row.sensitive_visits,
+            row.sensitive_urls_leaked,
+            row.example.as_deref().unwrap_or("—"),
+        ));
+    }
+    out
+}
+
+/// §3.4: international transfers.
+pub fn transfers_md(results: &[CampaignResult]) -> String {
+    let geo = GeoDb::standard();
+    let mut out = String::from(
+        "## §3.4 — International data transfers of history leaks\n\n\
+         | Browser | Granularity | Destination | Country | Outside EU |\n|---|---|---|---|---|\n",
+    );
+    for row in transfers(results, &geo) {
+        for (host, country) in &row.destinations {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} ({}) | {} |\n",
+                row.browser,
+                row.granularity.as_str(),
+                host,
+                country.name(),
+                country,
+                if country.is_eu() { "no" } else { "YES" },
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 5: idle timelines (cumulative counts at checkpoints).
+pub fn fig5(results: &[IdleResult]) -> String {
+    let checkpoints = [30u64, 60, 120, 300, 600];
+    let mut out = String::from("## Figure 5 — Native requests while idle (cumulative)\n\n| Browser |");
+    for c in checkpoints {
+        out.push_str(&format!(" {c}s |"));
+    }
+    out.push_str(" 1st-min share |\n|---|");
+    out.push_str(&"---|".repeat(checkpoints.len() + 1));
+    out.push('\n');
+    for r in results {
+        let tl = timeline(r, SimDuration::from_secs(10));
+        out.push_str(&format!("| {} |", r.profile.name));
+        for c in checkpoints {
+            out.push_str(&format!(" {} |", tl.at(c)));
+        }
+        out.push_str(&format!(" {:.0}% |\n", tl.first_minute_share() * 100.0));
+    }
+    out
+}
+
+/// §3.5: idle destination shares (top 3 per browser).
+pub fn idle_dest_md(results: &[IdleResult]) -> String {
+    let mut out = String::from(
+        "## §3.5 — Idle destinations (top 3 per browser)\n\n| Browser | Destination | Share |\n|---|---|---|\n",
+    );
+    for r in results {
+        for share in destination_shares(r).into_iter().take(3) {
+            out.push_str(&format!(
+                "| {} | {} | {:.1}% |\n",
+                r.profile.name, share.domain, share.percent
+            ));
+        }
+    }
+    out
+}
+
+/// Listing 1: an actual captured Opera ad-SDK request body.
+pub fn listing1(results: &[CampaignResult]) -> String {
+    let opera = results.iter().find(|r| r.profile.name == "Opera");
+    let Some(opera) = opera else {
+        return String::from("(no Opera campaign in this run)\n");
+    };
+    let flow = opera
+        .store
+        .native_flows()
+        .into_iter()
+        .find(|f| f.host == "s-odx.oleads.com");
+    match flow {
+        Some(f) => format!(
+            "## Listing 1 — Native ad request issued by Opera\n\n```\nPOST {}\nbody: {}\n```\n",
+            f.url, f.request_body
+        ),
+        None => String::from("(no oleads flow captured)\n"),
+    }
+}
+
+/// §3.3 — stable identifiers observed at native destinations.
+pub fn identifiers_md(results: &[CampaignResult]) -> String {
+    use panoptes_analysis::identifiers::find_identifiers;
+    let mut out = String::from(
+        "## §3.3 — Stable identifiers at native destinations\n\n| Browser | Destination | Key | Flows | Ad-related |\n|---|---|---|---|---|\n",
+    );
+    for r in results {
+        for s in find_identifiers(r, 2) {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                s.browser,
+                s.destination,
+                s.key,
+                s.flows,
+                if s.ad_related { "YES" } else { "no" },
+            ));
+        }
+    }
+    out
+}
+
+/// §3.1 — the user-borne cost of native tracking.
+pub fn cost_md(results: &[CampaignResult]) -> String {
+    use panoptes_analysis::cost::{cost_table, EnergyModel};
+    let mut out = String::from(
+        "## §3.1 — User-borne cost of native tracking (per 1000 pages)\n\n| Browser | Native flows | Native bytes | Data plan (MB) | Radio energy, LTE (J) |\n|---|---|---|---|---|\n",
+    );
+    for row in cost_table(results, &EnergyModel::lte()) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} | {:.0} |\n",
+            row.browser, row.native_flows, row.native_bytes, row.mb_per_1000_pages, row.joules_per_1000_pages
+        ));
+    }
+    out
+}
+
+/// Figure 2/4 as CSV (plot-ready).
+pub fn fig2_csv(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "browser,engine_requests,native_requests,request_ratio,engine_bytes,native_bytes,volume_ratio\n",
+    );
+    for r in figure2(results) {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{},{},{:.4}\n",
+            r.browser,
+            r.engine_requests,
+            r.native_requests,
+            r.request_ratio,
+            r.engine_bytes,
+            r.native_bytes,
+            r.volume_ratio
+        ));
+    }
+    out
+}
+
+/// Figure 3 as CSV.
+pub fn fig3_csv(results: &[CampaignResult]) -> String {
+    let mut out = String::from("browser,native_hosts,ad_hosts,ad_percent\n");
+    for r in figure3(results) {
+        out.push_str(&format!(
+            "{},{},{},{:.2}\n",
+            r.browser,
+            r.native_hosts.len(),
+            r.ad_hosts.len(),
+            r.ad_percent
+        ));
+    }
+    out
+}
+
+/// Figure 5 as CSV: one row per (browser, bucket) with the cumulative
+/// count — the exact series the paper plots.
+pub fn fig5_csv(results: &[IdleResult], bucket: SimDuration) -> String {
+    let mut out = String::from("browser,seconds,cumulative_native_requests\n");
+    for r in results {
+        let tl = timeline(r, bucket);
+        for (t, n) in &tl.cumulative {
+            out.push_str(&format!("{},{},{}\n", r.profile.name, t, n));
+        }
+    }
+    out
+}
+
+/// §3.2 roll-up: one line per leaking browser.
+pub fn leak_summary_md(results: &[CampaignResult]) -> String {
+    let mut out = String::from(
+        "## §3.2 — Leak summary\n\n| Browser | Worst granularity | Destinations | Persistent ID | Via JS injection |\n|---|---|---|---|---|\n",
+    );
+    for r in results {
+        let s = summarize_leaks(r);
+        if s.worst.is_none() {
+            continue;
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            s.browser,
+            s.worst.map(LeakGranularity::as_str).unwrap_or("—"),
+            s.destinations.join(", "),
+            if s.persistent { "YES" } else { "no" },
+            if s.via_injection { "YES" } else { "no" },
+        ));
+    }
+    out
+}

@@ -1,0 +1,204 @@
+//! An easylist-lite filterlist engine.
+//!
+//! Supports the rule forms that dominate real easylist usage:
+//!
+//! * `||domain.com^` — domain anchor: matches the domain and subdomains,
+//! * `/substring/` or any bare token — substring match on the full URL,
+//! * `@@` prefix — exception rule (overrides blocks),
+//! * `!` prefix — comment.
+//!
+//! This powers the CocCoc model's engine-side ad blocking (§3.1: CocCoc
+//! "is an ad-blocking browser that enforces the easylist filterlist in
+//! its web engine").
+
+/// One parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pattern {
+    /// `||domain^` — matches the URL host (and subdomains).
+    DomainAnchor(String),
+    /// Bare substring on the serialized URL.
+    Substring(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Rule {
+    pattern: Pattern,
+    exception: bool,
+}
+
+/// A parsed filterlist.
+#[derive(Debug, Clone, Default)]
+pub struct FilterList {
+    blocks: Vec<Pattern>,
+    exceptions: Vec<Pattern>,
+}
+
+impl FilterList {
+    /// An empty list (blocks nothing).
+    pub fn new() -> FilterList {
+        FilterList::default()
+    }
+
+    /// Parses filterlist text.
+    pub fn parse(text: &str) -> FilterList {
+        let mut list = FilterList::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+                continue;
+            }
+            if let Some(rule) = parse_rule(line) {
+                if rule.exception {
+                    list.exceptions.push(rule.pattern);
+                } else {
+                    list.blocks.push(rule.pattern);
+                }
+            }
+        }
+        list
+    }
+
+    /// True when a request for `url_text` (to `host`) should be blocked.
+    pub fn should_block(&self, host: &str, url_text: &str) -> bool {
+        let blocked = self.blocks.iter().any(|p| pattern_matches(p, host, url_text));
+        if !blocked {
+            return false;
+        }
+        !self.exceptions.iter().any(|p| pattern_matches(p, host, url_text))
+    }
+
+    /// Number of blocking rules.
+    pub fn len(&self) -> usize {
+        self.blocks.len() + self.exceptions.len()
+    }
+
+    /// True when no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.exceptions.is_empty()
+    }
+}
+
+fn parse_rule(line: &str) -> Option<Rule> {
+    let (exception, body) = match line.strip_prefix("@@") {
+        Some(rest) => (true, rest),
+        None => (false, line),
+    };
+    // Strip trailing options (`$third-party` etc.) — matched permissively.
+    let body = body.split('$').next().unwrap_or(body);
+    if body.is_empty() {
+        return None;
+    }
+    let pattern = if let Some(anchored) = body.strip_prefix("||") {
+        let domain = anchored.trim_end_matches('^').trim_end_matches('/');
+        if domain.is_empty() {
+            return None;
+        }
+        Pattern::DomainAnchor(domain.to_ascii_lowercase())
+    } else {
+        Pattern::Substring(body.to_ascii_lowercase())
+    };
+    Some(Rule { pattern, exception })
+}
+
+fn pattern_matches(pattern: &Pattern, host: &str, url_text: &str) -> bool {
+    match pattern {
+        Pattern::DomainAnchor(domain) => {
+            let host = host.to_ascii_lowercase();
+            host == *domain
+                || (host.ends_with(domain)
+                    && host.as_bytes().get(host.len() - domain.len() - 1) == Some(&b'.'))
+        }
+        Pattern::Substring(s) => url_text.to_ascii_lowercase().contains(s.as_str()),
+    }
+}
+
+/// A pragmatic easylist excerpt: the generic ad-path rules plus domain
+/// anchors for the ad/tracking networks embedded by the simulated web.
+pub fn easylist_excerpt() -> FilterList {
+    FilterList::parse(
+        "! easylist (excerpt)\n\
+         ||doubleclick.net^\n\
+         ||googlesyndication.com^\n\
+         ||google-analytics.com^\n\
+         ||adnxs.com^\n\
+         ||rubiconproject.com^\n\
+         ||pubmatic.com^\n\
+         ||openx.net^\n\
+         ||criteo.com^\n\
+         ||bidswitch.net^\n\
+         ||demdex.net^\n\
+         ||scorecardresearch.com^\n\
+         ||quantserve.com^\n\
+         ||taboola.com^\n\
+         ||outbrain.com^\n\
+         ||zemanta.com^\n\
+         ||amazon-adsystem.com^\n\
+         ||smartadserver.com^\n\
+         ||indexexchange.com^\n\
+         ||sovrn.com^\n\
+         ||triplelift.com^\n\
+         ||googletagmanager.com^\n\
+         ||facebook.net^\n\
+         /ads/\n\
+         /adserver/\n\
+         @@||example-ads-allowed.com^\n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_anchor_blocks_subdomains() {
+        let list = FilterList::parse("||doubleclick.net^");
+        assert!(list.should_block("doubleclick.net", "https://doubleclick.net/pixel"));
+        assert!(list.should_block("stats.g.doubleclick.net", "https://stats.g.doubleclick.net/x"));
+        assert!(!list.should_block("notdoubleclick.net", "https://notdoubleclick.net/"));
+    }
+
+    #[test]
+    fn substring_rules_match_path() {
+        let list = FilterList::parse("/ads/");
+        assert!(list.should_block("site.com", "https://site.com/ads/banner.js"));
+        assert!(!list.should_block("site.com", "https://site.com/news/article"));
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let list = FilterList::parse("||tracker.com^\n@@||tracker.com^$document");
+        assert!(!list.should_block("tracker.com", "https://tracker.com/t.gif"));
+    }
+
+    #[test]
+    fn comments_and_options_ignored() {
+        let list = FilterList::parse("! comment\n[Adblock Plus 2.0]\n||x.com^$third-party\n");
+        assert_eq!(list.len(), 1);
+        assert!(list.should_block("x.com", "https://x.com/"));
+    }
+
+    #[test]
+    fn excerpt_blocks_paper_networks() {
+        let list = easylist_excerpt();
+        for host in [
+            "doubleclick.net",
+            "rubiconproject.com",
+            "adnxs.com",
+            "openx.net",
+            "pubmatic.com",
+            "bidswitch.net",
+            "demdex.net",
+        ] {
+            let url = format!("https://{host}/bid");
+            assert!(list.should_block(host, &url), "{host} should be blocked");
+        }
+        assert!(!list.should_block("news.example.com", "https://news.example.com/story"));
+    }
+
+    #[test]
+    fn empty_list_blocks_nothing() {
+        let list = FilterList::new();
+        assert!(list.is_empty());
+        assert!(!list.should_block("doubleclick.net", "https://doubleclick.net/"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Hosts-file blocklist parsing and matching (Steven Black style).
+//!
+//! Format: `0.0.0.0 domain` (or `127.0.0.1 domain`), `#` comments,
+//! blank lines. Matching treats an entry as covering the exact host and
+//! every subdomain, which is how the paper's Figure 3 classification
+//! treats e.g. `doubleclick.net` covering `stats.g.doubleclick.net`.
+
+use std::collections::HashSet;
+
+/// A parsed hosts-style blocklist.
+#[derive(Debug, Clone, Default)]
+pub struct HostsList {
+    entries: HashSet<String>,
+}
+
+impl HostsList {
+    /// An empty list.
+    pub fn new() -> HostsList {
+        HostsList::default()
+    }
+
+    /// Parses hosts-file text, ignoring comments, blanks and the
+    /// localhost boilerplate every distribution of these lists carries.
+    pub fn parse(text: &str) -> HostsList {
+        let mut list = HostsList::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let (Some(addr), Some(host)) = (fields.next(), fields.next()) else {
+                continue;
+            };
+            if !matches!(addr, "0.0.0.0" | "127.0.0.1" | "::" | "::1") {
+                continue;
+            }
+            if matches!(host, "localhost" | "localhost.localdomain" | "broadcasthost" | "local") {
+                continue;
+            }
+            list.add(host);
+        }
+        list
+    }
+
+    /// Adds a single entry.
+    pub fn add(&mut self, host: &str) {
+        self.entries.insert(host.to_ascii_lowercase());
+    }
+
+    /// Merges another list into this one.
+    pub fn extend(&mut self, other: &HostsList) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+
+    /// True when `host` or any of its parent domains is listed.
+    pub fn contains(&self, host: &str) -> bool {
+        let host = host.to_ascii_lowercase();
+        let mut suffix: &str = &host;
+        loop {
+            if self.entries.contains(suffix) {
+                return true;
+            }
+            match suffix.split_once('.') {
+                Some((_, rest)) if !rest.is_empty() => suffix = rest,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hosts_format() {
+        let list = HostsList::parse(
+            "# Steven Black excerpt\n\
+             127.0.0.1 localhost\n\
+             0.0.0.0 doubleclick.net # ad giant\n\
+             0.0.0.0 adnxs.com\n\
+             \n\
+             not-a-valid-line\n\
+             0.0.0.0\n",
+        );
+        assert_eq!(list.len(), 2);
+        assert!(list.contains("doubleclick.net"));
+        assert!(list.contains("adnxs.com"));
+        assert!(!list.contains("localhost"));
+    }
+
+    #[test]
+    fn subdomain_matching() {
+        let mut list = HostsList::new();
+        list.add("doubleclick.net");
+        assert!(list.contains("stats.g.doubleclick.net"));
+        assert!(list.contains("DOUBLECLICK.NET"));
+        assert!(!list.contains("notdoubleclick.net"));
+        assert!(!list.contains("net"));
+    }
+
+    #[test]
+    fn specific_subdomain_entry_does_not_cover_parent() {
+        let mut list = HostsList::new();
+        list.add("ads.example.com");
+        assert!(list.contains("ads.example.com"));
+        assert!(list.contains("x.ads.example.com"));
+        assert!(!list.contains("example.com"));
+        assert!(!list.contains("www.example.com"));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = HostsList::new();
+        a.add("a.com");
+        let mut b = HostsList::new();
+        b.add("b.com");
+        a.extend(&b);
+        assert!(a.contains("a.com") && a.contains("b.com"));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # panoptes-blocklist
+//!
+//! Two filterlist engines the measurement depends on:
+//!
+//! * [`hosts::HostsList`] — a parser/matcher for hosts-file-style
+//!   blocklists. The paper classifies the domains receiving native
+//!   requests "as classified by the popular Steven Black host list"
+//!   (§3.1, Figure 3); [`data::steven_black_excerpt`] bundles the
+//!   relevant excerpt.
+//! * [`filterlist::FilterList`] — an easylist-lite engine with
+//!   `||domain^` anchors, substring rules and `@@` exceptions. The CocCoc
+//!   browser "enforces the easylist filterlist in its web engine" (§3.1),
+//!   which our CocCoc model reproduces — while still phoning home
+//!   natively, the irony the paper points out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! ```
+//! use panoptes_blocklist::data::steven_black_excerpt;
+//!
+//! let list = steven_black_excerpt();
+//! assert!(list.contains("stats.g.doubleclick.net")); // subdomains covered
+//! assert!(!list.contains("wikipedia.org"));
+//! ```
+
+pub mod data;
+pub mod filterlist;
+pub mod hosts;
+
+pub use filterlist::FilterList;
+pub use hosts::HostsList;

@@ -1,0 +1,60 @@
+//! Property-based tests for the blocklist engines.
+
+use proptest::prelude::*;
+
+use panoptes_blocklist::{FilterList, HostsList};
+
+proptest! {
+    #[test]
+    fn hosts_contains_is_subdomain_closed(
+        entry in "[a-z]{1,8}\\.[a-z]{2,3}",
+        label in "[a-z]{1,8}",
+        deeper in "[a-z]{1,8}",
+    ) {
+        let mut list = HostsList::new();
+        list.add(&entry);
+        let sub = format!("{label}.{entry}");
+        let deep = format!("{deeper}.{label}.{entry}");
+        let fake = format!("{label}{entry}");
+        prop_assert!(list.contains(&entry));
+        prop_assert!(list.contains(&sub));
+        prop_assert!(list.contains(&deep));
+        // Superstring hosts are NOT matched.
+        prop_assert!(!list.contains(&fake));
+    }
+
+    #[test]
+    fn hosts_parse_never_panics(text in "\\PC{0,500}") {
+        let _ = HostsList::parse(&text);
+    }
+
+    #[test]
+    fn filterlist_parse_never_panics(text in "\\PC{0,500}") {
+        let _ = FilterList::parse(&text);
+    }
+
+    #[test]
+    fn domain_anchor_semantics(
+        domain in "[a-z]{1,8}\\.(com|net|org)",
+        sub in "[a-z]{1,8}",
+        path in "[a-z0-9/]{0,20}",
+    ) {
+        let list = FilterList::parse(&format!("||{domain}^"));
+        let url = format!("https://{domain}/{path}");
+        prop_assert!(list.should_block(&domain, &url));
+        let sub_host = format!("{sub}.{domain}");
+        let sub_url = format!("https://{sub_host}/{path}");
+        prop_assert!(list.should_block(&sub_host, &sub_url));
+        // A look-alike superstring must not be blocked.
+        let fake = format!("{sub}{domain}");
+        let fake_url = format!("https://{fake}/");
+        prop_assert!(!list.should_block(&fake, &fake_url));
+    }
+
+    #[test]
+    fn exception_always_wins(domain in "[a-z]{1,8}\\.com") {
+        let list = FilterList::parse(&format!("||{domain}^\n@@||{domain}^"));
+        let url = format!("https://{domain}/x");
+        prop_assert!(!list.should_block(&domain, &url));
+    }
+}

@@ -1,0 +1,39 @@
+//! # panoptes-browsers
+//!
+//! Behavioural models of the 15 mobile browsers the paper measures
+//! (Table 1). Each model has two halves, mirroring the split Panoptes
+//! exists to measure:
+//!
+//! * a **web engine** ([`engine::WebEngine`]) that loads pages — fetching
+//!   the document, subresources and third-party embeds, resolving names
+//!   through the browser's chosen mechanism (stub vs DoH), optionally
+//!   enforcing a filterlist (CocCoc), attempting HTTP/3 and falling back
+//!   when the filter drops it, and running every *website-initiated*
+//!   request through the instrumentation tap (which taints it);
+//! * a set of **native behaviours** ([`profile::BrowserProfile`]) — the
+//!   requests the app itself sends: update checks, telemetry, start-page
+//!   refreshes, phone-home history reporting (§3.2), ad-SDK beacons
+//!   (Listing 1), and idle-time chatter (§3.5). Native requests are never
+//!   tainted; that is precisely how the MITM addon recognizes them.
+//!
+//! The per-browser behaviours are *calibrated to the paper's findings*:
+//! who leaks the full URL, who attaches a persistent identifier, which
+//! PII fields each vendor transmits (Table 2), which third-party ad
+//! servers each contacts (Figure 3), and how chatty each browser is
+//! (Figures 2, 4, 5). The measurement pipeline then *rediscovers* those
+//! findings from the wire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod engine;
+pub mod identifiers;
+pub mod payload;
+pub mod profile;
+pub mod profiles;
+pub mod registry;
+
+pub use browser::{Browser, BrowsingMode, VisitOutcome};
+pub use profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+pub use registry::{all_profiles, profile_by_name};

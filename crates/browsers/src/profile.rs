@@ -1,0 +1,304 @@
+//! The declarative browser-profile model.
+//!
+//! A [`BrowserProfile`] is pure data: what the app is (Table 1 of the
+//! paper), how it can be instrumented (§2.1/§2.3), how its engine is
+//! configured, and — the core of the reproduction — the catalogue of
+//! native requests it sends at startup, per page visit, and while idle.
+//! `payload.rs` turns the catalogue into concrete [`panoptes_http::Request`]s.
+
+use panoptes_http::method::Method;
+use panoptes_instrument::tap::Instrumentation;
+use panoptes_simnet::dns::ResolverKind;
+
+/// Device/user attributes a browser may leak — the exact columns of the
+/// paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PiiField {
+    /// Device type (tablet/phone).
+    DeviceType,
+    /// Device manufacturer.
+    DeviceManufacturer,
+    /// IANA timezone.
+    Timezone,
+    /// Screen resolution.
+    Resolution,
+    /// LAN address.
+    LocalIp,
+    /// Screen density.
+    Dpi,
+    /// Whether the device is rooted.
+    RootedStatus,
+    /// BCP-47 locale.
+    Locale,
+    /// Country code.
+    Country,
+    /// Latitude/longitude fix.
+    Location,
+    /// Metered/unmetered connection.
+    ConnectionType,
+    /// Wi-Fi vs cellular.
+    NetworkType,
+}
+
+impl PiiField {
+    /// All twelve fields in Table 2 column order.
+    pub const ALL: [PiiField; 12] = [
+        PiiField::DeviceType,
+        PiiField::DeviceManufacturer,
+        PiiField::Timezone,
+        PiiField::Resolution,
+        PiiField::LocalIp,
+        PiiField::Dpi,
+        PiiField::RootedStatus,
+        PiiField::Locale,
+        PiiField::Country,
+        PiiField::Location,
+        PiiField::ConnectionType,
+        PiiField::NetworkType,
+    ];
+
+    /// Column header used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PiiField::DeviceType => "Device Type",
+            PiiField::DeviceManufacturer => "Device Manuf.",
+            PiiField::Timezone => "Timezone",
+            PiiField::Resolution => "Resolution",
+            PiiField::LocalIp => "Local IP",
+            PiiField::Dpi => "DPI",
+            PiiField::RootedStatus => "Rooted Status",
+            PiiField::Locale => "Locale",
+            PiiField::Country => "Country",
+            PiiField::Location => "Location (lat & long)",
+            PiiField::ConnectionType => "Connection Type",
+            PiiField::NetworkType => "Network Type",
+        }
+    }
+}
+
+/// What a native request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Nothing interesting — plain ping / content fetch.
+    None,
+    /// The full visited URL, Base64-encoded in a query parameter — the
+    /// Yandex `sba.yandex.net` pattern (§3.2).
+    FullUrlBase64 {
+        /// Query parameter name carrying the encoded URL.
+        param: &'static str,
+    },
+    /// The visited hostname plus a persistent per-install identifier —
+    /// the Yandex `api.browser.yandex.ru` pattern (§3.2).
+    HostnamePlusId {
+        /// Query parameter carrying the hostname.
+        host_param: &'static str,
+        /// Query parameter carrying the persistent identifier.
+        id_param: &'static str,
+    },
+    /// The full visited URL in the clear — the QQ pattern (§3.2).
+    FullUrlPlain {
+        /// Query parameter carrying the URL.
+        param: &'static str,
+    },
+    /// Only the visited registrable domain — the Edge→Bing and
+    /// Opera→Sitecheck pattern (§3.2).
+    DomainOnly {
+        /// Query parameter carrying the domain.
+        param: &'static str,
+    },
+    /// A JSON ad-SDK body carrying PII fields (Listing 1's
+    /// `s-odx.oleads.com` shape). Fields come from the profile's
+    /// `pii_fields`.
+    AdSdkJson,
+    /// Vendor telemetry with PII attached as query parameters.
+    Telemetry,
+}
+
+/// One native request in a browser's catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeCall {
+    /// Destination host.
+    pub host: &'static str,
+    /// Destination path.
+    pub path: &'static str,
+    /// HTTP method.
+    pub method: Method,
+    /// What the request carries.
+    pub payload: Payload,
+    /// Extra body padding in bytes (volume calibration — Figure 4; the
+    /// QQ telemetry bodies are what make its native volume 42% of the
+    /// engine's).
+    pub body_pad: u32,
+    /// How many copies are sent per trigger (request-count calibration —
+    /// Figure 2).
+    pub count: u32,
+    /// Whether the call is suppressed in incognito mode. The paper found
+    /// the history-leaking browsers keep leaking in incognito, so their
+    /// calls set `false`.
+    pub respects_incognito: bool,
+}
+
+impl NativeCall {
+    /// A simple GET ping.
+    pub const fn ping(host: &'static str, path: &'static str) -> NativeCall {
+        NativeCall {
+            host,
+            path,
+            method: Method::Get,
+            payload: Payload::None,
+            body_pad: 0,
+            count: 1,
+            respects_incognito: false,
+        }
+    }
+}
+
+/// Shape of a browser's idle-time chatter (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleProfile {
+    /// Start-page refresh burst fired with exponentially increasing gaps
+    /// over the first minute (favicons, thumbnails, DNS warmup — the
+    /// paper's explanation for the early exponential growth).
+    pub burst: &'static [NativeCall],
+    /// Steady-state pings: `(interval_seconds, call)` — the plateau. A
+    /// dense interval (Opera's news feed) produces the linear curve the
+    /// paper singles out.
+    pub periodic: &'static [(u64, NativeCall)],
+}
+
+impl IdleProfile {
+    /// A silent browser.
+    pub const QUIET: IdleProfile = IdleProfile { burst: &[], periodic: &[] };
+}
+
+/// A complete browser model.
+#[derive(Debug, Clone)]
+pub struct BrowserProfile {
+    /// Display name (Table 1).
+    pub name: &'static str,
+    /// Version measured by the paper (Table 1).
+    pub version: &'static str,
+    /// Android package name.
+    pub package: &'static str,
+    /// How Panoptes instruments it (§2.1/§2.3).
+    pub instrumentation: Instrumentation,
+    /// Whether the browser offers an incognito mode (Yandex and QQ do
+    /// not — footnote 5).
+    pub supports_incognito: bool,
+    /// Name-resolution mechanism (§3.2: 8 DoH users, 7 stub users).
+    pub resolver: ResolverKind,
+    /// Engine-side easylist enforcement (CocCoc).
+    pub adblock: bool,
+    /// Whether the engine races HTTP/3 (QUIC) first.
+    pub attempts_h3: bool,
+    /// Domains the app pins certificates for (these flows escape the
+    /// MITM — footnote 3).
+    pub pinned_domains: &'static [&'static str],
+    /// PII fields this vendor transmits (Table 2 row).
+    pub pii_fields: &'static [PiiField],
+    /// Key under which the vendor stores its persistent identifier, if
+    /// it uses one (Yandex).
+    pub persistent_id_key: Option<&'static str>,
+    /// Whether the browser injects a JavaScript snippet into every page
+    /// that exfiltrates via *engine* traffic (UC International, §3.2).
+    pub injects_js_collector: Option<&'static str>,
+    /// Whether declining the setup wizard's telemetry prompt actually
+    /// silences the vendor's [`Payload::Telemetry`] calls. The paper's
+    /// Listing 1 shows the other case: Opera's ad SDK fires with
+    /// `"userConsent":"false"` — consent recorded, not honoured.
+    pub honors_telemetry_consent: bool,
+    /// Native requests at app launch.
+    pub startup: &'static [NativeCall],
+    /// Native requests on every page visit.
+    pub per_visit: &'static [NativeCall],
+    /// Idle-time behaviour.
+    pub idle: IdleProfile,
+}
+
+impl BrowserProfile {
+    /// True when this browser reports the page the user visits (any
+    /// granularity) to a remote server.
+    pub fn reports_history(&self) -> bool {
+        self.per_visit.iter().any(|c| {
+            matches!(
+                c.payload,
+                Payload::FullUrlBase64 { .. }
+                    | Payload::FullUrlPlain { .. }
+                    | Payload::HostnamePlusId { .. }
+                    | Payload::DomainOnly { .. }
+            )
+        }) || self.injects_js_collector.is_some()
+    }
+
+    /// True when the browser leaks the *full URL* (path + query), the
+    /// distinction §4 emphasizes over domain-only leaks.
+    pub fn reports_full_url(&self) -> bool {
+        self.per_visit.iter().any(|c| {
+            matches!(c.payload, Payload::FullUrlBase64 { .. } | Payload::FullUrlPlain { .. })
+        }) || self.injects_js_collector.is_some()
+    }
+
+    /// Whether the profile leaks a given Table 2 field.
+    pub fn leaks(&self, field: PiiField) -> bool {
+        self.pii_fields.contains(&field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pii_all_has_twelve_distinct_labels() {
+        let labels: Vec<&str> = PiiField::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), 12);
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn ping_constructor_defaults() {
+        let call = NativeCall::ping("h.com", "/p");
+        assert_eq!(call.method, Method::Get);
+        assert_eq!(call.payload, Payload::None);
+        assert_eq!(call.count, 1);
+        assert!(!call.respects_incognito);
+    }
+
+    #[test]
+    fn history_classification() {
+        const LEAKY: &[NativeCall] = &[NativeCall {
+            host: "sba.yandex.net",
+            path: "/r",
+            method: Method::Get,
+            payload: Payload::FullUrlBase64 { param: "url" },
+            body_pad: 0,
+            count: 1,
+            respects_incognito: false,
+        }];
+        let profile = BrowserProfile {
+            name: "Test",
+            version: "1",
+            package: "t",
+            instrumentation: Instrumentation::Cdp,
+            supports_incognito: true,
+            resolver: ResolverKind::LocalStub,
+            adblock: false,
+            attempts_h3: false,
+            pinned_domains: &[],
+            pii_fields: &[],
+            persistent_id_key: None,
+            injects_js_collector: None,
+            honors_telemetry_consent: false,
+            startup: &[],
+            per_visit: LEAKY,
+            idle: IdleProfile::QUIET,
+        };
+        assert!(profile.reports_history());
+        assert!(profile.reports_full_url());
+        let quiet = BrowserProfile { per_visit: &[], ..profile };
+        assert!(!quiet.reports_history());
+    }
+}

@@ -1,0 +1,37 @@
+//! The 15 browser models of Table 1, one module each.
+//!
+//! Every profile is calibrated against the paper's findings:
+//!
+//! | Browser | History leak (§3.2) | Fig 2 native ratio | Fig 3 ad-domains | Table 2 PII |
+//! |---|---|---|---|---|
+//! | Chrome | — | very low | 0 | none |
+//! | Edge | domain → Bing API | ~0.38 | adjust/outbrain/zemanta/scorecardresearch | 6 fields |
+//! | Opera | domain → Sitecheck | moderate | 19.2% incl. oleads/doubleclick/appsflyer | 7 fields incl. lat/long |
+//! | Vivaldi | — | >1/3 | 0 | resolution |
+//! | Yandex | full URL (Base64) + persistent id | ~0.39 | 16% | 6 fields |
+//! | Brave | — | very low | 0 | none |
+//! | Samsung | — | low | 0 | locale |
+//! | DuckDuckGo | — | very low | 0 | none |
+//! | Dolphin | — | low | Facebook Graph | none |
+//! | Whale | — | >1/3 | 0 | 6 fields incl. local IP + rooted |
+//! | Mint | — | low | Facebook Graph | 4 fields |
+//! | Kiwi | — | low | ~40% (6 exchanges) | none |
+//! | CocCoc | — | >1/3 (engine shrunk by its adblock) | adjust.com | 5 fields |
+//! | QQ | full URL (clear) | ~0.25 req, 42% volume | gdt ad server | 3 fields |
+//! | UC Int. | full URL via injected JS + city/ISP | low | 0 | 2 fields |
+
+pub mod brave;
+pub mod chrome;
+pub mod coccoc;
+pub mod dolphin;
+pub mod duckduckgo;
+pub mod edge;
+pub mod kiwi;
+pub mod mint;
+pub mod opera;
+pub mod qq;
+pub mod samsung;
+pub mod uc;
+pub mod vivaldi;
+pub mod whale;
+pub mod yandex;

@@ -1,0 +1,98 @@
+//! QQ 13.7.6.6042 (Tencent) — sends the entire visited URL in the clear
+//! to its vendor servers in China (§3.2, §3.4), has no incognito mode
+//! (footnote 5), leaks device info to an ad server rather than its
+//! vendor (§3.3), and pads its telemetry so heavily that native traffic
+//! adds 42% extra outgoing volume (Figure 4).
+
+use panoptes_http::method::Method;
+use panoptes_instrument::tap::Instrumentation;
+use panoptes_simnet::dns::{DohProvider, ResolverKind};
+
+use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+
+const STARTUP: &[NativeCall] = &[
+    NativeCall::ping("cloud.browser.qq.com", "/config"),
+    NativeCall::ping("pms.mb.qq.com", "/v1/params"),
+    NativeCall::ping("cdn.browser.qq.com", "/assets"),
+    NativeCall::ping("news.browser.qq.com", "/v1/feed"),
+    NativeCall::ping("push.browser.qq.com", "/v1/register"),
+];
+
+const PER_VISIT: &[NativeCall] = &[
+    // §3.2: the full URL — path and query parameters — in the clear.
+    NativeCall {
+        host: "wup.browser.qq.com",
+        path: "/report/visit",
+        method: Method::Get,
+        payload: Payload::FullUrlPlain { param: "url" },
+        body_pad: 0,
+        count: 1,
+        respects_incognito: false,
+    },
+    // The padded telemetry that drives the 42% volume figure.
+    NativeCall {
+        host: "mtt.browser.qq.com",
+        path: "/stat/batch",
+        method: Method::Post,
+        payload: Payload::Telemetry,
+        body_pad: 1600,
+        count: 1,
+        respects_incognito: false,
+    },
+    // §3.3: device info to an ad server, not the vendor.
+    NativeCall {
+        host: "gdt-adnet.com",
+        path: "/bid/sdk",
+        method: Method::Post,
+        payload: Payload::AdSdkJson,
+        body_pad: 0,
+        count: 1,
+        respects_incognito: false,
+    },
+];
+
+const IDLE_BURST: &[NativeCall] = &[
+    NativeCall::ping("news.browser.qq.com", "/v1/feed"),
+    NativeCall::ping("cdn.browser.qq.com", "/assets"),
+    NativeCall::ping("cloud.browser.qq.com", "/config"),
+    NativeCall::ping("news.browser.qq.com", "/v1/hotlist"),
+];
+
+const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
+    (60, NativeCall {
+        host: "mtt.browser.qq.com",
+        path: "/stat/batch",
+        method: Method::Post,
+        payload: Payload::Telemetry,
+        body_pad: 1600,
+        count: 1,
+        respects_incognito: false,
+    }),
+    (120, NativeCall::ping("news.browser.qq.com", "/v1/feed")),
+    (180, NativeCall::ping("push.browser.qq.com", "/v1/poll")),
+];
+
+const PII: &[PiiField] =
+    &[PiiField::DeviceType, PiiField::DeviceManufacturer, PiiField::Resolution];
+
+/// Builds the QQ profile.
+pub fn profile() -> BrowserProfile {
+    BrowserProfile {
+        name: "QQ",
+        version: "13.7.6.6042",
+        package: "com.tencent.mtt",
+        instrumentation: Instrumentation::FridaWebView,
+        supports_incognito: false,
+        resolver: ResolverKind::Doh(DohProvider::Cloudflare),
+        adblock: false,
+        attempts_h3: false,
+        pinned_domains: &[],
+        pii_fields: PII,
+        persistent_id_key: None,
+        injects_js_collector: None,
+        honors_telemetry_consent: false,
+        startup: STARTUP,
+        per_visit: PER_VISIT,
+        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
+    }
+}

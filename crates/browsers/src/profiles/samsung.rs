@@ -1,0 +1,60 @@
+//! Samsung Internet 20.0.6.5 — modest native traffic; transmits only the
+//! locale (Table 2). Pins its update domain (`samsungdm.com`), so those
+//! flows reach the capture only as opaque pinned connections — the
+//! lower-bound caveat of the paper's footnote 3, reproduced.
+
+use panoptes_http::method::Method;
+use panoptes_instrument::tap::Instrumentation;
+use panoptes_simnet::dns::ResolverKind;
+
+use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+
+const STARTUP: &[NativeCall] = &[
+    NativeCall::ping("browser-api.samsung.com", "/v1/features"),
+    // Pinned: the proxy will only see an aborted TLS handshake.
+    NativeCall::ping("su.samsungdm.com", "/update/check"),
+];
+
+const PER_VISIT: &[NativeCall] = &[NativeCall {
+    host: "browser-api.samsung.com",
+    path: "/v1/config",
+    method: Method::Get,
+    payload: Payload::Telemetry,
+    body_pad: 0,
+    count: 1,
+    respects_incognito: true,
+}];
+
+const IDLE_BURST: &[NativeCall] = &[
+    NativeCall::ping("browser-api.samsung.com", "/v1/quickaccess"),
+    NativeCall::ping("browser-api.samsung.com", "/v1/features"),
+];
+
+const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
+    (240, NativeCall::ping("browser-api.samsung.com", "/v1/quickaccess")),
+    (300, NativeCall::ping("su.samsungdm.com", "/update/check")),
+];
+
+const PII: &[PiiField] = &[PiiField::Locale];
+
+/// Builds the Samsung Internet profile.
+pub fn profile() -> BrowserProfile {
+    BrowserProfile {
+        name: "Samsung",
+        version: "20.0.6.5",
+        package: "com.sec.android.app.sbrowser",
+        instrumentation: Instrumentation::Cdp,
+        supports_incognito: true,
+        resolver: ResolverKind::LocalStub,
+        adblock: false,
+        attempts_h3: true,
+        pinned_domains: &["samsungdm.com"],
+        pii_fields: PII,
+        persistent_id_key: None,
+        injects_js_collector: None,
+        honors_telemetry_consent: true,
+        startup: STARTUP,
+        per_visit: PER_VISIT,
+        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
+    }
+}

@@ -1,0 +1,66 @@
+//! UC International 13.4.2.1307 — the stealthiest history leak in the
+//! paper (§3.2): it does *not* phone home natively; instead it injects an
+//! obfuscated JavaScript snippet into every page, which exfiltrates the
+//! visited URL together with the user's city-level geolocation and ISP —
+//! as tainted *engine* traffic, to servers in Canada (§3.4). Its native
+//! telemetry carries only locale and network type (Table 2). Panoptes
+//! instruments it by hooking an internal API with Frida (§2.3).
+
+use panoptes_http::method::Method;
+use panoptes_instrument::tap::Instrumentation;
+use panoptes_simnet::dns::ResolverKind;
+
+use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+
+const STARTUP: &[NativeCall] = &[
+    NativeCall::ping("puds.ucweb.com", "/upgrade/check"),
+    NativeCall::ping("api.ucweb.com", "/v1/config"),
+];
+
+const PER_VISIT: &[NativeCall] = &[
+    NativeCall {
+        host: "track.ucweb.com",
+        path: "/v1/stat",
+        method: Method::Post,
+        payload: Payload::Telemetry,
+        body_pad: 120,
+        count: 2,
+        respects_incognito: false,
+    },
+    NativeCall::ping("api.ucweb.com", "/v1/config"),
+];
+
+const IDLE_BURST: &[NativeCall] = &[
+    NativeCall::ping("api.ucweb.com", "/v1/newtab"),
+    NativeCall::ping("api.ucweb.com", "/v1/config"),
+    NativeCall::ping("puds.ucweb.com", "/upgrade/check"),
+];
+
+const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
+    (90, NativeCall::ping("track.ucweb.com", "/v1/heartbeat")),
+    (300, NativeCall::ping("puds.ucweb.com", "/upgrade/check")),
+];
+
+const PII: &[PiiField] = &[PiiField::Locale, PiiField::NetworkType];
+
+/// Builds the UC International profile.
+pub fn profile() -> BrowserProfile {
+    BrowserProfile {
+        name: "UC International",
+        version: "13.4.2.1307",
+        package: "com.UCMobile.intl",
+        instrumentation: Instrumentation::FridaInternalApi,
+        supports_incognito: true,
+        resolver: ResolverKind::LocalStub,
+        adblock: false,
+        attempts_h3: false,
+        pinned_domains: &[],
+        pii_fields: PII,
+        persistent_id_key: None,
+        injects_js_collector: Some("collect.ucweb.com"),
+        honors_telemetry_consent: false,
+        startup: STARTUP,
+        per_visit: PER_VISIT,
+        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
+    }
+}

@@ -1,0 +1,182 @@
+//! The browser registry — the paper's Table 1.
+
+use crate::profile::BrowserProfile;
+use crate::profiles;
+
+/// All 15 browsers, in the order of Table 1 (left column then right).
+pub fn all_profiles() -> Vec<BrowserProfile> {
+    vec![
+        profiles::chrome::profile(),
+        profiles::edge::profile(),
+        profiles::opera::profile(),
+        profiles::vivaldi::profile(),
+        profiles::yandex::profile(),
+        profiles::brave::profile(),
+        profiles::samsung::profile(),
+        profiles::qq::profile(),
+        profiles::duckduckgo::profile(),
+        profiles::dolphin::profile(),
+        profiles::whale::profile(),
+        profiles::mint::profile(),
+        profiles::kiwi::profile(),
+        profiles::coccoc::profile(),
+        profiles::uc::profile(),
+    ]
+}
+
+/// Looks a profile up by its display name (case-insensitive).
+pub fn profile_by_name(name: &str) -> Option<BrowserProfile> {
+    all_profiles().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Payload, PiiField};
+    use panoptes_instrument::tap::Instrumentation;
+    use panoptes_simnet::dns::ResolverKind;
+
+    #[test]
+    fn fifteen_browsers_with_table1_versions() {
+        let profiles = all_profiles();
+        assert_eq!(profiles.len(), 15);
+        let expect = [
+            ("Chrome", "113.0.5672.77"),
+            ("Edge", "113.0.1774.38"),
+            ("Opera", "75.1.3978.72329"),
+            ("Vivaldi", "6.0.2980.33"),
+            ("Yandex", "23.3.7.24"),
+            ("Brave", "1.51.114"),
+            ("Samsung", "20.0.6.5"),
+            ("QQ", "13.7.6.6042"),
+            ("DuckDuckGo", "5.158.0"),
+            ("Dolphin", "12.2.9"),
+            ("Whale", "2.10.2.2"),
+            ("Mint", "3.9.3"),
+            ("Kiwi", "112.0.5615.137"),
+            ("CocCoc", "117.0.177"),
+            ("UC International", "13.4.2.1307"),
+        ];
+        for (name, version) in expect {
+            let p = profile_by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(p.version, version, "{name}");
+        }
+    }
+
+    #[test]
+    fn package_names_are_unique() {
+        let profiles = all_profiles();
+        let mut packages: Vec<&str> = profiles.iter().map(|p| p.package).collect();
+        packages.sort_unstable();
+        let n = packages.len();
+        packages.dedup();
+        assert_eq!(packages.len(), n);
+    }
+
+    #[test]
+    fn doh_split_is_8_to_7() {
+        let profiles = all_profiles();
+        let doh = profiles.iter().filter(|p| p.resolver.is_doh()).count();
+        assert_eq!(doh, 8, "§3.2: 8 browsers use DoH");
+        assert_eq!(profiles.len() - doh, 7, "§3.2: 7 use the local stub");
+    }
+
+    #[test]
+    fn incognito_support_matches_footnote5() {
+        // Yandex and QQ provide no incognito mode.
+        for name in ["Yandex", "QQ"] {
+            assert!(!profile_by_name(name).unwrap().supports_incognito, "{name}");
+        }
+        for name in ["Edge", "Opera", "UC International", "Chrome"] {
+            assert!(profile_by_name(name).unwrap().supports_incognito, "{name}");
+        }
+    }
+
+    #[test]
+    fn history_reporters_match_section_3_2() {
+        // Full-URL leakers: Yandex (Base64), QQ (clear), UC (JS injection).
+        for name in ["Yandex", "QQ", "UC International"] {
+            assert!(profile_by_name(name).unwrap().reports_full_url(), "{name}");
+        }
+        // Domain-only reporters: Edge (Bing), Opera (Sitecheck).
+        for name in ["Edge", "Opera"] {
+            let p = profile_by_name(name).unwrap();
+            assert!(p.reports_history(), "{name}");
+            assert!(!p.reports_full_url(), "{name} reports only domains");
+        }
+        // The quiet ones.
+        for name in ["Chrome", "Brave", "DuckDuckGo", "Samsung", "Vivaldi"] {
+            assert!(!profile_by_name(name).unwrap().reports_history(), "{name}");
+        }
+    }
+
+    #[test]
+    fn yandex_uses_persistent_identifier() {
+        let yandex = profile_by_name("Yandex").unwrap();
+        assert_eq!(yandex.persistent_id_key, Some("yandexuid"));
+        assert!(yandex.per_visit.iter().any(|c| matches!(
+            c.payload,
+            Payload::HostnamePlusId { .. }
+        )));
+    }
+
+    #[test]
+    fn table2_spot_checks() {
+        let whale = profile_by_name("Whale").unwrap();
+        assert!(whale.leaks(PiiField::LocalIp));
+        assert!(whale.leaks(PiiField::RootedStatus));
+        let opera = profile_by_name("Opera").unwrap();
+        assert!(opera.leaks(PiiField::Location));
+        let chrome = profile_by_name("Chrome").unwrap();
+        assert!(PiiField::ALL.iter().all(|f| !chrome.leaks(*f)));
+        let brave = profile_by_name("Brave").unwrap();
+        assert!(PiiField::ALL.iter().all(|f| !brave.leaks(*f)));
+    }
+
+    #[test]
+    fn instrumentation_assignments() {
+        assert_eq!(
+            profile_by_name("UC International").unwrap().instrumentation,
+            Instrumentation::FridaInternalApi
+        );
+        for name in ["QQ", "DuckDuckGo", "Dolphin", "Mint"] {
+            assert_eq!(
+                profile_by_name(name).unwrap().instrumentation,
+                Instrumentation::FridaWebView,
+                "{name}"
+            );
+        }
+        assert_eq!(profile_by_name("Chrome").unwrap().instrumentation, Instrumentation::Cdp);
+    }
+
+    #[test]
+    fn coccoc_is_the_adblocking_browser() {
+        let profiles = all_profiles();
+        let blockers: Vec<&str> =
+            profiles.iter().filter(|p| p.adblock).map(|p| p.name).collect();
+        assert_eq!(blockers, vec!["CocCoc"]);
+    }
+
+    #[test]
+    fn uc_injects_js_instead_of_native_history() {
+        let uc = profile_by_name("UC International").unwrap();
+        assert_eq!(uc.injects_js_collector, Some("collect.ucweb.com"));
+        assert!(uc.per_visit.iter().all(|c| matches!(
+            c.payload,
+            Payload::Telemetry | Payload::None
+        )));
+    }
+
+    #[test]
+    fn stub_users_match_expected_set() {
+        let stub: Vec<&'static str> = all_profiles()
+            .iter()
+            .filter(|p| p.resolver == ResolverKind::LocalStub)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            stub,
+            vec!["Chrome", "Brave", "Samsung", "DuckDuckGo", "Dolphin", "Mint", "UC International"]
+        );
+    }
+}

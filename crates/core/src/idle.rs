@@ -1,0 +1,125 @@
+//! The idle experiment (§3.5): launch each browser, leave it at its
+//! start page for ten minutes with no interaction, capture the chatter.
+
+use std::sync::Arc;
+
+use panoptes_browsers::browser::Env;
+use panoptes_browsers::{Browser, BrowserProfile, BrowsingMode};
+use panoptes_instrument::tap::{RequestTap, TaintInjector};
+use panoptes_mitm::{FlowStore, TAINT_HEADER};
+use panoptes_simnet::clock::{SimDuration, SimInstant};
+use panoptes_web::World;
+
+use crate::config::CampaignConfig;
+use crate::testbed::Testbed;
+
+/// Output of one browser's idle run.
+pub struct IdleResult {
+    /// The browser.
+    pub profile: BrowserProfile,
+    /// Capture database for the idle window (plus launch).
+    pub store: Arc<FlowStore>,
+    /// Native requests the model reports having sent while idle
+    /// (excluding launch-time traffic).
+    pub idle_sent: u32,
+    /// Duration of the idle window.
+    pub duration: SimDuration,
+    /// Virtual time the idle window began (flows before this are
+    /// launch-time traffic, not idle chatter).
+    pub idle_start: SimInstant,
+}
+
+/// Runs the §3.5 experiment: launch, then `duration` (the paper uses 10
+/// minutes) of no interaction.
+pub fn run_idle(
+    world: &World,
+    profile: &BrowserProfile,
+    duration: SimDuration,
+    config: &CampaignConfig,
+) -> IdleResult {
+    let mut bed = Testbed::assemble(world, config);
+    let uid = bed.divert_browser(profile.package, config.proxy_port);
+    let tap: Arc<dyn RequestTap> = Arc::new(TaintInjector::new(TAINT_HEADER, &bed.token));
+
+    let mut browser = Browser::launch(profile.clone(), uid, config.seed, BrowsingMode::Normal);
+    let data = bed.device.packages.data_mut(profile.package).expect("installed");
+    let mut env = Env {
+        net: &bed.net,
+        clock: &mut bed.clock,
+        props: &bed.device.props,
+        data,
+        tap: Some(tap),
+    };
+    browser.startup(&mut env);
+    let launch_end = env.clock.now();
+    let idle_sent = browser.idle(&mut env, duration);
+    debug_assert!(env.clock.now().since(launch_end) >= duration);
+
+    IdleResult { profile: profile.clone(), store: bed.store, idle_sent, duration, idle_start: launch_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+
+    fn world() -> World {
+        World::build(&GeneratorConfig { popular: 3, sensitive: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn dolphin_idle_is_facebook_dominated() {
+        let world = world();
+        let result = run_idle(
+            &world,
+            &profile_by_name("Dolphin").unwrap(),
+            SimDuration::from_secs(600),
+            &CampaignConfig::default(),
+        );
+        let native = result.store.native_flows();
+        // Exclude launch-time flows: idle chatter starts after startup.
+        let graph = native.iter().filter(|f| f.host == "graph.facebook.com").count();
+        assert!(graph >= 15, "graph heartbeats, got {graph}");
+        assert!(result.idle_sent > 0);
+    }
+
+    #[test]
+    fn opera_idle_grows_linearly() {
+        let world = world();
+        let result = run_idle(
+            &world,
+            &profile_by_name("Opera").unwrap(),
+            SimDuration::from_secs(600),
+            &CampaignConfig::default(),
+        );
+        let mut times: Vec<u64> = result
+            .store
+            .native_flows()
+            .iter()
+            .filter(|f| f.host == "news.opera-api.com")
+            .map(|f| f.time_us)
+            .collect();
+        times.sort_unstable();
+        assert!(times.len() >= 45, "news ticks: {}", times.len());
+        // Constant cadence ⇒ the second half holds about as many events
+        // as the first (linear growth, not front-loaded burst).
+        let midpoint = times[0] + (times[times.len() - 1] - times[0]) / 2;
+        let first_half = times.iter().filter(|t| **t <= midpoint).count();
+        let second_half = times.len() - first_half;
+        let ratio = first_half as f64 / second_half.max(1) as f64;
+        assert!((0.7..1.4).contains(&ratio), "linear-ish, got {ratio}");
+    }
+
+    #[test]
+    fn quiet_browser_idles_quietly() {
+        let world = world();
+        let result = run_idle(
+            &world,
+            &profile_by_name("Brave").unwrap(),
+            SimDuration::from_secs(600),
+            &CampaignConfig::default(),
+        );
+        assert!(result.idle_sent < 10, "Brave sent {}", result.idle_sent);
+    }
+}

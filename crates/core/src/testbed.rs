@@ -1,0 +1,94 @@
+//! Testbed assembly: tablet + network + MITM proxy + simulated Web.
+
+use std::sync::Arc;
+
+use panoptes_device::Device;
+use panoptes_mitm::{FlowStore, TaintAddon, TransparentProxy};
+use panoptes_simnet::clock::SimClock;
+use panoptes_simnet::tls::{CaId, CertificateAuthority};
+use panoptes_simnet::Network;
+use panoptes_web::World;
+
+use crate::config::CampaignConfig;
+
+/// One assembled measurement rig. A fresh testbed is built per browser
+/// campaign so captures never mix.
+pub struct Testbed {
+    /// The simulated tablet.
+    pub device: Device,
+    /// The network path (filter + proxy + servers installed).
+    pub net: Network,
+    /// The proxy's capture database.
+    pub store: Arc<FlowStore>,
+    /// The campaign clock.
+    pub clock: SimClock,
+    /// The campaign's taint token.
+    pub token: String,
+}
+
+impl Testbed {
+    /// Assembles the §2 testbed: the Debian-container mitmproxy (here a
+    /// [`TransparentProxy`] with the taint addon), the tablet with the
+    /// MITM CA installed, and the world's DNS + servers.
+    pub fn assemble(world: &World, config: &CampaignConfig) -> Testbed {
+        Testbed::assemble_with(world, config, |_| {})
+    }
+
+    /// Like [`Testbed::assemble`], but lets the caller install extra
+    /// proxy addons after the taint splitter — e.g. the
+    /// `panoptes-guard` enforcement addon.
+    pub fn assemble_with(
+        world: &World,
+        config: &CampaignConfig,
+        configure_proxy: impl FnOnce(&mut TransparentProxy),
+    ) -> Testbed {
+        let device = Device::testbed();
+        let net = Network::new(
+            CertificateAuthority::new(CaId::public_web_pki()),
+            device.local_ip(),
+        );
+        world.install(&net);
+
+        let store = Arc::new(FlowStore::new());
+        let token = config.taint_token();
+        let mut proxy = TransparentProxy::new(store.clone());
+        proxy.install_addon(Box::new(TaintAddon::new(&token)));
+        configure_proxy(&mut proxy);
+        net.register_proxy(
+            config.proxy_port,
+            Arc::new(proxy),
+            TransparentProxy::certificate_authority(),
+        );
+
+        Testbed { device, net, store, clock: SimClock::new(), token }
+    }
+
+    /// Installs the per-UID diversion rules for a browser (§2.2) and
+    /// returns its UID.
+    pub fn divert_browser(&mut self, package: &str, proxy_port: u16) -> u32 {
+        let uid = self.device.packages.install(package);
+        self.net.with_filter(|f| f.install_panoptes_rules(uid, proxy_port));
+        uid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_web::generator::GeneratorConfig;
+
+    #[test]
+    fn assemble_installs_world_and_proxy() {
+        let world = World::build(&GeneratorConfig { popular: 3, sensitive: 2, ..Default::default() });
+        let config = CampaignConfig::default();
+        let mut bed = Testbed::assemble(&world, &config);
+        // DNS installed.
+        assert!(bed.net.resolve_silent(&world.sites[0].host).is_some());
+        assert!(bed.net.resolve_silent("sba.yandex.net").is_some());
+        // Diversion rules per browser UID.
+        let uid = bed.divert_browser("com.android.chrome", config.proxy_port);
+        assert!(uid >= 10000);
+        assert!(bed.store.is_empty());
+        assert!(bed.token.starts_with("panoptes-"));
+    }
+}

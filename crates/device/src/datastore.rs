@@ -1,0 +1,126 @@
+//! Per-app persistent storage.
+//!
+//! The store separates three kinds of state because the paper's findings
+//! hinge on the distinction (§3.2):
+//!
+//! * **cookies** — what the user can clear, and what incognito discards;
+//! * **prefs** — ordinary key/value app settings;
+//! * **identifiers** — vendor-assigned persistent IDs (like the one
+//!   Yandex attaches to its phone-home requests) that survive cookie
+//!   clearing and IP changes, and are only destroyed by a factory reset
+//!   of the app.
+
+use std::collections::BTreeMap;
+
+use panoptes_http::CookieJar;
+
+/// An app's private data directory.
+#[derive(Debug, Clone, Default)]
+pub struct AppDataStore {
+    /// Engine-side cookie state.
+    pub cookies: CookieJar,
+    prefs: BTreeMap<String, String>,
+    identifiers: BTreeMap<String, String>,
+}
+
+impl AppDataStore {
+    /// An empty (factory-fresh) store.
+    pub fn new() -> AppDataStore {
+        AppDataStore::default()
+    }
+
+    /// Sets a preference.
+    pub fn set_pref(&mut self, key: &str, value: &str) {
+        self.prefs.insert(key.to_string(), value.to_string());
+    }
+
+    /// Reads a preference.
+    pub fn pref(&self, key: &str) -> Option<&str> {
+        self.prefs.get(key).map(String::as_str)
+    }
+
+    /// Returns the identifier named `key`, creating it with `make` on
+    /// first use — the "generate once, attach forever" pattern vendor
+    /// tracking IDs follow.
+    pub fn identifier_or_insert(&mut self, key: &str, make: impl FnOnce() -> String) -> String {
+        self.identifiers.entry(key.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Reads an identifier without creating it.
+    pub fn identifier(&self, key: &str) -> Option<&str> {
+        self.identifiers.get(key).map(String::as_str)
+    }
+
+    /// Clears cookies only — what "Clear browsing data" does. Identifiers
+    /// survive; this is exactly why the paper's Yandex finding matters.
+    pub fn clear_cookies(&mut self) {
+        self.cookies.clear();
+    }
+
+    /// Wipes everything — an app factory reset.
+    pub fn factory_reset(&mut self) {
+        self.cookies.clear();
+        self.prefs.clear();
+        self.identifiers.clear();
+    }
+
+    /// True when no state of any kind is held.
+    pub fn is_factory_fresh(&self) -> bool {
+        self.cookies.is_empty() && self.prefs.is_empty() && self.identifiers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_http::Cookie;
+
+    #[test]
+    fn identifier_created_once() {
+        let mut store = AppDataStore::new();
+        let mut calls = 0;
+        let first = store.identifier_or_insert("yandex-uid", || {
+            calls += 1;
+            "abc123".to_string()
+        });
+        let second = store.identifier_or_insert("yandex-uid", || {
+            calls += 1;
+            "other".to_string()
+        });
+        assert_eq!(first, "abc123");
+        assert_eq!(second, "abc123");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn clearing_cookies_keeps_identifiers() {
+        let mut store = AppDataStore::new();
+        store.cookies.store(Cookie::parse_set_cookie("sid=1", "e.com").unwrap());
+        store.identifier_or_insert("uid", || "persistent".to_string());
+        store.clear_cookies();
+        assert!(store.cookies.is_empty());
+        assert_eq!(store.identifier("uid"), Some("persistent"));
+    }
+
+    #[test]
+    fn factory_reset_wipes_everything() {
+        let mut store = AppDataStore::new();
+        store.set_pref("wizard-done", "true");
+        store.identifier_or_insert("uid", || "x".to_string());
+        store.cookies.store(Cookie::parse_set_cookie("a=1", "e.com").unwrap());
+        assert!(!store.is_factory_fresh());
+        store.factory_reset();
+        assert!(store.is_factory_fresh());
+        assert_eq!(store.pref("wizard-done"), None);
+        assert_eq!(store.identifier("uid"), None);
+    }
+
+    #[test]
+    fn prefs_roundtrip() {
+        let mut store = AppDataStore::new();
+        store.set_pref("k", "v1");
+        store.set_pref("k", "v2");
+        assert_eq!(store.pref("k"), Some("v2"));
+        assert_eq!(store.pref("missing"), None);
+    }
+}

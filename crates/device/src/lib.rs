@@ -1,0 +1,68 @@
+//! # panoptes-device
+//!
+//! A simulated Android device standing in for the paper's testbed tablet
+//! (a Samsung Galaxy Tab SM-T580 running Android 11, §2).
+//!
+//! Panoptes touches the device in exactly three ways, all modelled here:
+//!
+//! 1. **per-app kernel UIDs** — §2.2 extracts "their unique kernel UID
+//!    under which each browser process is running" to build iptables
+//!    rules; the [`package::PackageManager`] hands out UIDs from 10000
+//!    like Android's `Process.myUid()`,
+//! 2. **factory reset** — §2.1 resets each browser "to its default
+//!    factory settings using Appium" before a campaign; resetting wipes
+//!    the app's [`datastore::AppDataStore`],
+//! 3. **device properties** — the PII the paper's Table 2 catalogues
+//!    (device type/manufacturer, timezone, resolution, local IP, DPI,
+//!    rooted status, locale, country, lat/long, connection and network
+//!    type) all come from [`props::DeviceProperties`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datastore;
+pub mod package;
+pub mod props;
+
+pub use datastore::AppDataStore;
+pub use package::{AppRecord, PackageManager};
+pub use props::{ConnectionType, DeviceProperties, NetworkType};
+
+use panoptes_http::netaddr::IpAddr;
+
+/// The simulated tablet: properties plus installed packages.
+#[derive(Debug)]
+pub struct Device {
+    /// Hardware/OS/locale properties.
+    pub props: DeviceProperties,
+    /// Installed apps and their UIDs/data.
+    pub packages: PackageManager,
+}
+
+impl Device {
+    /// Builds the paper's testbed device with its default EU
+    /// configuration.
+    pub fn testbed() -> Device {
+        Device { props: DeviceProperties::testbed_tablet(), packages: PackageManager::new() }
+    }
+
+    /// The device's LAN address (leaked natively by the Whale browser per
+    /// Table 2).
+    pub fn local_ip(&self) -> IpAddr {
+        self.props.local_ip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_paper_hardware() {
+        let device = Device::testbed();
+        assert_eq!(device.props.model, "SM-T580");
+        assert_eq!(device.props.manufacturer, "Samsung");
+        assert_eq!(device.props.android_version, "11");
+        assert_eq!(device.local_ip(), device.props.local_ip);
+    }
+}

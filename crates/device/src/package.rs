@@ -1,0 +1,153 @@
+//! The package manager: installed apps, their kernel UIDs, and their
+//! private data stores.
+//!
+//! Android assigns each installed app a unique UID starting at 10000
+//! (`Process.FIRST_APPLICATION_UID`); every socket the app opens is owned
+//! by that UID, which is what lets Panoptes attribute traffic to a
+//! specific browser with iptables `--uid-owner` matches (§2.2).
+
+use std::collections::BTreeMap;
+
+use crate::datastore::AppDataStore;
+
+/// Android's first application UID.
+pub const FIRST_APPLICATION_UID: u32 = 10000;
+
+/// One installed application.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Package name, e.g. `com.opera.browser`.
+    pub package: String,
+    /// Kernel UID the app's processes run under.
+    pub uid: u32,
+    /// The app's private data directory.
+    pub data: AppDataStore,
+}
+
+/// Installs apps and tracks their UIDs and data stores.
+#[derive(Debug, Default)]
+pub struct PackageManager {
+    by_package: BTreeMap<String, AppRecord>,
+    next_uid: u32,
+}
+
+impl PackageManager {
+    /// An empty manager.
+    pub fn new() -> PackageManager {
+        PackageManager { by_package: BTreeMap::new(), next_uid: FIRST_APPLICATION_UID }
+    }
+
+    /// Installs `package` (idempotent: re-installing keeps the UID and
+    /// data). Returns the app's UID.
+    pub fn install(&mut self, package: &str) -> u32 {
+        if let Some(rec) = self.by_package.get(package) {
+            return rec.uid;
+        }
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.by_package.insert(
+            package.to_string(),
+            AppRecord { package: package.to_string(), uid, data: AppDataStore::new() },
+        );
+        uid
+    }
+
+    /// The UID of an installed package.
+    pub fn uid_of(&self, package: &str) -> Option<u32> {
+        self.by_package.get(package).map(|r| r.uid)
+    }
+
+    /// Reverse lookup: which package owns `uid`.
+    pub fn package_of_uid(&self, uid: u32) -> Option<&str> {
+        self.by_package
+            .values()
+            .find(|r| r.uid == uid)
+            .map(|r| r.package.as_str())
+    }
+
+    /// Immutable access to an app's record.
+    pub fn app(&self, package: &str) -> Option<&AppRecord> {
+        self.by_package.get(package)
+    }
+
+    /// Mutable access to an app's data store.
+    pub fn data_mut(&mut self, package: &str) -> Option<&mut AppDataStore> {
+        self.by_package.get_mut(package).map(|r| &mut r.data)
+    }
+
+    /// Factory-resets an app: wipes its data, keeps its UID (matching
+    /// `adb shell pm clear` / Appium's reset, §2.1).
+    pub fn factory_reset(&mut self, package: &str) -> bool {
+        match self.by_package.get_mut(package) {
+            Some(rec) => {
+                rec.data.factory_reset();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates installed packages in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &AppRecord> {
+        self.by_package.values()
+    }
+
+    /// Number of installed packages.
+    pub fn len(&self) -> usize {
+        self.by_package.len()
+    }
+
+    /// True when nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.by_package.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uids_start_at_android_base_and_are_unique() {
+        let mut pm = PackageManager::new();
+        let a = pm.install("com.android.chrome");
+        let b = pm.install("com.opera.browser");
+        assert_eq!(a, FIRST_APPLICATION_UID);
+        assert_eq!(b, FIRST_APPLICATION_UID + 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reinstall_is_idempotent() {
+        let mut pm = PackageManager::new();
+        let a1 = pm.install("com.brave.browser");
+        pm.data_mut("com.brave.browser").unwrap().set_pref("k", "v");
+        let a2 = pm.install("com.brave.browser");
+        assert_eq!(a1, a2);
+        assert_eq!(pm.app("com.brave.browser").unwrap().data.pref("k"), Some("v"));
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn uid_lookup_both_directions() {
+        let mut pm = PackageManager::new();
+        let uid = pm.install("com.sec.android.app.sbrowser");
+        assert_eq!(pm.uid_of("com.sec.android.app.sbrowser"), Some(uid));
+        assert_eq!(pm.package_of_uid(uid), Some("com.sec.android.app.sbrowser"));
+        assert_eq!(pm.uid_of("missing"), None);
+        assert_eq!(pm.package_of_uid(99999), None);
+    }
+
+    #[test]
+    fn factory_reset_clears_data_keeps_uid() {
+        let mut pm = PackageManager::new();
+        let uid = pm.install("ru.yandex.browser");
+        pm.data_mut("ru.yandex.browser")
+            .unwrap()
+            .identifier_or_insert("tracker-id", || "persistent".to_string());
+        assert!(pm.factory_reset("ru.yandex.browser"));
+        assert!(pm.app("ru.yandex.browser").unwrap().data.is_factory_fresh());
+        assert_eq!(pm.uid_of("ru.yandex.browser"), Some(uid));
+        assert!(!pm.factory_reset("not.installed"));
+    }
+}

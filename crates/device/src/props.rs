@@ -1,0 +1,133 @@
+//! Device properties — the universe of device-specific information a
+//! browser *could* leak, mirroring the columns of the paper's Table 2.
+
+use panoptes_http::netaddr::IpAddr;
+
+/// Whether the active connection is metered (Table 2: "Connection type
+/// can be Metered or Unmetered").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnectionType {
+    /// Metered (cellular data plan).
+    Metered,
+    /// Unmetered (typically Wi-Fi).
+    Unmetered,
+}
+
+impl ConnectionType {
+    /// Wire label used in leaked payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConnectionType::Metered => "METERED",
+            ConnectionType::Unmetered => "UNMETERED",
+        }
+    }
+}
+
+/// The link technology (Table 2: "Network type can be WiFi or Cellular").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkType {
+    /// 802.11 Wi-Fi.
+    Wifi,
+    /// Mobile data.
+    Cellular,
+}
+
+impl NetworkType {
+    /// Wire label used in leaked payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetworkType::Wifi => "WIFI",
+            NetworkType::Cellular => "CELLULAR",
+        }
+    }
+}
+
+/// All device-specific information a browser can read, and potentially
+/// leak, natively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProperties {
+    /// Marketing device type, e.g. `TABLET` / `PHONE`.
+    pub device_type: String,
+    /// Hardware manufacturer.
+    pub manufacturer: String,
+    /// Device model identifier.
+    pub model: String,
+    /// Android release.
+    pub android_version: String,
+    /// IANA timezone name.
+    pub timezone: String,
+    /// Screen resolution (width, height) in pixels.
+    pub resolution: (u32, u32),
+    /// Screen density in DPI.
+    pub dpi: u32,
+    /// LAN address on the local network.
+    pub local_ip: IpAddr,
+    /// Whether the device is rooted.
+    pub rooted: bool,
+    /// BCP-47 locale.
+    pub locale: String,
+    /// ISO country code of the vantage point.
+    pub country: String,
+    /// Geolocation fix (latitude, longitude).
+    pub location: (f64, f64),
+    /// Metered/unmetered connection.
+    pub connection: ConnectionType,
+    /// Wi-Fi or cellular link.
+    pub network: NetworkType,
+    /// ISP name visible to geo-IP services (leaked by UC International).
+    pub isp: String,
+    /// City-level location (leaked by UC International).
+    pub city: String,
+}
+
+impl DeviceProperties {
+    /// The paper's testbed: a Samsung SM-T580 tablet on Android 11,
+    /// crawling "from an EU-based vantage point" (§3) — we place it in
+    /// Heraklion, Greece (FORTH's location).
+    pub fn testbed_tablet() -> DeviceProperties {
+        DeviceProperties {
+            device_type: "TABLET".to_string(),
+            manufacturer: "Samsung".to_string(),
+            model: "SM-T580".to_string(),
+            android_version: "11".to_string(),
+            timezone: "Europe/Athens".to_string(),
+            resolution: (1200, 1920),
+            dpi: 224,
+            local_ip: IpAddr::new(192, 168, 1, 50),
+            rooted: true, // the testbed tablet is instrumented via Frida
+            locale: "en-GR".to_string(),
+            country: "GR".to_string(),
+            location: (35.3387, 25.1442),
+            connection: ConnectionType::Unmetered,
+            network: NetworkType::Wifi,
+            isp: "FORTHnet".to_string(),
+            city: "Heraklion".to_string(),
+        }
+    }
+
+    /// Resolution as the `WxH` string trackers transmit.
+    pub fn resolution_string(&self) -> String {
+        format!("{}x{}", self.resolution.0, self.resolution.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_defaults() {
+        let p = DeviceProperties::testbed_tablet();
+        assert_eq!(p.resolution_string(), "1200x1920");
+        assert_eq!(p.connection.as_str(), "UNMETERED");
+        assert_eq!(p.network.as_str(), "WIFI");
+        assert_eq!(p.country, "GR");
+        assert!(p.rooted);
+    }
+
+    #[test]
+    fn wire_labels() {
+        assert_eq!(ConnectionType::Metered.as_str(), "METERED");
+        assert_eq!(NetworkType::Cellular.as_str(), "CELLULAR");
+    }
+}

@@ -1,0 +1,94 @@
+//! Country codes and EU membership.
+
+/// An ISO 3166-1 alpha-2 country code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Country(pub [u8; 2]);
+
+impl Country {
+    /// Builds a code from a two-letter string (panics on wrong length —
+    /// codes are compile-time constants in this suite).
+    pub fn new(code: &str) -> Country {
+        let bytes = code.as_bytes();
+        assert!(bytes.len() == 2, "country code must be two letters: {code:?}");
+        Country([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("ascii")
+    }
+
+    /// True for EU member states — the §3.4 GDPR analysis asks whether a
+    /// phone-home destination is inside or outside the Union.
+    pub fn is_eu(self) -> bool {
+        const EU: &[&str] = &[
+            "AT", "BE", "BG", "HR", "CY", "CZ", "DK", "EE", "FI", "FR", "DE", "GR", "HU", "IE",
+            "IT", "LV", "LT", "LU", "MT", "NL", "PL", "PT", "RO", "SK", "SI", "ES", "SE",
+        ];
+        EU.contains(&self.as_str())
+    }
+
+    /// Human-readable country name for report output.
+    pub fn name(self) -> &'static str {
+        match self.as_str() {
+            "GR" => "Greece",
+            "DE" => "Germany",
+            "NL" => "Netherlands",
+            "FR" => "France",
+            "IE" => "Ireland",
+            "US" => "United States",
+            "RU" => "Russia",
+            "CN" => "China",
+            "CA" => "Canada",
+            "VN" => "Vietnam",
+            "KR" => "South Korea",
+            "NO" => "Norway",
+            "GB" => "United Kingdom",
+            "CH" => "Switzerland",
+            "JP" => "Japan",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl std::fmt::Display for Country {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_case() {
+        assert_eq!(Country::new("gr").as_str(), "GR");
+        assert_eq!(Country::new("Ru").to_string(), "RU");
+    }
+
+    #[test]
+    #[should_panic(expected = "two letters")]
+    fn rejects_wrong_length() {
+        Country::new("GRC");
+    }
+
+    #[test]
+    fn eu_membership() {
+        for eu in ["GR", "DE", "FR", "IE", "NL", "SE"] {
+            assert!(Country::new(eu).is_eu(), "{eu} is EU");
+        }
+        // The §3.4 destinations: Russia, China, Canada — plus other non-EU.
+        for non_eu in ["RU", "CN", "CA", "US", "NO", "GB", "KR", "VN"] {
+            assert!(!Country::new(non_eu).is_eu(), "{non_eu} is not EU");
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Country::new("RU").name(), "Russia");
+        assert_eq!(Country::new("CN").name(), "China");
+        assert_eq!(Country::new("CA").name(), "Canada");
+        assert_eq!(Country::new("ZZ").name(), "Unknown");
+    }
+}

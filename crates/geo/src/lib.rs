@@ -1,0 +1,36 @@
+//! # panoptes-geo
+//!
+//! IP-to-country geolocation, standing in for the iplocation.net lookups
+//! the paper uses for its international-data-transfer analysis: "we
+//! extract the IP address of every remote server receiving native
+//! requests from the tested browsers, and use a popular IP-to-geolocation
+//! service to extract its country-level location" (§3.4).
+//!
+//! * [`trie::CidrTrie`] — a binary longest-prefix-match trie over CIDR
+//!   blocks, the core data structure of any IP geolocation database,
+//! * [`country::Country`] — ISO country codes with EU membership (GDPR
+//!   territoriality is the whole point of §3.4),
+//! * [`db::GeoDb`] — the lookup service plus the standard database
+//!   covering the simulated Internet's address plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! ```
+//! use panoptes_geo::GeoDb;
+//! use panoptes_http::netaddr::IpAddr;
+//!
+//! let db = GeoDb::standard();
+//! let yandex_server = IpAddr::new(77, 88, 0, 11);
+//! let country = db.country_of(yandex_server).unwrap();
+//! assert_eq!(country.as_str(), "RU");
+//! assert!(!country.is_eu()); // the §3.4 finding
+//! ```
+
+pub mod country;
+pub mod db;
+pub mod trie;
+
+pub use country::Country;
+pub use db::GeoDb;
+pub use trie::CidrTrie;

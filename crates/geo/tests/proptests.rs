@@ -1,0 +1,55 @@
+//! Property-based tests: the CIDR trie agrees with a brute-force
+//! longest-prefix scan on arbitrary rule sets.
+
+use proptest::prelude::*;
+
+use panoptes_geo::{CidrTrie, Country, GeoDb};
+use panoptes_http::netaddr::{Cidr, IpAddr};
+
+proptest! {
+    #[test]
+    fn trie_matches_linear_scan(
+        blocks in proptest::collection::vec((any::<u32>(), 0u8..=32, 0usize..10), 0..40),
+        probes in proptest::collection::vec(any::<u32>(), 0..60),
+    ) {
+        let mut trie = CidrTrie::new();
+        let mut reference: Vec<(Cidr, usize)> = Vec::new();
+        for (base, prefix, value) in blocks {
+            let cidr = Cidr::new(IpAddr(base), prefix);
+            trie.insert(cidr, value);
+            // Linear reference keeps only the latest value per exact prefix,
+            // like the trie.
+            reference.retain(|(c, _)| *c != cidr);
+            reference.push((cidr, value));
+        }
+        for probe in probes {
+            let ip = IpAddr(probe);
+            let expected = reference
+                .iter()
+                .filter(|(c, _)| c.contains(ip))
+                .max_by_key(|(c, _)| c.prefix)
+                .map(|(_, v)| *v);
+            prop_assert_eq!(trie.lookup(ip).copied(), expected, "{}", ip);
+        }
+    }
+
+    #[test]
+    fn standard_db_total_on_plan_hosts(index in 0u32..200) {
+        // Any address allocated inside a plan block must geolocate to
+        // that block's country.
+        let db = GeoDb::standard();
+        for (block, country) in panoptes_geo::db::ADDRESS_PLAN {
+            let cidr = Cidr::parse(block).unwrap();
+            let span: u64 = if cidr.prefix == 32 { 1 } else { 1 << (32 - cidr.prefix as u32) };
+            let host = cidr.host((index as u64 % span) as u32);
+            prop_assert_eq!(db.country_of(host), Some(Country::new(country)), "{}", block);
+        }
+    }
+
+    #[test]
+    fn lookup_never_panics(ip in any::<u32>()) {
+        let db = GeoDb::standard();
+        let _ = db.country_of(IpAddr(ip));
+        let _ = db.is_outside_eu(IpAddr(ip));
+    }
+}

@@ -1,0 +1,44 @@
+//! # panoptes-guard
+//!
+//! A countermeasure prototype for the tracking the paper exposes. §4 of
+//! the paper observes that "traditional tracker/ad-blocking extensions
+//! cannot constitute a useful countermeasure" against *native* tracking,
+//! and points to OS-level interception (NoMoAds) and PII-rewriting
+//! (ReCon) as the viable designs. This crate is that design, built on the
+//! same interception machinery Panoptes measures with:
+//!
+//! * [`policy::GuardPolicy`] — what to enforce: block native requests to
+//!   ad/tracker hosts (hosts-list), block known history-leak endpoints,
+//!   redact browsing-history values (plain / percent / Base64-encoded
+//!   URLs) and device PII from query strings and JSON bodies;
+//! * [`addon::GuardAddon`] — a [`panoptes_mitm::Addon`] that runs *after*
+//!   the taint splitter, acts only on native flows, and either blocks
+//!   (the proxy answers `403` locally, flow recorded as
+//!   [`panoptes_mitm::FlowClass::Blocked`]) or rewrites the request
+//!   before it leaves the device.
+//!
+//! The feedback loop with the measurement side is deliberate: run a
+//! Panoptes study, feed the detected leak endpoints into a policy, and
+//! the same browsers crawl clean — see `tests/guard_effect.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! ```
+//! use panoptes_guard::GuardPolicy;
+//!
+//! let mut policy = GuardPolicy::strict(&["sba.yandex.net"], &[]);
+//! policy.block_endpoint("wup.browser.qq.com");
+//! assert!(policy.should_block("sba.yandex.net"));
+//! assert!(policy.should_block("x.bidswitch.net")); // hosts-list
+//! assert!(!policy.should_block("update.vivaldi.com"));
+//! // History values are scrubbed whatever their encoding:
+//! assert!(policy.redact_value("https://a.com/secret").is_some());
+//! assert!(policy.redact_value("WIFI").is_none());
+//! ```
+
+pub mod addon;
+pub mod policy;
+
+pub use addon::GuardAddon;
+pub use policy::{GuardPolicy, GuardStats};

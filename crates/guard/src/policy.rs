@@ -1,0 +1,233 @@
+//! Enforcement policy: what native traffic to block or redact.
+
+use panoptes_blocklist::data::steven_black_excerpt;
+use panoptes_blocklist::HostsList;
+use panoptes_device::DeviceProperties;
+use panoptes_http::codec::{b64_decode, b64_decode_url, percent_decode};
+use panoptes_http::url::Url;
+
+/// The replacement written over redacted values.
+pub const REDACTED: &str = "redacted";
+
+/// What the guard enforces.
+#[derive(Debug, Clone)]
+pub struct GuardPolicy {
+    /// Block native requests to hosts on this list (NoMoAds-style).
+    pub block_list: HostsList,
+    /// Block native requests to these exact hosts — typically the
+    /// history-leak endpoints a Panoptes study identified.
+    pub block_endpoints: Vec<String>,
+    /// Rewrite parameter/body values that decode to an absolute URL —
+    /// the browsing-history channel (ReCon-style rewriting).
+    pub redact_history: bool,
+    /// Rewrite these exact values wherever they appear (device PII:
+    /// resolution string, coordinates, local IP, ...).
+    pub redact_values: Vec<String>,
+    /// Never interfere with DNS-over-HTTPS resolvers (blocking them
+    /// would break browsing rather than protect it).
+    pub allow_doh: bool,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            block_list: HostsList::new(),
+            block_endpoints: Vec::new(),
+            redact_history: false,
+            redact_values: Vec::new(),
+            allow_doh: true,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// An inert policy (enforces nothing).
+    pub fn none() -> GuardPolicy {
+        GuardPolicy::default()
+    }
+
+    /// The recommended full policy: Steven Black ad/tracker blocking,
+    /// history redaction, and the given leak endpoints + PII values.
+    pub fn strict(block_endpoints: &[&str], redact_values: &[String]) -> GuardPolicy {
+        GuardPolicy {
+            block_list: steven_black_excerpt(),
+            block_endpoints: block_endpoints.iter().map(|s| s.to_string()).collect(),
+            redact_history: true,
+            redact_values: redact_values.to_vec(),
+            allow_doh: true,
+        }
+    }
+
+    /// The full device-PII value set for `props` — everything Table 2's
+    /// columns can put on the wire. Deployments build their redaction
+    /// list from the device they run on, exactly like this.
+    pub fn pii_values(props: &DeviceProperties) -> Vec<String> {
+        vec![
+            props.device_type.clone(),
+            props.manufacturer.clone(),
+            props.timezone.clone(),
+            props.resolution_string(),
+            props.resolution.0.to_string(),
+            props.resolution.1.to_string(),
+            props.local_ip.to_string(),
+            props.dpi.to_string(),
+            props.rooted.to_string(),
+            props.locale.clone(),
+            props.country.clone(),
+            format!("{:.4}", props.location.0),
+            format!("{:.4}", props.location.1),
+            props.connection.as_str().to_string(),
+            props.network.as_str().to_string(),
+        ]
+    }
+
+    /// [`GuardPolicy::strict`] pre-loaded with the device's own PII
+    /// values.
+    pub fn strict_for_device(block_endpoints: &[&str], props: &DeviceProperties) -> GuardPolicy {
+        GuardPolicy::strict(block_endpoints, &Self::pii_values(props))
+    }
+
+    /// Adds a leak endpoint to block.
+    pub fn block_endpoint(&mut self, host: &str) {
+        let host = host.to_ascii_lowercase();
+        if !self.block_endpoints.contains(&host) {
+            self.block_endpoints.push(host);
+        }
+    }
+
+    /// True when a native request to `host` must be blocked outright.
+    pub fn should_block(&self, host: &str) -> bool {
+        if self.allow_doh && matches!(host, "dns.google" | "cloudflare-dns.com") {
+            return false;
+        }
+        self.block_endpoints.iter().any(|h| h == &host.to_ascii_lowercase())
+            || self.block_list.contains(host)
+    }
+
+    /// Rewrites `value` if the policy requires it; `None` = leave as is.
+    pub fn redact_value(&self, value: &str) -> Option<String> {
+        if self.redact_values.iter().any(|v| v == value) {
+            return Some(REDACTED.to_string());
+        }
+        if self.redact_history && is_url_shaped(value) {
+            return Some(REDACTED.to_string());
+        }
+        None
+    }
+}
+
+/// True when `value` — as-is, percent-decoded or Base64-decoded — is an
+/// absolute http(s) URL or a bare registrable hostname. This is the
+/// guard-side mirror of the analysis-side leak detector.
+pub fn is_url_shaped(value: &str) -> bool {
+    for candidate in candidate_decodings(value) {
+        if Url::parse(&candidate).is_ok() {
+            return true;
+        }
+        // Bare hostname with at least one dot and only hostname bytes.
+        if candidate.len() >= 4
+            && candidate.contains('.')
+            && !candidate.contains(' ')
+            && candidate
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.'))
+            && candidate.split('.').all(|l| !l.is_empty())
+            && candidate
+                .rsplit('.')
+                .next()
+                .is_some_and(|tld| tld.len() >= 2 && tld.bytes().all(|b| b.is_ascii_alphabetic()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn candidate_decodings(value: &str) -> Vec<String> {
+    let mut out = vec![value.to_string()];
+    let pct = percent_decode(value);
+    if pct != value {
+        out.push(pct);
+    }
+    if value.len() >= 8 {
+        for decoded in [b64_decode_url(value), b64_decode(value)].into_iter().flatten() {
+            if let Ok(text) = String::from_utf8(decoded) {
+                if text.chars().all(|c| !c.is_control()) {
+                    out.push(text);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Counters of the guard's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Native requests blocked outright.
+    pub blocked: u64,
+    /// Individual values redacted (query params + body leaves).
+    pub redacted_values: u64,
+    /// Native requests left untouched.
+    pub passed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_http::codec::b64_encode_url;
+
+    #[test]
+    fn blocking_rules() {
+        let mut policy = GuardPolicy::strict(&["sba.yandex.net"], &[]);
+        policy.block_endpoint("WUP.browser.qq.com");
+        assert!(policy.should_block("sba.yandex.net"));
+        assert!(policy.should_block("wup.browser.qq.com"));
+        assert!(policy.should_block("stats.g.doubleclick.net"), "hosts-list subdomain");
+        assert!(!policy.should_block("update.vivaldi.com"));
+        // DoH stays reachable even though one could list it.
+        assert!(!policy.should_block("dns.google"));
+    }
+
+    #[test]
+    fn url_shape_detector() {
+        assert!(is_url_shaped("https://www.youtube.com/watch?v=abc"));
+        assert!(is_url_shaped("https%3A%2F%2Fwww.youtube.com%2F"));
+        assert!(is_url_shaped(&b64_encode_url(b"https://a.com/secret")));
+        assert!(is_url_shaped("www.example.com"));
+        assert!(!is_url_shaped("TABLET"));
+        assert!(!is_url_shaped("1200x1920"));
+        assert!(!is_url_shaped("true"));
+        assert!(!is_url_shaped("3.14"));
+        assert!(!is_url_shaped("Europe/Athens"));
+    }
+
+    #[test]
+    fn device_policy_covers_every_table2_value() {
+        let props = DeviceProperties::testbed_tablet();
+        let policy = GuardPolicy::strict_for_device(&[], &props);
+        for value in GuardPolicy::pii_values(&props) {
+            assert!(
+                policy.redact_value(&value).is_some(),
+                "{value} must be redacted"
+            );
+        }
+        // Benign values pass.
+        assert!(policy.redact_value("ANDROID").is_none());
+    }
+
+    #[test]
+    fn value_redaction() {
+        let policy = GuardPolicy::strict(&[], &["1200x1920".to_string()]);
+        assert_eq!(policy.redact_value("1200x1920").as_deref(), Some(REDACTED));
+        assert_eq!(
+            policy.redact_value("https://a.com/page").as_deref(),
+            Some(REDACTED),
+            "history redaction on"
+        );
+        assert_eq!(policy.redact_value("WIFI"), None);
+        let inert = GuardPolicy::none();
+        assert_eq!(inert.redact_value("https://a.com/page"), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for guard policy semantics.
+
+use proptest::prelude::*;
+
+use panoptes_guard::policy::{is_url_shaped, REDACTED};
+use panoptes_guard::GuardPolicy;
+
+proptest! {
+    #[test]
+    fn is_url_shaped_never_panics(value in "\\PC{0,120}") {
+        let _ = is_url_shaped(&value);
+    }
+
+    #[test]
+    fn every_https_url_is_url_shaped(
+        host in "[a-z]{1,10}\\.(com|org|net)",
+        path in "[a-z0-9/]{0,20}",
+    ) {
+        let url = format!("https://{host}/{path}");
+        prop_assert!(is_url_shaped(&url));
+        // And in both common encodings.
+        prop_assert!(is_url_shaped(&panoptes_http::codec::percent_encode_component(&url)));
+        prop_assert!(is_url_shaped(&panoptes_http::codec::b64_encode_url(url.as_bytes())));
+    }
+
+    #[test]
+    fn redaction_is_idempotent(value in "\\PC{0,60}", pii in "[a-z0-9]{4,12}") {
+        let policy = GuardPolicy::strict(&[], std::slice::from_ref(&pii));
+        if let Some(first) = policy.redact_value(&value) {
+            prop_assert_eq!(first.as_str(), REDACTED);
+            // Redacting the redaction changes nothing further.
+            prop_assert_eq!(policy.redact_value(&first), None);
+        }
+    }
+
+    #[test]
+    fn exact_pii_values_always_redact(pii in "[A-Za-z0-9/x.]{1,24}") {
+        let policy = GuardPolicy::strict(&[], std::slice::from_ref(&pii));
+        let redacted = policy.redact_value(&pii);
+        prop_assert_eq!(redacted.as_deref(), Some(REDACTED));
+    }
+
+    #[test]
+    fn blocking_is_monotone_in_endpoints(
+        hosts in proptest::collection::vec("[a-z]{1,8}\\.[a-z]{2,3}", 1..8),
+        probe_idx in 0usize..8,
+    ) {
+        let mut policy = GuardPolicy::none();
+        let probe = hosts[probe_idx % hosts.len()].clone();
+        prop_assert!(!policy.should_block(&probe));
+        for h in &hosts {
+            policy.block_endpoint(h);
+        }
+        prop_assert!(policy.should_block(&probe));
+    }
+}

@@ -1,0 +1,110 @@
+//! An Appium-like app lifecycle driver.
+//!
+//! §2.1: "Before starting every crawling campaign, we reset the browser
+//! application to its default factory settings using Appium. Then, we
+//! start each browser using Frida and go through the setup wizard
+//! manually to test various configurations."
+
+use panoptes_device::PackageManager;
+
+/// Setup-wizard choices a campaign can make (the "various
+/// configurations" of §2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WizardConfig {
+    /// Accept the vendor's telemetry/personalization prompt.
+    pub accept_telemetry: bool,
+    /// Decline making it the default browser and other upsells.
+    pub skip_upsells: bool,
+}
+
+impl Default for WizardConfig {
+    fn default() -> Self {
+        // The deliberately ordinary configuration: a user tapping through.
+        WizardConfig { accept_telemetry: true, skip_upsells: true }
+    }
+}
+
+/// Drives app lifecycle operations against the device.
+#[derive(Debug, Default)]
+pub struct AppiumDriver {
+    log: Vec<String>,
+}
+
+impl AppiumDriver {
+    /// A fresh driver.
+    pub fn new() -> AppiumDriver {
+        AppiumDriver::default()
+    }
+
+    /// Factory-resets `package`. Returns false when it is not installed.
+    pub fn reset_app(&mut self, pm: &mut PackageManager, package: &str) -> bool {
+        let ok = pm.factory_reset(package);
+        self.log.push(format!("reset {package} -> {ok}"));
+        ok
+    }
+
+    /// Completes the first-run wizard, persisting the choices into the
+    /// app's data store. Returns false when the app is not installed.
+    pub fn complete_wizard(
+        &mut self,
+        pm: &mut PackageManager,
+        package: &str,
+        config: &WizardConfig,
+    ) -> bool {
+        let Some(data) = pm.data_mut(package) else {
+            return false;
+        };
+        data.set_pref("wizard-complete", "true");
+        data.set_pref(
+            "telemetry-consent",
+            if config.accept_telemetry { "granted" } else { "denied" },
+        );
+        self.log.push(format!("wizard {package}"));
+        true
+    }
+
+    /// The action log (diagnostics).
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_and_wizard_flow() {
+        let mut pm = PackageManager::new();
+        pm.install("com.opera.browser");
+        pm.data_mut("com.opera.browser").unwrap().set_pref("stale", "1");
+
+        let mut driver = AppiumDriver::new();
+        assert!(driver.reset_app(&mut pm, "com.opera.browser"));
+        assert_eq!(pm.app("com.opera.browser").unwrap().data.pref("stale"), None);
+
+        assert!(driver.complete_wizard(&mut pm, "com.opera.browser", &WizardConfig::default()));
+        let data = &pm.app("com.opera.browser").unwrap().data;
+        assert_eq!(data.pref("wizard-complete"), Some("true"));
+        assert_eq!(data.pref("telemetry-consent"), Some("granted"));
+        assert_eq!(driver.log().len(), 2);
+    }
+
+    #[test]
+    fn missing_package_fails_cleanly() {
+        let mut pm = PackageManager::new();
+        let mut driver = AppiumDriver::new();
+        assert!(!driver.reset_app(&mut pm, "absent"));
+        assert!(!driver.complete_wizard(&mut pm, "absent", &WizardConfig::default()));
+    }
+
+    #[test]
+    fn declined_telemetry_recorded() {
+        let mut pm = PackageManager::new();
+        pm.install("p");
+        let mut driver = AppiumDriver::new();
+        let config = WizardConfig { accept_telemetry: false, skip_upsells: true };
+        driver.complete_wizard(&mut pm, "p", &config);
+        assert_eq!(pm.app("p").unwrap().data.pref("telemetry-consent"), Some("denied"));
+    }
+}

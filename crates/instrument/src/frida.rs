@@ -1,0 +1,119 @@
+//! A Frida-like dynamic instrumentation engine.
+//!
+//! For browsers without CDP support, Panoptes "hooks into the WebView's
+//! functions using a custom Frida script and instruments them
+//! accordingly" (§2.1); for UC International it "uses Frida to hook into
+//! an internal API" (§2.3). The session records which functions are
+//! hooked and exposes the same [`RequestTap`] contract CDP does, so the
+//! engine code upstream is mechanism-agnostic.
+
+use std::sync::Arc;
+
+use crate::tap::RequestTap;
+
+/// A function hook installed by a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FridaHook {
+    /// Class or module the hooked symbol lives in.
+    pub target: String,
+    /// Hooked function name.
+    pub function: String,
+}
+
+/// A Frida session attached to one app process.
+pub struct FridaSession {
+    package: String,
+    hooks: Vec<FridaHook>,
+    tap: Arc<dyn RequestTap>,
+}
+
+impl FridaSession {
+    /// Attaches to `package` (spawn-gated, as the harness launches every
+    /// browser under Frida, §2.1).
+    pub fn attach(package: &str, tap: Arc<dyn RequestTap>) -> FridaSession {
+        FridaSession { package: package.to_string(), hooks: Vec::new(), tap }
+    }
+
+    /// Installs the standard WebView request hooks (the non-CDP path).
+    pub fn hook_webview(&mut self) {
+        self.hook("android.webkit.WebView", "loadUrl");
+        self.hook("android.webkit.WebViewClient", "shouldInterceptRequest");
+    }
+
+    /// Installs the UC International internal-API hook (§2.3).
+    pub fn hook_internal_api(&mut self) {
+        self.hook("com.uc.browser.core.loader", "sendRequest");
+    }
+
+    /// Installs an arbitrary hook.
+    pub fn hook(&mut self, target: &str, function: &str) {
+        let hook = FridaHook { target: target.to_string(), function: function.to_string() };
+        if !self.hooks.contains(&hook) {
+            self.hooks.push(hook);
+        }
+    }
+
+    /// The attached package.
+    pub fn package(&self) -> &str {
+        &self.package
+    }
+
+    /// Installed hooks.
+    pub fn hooks(&self) -> &[FridaHook] {
+        &self.hooks
+    }
+
+    /// True when a hook on `function` exists.
+    pub fn is_hooked(&self, function: &str) -> bool {
+        self.hooks.iter().any(|h| h.function == function)
+    }
+
+    /// The tap the hooked functions run engine requests through.
+    pub fn tap(&self) -> Arc<dyn RequestTap> {
+        self.tap.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap::TaintInjector;
+    use panoptes_http::url::Url;
+
+    fn session(package: &str) -> FridaSession {
+        FridaSession::attach(package, Arc::new(TaintInjector::new("x-panoptes-taint", "t")))
+    }
+
+    #[test]
+    fn webview_hooks() {
+        let mut s = session("com.dolphin.browser");
+        s.hook_webview();
+        assert!(s.is_hooked("loadUrl"));
+        assert!(s.is_hooked("shouldInterceptRequest"));
+        assert_eq!(s.hooks().len(), 2);
+        assert_eq!(s.package(), "com.dolphin.browser");
+    }
+
+    #[test]
+    fn internal_api_hook_for_uc() {
+        let mut s = session("com.UCMobile.intl");
+        s.hook_internal_api();
+        assert!(s.is_hooked("sendRequest"));
+    }
+
+    #[test]
+    fn hooks_are_deduplicated() {
+        let mut s = session("p");
+        s.hook_webview();
+        s.hook_webview();
+        assert_eq!(s.hooks().len(), 2);
+    }
+
+    #[test]
+    fn tap_taints_requests() {
+        let s = session("p");
+        let mut req = panoptes_http::Request::get(Url::parse("https://e.com/").unwrap());
+        s.tap().on_engine_request(&mut req);
+        assert!(req.headers.contains("x-panoptes-taint"));
+    }
+}

@@ -1,0 +1,179 @@
+//! CDP JSON-RPC framing.
+//!
+//! Real CDP speaks JSON-RPC over a WebSocket: commands carry an `id`,
+//! `method` and `params`; the browser answers with matching `id`s and
+//! emits unsolicited `method`+`params` events. The harness-facing
+//! [`crate::cdp::CdpSession`] models the *semantics*; this module renders
+//! and parses the wire frames, so captures of the instrumentation channel
+//! itself look exactly like a real CDP transcript.
+
+use panoptes_http::json::{self, Value};
+
+use crate::cdp::{CdpCommand, CdpEvent};
+use panoptes_simnet::clock::SimInstant;
+
+/// A parse error for CDP frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcError(pub String);
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cdp rpc error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+fn err(m: &str) -> RpcError {
+    RpcError(m.to_string())
+}
+
+/// Renders a command as a JSON-RPC frame with the given message id.
+pub fn render_command(id: u64, command: &CdpCommand) -> String {
+    let (method, params) = match command {
+        CdpCommand::NetworkEnable => ("Network.enable", Value::Object(vec![])),
+        CdpCommand::FetchEnable => ("Fetch.enable", Value::Object(vec![])),
+        CdpCommand::PageNavigate(url) => {
+            ("Page.navigate", Value::object(vec![("url", Value::str(url))]))
+        }
+    };
+    json::to_string(&Value::object(vec![
+        ("id", Value::from(id)),
+        ("method", Value::str(method)),
+        ("params", params),
+    ]))
+}
+
+/// Parses a command frame back into `(id, command)`.
+pub fn parse_command(frame: &str) -> Result<(u64, CdpCommand), RpcError> {
+    let doc = json::parse(frame).map_err(|e| err(&e.to_string()))?;
+    let id = doc.get("id").and_then(|v| v.as_i64()).ok_or_else(|| err("missing id"))? as u64;
+    let method = doc
+        .get("method")
+        .and_then(|m| m.as_str())
+        .ok_or_else(|| err("missing method"))?;
+    let command = match method {
+        "Network.enable" => CdpCommand::NetworkEnable,
+        "Fetch.enable" => CdpCommand::FetchEnable,
+        "Page.navigate" => {
+            let url = doc
+                .get("params")
+                .and_then(|p| p.get("url"))
+                .and_then(|u| u.as_str())
+                .ok_or_else(|| err("Page.navigate without params.url"))?;
+            CdpCommand::PageNavigate(url.to_string())
+        }
+        other => return Err(err(&format!("unknown method {other}"))),
+    };
+    Ok((id, command))
+}
+
+/// Renders an event as an unsolicited JSON-RPC notification.
+pub fn render_event(event: &CdpEvent) -> String {
+    let (method, params) = match event {
+        CdpEvent::RequestWillBeSent { url, time } => (
+            "Network.requestWillBeSent",
+            Value::object(vec![
+                ("documentURL", Value::str(url)),
+                ("timestamp", Value::Number(time.0 as f64 / 1_000_000.0)),
+            ]),
+        ),
+        CdpEvent::DomContentLoaded { time } => (
+            "Page.domContentEventFired",
+            Value::object(vec![("timestamp", Value::Number(time.0 as f64 / 1_000_000.0))]),
+        ),
+        CdpEvent::Load { time } => (
+            "Page.loadEventFired",
+            Value::object(vec![("timestamp", Value::Number(time.0 as f64 / 1_000_000.0))]),
+        ),
+    };
+    json::to_string(&Value::object(vec![
+        ("method", Value::str(method)),
+        ("params", params),
+    ]))
+}
+
+/// Parses an event notification.
+pub fn parse_event(frame: &str) -> Result<CdpEvent, RpcError> {
+    let doc = json::parse(frame).map_err(|e| err(&e.to_string()))?;
+    let method = doc
+        .get("method")
+        .and_then(|m| m.as_str())
+        .ok_or_else(|| err("missing method"))?;
+    let params = doc.get("params").ok_or_else(|| err("missing params"))?;
+    let time = params
+        .get("timestamp")
+        .and_then(|t| t.as_f64())
+        .map(|secs| SimInstant((secs * 1_000_000.0).round() as u64))
+        .ok_or_else(|| err("missing timestamp"))?;
+    Ok(match method {
+        "Network.requestWillBeSent" => CdpEvent::RequestWillBeSent {
+            url: params
+                .get("documentURL")
+                .and_then(|u| u.as_str())
+                .ok_or_else(|| err("missing documentURL"))?
+                .to_string(),
+            time,
+        },
+        "Page.domContentEventFired" => CdpEvent::DomContentLoaded { time },
+        "Page.loadEventFired" => CdpEvent::Load { time },
+        other => return Err(err(&format!("unknown event {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_frames_roundtrip() {
+        let commands = [
+            CdpCommand::NetworkEnable,
+            CdpCommand::FetchEnable,
+            CdpCommand::PageNavigate("https://www.youtube.com/".to_string()),
+        ];
+        for (i, cmd) in commands.iter().enumerate() {
+            let frame = render_command(i as u64 + 1, cmd);
+            let (id, parsed) = parse_command(&frame).unwrap();
+            assert_eq!(id, i as u64 + 1);
+            assert_eq!(&parsed, cmd);
+        }
+    }
+
+    #[test]
+    fn navigate_frame_matches_cdp_shape() {
+        let frame = render_command(7, &CdpCommand::PageNavigate("https://a.com/".into()));
+        let doc = json::parse(&frame).unwrap();
+        assert_eq!(doc.get("method").unwrap().as_str(), Some("Page.navigate"));
+        assert_eq!(
+            doc.get("params").unwrap().get("url").unwrap().as_str(),
+            Some("https://a.com/")
+        );
+    }
+
+    #[test]
+    fn event_frames_roundtrip() {
+        let events = [
+            CdpEvent::RequestWillBeSent {
+                url: "https://a.com/x".into(),
+                time: SimInstant(1_500_000),
+            },
+            CdpEvent::DomContentLoaded { time: SimInstant(2_000_000) },
+            CdpEvent::Load { time: SimInstant(2_500_000) },
+        ];
+        for event in &events {
+            let frame = render_event(event);
+            assert_eq!(&parse_event(&frame).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        assert!(parse_command("not json").is_err());
+        assert!(parse_command(r#"{"id":1}"#).is_err());
+        assert!(parse_command(r#"{"id":1,"method":"Unknown.method"}"#).is_err());
+        assert!(parse_command(r#"{"id":1,"method":"Page.navigate","params":{}}"#).is_err());
+        assert!(parse_event(r#"{"method":"Page.loadEventFired","params":{}}"#).is_err());
+        assert!(parse_event(r#"{"method":"Nope","params":{"timestamp":1}}"#).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! The mitmproxy-style addon API.
+//!
+//! mitmproxy addons are Python objects whose `request`/`response` methods
+//! are invoked as flows move through the proxy; Panoptes "developed a
+//! custom MITM add-on to inspect all headers and separate the tainted
+//! ones" (§2.3). This module is the Rust equivalent: an [`Addon`] trait
+//! with request/response hooks and a chain that runs them in order.
+
+use panoptes_http::{Request, Response};
+use panoptes_simnet::net::FlowContext;
+
+use crate::flow::FlowClass;
+
+/// What the chain decided to do with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// Forward upstream (default).
+    #[default]
+    Forward,
+    /// Refuse to forward; the proxy answers `403 Forbidden` locally and
+    /// records the flow as [`FlowClass::Blocked`]. Used by enforcement
+    /// addons (`panoptes-guard`).
+    Block,
+}
+
+/// A request travelling through the proxy, exposed mutably to addons.
+pub struct InterceptedRequest<'a> {
+    /// Immutable connection metadata.
+    pub ctx: &'a FlowContext,
+    /// The request; addons may rewrite headers (e.g. strip the taint) or
+    /// redact query parameters / bodies.
+    pub request: &'a mut Request,
+    /// The working classification; starts [`FlowClass::Native`] and the
+    /// taint addon flips tainted flows to [`FlowClass::Engine`].
+    pub class: &'a mut FlowClass,
+    /// The working verdict; an addon may set [`Verdict::Block`].
+    pub verdict: &'a mut Verdict,
+}
+
+/// A proxy addon.
+pub trait Addon: Send + Sync {
+    /// Addon name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Runs while the request is held by the proxy, before upstream
+    /// forwarding. Default: no-op.
+    fn on_request(&self, _ir: &mut InterceptedRequest<'_>) {}
+
+    /// Runs when the upstream response arrives. Default: no-op.
+    fn on_response(&self, _ctx: &FlowContext, _response: &mut Response) {}
+
+    /// Runs when a diverted client rejects the forged certificate.
+    /// Default: no-op.
+    fn on_tls_rejected(&self, _ctx: &FlowContext) {}
+}
+
+impl<T: Addon> Addon for std::sync::Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_request(&self, ir: &mut InterceptedRequest<'_>) {
+        (**self).on_request(ir)
+    }
+    fn on_response(&self, ctx: &FlowContext, response: &mut Response) {
+        (**self).on_response(ctx, response)
+    }
+    fn on_tls_rejected(&self, ctx: &FlowContext) {
+        (**self).on_tls_rejected(ctx)
+    }
+}
+
+/// An ordered addon chain.
+#[derive(Default)]
+pub struct AddonChain {
+    addons: Vec<Box<dyn Addon>>,
+}
+
+impl AddonChain {
+    /// An empty chain.
+    pub fn new() -> AddonChain {
+        AddonChain::default()
+    }
+
+    /// Appends an addon.
+    pub fn push(&mut self, addon: Box<dyn Addon>) {
+        self.addons.push(addon);
+    }
+
+    /// Runs every addon's request hook in order.
+    pub fn run_request(&self, ir: &mut InterceptedRequest<'_>) {
+        for addon in &self.addons {
+            addon.on_request(ir);
+        }
+    }
+
+    /// Runs every addon's response hook in order.
+    pub fn run_response(&self, ctx: &FlowContext, response: &mut Response) {
+        for addon in &self.addons {
+            addon.on_response(ctx, response);
+        }
+    }
+
+    /// Runs every addon's TLS-rejection hook in order.
+    pub fn run_tls_rejected(&self, ctx: &FlowContext) {
+        for addon in &self.addons {
+            addon.on_tls_rejected(ctx);
+        }
+    }
+
+    /// Number of installed addons.
+    pub fn len(&self) -> usize {
+        self.addons.len()
+    }
+
+    /// True when no addons are installed.
+    pub fn is_empty(&self) -> bool {
+        self.addons.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_http::netaddr::IpAddr;
+    use panoptes_http::request::HttpVersion;
+    use panoptes_http::url::Url;
+    use panoptes_simnet::clock::SimInstant;
+
+    fn ctx() -> FlowContext {
+        FlowContext {
+            time: SimInstant::EPOCH,
+            uid: 1,
+            app_package: "a".into(),
+            src_ip: IpAddr::new(10, 0, 0, 1),
+            dst_ip: IpAddr::new(10, 0, 0, 2),
+            dst_port: 443,
+            sni: "x.com".into(),
+            version: HttpVersion::H2,
+            intercepted: true,
+        }
+    }
+
+    struct MarkHeader(&'static str);
+    impl Addon for MarkHeader {
+        fn name(&self) -> &str {
+            "mark"
+        }
+        fn on_request(&self, ir: &mut InterceptedRequest<'_>) {
+            ir.request.headers.append("x-mark", self.0);
+        }
+    }
+
+    #[test]
+    fn chain_runs_in_order() {
+        let mut chain = AddonChain::new();
+        chain.push(Box::new(MarkHeader("first")));
+        chain.push(Box::new(MarkHeader("second")));
+        assert_eq!(chain.len(), 2);
+        let ctx = ctx();
+        let mut req = Request::get(Url::parse("https://x.com/").unwrap());
+        let mut class = FlowClass::Native;
+        let mut verdict = Verdict::Forward;
+        chain.run_request(&mut InterceptedRequest {
+            ctx: &ctx,
+            request: &mut req,
+            class: &mut class,
+            verdict: &mut verdict,
+        });
+        assert_eq!(verdict, Verdict::Forward);
+        let marks: Vec<&str> = req.headers.get_all("x-mark").collect();
+        assert_eq!(marks, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn empty_chain_is_noop() {
+        let chain = AddonChain::new();
+        assert!(chain.is_empty());
+        let ctx = ctx();
+        let mut resp = Response::ok("");
+        chain.run_response(&ctx, &mut resp);
+        chain.run_tls_rejected(&ctx);
+    }
+}

@@ -1,0 +1,35 @@
+//! # panoptes-mitm
+//!
+//! The transparent man-in-the-middle proxy at the heart of the Panoptes
+//! measurement (§2.2–2.3 of the paper): a reimplementation of the
+//! mitmproxy deployment the authors ran in a Debian container on the
+//! tablet, in transparent mode, with a custom addon that splits tainted
+//! (web-engine) traffic from untainted (native app) traffic.
+//!
+//! * [`flow`] — the captured-flow record and its classification
+//!   (`Engine` / `Native` / `PinnedOpaque`),
+//! * [`addon`] — the mitmproxy-style addon API (request/response hooks),
+//! * [`taint`] — the taint-splitting addon: detect the piggybacked
+//!   `x-panoptes-taint` header, verify its token, strip it, and classify,
+//! * [`proxy`] — the transparent proxy itself: forge a certificate for
+//!   the SNI, run the addon chain, forward upstream, record the flow,
+//! * [`store`] — the flow database with JSONL persistence ("the two
+//!   different categories of the requests are finally stored in different
+//!   local databases", §2.3),
+//! * [`har`] — HAR 1.2 export for off-the-shelf inspection tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addon;
+pub mod flow;
+pub mod har;
+pub mod proxy;
+pub mod store;
+pub mod taint;
+
+pub use addon::{Addon, InterceptedRequest, Verdict};
+pub use flow::{Flow, FlowClass};
+pub use proxy::TransparentProxy;
+pub use store::FlowStore;
+pub use taint::{TaintAddon, TAINT_HEADER};

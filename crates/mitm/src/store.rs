@@ -1,0 +1,169 @@
+//! The flow database.
+//!
+//! §2.3: "The two different categories of the requests are finally stored
+//! in different local databases." The store keeps every captured flow and
+//! exposes the two categories as views, plus JSONL persistence so
+//! campaigns can be archived and re-analysed offline.
+
+use parking_lot::Mutex;
+
+use panoptes_http::json;
+
+use crate::flow::{Flow, FlowClass};
+
+/// Thread-safe, append-only capture database.
+#[derive(Default)]
+pub struct FlowStore {
+    flows: Mutex<Vec<Flow>>,
+}
+
+impl FlowStore {
+    /// An empty store.
+    pub fn new() -> FlowStore {
+        FlowStore::default()
+    }
+
+    /// Appends a flow.
+    pub fn push(&self, flow: Flow) {
+        self.flows.lock().push(flow);
+    }
+
+    /// Snapshot of every captured flow in capture order.
+    pub fn all(&self) -> Vec<Flow> {
+        self.flows.lock().clone()
+    }
+
+    /// The engine-traffic database.
+    pub fn engine_flows(&self) -> Vec<Flow> {
+        self.by_class(FlowClass::Engine)
+    }
+
+    /// The native-traffic database.
+    pub fn native_flows(&self) -> Vec<Flow> {
+        self.by_class(FlowClass::Native)
+    }
+
+    /// Flows of one classification.
+    pub fn by_class(&self, class: FlowClass) -> Vec<Flow> {
+        self.flows.lock().iter().filter(|f| f.class == class).cloned().collect()
+    }
+
+    /// Flows sent by one app package.
+    pub fn by_package(&self, package: &str) -> Vec<Flow> {
+        self.flows.lock().iter().filter(|f| f.package == package).cloned().collect()
+    }
+
+    /// Total number of captured flows.
+    pub fn len(&self) -> usize {
+        self.flows.lock().len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.flows.lock().is_empty()
+    }
+
+    /// Removes every flow (start of a fresh campaign).
+    pub fn clear(&self) {
+        self.flows.lock().clear();
+    }
+
+    /// Serializes the whole capture as JSONL.
+    pub fn export_jsonl(&self) -> String {
+        let flows = self.flows.lock();
+        let mut out = String::new();
+        for flow in flows.iter() {
+            out.push_str(&flow.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL capture produced by [`Self::export_jsonl`].
+    /// Returns the line number (1-based) of the first malformed record on
+    /// failure.
+    pub fn import_jsonl(text: &str) -> Result<FlowStore, usize> {
+        let store = FlowStore::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|_| i + 1)?;
+            let flow = Flow::from_json(&value).ok_or(i + 1)?;
+            store.push(flow);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_http::method::Method;
+    use panoptes_http::request::HttpVersion;
+
+    fn flow(id: u64, class: FlowClass, package: &str) -> Flow {
+        Flow {
+            id,
+            time_us: id * 1000,
+            uid: 10000,
+            package: package.into(),
+            host: "h.com".into(),
+            dst_ip: "1.2.3.4".into(),
+            dst_port: 443,
+            method: Method::Get,
+            url: "https://h.com/".into(),
+            request_headers: vec![],
+            request_body: String::new(),
+            status: 200,
+            bytes_out: 100,
+            bytes_in: 200,
+            version: HttpVersion::H2,
+            class,
+        }
+    }
+
+    #[test]
+    fn classification_views() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Engine, "a"));
+        store.push(flow(2, FlowClass::Native, "a"));
+        store.push(flow(3, FlowClass::Native, "b"));
+        store.push(flow(4, FlowClass::PinnedOpaque, "b"));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.engine_flows().len(), 1);
+        assert_eq!(store.native_flows().len(), 2);
+        assert_eq!(store.by_class(FlowClass::PinnedOpaque).len(), 1);
+        assert_eq!(store.by_package("b").len(), 2);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let store = FlowStore::new();
+        for i in 0..5 {
+            store.push(flow(i, if i % 2 == 0 { FlowClass::Engine } else { FlowClass::Native }, "p"));
+        }
+        let text = store.export_jsonl();
+        assert_eq!(text.lines().count(), 5);
+        let restored = FlowStore::import_jsonl(&text).unwrap();
+        assert_eq!(restored.all(), store.all());
+    }
+
+    #[test]
+    fn import_reports_bad_line() {
+        let good = flow(1, FlowClass::Native, "p").to_jsonl();
+        let text = format!("{good}\nnot json\n");
+        assert_eq!(FlowStore::import_jsonl(&text).map(|_| ()).unwrap_err(), 2);
+        let text2 = format!("{good}\n{{\"id\":1}}\n");
+        assert_eq!(FlowStore::import_jsonl(&text2).map(|_| ()).unwrap_err(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Native, "p"));
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

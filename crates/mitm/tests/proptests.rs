@@ -1,0 +1,99 @@
+//! Property-based tests: flow persistence and HAR export hold for
+//! arbitrary captures.
+
+use proptest::prelude::*;
+
+use panoptes_http::json;
+use panoptes_http::method::Method;
+use panoptes_http::request::HttpVersion;
+use panoptes_mitm::har::to_har;
+use panoptes_mitm::{Flow, FlowClass, FlowStore};
+
+fn arb_flow() -> impl Strategy<Value = Flow> {
+    (
+        // JSON numbers are doubles: ids round-trip exactly below 2^53
+        // (documented on `Flow::to_json`).
+        0u64..(1 << 53),
+        0u64..1_000_000_000_000,
+        any::<u32>(),
+        "[a-z.]{1,20}",
+        "[a-z0-9.-]{1,30}",
+        proptest::collection::vec(("[a-zA-Z-]{1,12}", "\\PC{0,30}"), 0..6),
+        "\\PC{0,100}",
+        0u16..600,
+        (any::<u32>(), any::<u32>()),
+        0usize..4,
+    )
+        .prop_map(
+            |(id, time_us, uid, package, host, headers, body, status, bytes, class)| Flow {
+                id,
+                time_us,
+                uid,
+                package,
+                host: host.clone(),
+                dst_ip: "10.0.0.1".into(),
+                dst_port: 443,
+                method: Method::Get,
+                url: format!("https://{host}/p"),
+                request_headers: headers
+                    .into_iter()
+                    .collect(),
+                request_body: body,
+                status,
+                bytes_out: bytes.0 as u64,
+                bytes_in: bytes.1 as u64,
+                version: HttpVersion::H2,
+                class: match class {
+                    0 => FlowClass::Engine,
+                    1 => FlowClass::Native,
+                    2 => FlowClass::PinnedOpaque,
+                    _ => FlowClass::Blocked,
+                },
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn flow_json_roundtrip(flow in arb_flow()) {
+        let line = flow.to_jsonl();
+        let parsed = Flow::from_json(&json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(parsed, flow);
+    }
+
+    #[test]
+    fn store_jsonl_roundtrip(flows in proptest::collection::vec(arb_flow(), 0..20)) {
+        let store = FlowStore::new();
+        for f in &flows {
+            store.push(f.clone());
+        }
+        let text = store.export_jsonl();
+        let restored = FlowStore::import_jsonl(&text).expect("roundtrip");
+        prop_assert_eq!(restored.all(), flows);
+    }
+
+    #[test]
+    fn har_export_is_always_valid_json(flows in proptest::collection::vec(arb_flow(), 0..10)) {
+        let har = to_har(&flows);
+        let text = json::to_string(&har);
+        let parsed = json::parse(&text).expect("valid json");
+        let entries = parsed
+            .get("log").unwrap()
+            .get("entries").unwrap()
+            .as_array().unwrap();
+        prop_assert_eq!(entries.len(), flows.len());
+    }
+
+    #[test]
+    fn class_partition_is_total(flows in proptest::collection::vec(arb_flow(), 0..30)) {
+        let store = FlowStore::new();
+        for f in &flows {
+            store.push(f.clone());
+        }
+        let partitioned = store.engine_flows().len()
+            + store.native_flows().len()
+            + store.by_class(FlowClass::PinnedOpaque).len()
+            + store.by_class(FlowClass::Blocked).len();
+        prop_assert_eq!(partitioned, store.len());
+    }
+}

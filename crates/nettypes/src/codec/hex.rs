@@ -1,0 +1,54 @@
+//! Lowercase hex codec, used to render persistent device/user identifiers
+//! (e.g. the 64-hex-char `operaId` in Listing 1 of the paper).
+
+/// Encodes `data` as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decodes hex (either case). Returns `None` on odd length or non-hex bytes.
+pub fn hex_decode(input: &str) -> Option<Vec<u8>> {
+    let bytes = input.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 0xab, 0xff, 0x10];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_is_lowercase() {
+        assert_eq!(hex_encode(&[0xAB, 0xCD]), "abcd");
+    }
+
+    #[test]
+    fn decode_accepts_uppercase() {
+        assert_eq!(hex_decode("ABCD").unwrap(), vec![0xab, 0xcd]);
+    }
+
+    #[test]
+    fn rejects_odd_and_invalid() {
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Percent-encoding (RFC 3986) for URL components.
+
+/// Returns true for bytes that never need escaping in any URL component
+/// (RFC 3986 "unreserved" set).
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~')
+}
+
+/// Percent-encodes `input` for use in a URL *path*: unreserved bytes and a
+/// few path-safe delimiters (`/`, `:`, `@`) pass through.
+pub fn percent_encode(input: &str) -> String {
+    encode_with(input, |b| is_unreserved(b) || matches!(b, b'/' | b':' | b'@'))
+}
+
+/// Percent-encodes `input` for use as a query *component* (a key or a
+/// value): only unreserved bytes pass through, so `&`, `=`, `+` and `/`
+/// are all escaped.
+pub fn percent_encode_component(input: &str) -> String {
+    encode_with(input, is_unreserved)
+}
+
+fn encode_with(input: &str, keep: impl Fn(u8) -> bool) -> String {
+    let mut out = String::with_capacity(input.len());
+    for &b in input.as_bytes() {
+        if keep(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+            out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+        }
+    }
+    out
+}
+
+/// Decodes percent-escapes. Invalid escapes (`%` not followed by two hex
+/// digits) are passed through literally — the lenient behaviour real
+/// traffic analysis needs, since trackers emit malformed escapes.
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16));
+            let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16));
+            if let (Some(hi), Some(lo)) = (hi, lo) {
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_escapes_reserved() {
+        assert_eq!(percent_encode_component("a=b&c"), "a%3Db%26c");
+        assert_eq!(percent_encode_component("hello world"), "hello%20world");
+        assert_eq!(percent_encode_component("safe-._~"), "safe-._~");
+    }
+
+    #[test]
+    fn path_keeps_slashes() {
+        assert_eq!(percent_encode("/watch/v 1"), "/watch/v%201");
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for s in ["", "plain", "a=b&c d", "ünïcode/✓", "100%"] {
+            assert_eq!(percent_decode(&percent_encode_component(s)), s);
+        }
+    }
+
+    #[test]
+    fn lenient_on_malformed_escape() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn decodes_mixed_case_hex() {
+        assert_eq!(percent_decode("%2f%2F"), "//");
+    }
+}

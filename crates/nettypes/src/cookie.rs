@@ -1,0 +1,183 @@
+//! Cookies and a per-domain cookie jar.
+//!
+//! Browsers in the simulation keep ordinary engine-side cookie state; the
+//! point the paper makes (§3.2) is that clearing this state does *not*
+//! defeat native tracking because vendors attach their own persistent
+//! identifiers outside the cookie jar. The jar models the part the user
+//! *can* clear.
+
+/// A single cookie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Domain the cookie is scoped to (registrable domain, host-only
+    /// semantics are not modelled).
+    pub domain: String,
+    /// Whether the cookie survives the session (incognito drops them all
+    /// regardless).
+    pub persistent: bool,
+}
+
+impl Cookie {
+    /// Parses a `Set-Cookie` header value in the context of `origin_domain`.
+    /// Returns `None` for syntactically empty cookies.
+    pub fn parse_set_cookie(value: &str, origin_domain: &str) -> Option<Cookie> {
+        let mut parts = value.split(';').map(str::trim);
+        let (name, val) = parts.next()?.split_once('=')?;
+        if name.is_empty() {
+            return None;
+        }
+        let mut domain = origin_domain.to_string();
+        let mut persistent = false;
+        for attr in parts {
+            let (k, v) = attr.split_once('=').unwrap_or((attr, ""));
+            match k.to_ascii_lowercase().as_str() {
+                "domain" => domain = v.trim_start_matches('.').to_ascii_lowercase(),
+                "max-age" | "expires" => persistent = true,
+                _ => {}
+            }
+        }
+        Some(Cookie {
+            name: name.to_string(),
+            value: val.to_string(),
+            domain,
+            persistent,
+        })
+    }
+
+    /// Serializes for a `Cookie` request header fragment.
+    pub fn pair(&self) -> String {
+        format!("{}={}", self.name, self.value)
+    }
+}
+
+/// A cookie jar keyed by domain.
+#[derive(Debug, Clone, Default)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a cookie, replacing any same-name cookie for the same domain.
+    pub fn store(&mut self, cookie: Cookie) {
+        self.cookies
+            .retain(|c| !(c.name == cookie.name && c.domain == cookie.domain));
+        self.cookies.push(cookie);
+    }
+
+    /// Returns the `Cookie` header value for a request to `host`, matching
+    /// the cookie domain as a suffix label match. `None` when no cookies
+    /// apply.
+    pub fn header_for(&self, host: &str) -> Option<String> {
+        let matching: Vec<String> = self
+            .cookies
+            .iter()
+            .filter(|c| domain_matches(host, &c.domain))
+            .map(Cookie::pair)
+            .collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(matching.join("; "))
+        }
+    }
+
+    /// Drops every cookie (what "Clear browsing data" or leaving incognito
+    /// does).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
+    /// Drops session cookies only.
+    pub fn clear_session(&mut self) {
+        self.cookies.retain(|c| c.persistent);
+    }
+
+    /// Number of cookies held.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True when the jar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+}
+
+/// Label-suffix domain match: `sub.example.com` matches `example.com`
+/// but `evilexample.com` does not.
+fn domain_matches(host: &str, cookie_domain: &str) -> bool {
+    host == cookie_domain
+        || (host.len() > cookie_domain.len()
+            && host.ends_with(cookie_domain)
+            && host.as_bytes()[host.len() - cookie_domain.len() - 1] == b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_set_cookie() {
+        let c = Cookie::parse_set_cookie("sid=abc123; Path=/; HttpOnly", "example.com").unwrap();
+        assert_eq!(c.name, "sid");
+        assert_eq!(c.value, "abc123");
+        assert_eq!(c.domain, "example.com");
+        assert!(!c.persistent);
+    }
+
+    #[test]
+    fn parse_persistent_and_domain_attrs() {
+        let c = Cookie::parse_set_cookie(
+            "uid=x; Domain=.Tracker.NET; Max-Age=31536000",
+            "sub.tracker.net",
+        )
+        .unwrap();
+        assert_eq!(c.domain, "tracker.net");
+        assert!(c.persistent);
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        assert!(Cookie::parse_set_cookie("=v", "e.com").is_none());
+        assert!(Cookie::parse_set_cookie("novalue", "e.com").is_none());
+    }
+
+    #[test]
+    fn jar_replaces_same_name_same_domain() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::parse_set_cookie("a=1", "e.com").unwrap());
+        jar.store(Cookie::parse_set_cookie("a=2", "e.com").unwrap());
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.header_for("e.com"), Some("a=2".to_string()));
+    }
+
+    #[test]
+    fn domain_suffix_matching() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::parse_set_cookie("t=1; Domain=tracker.net", "tracker.net").unwrap());
+        assert_eq!(jar.header_for("cdn.tracker.net"), Some("t=1".to_string()));
+        assert_eq!(jar.header_for("eviltracker.net"), None);
+        assert_eq!(jar.header_for("other.com"), None);
+    }
+
+    #[test]
+    fn clear_session_keeps_persistent() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::parse_set_cookie("s=1", "e.com").unwrap());
+        jar.store(Cookie::parse_set_cookie("p=1; Max-Age=60", "e.com").unwrap());
+        jar.clear_session();
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.header_for("e.com"), Some("p=1".to_string()));
+        jar.clear();
+        assert!(jar.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! An ordered, case-insensitive HTTP header multimap.
+//!
+//! Order preservation matters for the taint protocol (§2.3 of the paper):
+//! the MITM addon must strip exactly the injected `x-` header and forward
+//! the rest byte-identically, otherwise origin servers could detect the
+//! measurement. Lookups are ASCII-case-insensitive per RFC 9110.
+
+/// One `name: value` header field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderField {
+    /// Field name exactly as set (original casing preserved for the wire).
+    pub name: String,
+    /// Field value.
+    pub value: String,
+}
+
+/// An ordered multimap of HTTP header fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    fields: Vec<HeaderField>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field, keeping any existing fields with the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.fields.push(HeaderField { name: name.into(), value: value.into() });
+    }
+
+    /// Sets a field, replacing every existing field with the same
+    /// (case-insensitive) name. The new field is appended at the end.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        self.fields.retain(|f| !f.name.eq_ignore_ascii_case(&name));
+        self.fields.push(HeaderField { name, value: value.into() });
+    }
+
+    /// Returns the first value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|f| f.name.eq_ignore_ascii_case(name))
+            .map(|f| f.value.as_str())
+    }
+
+    /// Returns every value for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |f| f.name.eq_ignore_ascii_case(name))
+            .map(|f| f.value.as_str())
+    }
+
+    /// True if at least one field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Removes every field named `name`; returns the removed values in order.
+    pub fn remove(&mut self, name: &str) -> Vec<String> {
+        let mut removed = Vec::new();
+        self.fields.retain(|f| {
+            if f.name.eq_ignore_ascii_case(name) {
+                removed.push(f.value.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Iterates fields in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|f| (f.name.as_str(), f.value.as_str()))
+    }
+
+    /// Number of fields (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when no fields are present.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Estimated on-the-wire size of the header block in bytes
+    /// (`name: value\r\n` per field), used for the Figure 4 volume analysis.
+    pub fn wire_size(&self) -> u64 {
+        self.fields
+            .iter()
+            .map(|f| f.name.len() as u64 + f.value.len() as u64 + 4)
+            .sum()
+    }
+
+    /// Names of custom (`x-`-prefixed) header fields — the prefix the taint
+    /// protocol piggybacks on.
+    pub fn custom_field_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.name.len() >= 2 && f.name[..2].eq_ignore_ascii_case("x-"))
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Headers {
+    type Item = (&'a str, &'a str);
+    type IntoIter = std::vec::IntoIter<(&'a str, &'a str)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl FromIterator<(String, String)> for Headers {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        let mut headers = Headers::new();
+        for (name, value) in iter {
+            headers.append(name, value);
+        }
+        headers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+    }
+
+    #[test]
+    fn append_keeps_duplicates_set_replaces() {
+        let mut h = Headers::new();
+        h.append("Accept", "a");
+        h.append("accept", "b");
+        assert_eq!(h.get_all("Accept").collect::<Vec<_>>(), vec!["a", "b"]);
+        h.set("ACCEPT", "c");
+        assert_eq!(h.get_all("Accept").collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_values_and_preserves_order_of_rest() {
+        let mut h = Headers::new();
+        h.append("A", "1");
+        h.append("X-Taint", "t");
+        h.append("B", "2");
+        assert_eq!(h.remove("x-taint"), vec!["t".to_string()]);
+        let order: Vec<_> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn wire_size_counts_separators() {
+        let mut h = Headers::new();
+        h.append("A", "1"); // "A: 1\r\n" = 6
+        assert_eq!(h.wire_size(), 6);
+    }
+
+    #[test]
+    fn custom_field_names_finds_x_prefix() {
+        let mut h = Headers::new();
+        h.append("Accept", "a");
+        h.append("X-Panoptes-Taint", "tok");
+        h.append("x-requested-with", "app");
+        assert_eq!(h.custom_field_names(), vec!["X-Panoptes-Taint", "x-requested-with"]);
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let h: Headers =
+            vec![("A".to_string(), "1".to_string()), ("B".to_string(), "2".to_string())]
+                .into_iter()
+                .collect();
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! HTTP request methods.
+
+/// The request methods observed in the measured traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `HEAD`
+    Head,
+    /// `OPTIONS`
+    Options,
+    /// `DELETE`
+    Delete,
+    /// `CONNECT` — used by explicit proxies; the transparent MITM path
+    /// never sees it but the parser must not choke on it.
+    Connect,
+}
+
+impl Method {
+    /// Canonical upper-case wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+            Method::Delete => "DELETE",
+            Method::Connect => "CONNECT",
+        }
+    }
+
+    /// Parses a wire-form method token (case-sensitive, per RFC 9110).
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "HEAD" => Method::Head,
+            "OPTIONS" => Method::Options,
+            "DELETE" => Method::Delete,
+            "CONNECT" => Method::Connect,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Head,
+            Method::Options,
+            Method::Delete,
+            Method::Connect,
+        ] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+    }
+
+    #[test]
+    fn parse_is_case_sensitive() {
+        assert_eq!(Method::parse("get"), None);
+        assert_eq!(Method::parse("FETCH"), None);
+    }
+}

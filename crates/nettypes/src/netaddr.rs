@@ -1,0 +1,152 @@
+//! IPv4 addresses and CIDR blocks.
+//!
+//! Shared by the network simulator (address allocation, packet filter) and
+//! the geolocation database (`panoptes-geo` does longest-prefix matches on
+//! [`Cidr`] blocks, reproducing the iplocation.net lookups of §3.4).
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        IpAddr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Parses dotted-quad notation.
+    pub fn parse(s: &str) -> Option<IpAddr> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for octet in &mut octets {
+            let part = parts.next()?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            *octet = part.parse().ok()?;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(IpAddr::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+
+    /// The four octets, most significant first.
+    pub fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+}
+
+impl std::fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// An IPv4 CIDR block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    /// Network base address (host bits are masked off at construction).
+    pub base: IpAddr,
+    /// Prefix length in bits, `0..=32`.
+    pub prefix: u8,
+}
+
+impl Cidr {
+    /// Builds a block, masking host bits off `base`.
+    pub fn new(base: IpAddr, prefix: u8) -> Cidr {
+        assert!(prefix <= 32, "prefix must be <= 32");
+        Cidr { base: IpAddr(base.0 & Self::mask(prefix)), prefix }
+    }
+
+    /// Parses `a.b.c.d/len` notation.
+    pub fn parse(s: &str) -> Option<Cidr> {
+        let (addr, len) = s.split_once('/')?;
+        let base = IpAddr::parse(addr)?;
+        let prefix: u8 = len.parse().ok()?;
+        if prefix > 32 {
+            return None;
+        }
+        Some(Cidr::new(base, prefix))
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix as u32)
+        }
+    }
+
+    /// True when `ip` falls inside this block.
+    pub fn contains(self, ip: IpAddr) -> bool {
+        (ip.0 & Self::mask(self.prefix)) == self.base.0
+    }
+
+    /// Returns the `index`-th host address within the block (no broadcast /
+    /// network-address semantics — the simulator allocates linearly).
+    pub fn host(self, index: u32) -> IpAddr {
+        debug_assert!(self.prefix == 32 || index < (1u32 << (32 - self.prefix as u32)));
+        IpAddr(self.base.0 | index)
+    }
+}
+
+impl std::fmt::Display for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_ip() {
+        let ip = IpAddr::parse("203.0.113.7").unwrap();
+        assert_eq!(ip.octets(), [203, 0, 113, 7]);
+        assert_eq!(ip.to_string(), "203.0.113.7");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "01x.2.3.4"] {
+            assert!(IpAddr::parse(bad).is_none(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn cidr_contains() {
+        let block = Cidr::parse("10.1.0.0/16").unwrap();
+        assert!(block.contains(IpAddr::new(10, 1, 200, 3)));
+        assert!(!block.contains(IpAddr::new(10, 2, 0, 1)));
+        let all = Cidr::parse("0.0.0.0/0").unwrap();
+        assert!(all.contains(IpAddr::new(255, 255, 255, 255)));
+    }
+
+    #[test]
+    fn cidr_masks_host_bits() {
+        let block = Cidr::new(IpAddr::new(192, 168, 1, 77), 24);
+        assert_eq!(block.base, IpAddr::new(192, 168, 1, 0));
+        assert_eq!(block.to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn host_allocation() {
+        let block = Cidr::parse("198.51.100.0/24").unwrap();
+        assert_eq!(block.host(7), IpAddr::new(198, 51, 100, 7));
+    }
+
+    #[test]
+    fn slash32_contains_only_itself() {
+        let block = Cidr::parse("8.8.8.8/32").unwrap();
+        assert!(block.contains(IpAddr::new(8, 8, 8, 8)));
+        assert!(!block.contains(IpAddr::new(8, 8, 8, 9)));
+    }
+}

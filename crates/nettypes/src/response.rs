@@ -1,0 +1,77 @@
+//! HTTP responses with wire-size accounting.
+
+use bytes::Bytes;
+
+use crate::headers::Headers;
+use crate::status::StatusCode;
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header fields in wire order.
+    pub headers: Headers,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// Builds a `200 OK` response with the given body.
+    pub fn ok(body: impl Into<Bytes>) -> Response {
+        Response { status: StatusCode::OK, headers: Headers::new(), body: body.into() }
+    }
+
+    /// Builds an empty response with the given status.
+    pub fn status(status: StatusCode) -> Response {
+        Response { status, headers: Headers::new(), body: Bytes::new() }
+    }
+
+    /// Builds an `OK` response whose body is `size` filler bytes — the
+    /// simulated web serves *sized* content, not real content, since only
+    /// volumes and structure matter to the measurement.
+    pub fn sized(size: usize) -> Response {
+        let mut r = Response::ok(Bytes::from(vec![b'.'; size]));
+        r.headers.set("content-length", size.to_string());
+        r
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.append(name, value);
+        self
+    }
+
+    /// Estimated bytes on the wire: status line, headers, separator, body.
+    pub fn wire_size(&self) -> u64 {
+        let status_line = 15 + self.status.reason().len() as u64;
+        status_line + self.headers.wire_size() + 2 + self.body.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_sets_content_length() {
+        let r = Response::sized(1234);
+        assert_eq!(r.body.len(), 1234);
+        assert_eq!(r.headers.get("content-length"), Some("1234"));
+        assert!(r.status.is_success());
+    }
+
+    #[test]
+    fn wire_size_includes_body() {
+        let small = Response::sized(10);
+        let big = Response::sized(1000);
+        assert!(big.wire_size() >= small.wire_size() + 990);
+    }
+
+    #[test]
+    fn status_builder() {
+        let r = Response::status(StatusCode::BAD_GATEWAY);
+        assert_eq!(r.status.0, 502);
+        assert!(r.body.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! User-Agent strings.
+//!
+//! The paper excludes the Android version and device model from its PII
+//! analysis because *every* vendor reports them in the `User-Agent` header
+//! for compatibility (§3.3). The builder here reproduces that baseline so
+//! the PII analysis can apply the same exclusion.
+
+/// Components of a mobile browser User-Agent string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserAgent {
+    /// Browser product token, e.g. `Chrome`.
+    pub product: String,
+    /// Browser version, e.g. `113.0.5672.77`.
+    pub version: String,
+    /// Android version, e.g. `11`.
+    pub android_version: String,
+    /// Device model, e.g. `SM-T580`.
+    pub device_model: String,
+}
+
+impl UserAgent {
+    /// Builds the components for a browser on the paper's test device
+    /// (Samsung SM-T580, Android 11).
+    pub fn for_browser(product: &str, version: &str) -> UserAgent {
+        UserAgent {
+            product: product.to_string(),
+            version: version.to_string(),
+            android_version: "11".to_string(),
+            device_model: "SM-T580".to_string(),
+        }
+    }
+
+    /// Renders the Mozilla-compatible UA string.
+    pub fn render(&self) -> String {
+        format!(
+            "Mozilla/5.0 (Linux; Android {}; {}) AppleWebKit/537.36 (KHTML, like Gecko) {}/{} Mobile Safari/537.36",
+            self.android_version, self.device_model, self.product, self.version
+        )
+    }
+
+    /// Extracts (android_version, device_model) from a rendered UA string;
+    /// the "reported by default" fields the PII analysis must ignore.
+    pub fn parse_default_fields(ua: &str) -> Option<(String, String)> {
+        let inner = ua.split_once('(')?.1.split_once(')')?.0;
+        let mut parts = inner.split(';').map(str::trim);
+        let _linux = parts.next()?;
+        let android = parts.next()?.strip_prefix("Android ")?.to_string();
+        let model = parts.next()?.to_string();
+        Some((android, model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_fields() {
+        let ua = UserAgent::for_browser("Chrome", "113.0.5672.77").render();
+        assert!(ua.contains("Android 11"));
+        assert!(ua.contains("SM-T580"));
+        assert!(ua.contains("Chrome/113.0.5672.77"));
+    }
+
+    #[test]
+    fn parse_default_fields_roundtrip() {
+        let ua = UserAgent::for_browser("Edge", "113.0.1774.38").render();
+        let (android, model) = UserAgent::parse_default_fields(&ua).unwrap();
+        assert_eq!(android, "11");
+        assert_eq!(model, "SM-T580");
+    }
+
+    #[test]
+    fn parse_rejects_non_ua() {
+        assert!(UserAgent::parse_default_fields("curl/8.0").is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the codec / URL / JSON substrates.
+
+use proptest::prelude::*;
+
+use panoptes_http::codec::{
+    b64_decode, b64_decode_url, b64_encode, b64_encode_url, hex_decode, hex_encode,
+    percent_decode, percent_encode_component,
+};
+use panoptes_http::json::{self, Value};
+use panoptes_http::netaddr::{Cidr, IpAddr};
+use panoptes_http::h1;
+use panoptes_http::url::{registrable_domain, Url};
+use panoptes_http::Request;
+
+proptest! {
+    #[test]
+    fn base64_std_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(b64_decode(&b64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_url_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = b64_encode_url(&data);
+        prop_assert!(!enc.contains('=') && !enc.contains('+') && !enc.contains('/'));
+        prop_assert_eq!(b64_decode_url(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_encoding_length_bound(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Padded output is exactly ceil(n/3)*4 characters.
+        prop_assert_eq!(b64_encode(&data).len(), data.len().div_ceil(3) * 4);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn percent_component_roundtrip(s in "\\PC{0,64}") {
+        prop_assert_eq!(percent_decode(&percent_encode_component(&s)), s);
+    }
+
+    #[test]
+    fn percent_decode_never_panics(s in "\\PC{0,64}") {
+        let _ = percent_decode(&s);
+    }
+
+    #[test]
+    fn url_roundtrip_structured(
+        host_label in "[a-z][a-z0-9-]{0,10}",
+        tld in prop::sample::select(vec!["com", "net", "org", "ru", "example"]),
+        path_seg in "[a-z0-9]{0,12}",
+        key in "[a-z]{1,8}",
+        value in "[a-zA-Z0-9 /+=&?#%]{0,24}",
+    ) {
+        let url = Url::parse(&format!("https://{host_label}.{tld}/{path_seg}"))
+            .unwrap()
+            .with_query_param(&key, &value);
+        let reparsed = Url::parse(&url.to_string_full()).unwrap();
+        prop_assert_eq!(reparsed.host(), url.host());
+        prop_assert_eq!(reparsed.path(), url.path());
+        prop_assert_eq!(reparsed.query_param(&key), Some(value.as_str()));
+    }
+
+    #[test]
+    fn url_parse_never_panics(s in "\\PC{0,100}") {
+        let _ = Url::parse(&s);
+    }
+
+    #[test]
+    fn registrable_domain_is_suffix(
+        labels in proptest::collection::vec("[a-z]{1,6}", 1..5),
+    ) {
+        let host = labels.join(".");
+        let reg = registrable_domain(&host);
+        let dotted = format!(".{reg}");
+        prop_assert!(host == reg || host.ends_with(&dotted));
+    }
+
+    #[test]
+    fn ip_roundtrip(raw in any::<u32>()) {
+        let ip = IpAddr(raw);
+        prop_assert_eq!(IpAddr::parse(&ip.to_string()), Some(ip));
+    }
+
+    #[test]
+    fn cidr_contains_all_its_hosts(raw in any::<u32>(), prefix in 8u8..=32, idx in any::<u32>()) {
+        let cidr = Cidr::new(IpAddr(raw), prefix);
+        let span = if prefix == 32 { 1 } else { 1u64 << (32 - prefix as u32) };
+        let host = cidr.host((idx as u64 % span) as u32);
+        prop_assert!(cidr.contains(host));
+    }
+
+    #[test]
+    fn h1_request_roundtrip(
+        host in "[a-z]{1,10}\\.(com|org|net)",
+        path_seg in "[a-z0-9]{0,10}",
+        key in "[a-z]{1,6}",
+        value in "[a-zA-Z0-9 ]{0,16}",
+        header_val in "[a-zA-Z0-9/.;= -]{0,24}",
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+        https in proptest::bool::ANY,
+    ) {
+        let scheme = if https { "https" } else { "http" };
+        let url = Url::parse(&format!("{scheme}://{host}/{path_seg}"))
+            .unwrap()
+            .with_query_param(&key, &value);
+        let req = Request::post(url, body.clone())
+            .with_header("user-agent", header_val.trim())
+            .with_header("accept", "*/*");
+        let wire = h1::render_request(&req);
+        let parsed = h1::parse_request(&wire, https).unwrap();
+        prop_assert_eq!(parsed.url.host(), host.as_str());
+        prop_assert_eq!(parsed.url.query_param(&key), Some(value.as_str()));
+        prop_assert_eq!(&parsed.body[..], &body[..]);
+        prop_assert_eq!(parsed.headers.get("accept"), Some("*/*"));
+    }
+
+    #[test]
+    fn h1_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = h1::parse_request(&bytes, true);
+        let _ = h1::parse_response(&bytes);
+    }
+
+    #[test]
+    fn json_roundtrip_arbitrary(value in arb_json(3)) {
+        let compact = json::to_string(&value);
+        prop_assert_eq!(json::parse(&compact).unwrap(), value.clone());
+        let pretty = json::to_string_pretty(&value);
+        prop_assert_eq!(json::parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn json_parse_never_panics(s in "\\PC{0,200}") {
+        let _ = json::parse(&s);
+    }
+}
+
+/// Strategy for arbitrary JSON values with integral numbers (floats would
+/// make equality after roundtrip flaky only through NaN, which `Value`
+/// cannot hold anyway — we keep integers for exactness).
+fn arb_json(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|n| Value::Number(n as f64)),
+        "\\PC{0,16}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
+                Value::Object(pairs.into_iter().collect())
+            }),
+        ]
+    })
+}

@@ -1,0 +1,156 @@
+//! DNS: zone registry, the device's local stub resolver, and
+//! DNS-over-HTTPS providers.
+//!
+//! The paper found that "8 out of all 15 mobile browsers in our dataset
+//! query Cloudflare's or Google's third-party DNS-over-HTTPS services for
+//! the visited domains with the rest (7) of them using the device's local
+//! DNS stub resolver" (§3.2). Both paths are modelled:
+//!
+//! * **stub** lookups are plain UDP/53 exchanges answered from the zone —
+//!   they never appear in the HTTP flow capture but are recorded in the
+//!   network's DNS log;
+//! * **DoH** lookups are real HTTPS requests to the provider's resolver
+//!   endpoint, so they surface in the MITM capture as *native* browser
+//!   traffic to a third party.
+
+use std::collections::HashMap;
+
+use panoptes_http::netaddr::IpAddr;
+use panoptes_http::url::Url;
+use panoptes_http::Request;
+
+/// A DNS zone: the authoritative host → address map for the simulated
+/// Internet. Populated by `panoptes-web` when the world is built.
+#[derive(Debug, Clone, Default)]
+pub struct DnsZone {
+    records: HashMap<String, IpAddr>,
+}
+
+impl DnsZone {
+    /// An empty zone.
+    pub fn new() -> DnsZone {
+        DnsZone::default()
+    }
+
+    /// Registers (or replaces) an A record.
+    pub fn insert(&mut self, host: &str, addr: IpAddr) {
+        self.records.insert(host.to_ascii_lowercase(), addr);
+    }
+
+    /// Looks up an A record.
+    pub fn lookup(&self, host: &str) -> Option<IpAddr> {
+        self.records.get(&host.to_ascii_lowercase()).copied()
+    }
+
+    /// Number of registered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the zone is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates `(host, addr)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, IpAddr)> {
+        self.records.iter().map(|(h, a)| (h.as_str(), *a))
+    }
+}
+
+/// A public DNS-over-HTTPS provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DohProvider {
+    /// Cloudflare (`cloudflare-dns.com`).
+    Cloudflare,
+    /// Google Public DNS (`dns.google`).
+    Google,
+}
+
+impl DohProvider {
+    /// The resolver endpoint hostname.
+    pub fn host(self) -> &'static str {
+        match self {
+            DohProvider::Cloudflare => "cloudflare-dns.com",
+            DohProvider::Google => "dns.google",
+        }
+    }
+
+    /// Builds the HTTPS query request for `name` (RFC 8484's JSON-ish GET
+    /// form, which is what appears in the flow capture).
+    pub fn query_request(self, name: &str) -> Request {
+        let url = Url::https(self.host())
+            .with_path("/dns-query")
+            .with_query_param("name", name)
+            .with_query_param("type", "A");
+        Request::get(url).with_header("accept", "application/dns-json")
+    }
+}
+
+/// How a browser resolves names — the device stub or a DoH provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolverKind {
+    /// The device's local stub resolver (UDP/53 to the gateway).
+    LocalStub,
+    /// DNS-over-HTTPS to a public provider.
+    Doh(DohProvider),
+}
+
+impl ResolverKind {
+    /// True when this resolver produces HTTPS traffic visible to the MITM.
+    pub fn is_doh(self) -> bool {
+        matches!(self, ResolverKind::Doh(_))
+    }
+}
+
+/// One recorded DNS lookup (stub or DoH), for the §3.2 DNS analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsLogEntry {
+    /// UID of the app that asked.
+    pub uid: u32,
+    /// The name queried.
+    pub name: String,
+    /// Which mechanism was used.
+    pub resolver: ResolverKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_roundtrip_case_insensitive() {
+        let mut zone = DnsZone::new();
+        zone.insert("Example.COM", IpAddr::new(198, 51, 100, 1));
+        assert_eq!(zone.lookup("example.com"), Some(IpAddr::new(198, 51, 100, 1)));
+        assert_eq!(zone.lookup("EXAMPLE.com"), Some(IpAddr::new(198, 51, 100, 1)));
+        assert_eq!(zone.lookup("other.com"), None);
+        assert_eq!(zone.len(), 1);
+        assert!(!zone.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut zone = DnsZone::new();
+        zone.insert("a.com", IpAddr::new(1, 1, 1, 1));
+        zone.insert("a.com", IpAddr::new(2, 2, 2, 2));
+        assert_eq!(zone.lookup("a.com"), Some(IpAddr::new(2, 2, 2, 2)));
+        assert_eq!(zone.len(), 1);
+    }
+
+    #[test]
+    fn doh_query_shape() {
+        let req = DohProvider::Google.query_request("www.youtube.com");
+        assert_eq!(req.url.host(), "dns.google");
+        assert_eq!(req.url.path(), "/dns-query");
+        assert_eq!(req.url.query_param("name"), Some("www.youtube.com"));
+        assert_eq!(req.headers.get("accept"), Some("application/dns-json"));
+    }
+
+    #[test]
+    fn resolver_kind_classification() {
+        assert!(!ResolverKind::LocalStub.is_doh());
+        assert!(ResolverKind::Doh(DohProvider::Cloudflare).is_doh());
+        assert_eq!(DohProvider::Cloudflare.host(), "cloudflare-dns.com");
+    }
+}

@@ -1,0 +1,146 @@
+//! A time-ordered event queue.
+//!
+//! The idle-mode experiment (§3.5) is driven entirely by this queue: each
+//! browser model schedules its next telemetry ping / feed refresh /
+//! favicon update as an event, and the campaign loop pops events in time
+//! order for ten virtual minutes. Ties break FIFO so runs are
+//! deterministic regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimInstant;
+
+struct Entry<T> {
+    at: SimInstant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A queue of `(time, item)` pairs popped in time order, FIFO within a
+/// single instant.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `item` at time `at`.
+    pub fn push(&mut self, at: SimInstant, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimInstant, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: SimInstant) -> Option<(SimInstant, T)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimInstant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant(30), "c");
+        q.push(SimInstant(10), "a");
+        q.push(SimInstant(20), "b");
+        assert_eq!(q.pop(), Some((SimInstant(10), "a")));
+        assert_eq!(q.pop(), Some((SimInstant(20), "b")));
+        assert_eq!(q.pop(), Some((SimInstant(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimInstant(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant(100), "later");
+        q.push(SimInstant(10), "now");
+        assert_eq!(q.pop_due(SimInstant(50)), Some((SimInstant(10), "now")));
+        assert_eq!(q.pop_due(SimInstant(50)), None);
+        assert_eq!(q.peek_time(), Some(SimInstant(100)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        let base = SimInstant::EPOCH;
+        q.push(base + SimDuration::from_secs(3), 3);
+        q.push(base + SimDuration::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(base + SimDuration::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! The iptables-like packet filter.
+//!
+//! §2.2 of the paper: "Panoptes extracts their unique kernel UID under
+//! which each browser process is running to create iptable rules and
+//! divert their traffic through the proxy. In addition to this, Panoptes
+//! creates rules to block all HTTP/3 traffic, as at the time of crawling,
+//! mitmproxy did not support the QUIC protocol."
+//!
+//! This module models a single OUTPUT chain with first-match-wins
+//! semantics, UID/protocol/port matches, and ACCEPT / DROP / REDIRECT
+//! targets.
+
+/// Transport protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// TCP (HTTP/1.1 and HTTP/2).
+    Tcp,
+    /// UDP (QUIC / HTTP/3, plain DNS).
+    Udp,
+}
+
+/// What a rule matches on. `None` fields are wildcards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchSpec {
+    /// Owner UID of the sending process (`-m owner --uid-owner`).
+    pub uid: Option<u32>,
+    /// Transport protocol (`-p tcp` / `-p udp`).
+    pub proto: Option<Proto>,
+    /// Destination port (`--dport`).
+    pub dport: Option<u16>,
+}
+
+impl MatchSpec {
+    /// Matches everything.
+    pub fn any() -> MatchSpec {
+        MatchSpec::default()
+    }
+
+    /// Match on owner UID.
+    pub fn uid(uid: u32) -> MatchSpec {
+        MatchSpec { uid: Some(uid), ..Default::default() }
+    }
+
+    /// Adds a protocol constraint.
+    pub fn proto(mut self, proto: Proto) -> MatchSpec {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Adds a destination-port constraint.
+    pub fn dport(mut self, port: u16) -> MatchSpec {
+        self.dport = Some(port);
+        self
+    }
+
+    fn matches(&self, uid: u32, proto: Proto, dport: u16) -> bool {
+        self.uid.is_none_or(|u| u == uid)
+            && self.proto.is_none_or(|p| p == proto)
+            && self.dport.is_none_or(|d| d == dport)
+    }
+}
+
+/// A rule's action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Let the packet through untouched.
+    Accept,
+    /// Silently drop it (the HTTP/3 block).
+    Drop,
+    /// Divert to the transparent proxy listening on this local port,
+    /// preserving the original destination (TPROXY-style).
+    RedirectTo(u16),
+}
+
+/// One rule: a match plus a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Match specification.
+    pub spec: MatchSpec,
+    /// Action when the spec matches.
+    pub target: Target,
+}
+
+/// The verdict for a packet after chain evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver directly to the destination.
+    Accept,
+    /// Discard; sender sees a timeout/unreachable.
+    Drop,
+    /// Deliver to the proxy at the given local port.
+    Redirect(u16),
+}
+
+/// An ordered rule chain with first-match-wins semantics and a default
+/// ACCEPT policy.
+#[derive(Debug, Clone, Default)]
+pub struct FilterTable {
+    rules: Vec<Rule>,
+}
+
+impl FilterTable {
+    /// An empty table (everything accepted).
+    pub fn new() -> FilterTable {
+        FilterTable::default()
+    }
+
+    /// Appends a rule at the end of the chain (`iptables -A`).
+    pub fn append(&mut self, spec: MatchSpec, target: Target) {
+        self.rules.push(Rule { spec, target });
+    }
+
+    /// Inserts a rule at the head of the chain (`iptables -I`).
+    pub fn insert_first(&mut self, spec: MatchSpec, target: Target) {
+        self.rules.insert(0, Rule { spec, target });
+    }
+
+    /// Removes every rule matching `uid` (used when a browser's campaign
+    /// finishes).
+    pub fn flush_uid(&mut self, uid: u32) {
+        self.rules.retain(|r| r.spec.uid != Some(uid));
+    }
+
+    /// Evaluates the chain for a packet.
+    pub fn evaluate(&self, uid: u32, proto: Proto, dport: u16) -> Verdict {
+        for rule in &self.rules {
+            if rule.spec.matches(uid, proto, dport) {
+                return match rule.target {
+                    Target::Accept => Verdict::Accept,
+                    Target::Drop => Verdict::Drop,
+                    Target::RedirectTo(p) => Verdict::Redirect(p),
+                };
+            }
+        }
+        Verdict::Accept
+    }
+
+    /// Number of rules installed.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Installs the standard Panoptes ruleset for one browser UID:
+    /// drop QUIC (UDP/443) and divert TCP 80/443 to the proxy port.
+    pub fn install_panoptes_rules(&mut self, uid: u32, proxy_port: u16) {
+        self.append(MatchSpec::uid(uid).proto(Proto::Udp).dport(443), Target::Drop);
+        self.append(MatchSpec::uid(uid).proto(Proto::Tcp).dport(443), Target::RedirectTo(proxy_port));
+        self.append(MatchSpec::uid(uid).proto(Proto::Tcp).dport(80), Target::RedirectTo(proxy_port));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_accept() {
+        let table = FilterTable::new();
+        assert_eq!(table.evaluate(10001, Proto::Tcp, 443), Verdict::Accept);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut table = FilterTable::new();
+        table.append(MatchSpec::uid(1).proto(Proto::Tcp), Target::Drop);
+        table.append(MatchSpec::uid(1), Target::Accept);
+        assert_eq!(table.evaluate(1, Proto::Tcp, 80), Verdict::Drop);
+        table.insert_first(MatchSpec::uid(1).dport(80), Target::RedirectTo(8080));
+        assert_eq!(table.evaluate(1, Proto::Tcp, 80), Verdict::Redirect(8080));
+    }
+
+    #[test]
+    fn wildcards_do_not_overmatch() {
+        let mut table = FilterTable::new();
+        table.append(MatchSpec::uid(7).proto(Proto::Udp).dport(443), Target::Drop);
+        assert_eq!(table.evaluate(7, Proto::Udp, 443), Verdict::Drop);
+        assert_eq!(table.evaluate(8, Proto::Udp, 443), Verdict::Accept);
+        assert_eq!(table.evaluate(7, Proto::Tcp, 443), Verdict::Accept);
+        assert_eq!(table.evaluate(7, Proto::Udp, 53), Verdict::Accept);
+    }
+
+    #[test]
+    fn panoptes_ruleset_semantics() {
+        let mut table = FilterTable::new();
+        table.install_panoptes_rules(10050, 8080);
+        // Browser traffic: QUIC dropped, TLS and cleartext diverted.
+        assert_eq!(table.evaluate(10050, Proto::Udp, 443), Verdict::Drop);
+        assert_eq!(table.evaluate(10050, Proto::Tcp, 443), Verdict::Redirect(8080));
+        assert_eq!(table.evaluate(10050, Proto::Tcp, 80), Verdict::Redirect(8080));
+        // Its plain DNS still goes out directly.
+        assert_eq!(table.evaluate(10050, Proto::Udp, 53), Verdict::Accept);
+        // Other apps are untouched.
+        assert_eq!(table.evaluate(10051, Proto::Tcp, 443), Verdict::Accept);
+    }
+
+    #[test]
+    fn flush_uid_removes_only_that_uid() {
+        let mut table = FilterTable::new();
+        table.install_panoptes_rules(1, 8080);
+        table.install_panoptes_rules(2, 8080);
+        assert_eq!(table.len(), 6);
+        table.flush_uid(1);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.evaluate(1, Proto::Tcp, 443), Verdict::Accept);
+        assert_eq!(table.evaluate(2, Proto::Tcp, 443), Verdict::Redirect(8080));
+        assert!(!table.is_empty());
+    }
+}

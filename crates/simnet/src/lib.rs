@@ -1,0 +1,39 @@
+//! # panoptes-simnet
+//!
+//! A deterministic, event-driven network simulator standing in for the
+//! paper's physical testbed (an Android tablet on a real network behind a
+//! transparent mitmproxy). Everything here is virtual: time, DNS, TLS and
+//! packet routing — which is what makes every experiment in the
+//! reproduction exactly repeatable from a seed.
+//!
+//! The simulator follows the smoltcp school of design from the networking
+//! guides: a single-threaded, event-driven core with no hidden global
+//! state, no wall-clock access, and explicit data flow.
+//!
+//! Key pieces:
+//!
+//! * [`clock`] — virtual instants/durations and the campaign clock,
+//! * [`event`] — a time-ordered event queue with stable FIFO tie-breaking,
+//! * [`dns`] — a zone registry, the device's local stub resolver and
+//!   DNS-over-HTTPS providers (whose queries surface as HTTPS flows —
+//!   the "8 of 15 browsers use Cloudflare/Google DoH" finding of §3.2),
+//! * [`tls`] — certificates, trust stores, SNI handshakes and certificate
+//!   pinning (pinned flows bypass the MITM, footnote 3 of the paper),
+//! * [`filter`] — the iptables-like per-UID REDIRECT/DROP rule table of
+//!   §2.2, including the HTTP/3 (QUIC) block,
+//! * [`net`] — the fabric gluing it together: endpoint registry, transport
+//!   decisions, latency model and traffic statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod dns;
+pub mod event;
+pub mod filter;
+pub mod net;
+pub mod tls;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use event::EventQueue;
+pub use net::{FlowContext, HttpHandler, NetError, Network, TransportReport};

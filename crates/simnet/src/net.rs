@@ -1,0 +1,695 @@
+//! The network fabric: endpoint registry, transport decisions, latency
+//! model and traffic statistics.
+//!
+//! [`Network`] is the simulated path between the tablet and the Internet.
+//! Every HTTP request an app sends goes through [`Network::send_http`],
+//! which replays the exact §2.2 mechanics:
+//!
+//! 1. resolve the destination (zone lookup; the *mechanism* — stub vs DoH
+//!    — is the browser's business and recorded separately),
+//! 2. evaluate the iptables-like [`FilterTable`]: QUIC is dropped, the
+//!    browser's TCP 80/443 is transparently redirected to the MITM proxy,
+//! 3. run the TLS handshake (origin cert on the direct path, forged cert
+//!    on the intercepted path; pinning rejects the forged chain),
+//! 4. deliver the request to the proxy or the origin server and account
+//!    for bytes and virtual latency.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use panoptes_http::netaddr::IpAddr;
+use panoptes_http::request::HttpVersion;
+use panoptes_http::url::Scheme;
+use panoptes_http::{Request, Response};
+
+use crate::clock::{SimDuration, SimInstant};
+use crate::dns::{DnsLogEntry, DnsZone, ResolverKind};
+use crate::filter::{FilterTable, Proto, Verdict};
+use crate::tls::{
+    handshake, Certificate, CertificateAuthority, PinPolicy, TlsOutcome, TrustStore,
+};
+
+/// Why a request could not be delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The packet filter dropped the packet (e.g. the HTTP/3 block);
+    /// the sender sees a timeout and falls back.
+    Dropped,
+    /// The destination name does not resolve.
+    NoRoute(String),
+    /// Nothing listens at the destination address.
+    ConnectionRefused(IpAddr),
+    /// The TLS handshake failed with the given outcome.
+    TlsFailed(TlsOutcome),
+    /// The app pinned this domain, rejected the MITM certificate and
+    /// aborted the request (footnote 3 of the paper: such flows make the
+    /// measurement a lower bound).
+    PinnedBypass,
+    /// The proxy failed to reach the upstream origin.
+    UpstreamFailed(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Dropped => write!(f, "packet dropped by filter"),
+            NetError::NoRoute(host) => write!(f, "no route to {host}"),
+            NetError::ConnectionRefused(ip) => write!(f, "connection refused by {ip}"),
+            NetError::TlsFailed(o) => write!(f, "tls handshake failed: {o:?}"),
+            NetError::PinnedBypass => write!(f, "certificate pinning rejected interception"),
+            NetError::UpstreamFailed(m) => write!(f, "upstream failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Connection metadata a handler sees — what a transparent proxy can
+/// observe about a diverted flow.
+#[derive(Debug, Clone)]
+pub struct FlowContext {
+    /// Virtual time the request was sent.
+    pub time: SimInstant,
+    /// Kernel UID of the sending process.
+    pub uid: u32,
+    /// Package name of the sending app (resolved by the device layer).
+    pub app_package: String,
+    /// Source address (the tablet).
+    pub src_ip: IpAddr,
+    /// Original destination address (preserved across REDIRECT).
+    pub dst_ip: IpAddr,
+    /// Original destination port.
+    pub dst_port: u16,
+    /// TLS SNI / Host header — the name the client asked for.
+    pub sni: String,
+    /// Protocol version actually used.
+    pub version: HttpVersion,
+    /// True when the flow reached the handler via proxy interception.
+    pub intercepted: bool,
+}
+
+/// A server-side handler for HTTP requests: origin servers and the MITM
+/// proxy both implement this.
+pub trait HttpHandler: Send + Sync {
+    /// Handles one request. `net` allows a proxy to forward upstream.
+    fn handle(&self, net: &Network, ctx: &FlowContext, req: Request)
+        -> Result<Response, NetError>;
+
+    /// Notification that a diverted client aborted its TLS handshake
+    /// (certificate pinning). Default: ignore.
+    fn on_tls_rejected(&self, _net: &Network, _ctx: &FlowContext) {}
+}
+
+/// Byte/latency accounting for one completed exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Bytes the client sent (request wire size).
+    pub bytes_out: u64,
+    /// Bytes the client received (response wire size).
+    pub bytes_in: u64,
+    /// Virtual time the exchange took.
+    pub latency: SimDuration,
+}
+
+/// Aggregate counters the simulator keeps (inspection/testing aid).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Requests delivered to an endpoint (direct or proxied).
+    pub delivered: u64,
+    /// Packets dropped by the filter (mostly blocked QUIC).
+    pub dropped: u64,
+    /// Flows the proxy could not read because the app pinned the domain.
+    pub pinned_bypasses: u64,
+    /// Total bytes sent by clients.
+    pub bytes_out: u64,
+    /// Total bytes received by clients.
+    pub bytes_in: u64,
+}
+
+/// A simple deterministic latency model: base RTT plus serialization
+/// delay, plus a per-host jitter derived from the host name hash.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Base round-trip time.
+    pub base_rtt: SimDuration,
+    /// Bytes transferred per microsecond of serialization delay.
+    pub bytes_per_us: u64,
+    /// Maximum extra per-host jitter in microseconds.
+    pub jitter_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~40 ms RTT, ~4 MB/s effective mobile throughput, up to 15 ms of
+        // per-host spread.
+        LatencyModel { base_rtt: SimDuration::from_millis(40), bytes_per_us: 4, jitter_us: 15_000 }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of one exchange with the given wire sizes to `host`.
+    pub fn latency(&self, host: &str, bytes_out: u64, bytes_in: u64) -> SimDuration {
+        let serialization = (bytes_out + bytes_in) / self.bytes_per_us.max(1);
+        let jitter = if self.jitter_us == 0 { 0 } else { fnv1a(host) % self.jitter_us };
+        SimDuration(self.base_rtt.0 + serialization + jitter)
+    }
+}
+
+/// FNV-1a hash (deterministic across runs, unlike `DefaultHasher`).
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// An injected fault for a destination host — failure-injection support
+/// for robustness testing. Real crawls constantly meet dead hosts and
+/// erroring servers; the pipeline must degrade gracefully (record what it
+/// can, keep crawling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Connections to the host are refused.
+    Unreachable,
+    /// The server answers `500` to everything.
+    ServerError,
+    /// Every `n`-th request to the host fails with a refused connection
+    /// (1-based counting; `FlakyEvery(1)` fails always).
+    FlakyEvery(u32),
+}
+
+/// Identity of the client side of a request, passed to
+/// [`Network::send_http`].
+#[derive(Debug, Clone)]
+pub struct ClientCtx {
+    /// Kernel UID of the sending process.
+    pub uid: u32,
+    /// Package name of the sending app.
+    pub app_package: String,
+    /// CA roots this client trusts.
+    pub trust: TrustStore,
+    /// Certificate-pinning policy of the app.
+    pub pins: PinPolicy,
+    /// Virtual send time.
+    pub time: SimInstant,
+}
+
+struct ProxyRegistration {
+    handler: Arc<dyn HttpHandler>,
+    ca: CertificateAuthority,
+}
+
+/// The simulated network path between the device and the Internet.
+pub struct Network {
+    zone: RwLock<DnsZone>,
+    filter: RwLock<FilterTable>,
+    endpoints: RwLock<HashMap<IpAddr, Arc<dyn HttpHandler>>>,
+    proxies: RwLock<HashMap<u16, ProxyRegistration>>,
+    origin_ca: CertificateAuthority,
+    latency: LatencyModel,
+    device_ip: IpAddr,
+    stats: Mutex<NetStats>,
+    dns_log: Mutex<Vec<DnsLogEntry>>,
+    faults: RwLock<HashMap<String, FaultMode>>,
+    fault_counters: Mutex<HashMap<String, u32>>,
+}
+
+impl Network {
+    /// A network with the given origin-signing CA and the device at
+    /// `device_ip`.
+    pub fn new(origin_ca: CertificateAuthority, device_ip: IpAddr) -> Network {
+        Network {
+            zone: RwLock::new(DnsZone::new()),
+            filter: RwLock::new(FilterTable::new()),
+            endpoints: RwLock::new(HashMap::new()),
+            proxies: RwLock::new(HashMap::new()),
+            origin_ca,
+            latency: LatencyModel::default(),
+            device_ip,
+            stats: Mutex::new(NetStats::default()),
+            dns_log: Mutex::new(Vec::new()),
+            faults: RwLock::new(HashMap::new()),
+            fault_counters: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Injects a fault for `host` (failure-injection testing).
+    pub fn inject_fault(&self, host: &str, mode: FaultMode) {
+        self.faults.write().insert(host.to_ascii_lowercase(), mode);
+    }
+
+    /// Removes an injected fault.
+    pub fn clear_fault(&self, host: &str) {
+        self.faults.write().remove(&host.to_ascii_lowercase());
+    }
+
+    /// Evaluates injected faults for a request to `host`. `None` = no
+    /// fault fires; `Some(response)` = the server answered with an error
+    /// page; `Some(Err)` is expressed by the caller mapping
+    /// [`NetError::ConnectionRefused`].
+    fn fault_for(&self, host: &str) -> Option<Result<Response, ()>> {
+        let mode = *self.faults.read().get(&host.to_ascii_lowercase())?;
+        match mode {
+            FaultMode::Unreachable => Some(Err(())),
+            FaultMode::ServerError => Some(Ok(Response::status(
+                panoptes_http::StatusCode(500),
+            ))),
+            FaultMode::FlakyEvery(n) => {
+                let mut counters = self.fault_counters.lock();
+                let c = counters.entry(host.to_ascii_lowercase()).or_insert(0);
+                *c += 1;
+                if n != 0 && (*c).is_multiple_of(n) {
+                    Some(Err(()))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.latency = model;
+    }
+
+    /// Registers an A record in the zone.
+    pub fn register_host(&self, host: &str, addr: IpAddr) {
+        self.zone.write().insert(host, addr);
+    }
+
+    /// Registers the handler serving `addr`.
+    pub fn register_endpoint(&self, addr: IpAddr, handler: Arc<dyn HttpHandler>) {
+        self.endpoints.write().insert(addr, handler);
+    }
+
+    /// Registers a transparent proxy listening on local `port`, forging
+    /// certificates with `ca`.
+    pub fn register_proxy(&self, port: u16, handler: Arc<dyn HttpHandler>, ca: CertificateAuthority) {
+        self.proxies.write().insert(port, ProxyRegistration { handler, ca });
+    }
+
+    /// Mutates the filter table (installing/flushing Panoptes rules).
+    pub fn with_filter<R>(&self, f: impl FnOnce(&mut FilterTable) -> R) -> R {
+        f(&mut self.filter.write())
+    }
+
+    /// Resolves `host` through the device stub resolver, logging the
+    /// query for the §3.2 DNS analysis. (DoH users instead send a real
+    /// HTTPS request built with [`crate::dns::DohProvider::query_request`]
+    /// and then call [`Network::resolve_silent`].)
+    pub fn resolve_stub(&self, uid: u32, host: &str) -> Option<IpAddr> {
+        self.dns_log.lock().push(DnsLogEntry {
+            uid,
+            name: host.to_string(),
+            resolver: ResolverKind::LocalStub,
+        });
+        self.zone.read().lookup(host)
+    }
+
+    /// Zone lookup with no stub-query logging (used for transport-level
+    /// routing and after a DoH exchange).
+    pub fn resolve_silent(&self, host: &str) -> Option<IpAddr> {
+        self.zone.read().lookup(host)
+    }
+
+    /// Records that `uid` resolved `name` over DoH (the HTTPS flow itself
+    /// is sent separately by the caller).
+    pub fn log_doh_query(&self, uid: u32, name: &str, provider: crate::dns::DohProvider) {
+        self.dns_log.lock().push(DnsLogEntry {
+            uid,
+            name: name.to_string(),
+            resolver: ResolverKind::Doh(provider),
+        });
+    }
+
+    /// Snapshot of the DNS query log.
+    pub fn dns_log(&self) -> Vec<DnsLogEntry> {
+        self.dns_log.lock().clone()
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// The device's source address.
+    pub fn device_ip(&self) -> IpAddr {
+        self.device_ip
+    }
+
+    /// Sends an HTTP request from the app described by `client`. Returns
+    /// the response plus a byte/latency report, or the network-level
+    /// failure.
+    pub fn send_http(
+        &self,
+        client: &ClientCtx,
+        req: Request,
+    ) -> Result<(Response, TransportReport), NetError> {
+        let host = req.url.host().to_string();
+        let dst_ip = self
+            .resolve_silent(&host)
+            .ok_or_else(|| NetError::NoRoute(host.clone()))?;
+        let dst_port = req.url.port();
+        let proto = match req.version {
+            HttpVersion::H3 => Proto::Udp,
+            _ => Proto::Tcp,
+        };
+
+        let verdict = self.filter.read().evaluate(client.uid, proto, dst_port);
+        match verdict {
+            Verdict::Drop => {
+                self.stats.lock().dropped += 1;
+                Err(NetError::Dropped)
+            }
+            Verdict::Accept => self.deliver_direct(client, req, dst_ip, dst_port, &host),
+            Verdict::Redirect(port) => {
+                self.deliver_via_proxy(client, req, dst_ip, dst_port, &host, port)
+            }
+        }
+    }
+
+    fn make_ctx(
+        &self,
+        client: &ClientCtx,
+        dst_ip: IpAddr,
+        dst_port: u16,
+        host: &str,
+        version: HttpVersion,
+        intercepted: bool,
+    ) -> FlowContext {
+        FlowContext {
+            time: client.time,
+            uid: client.uid,
+            app_package: client.app_package.clone(),
+            src_ip: self.device_ip,
+            dst_ip,
+            dst_port,
+            sni: host.to_string(),
+            version,
+            intercepted,
+        }
+    }
+
+    fn deliver_direct(
+        &self,
+        client: &ClientCtx,
+        req: Request,
+        dst_ip: IpAddr,
+        dst_port: u16,
+        host: &str,
+    ) -> Result<(Response, TransportReport), NetError> {
+        if req.url.scheme() == Scheme::Https {
+            let cert = self.origin_cert_for(host);
+            let outcome = handshake(&client.trust, &client.pins, host, &cert, false);
+            if !outcome.is_ok() {
+                return Err(NetError::TlsFailed(outcome));
+            }
+        }
+        let handler = self
+            .endpoints
+            .read()
+            .get(&dst_ip)
+            .cloned()
+            .ok_or(NetError::ConnectionRefused(dst_ip))?;
+        let ctx = self.make_ctx(client, dst_ip, dst_port, host, req.version, false);
+        self.finish(handler, ctx, req, host)
+    }
+
+    fn deliver_via_proxy(
+        &self,
+        client: &ClientCtx,
+        req: Request,
+        dst_ip: IpAddr,
+        dst_port: u16,
+        host: &str,
+        proxy_port: u16,
+    ) -> Result<(Response, TransportReport), NetError> {
+        let (handler, forged) = {
+            let proxies = self.proxies.read();
+            let reg = proxies
+                .get(&proxy_port)
+                .ok_or(NetError::ConnectionRefused(self.device_ip))?;
+            (reg.handler.clone(), reg.ca.issue(host))
+        };
+        let ctx = self.make_ctx(client, dst_ip, dst_port, host, req.version, true);
+        if req.url.scheme() == Scheme::Https {
+            let outcome = handshake(&client.trust, &client.pins, host, &forged, true);
+            match outcome {
+                TlsOutcome::InterceptedOk => {}
+                TlsOutcome::PinnedRejected => {
+                    self.stats.lock().pinned_bypasses += 1;
+                    handler.on_tls_rejected(self, &ctx);
+                    return Err(NetError::PinnedBypass);
+                }
+                other => return Err(NetError::TlsFailed(other)),
+            }
+        }
+        self.finish(handler, ctx, req, host)
+    }
+
+    fn finish(
+        &self,
+        handler: Arc<dyn HttpHandler>,
+        ctx: FlowContext,
+        req: Request,
+        host: &str,
+    ) -> Result<(Response, TransportReport), NetError> {
+        let bytes_out = req.wire_size();
+        // Injected faults on the *destination* fire before its handler —
+        // but never on the proxy hop itself (ctx.intercepted): transparent
+        // proxying must surface the upstream fault, which origin_fetch
+        // evaluates.
+        if !ctx.intercepted {
+            match self.fault_for(host) {
+                Some(Err(())) => return Err(NetError::ConnectionRefused(ctx.dst_ip)),
+                Some(Ok(error_page)) => {
+                    let bytes_in = error_page.wire_size();
+                    let latency = self.latency.latency(host, bytes_out, bytes_in);
+                    let mut stats = self.stats.lock();
+                    stats.delivered += 1;
+                    stats.bytes_out += bytes_out;
+                    stats.bytes_in += bytes_in;
+                    drop(stats);
+                    return Ok((error_page, TransportReport { bytes_out, bytes_in, latency }));
+                }
+                None => {}
+            }
+        }
+        let response = handler.handle(self, &ctx, req)?;
+        let bytes_in = response.wire_size();
+        let latency = self.latency.latency(host, bytes_out, bytes_in);
+        let mut stats = self.stats.lock();
+        stats.delivered += 1;
+        stats.bytes_out += bytes_out;
+        stats.bytes_in += bytes_in;
+        drop(stats);
+        Ok((response, TransportReport { bytes_out, bytes_in, latency }))
+    }
+
+    /// Used by the MITM proxy to reach the upstream origin after
+    /// interception. No filter re-evaluation: the proxy's own traffic is
+    /// not subject to the app's rules.
+    pub fn origin_fetch(&self, ctx: &FlowContext, req: Request) -> Result<Response, NetError> {
+        let host = req.url.host().to_string();
+        let dst_ip = self
+            .resolve_silent(&host)
+            .ok_or_else(|| NetError::NoRoute(host.clone()))?;
+        match self.fault_for(&host) {
+            Some(Err(())) => return Err(NetError::ConnectionRefused(dst_ip)),
+            Some(Ok(error_page)) => return Ok(error_page),
+            None => {}
+        }
+        let handler = self
+            .endpoints
+            .read()
+            .get(&dst_ip)
+            .cloned()
+            .ok_or(NetError::ConnectionRefused(dst_ip))?;
+        let upstream_ctx = FlowContext {
+            intercepted: false,
+            dst_ip,
+            sni: host,
+            ..ctx.clone()
+        };
+        handler.handle(self, &upstream_ctx, req)
+    }
+
+    fn origin_cert_for(&self, host: &str) -> Certificate {
+        self.origin_ca.issue(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tls::CaId;
+    use panoptes_http::url::Url;
+
+    struct Echo;
+    impl HttpHandler for Echo {
+        fn handle(
+            &self,
+            _net: &Network,
+            ctx: &FlowContext,
+            req: Request,
+        ) -> Result<Response, NetError> {
+            Ok(Response::ok(format!(
+                "host={} intercepted={} path={}",
+                ctx.sni,
+                ctx.intercepted,
+                req.url.path()
+            )))
+        }
+    }
+
+    fn network() -> Network {
+        let net = Network::new(
+            CertificateAuthority::new(CaId::public_web_pki()),
+            IpAddr::new(192, 168, 1, 50),
+        );
+        net.register_host("example.com", IpAddr::new(198, 51, 100, 1));
+        net.register_endpoint(IpAddr::new(198, 51, 100, 1), Arc::new(Echo));
+        net
+    }
+
+    fn client(uid: u32) -> ClientCtx {
+        let mut trust = TrustStore::system();
+        trust.install(CaId::mitm());
+        ClientCtx {
+            uid,
+            app_package: "com.test.app".to_string(),
+            trust,
+            pins: PinPolicy::none(),
+            time: SimInstant::EPOCH,
+        }
+    }
+
+    #[test]
+    fn direct_delivery() {
+        let net = network();
+        let req = Request::get(Url::parse("https://example.com/page").unwrap());
+        let (resp, report) = net.send_http(&client(1), req).unwrap();
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("intercepted=false"));
+        assert!(body.contains("path=/page"));
+        assert!(report.bytes_out > 0 && report.bytes_in > 0);
+        assert!(report.latency >= SimDuration::from_millis(40));
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn unresolvable_host_is_no_route() {
+        let net = network();
+        let req = Request::get(Url::parse("https://nowhere.invalid/").unwrap());
+        assert_eq!(
+            net.send_http(&client(1), req).unwrap_err(),
+            NetError::NoRoute("nowhere.invalid".to_string())
+        );
+    }
+
+    #[test]
+    fn quic_block_and_fallback() {
+        let net = network();
+        net.with_filter(|f| f.install_panoptes_rules(7, 8080));
+        net.register_proxy(
+            8080,
+            Arc::new(Echo),
+            CertificateAuthority::new(CaId::mitm()),
+        );
+        let url = Url::parse("https://example.com/").unwrap();
+        let h3 = Request::get(url.clone()).with_version(HttpVersion::H3);
+        assert_eq!(net.send_http(&client(7), h3).unwrap_err(), NetError::Dropped);
+        assert_eq!(net.stats().dropped, 1);
+        // Fallback to h2 goes through the proxy.
+        let h2 = Request::get(url).with_version(HttpVersion::H2);
+        let (resp, _) = net.send_http(&client(7), h2).unwrap();
+        assert!(String::from_utf8(resp.body.to_vec()).unwrap().contains("intercepted=true"));
+    }
+
+    #[test]
+    fn redirect_only_applies_to_ruled_uid() {
+        let net = network();
+        net.with_filter(|f| f.install_panoptes_rules(7, 8080));
+        net.register_proxy(8080, Arc::new(Echo), CertificateAuthority::new(CaId::mitm()));
+        let url = Url::parse("https://example.com/").unwrap();
+        let (resp, _) = net.send_http(&client(9), Request::get(url)).unwrap();
+        assert!(String::from_utf8(resp.body.to_vec()).unwrap().contains("intercepted=false"));
+    }
+
+    #[test]
+    fn pinning_aborts_intercepted_flow() {
+        struct CountRejects(Mutex<u32>);
+        impl HttpHandler for CountRejects {
+            fn handle(
+                &self,
+                _net: &Network,
+                _ctx: &FlowContext,
+                _req: Request,
+            ) -> Result<Response, NetError> {
+                Ok(Response::ok(""))
+            }
+            fn on_tls_rejected(&self, _net: &Network, _ctx: &FlowContext) {
+                *self.0.lock() += 1;
+            }
+        }
+        let net = network();
+        net.with_filter(|f| f.install_panoptes_rules(7, 8080));
+        let counter = Arc::new(CountRejects(Mutex::new(0)));
+        net.register_proxy(8080, counter.clone(), CertificateAuthority::new(CaId::mitm()));
+        let mut c = client(7);
+        c.pins = PinPolicy::pin(&["example.com"]);
+        let req = Request::get(Url::parse("https://example.com/").unwrap());
+        assert_eq!(net.send_http(&c, req).unwrap_err(), NetError::PinnedBypass);
+        assert_eq!(*counter.0.lock(), 1);
+        assert_eq!(net.stats().pinned_bypasses, 1);
+    }
+
+    #[test]
+    fn client_without_mitm_ca_fails_interception() {
+        let net = network();
+        net.with_filter(|f| f.install_panoptes_rules(7, 8080));
+        net.register_proxy(8080, Arc::new(Echo), CertificateAuthority::new(CaId::mitm()));
+        let mut c = client(7);
+        c.trust = TrustStore::system(); // MITM CA not installed
+        let req = Request::get(Url::parse("https://example.com/").unwrap());
+        assert_eq!(
+            net.send_http(&c, req).unwrap_err(),
+            NetError::TlsFailed(TlsOutcome::Untrusted)
+        );
+    }
+
+    #[test]
+    fn stub_resolution_is_logged() {
+        let net = network();
+        assert_eq!(net.resolve_stub(42, "example.com"), Some(IpAddr::new(198, 51, 100, 1)));
+        net.log_doh_query(42, "other.com", crate::dns::DohProvider::Google);
+        let log = net.dns_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].resolver, ResolverKind::LocalStub);
+        assert!(log[1].resolver.is_doh());
+    }
+
+    #[test]
+    fn latency_model_is_deterministic_and_monotone() {
+        let model = LatencyModel::default();
+        let a = model.latency("example.com", 1000, 1000);
+        let b = model.latency("example.com", 1000, 1000);
+        assert_eq!(a, b);
+        let bigger = model.latency("example.com", 1000, 2_000_000);
+        assert!(bigger > a);
+    }
+
+    #[test]
+    fn http_plain_skips_tls() {
+        let net = network();
+        let req = Request::get(Url::parse("http://example.com/clear").unwrap());
+        let mut c = client(1);
+        c.trust = TrustStore::default(); // trusts nothing — irrelevant for http
+        let (resp, _) = net.send_http(&c, req).unwrap();
+        assert!(resp.status.is_success());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the simulator's core data structures.
+
+use proptest::prelude::*;
+
+use panoptes_simnet::clock::{SimDuration, SimInstant};
+use panoptes_simnet::filter::{FilterTable, MatchSpec, Proto, Target, Verdict};
+use panoptes_simnet::net::LatencyModel;
+use panoptes_simnet::tls::{handshake, CaId, CertificateAuthority, PinPolicy, TrustStore};
+use panoptes_simnet::EventQueue;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(
+        events in proptest::collection::vec((0u64..1000, any::<u32>()), 0..200),
+    ) {
+        let mut queue = EventQueue::new();
+        for (i, (t, payload)) in events.iter().enumerate() {
+            queue.push(SimInstant(*t), (*payload, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((at, item)) = queue.pop() {
+            popped.push((at, item));
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        // Time-sorted, and FIFO (insertion index increasing) within equal
+        // times.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1.1 < w[1].1.1);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_matches_reference_implementation(
+        rules in proptest::collection::vec(
+            (
+                proptest::option::of(0u32..5),
+                proptest::option::of(prop::bool::ANY),
+                proptest::option::of(prop::sample::select(vec![53u16, 80, 443, 8080])),
+                0u8..3,
+            ),
+            0..20,
+        ),
+        uid in 0u32..5,
+        is_udp in prop::bool::ANY,
+        dport in prop::sample::select(vec![53u16, 80, 443, 8080]),
+    ) {
+        let mut table = FilterTable::new();
+        for (r_uid, r_udp, r_port, target) in &rules {
+            let mut spec = MatchSpec::any();
+            spec.uid = *r_uid;
+            spec.proto = r_udp.map(|u| if u { Proto::Udp } else { Proto::Tcp });
+            spec.dport = *r_port;
+            let target = match target {
+                0 => Target::Accept,
+                1 => Target::Drop,
+                _ => Target::RedirectTo(9090),
+            };
+            table.append(spec, target);
+        }
+        let proto = if is_udp { Proto::Udp } else { Proto::Tcp };
+        let got = table.evaluate(uid, proto, dport);
+
+        // Reference: first matching rule wins, default accept.
+        let mut expected = Verdict::Accept;
+        for (r_uid, r_udp, r_port, target) in &rules {
+            let m_uid = r_uid.is_none() || *r_uid == Some(uid);
+            let m_proto = r_udp.is_none() || *r_udp == Some(is_udp);
+            let m_port = r_port.is_none() || *r_port == Some(dport);
+            if m_uid && m_proto && m_port {
+                expected = match target {
+                    0 => Verdict::Accept,
+                    1 => Verdict::Drop,
+                    _ => Verdict::Redirect(9090),
+                };
+                break;
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn latency_is_deterministic_and_nonnegative(
+        host in "[a-z]{1,12}\\.[a-z]{2,3}",
+        out in 0u64..1_000_000,
+        inn in 0u64..1_000_000,
+    ) {
+        let model = LatencyModel::default();
+        let a = model.latency(&host, out, inn);
+        let b = model.latency(&host, out, inn);
+        prop_assert_eq!(a, b);
+        prop_assert!(a >= model.base_rtt);
+    }
+
+    #[test]
+    fn clock_arithmetic_is_monotone(offsets in proptest::collection::vec(0u64..1_000_000, 0..50)) {
+        let mut t = SimInstant::EPOCH;
+        for o in offsets {
+            let next = t.plus(SimDuration(o));
+            prop_assert!(next >= t);
+            prop_assert_eq!(next.since(t), SimDuration(o));
+            t = next;
+        }
+    }
+
+    #[test]
+    fn handshake_never_succeeds_without_trust(
+        host in "[a-z]{1,10}\\.com",
+        intercepted in prop::bool::ANY,
+    ) {
+        // Empty trust store: nothing should ever complete.
+        let trust = TrustStore::default();
+        let ca = CertificateAuthority::new(if intercepted {
+            CaId::mitm()
+        } else {
+            CaId::public_web_pki()
+        });
+        let outcome = handshake(&trust, &PinPolicy::none(), &host, &ca.issue(&host), intercepted);
+        prop_assert!(!outcome.is_ok());
+    }
+
+    #[test]
+    fn pinned_domain_always_defeats_interception(host_label in "[a-z]{1,10}") {
+        let host = format!("{host_label}.vendor.com");
+        let mut trust = TrustStore::system();
+        trust.install(CaId::mitm());
+        let pins = PinPolicy::pin(&["vendor.com"]);
+        let mitm = CertificateAuthority::new(CaId::mitm());
+        let outcome = handshake(&trust, &pins, &host, &mitm.issue(&host), true);
+        prop_assert!(!outcome.is_ok());
+    }
+}

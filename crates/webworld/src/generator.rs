@@ -1,0 +1,295 @@
+//! The seeded site-population generator.
+//!
+//! Replaces the paper's crawl list — "the top 500 most popular websites
+//! based on the Tranco list" plus "500 websites associated with sensitive
+//! information based on the Curlie directory" (§3) — with a deterministic
+//! synthetic population of the same shape: a handful of globally
+//! recognizable head sites, a long tail of themed filler sites, and four
+//! sensitive categories (society / religion / sexuality / health) with
+//! topical landing paths so that *full-URL* leaks reveal strictly more
+//! than *hostname* leaks, the distinction §4 of the paper emphasizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::site::{
+    PageSpec, ResourceKind, ResourceSpec, SensitiveCategory, SiteCategory, SiteSpec,
+};
+use crate::thirdparty::{AD_NETWORKS, CDNS, TRACKERS};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Master seed; the same seed reproduces the identical web.
+    pub seed: u64,
+    /// Number of popularity-ranked sites (paper: 500).
+    pub popular: u32,
+    /// Number of sensitive-directory sites (paper: 500).
+    pub sensitive: u32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { seed: 0x50_41_4e_4f, popular: 500, sensitive: 500 }
+    }
+}
+
+/// Recognizable head-of-ranking domains (stand-ins for Tranco's top).
+const HEAD_SITES: &[&str] = &[
+    "youtube.com",
+    "wikipedia.org",
+    "reddit.com",
+    "amazon.com",
+    "netflix.com",
+    "twitch.tv",
+    "nytimes.com",
+    "bbc.co.uk",
+    "stackoverflow.com",
+    "github.com",
+    "imdb.com",
+    "spotify.com",
+    "ebay.com",
+    "cnn.com",
+    "weather.com",
+    "espn.com",
+    "booking.com",
+    "yelp.com",
+    "etsy.com",
+    "quora.com",
+];
+
+const THEMES: &[&str] =
+    &["news", "shop", "video", "sports", "games", "weather", "travel", "music", "tech", "food"];
+const TLDS: &[&str] = &["com", "net", "org", "io"];
+
+const SOCIETY_TOPICS: &[&str] =
+    &["war-crimes-tribunal", "conflict-refugees", "protest-rights", "conscription-debate"];
+const RELIGION_TOPICS: &[&str] =
+    &["conversion-stories", "interfaith-marriage", "leaving-the-faith", "scripture-study"];
+const SEXUALITY_TOPICS: &[&str] =
+    &["coming-out-support", "lgbtq-rights", "gender-identity", "relationship-advice"];
+const HEALTH_TOPICS: &[&str] =
+    &["depression-support", "hiv-treatment", "addiction-recovery", "anxiety-therapy"];
+
+/// Generates the crawl population: `popular` ranked sites followed by
+/// `sensitive` directory sites.
+pub fn generate(config: &GeneratorConfig) -> Vec<SiteSpec> {
+    let mut sites = Vec::with_capacity((config.popular + config.sensitive) as usize);
+    for rank in 1..=config.popular {
+        sites.push(popular_site(config.seed, rank));
+    }
+    for index in 1..=config.sensitive {
+        sites.push(sensitive_site(config.seed, index));
+    }
+    sites
+}
+
+fn site_rng(seed: u64, domain: &str) -> StdRng {
+    StdRng::seed_from_u64(seed ^ fnv1a(domain))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn popular_site(seed: u64, rank: u32) -> SiteSpec {
+    let domain = if (rank as usize) <= HEAD_SITES.len() {
+        HEAD_SITES[rank as usize - 1].to_string()
+    } else {
+        let theme = THEMES[(rank as usize) % THEMES.len()];
+        let tld = TLDS[(rank as usize / THEMES.len()) % TLDS.len()];
+        format!("{theme}{rank:03}.{tld}")
+    };
+    let host = format!("www.{domain}");
+    let mut rng = site_rng(seed, &domain);
+
+    // Head sites are heavier; the tail thins out (Zipf-flavoured).
+    let weight = 1.0 / (1.0 + (rank as f64).ln());
+    let n_static = 6 + (rng.gen_range(8..26) as f64 * (0.6 + weight)) as u32;
+    let n_ads = rng.gen_range(3..=10);
+    let n_trackers = rng.gen_range(1..=4);
+    let landing_path = "/".to_string();
+    let page = build_page(&mut rng, &domain, &host, n_static, n_ads, n_trackers, rank);
+
+    // Most real top sites answer on the apex with a redirect to www;
+    // every 9th site models that dance so the engine's redirect-following
+    // is exercised at scale.
+    let apex_redirect = rank.is_multiple_of(9);
+    SiteSpec { rank, domain, host, landing_path, category: SiteCategory::Popular, page, apex_redirect }
+}
+
+fn sensitive_site(seed: u64, index: u32) -> SiteSpec {
+    let category = SensitiveCategory::ALL[(index as usize - 1) % 4];
+    let (label, topics) = match category {
+        SensitiveCategory::Society => ("society-watch", SOCIETY_TOPICS),
+        SensitiveCategory::Religion => ("faith-community", RELIGION_TOPICS),
+        SensitiveCategory::Sexuality => ("identity-forum", SEXUALITY_TOPICS),
+        SensitiveCategory::Health => ("health-support", HEALTH_TOPICS),
+    };
+    let domain = format!("{label}{index:03}.org");
+    let host = format!("www.{domain}");
+    let mut rng = site_rng(seed, &domain);
+    let topic = topics[rng.gen_range(0..topics.len())];
+    let landing_path = format!("/{}/{}", category.as_str(), topic);
+
+    // Sensitive community sites are lighter and carry fewer ads.
+    let n_static = rng.gen_range(5..16);
+    let n_ads = rng.gen_range(0..=3);
+    let n_trackers = rng.gen_range(0..=2);
+    let page = build_page(&mut rng, &domain, &host, n_static, n_ads, n_trackers, 500 + index);
+
+    SiteSpec {
+        rank: index,
+        domain,
+        host,
+        landing_path,
+        category: SiteCategory::Sensitive(category),
+        page,
+        apex_redirect: false,
+    }
+}
+
+fn build_page(
+    rng: &mut StdRng,
+    domain: &str,
+    host: &str,
+    n_static: u32,
+    n_ads: u32,
+    n_trackers: u32,
+    rank: u32,
+) -> PageSpec {
+    let document_size = rng.gen_range(20_000..150_000);
+    let mut resources = Vec::new();
+
+    for i in 0..n_static {
+        let (kind, path, size) = match i % 4 {
+            0 => (ResourceKind::Script, format!("/assets/app{i}.js"), rng.gen_range(4_000..80_000)),
+            1 => (ResourceKind::Style, format!("/assets/style{i}.css"), rng.gen_range(1_000..30_000)),
+            2 => (ResourceKind::Image, format!("/img/media{i}.jpg"), rng.gen_range(5_000..120_000)),
+            _ => (ResourceKind::Xhr, format!("/api/feed?page={i}"), rng.gen_range(500..8_000)),
+        };
+        // Static assets split between the site host, its CDN subdomain
+        // and shared CDNs.
+        let res_host = match i % 5 {
+            0 | 1 => host.to_string(),
+            2 => format!("cdn.{domain}"),
+            3 => format!("static.{domain}"),
+            _ => CDNS[(i as usize) % CDNS.len()].to_string(),
+        };
+        resources.push(ResourceSpec { host: res_host, path, size, kind });
+    }
+
+    for i in 0..n_ads {
+        let network = AD_NETWORKS[rng.gen_range(0..AD_NETWORKS.len())];
+        resources.push(ResourceSpec {
+            host: network.to_string(),
+            path: format!("/bid?slot={i}&site={domain}"),
+            size: rng.gen_range(800..6_000),
+            kind: ResourceKind::Ad,
+        });
+    }
+
+    for i in 0..n_trackers {
+        let tracker = TRACKERS[rng.gen_range(0..TRACKERS.len())];
+        resources.push(ResourceSpec {
+            host: tracker.to_string(),
+            path: format!("/collect?v=1&cid={i}&dl=https%3A%2F%2F{host}%2F"),
+            size: rng.gen_range(35..600),
+            kind: ResourceKind::Tracker,
+        });
+    }
+
+    // A sprinkle of slow sites exercises the crawler's 60-second budget
+    // (§2.1): every 167th site never fires DOMContentLoaded in time.
+    let dom_content_loaded_ms =
+        if rank.is_multiple_of(167) { 70_000 } else { rng.gen_range(300..2_500) };
+
+    PageSpec { document_size, resources, dom_content_loaded_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_size_and_split() {
+        let sites = generate(&GeneratorConfig::default());
+        assert_eq!(sites.len(), 1000);
+        assert_eq!(sites.iter().filter(|s| !s.category.is_sensitive()).count(), 500);
+        assert_eq!(sites.iter().filter(|s| s.category.is_sensitive()).count(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GeneratorConfig::default());
+        let b = generate(&GeneratorConfig::default());
+        assert_eq!(a, b);
+        let c = generate(&GeneratorConfig { seed: 99, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn head_sites_are_recognizable() {
+        let sites = generate(&GeneratorConfig::default());
+        assert_eq!(sites[0].domain, "youtube.com");
+        assert_eq!(sites[0].host, "www.youtube.com");
+        assert_eq!(sites[0].rank, 1);
+    }
+
+    #[test]
+    fn domains_are_unique() {
+        let sites = generate(&GeneratorConfig::default());
+        let mut domains: Vec<&str> = sites.iter().map(|s| s.domain.as_str()).collect();
+        domains.sort_unstable();
+        let n = domains.len();
+        domains.dedup();
+        assert_eq!(domains.len(), n);
+    }
+
+    #[test]
+    fn sensitive_sites_have_topical_paths() {
+        let sites = generate(&GeneratorConfig::default());
+        let sensitive: Vec<&SiteSpec> =
+            sites.iter().filter(|s| s.category.is_sensitive()).collect();
+        for s in &sensitive {
+            assert!(s.landing_path.len() > 1, "{} lacks a topical path", s.domain);
+            assert!(s.landing_path.starts_with('/'));
+        }
+        // All four categories present in equal measure.
+        for cat in SensitiveCategory::ALL {
+            let count = sensitive
+                .iter()
+                .filter(|s| s.category == SiteCategory::Sensitive(cat))
+                .count();
+            assert_eq!(count, 125, "{cat:?}");
+        }
+    }
+
+    #[test]
+    fn pages_have_realistic_structure() {
+        let sites = generate(&GeneratorConfig::default());
+        for s in &sites {
+            assert!(s.page.request_count() >= 6, "{} too thin", s.domain);
+            assert!(s.page.total_bytes() > 20_000);
+        }
+        // Popular sites carry ads; a typical page has several.
+        let with_ads = sites
+            .iter()
+            .filter(|s| !s.category.is_sensitive())
+            .filter(|s| s.page.resources.iter().any(|r| r.kind == ResourceKind::Ad))
+            .count();
+        assert!(with_ads == 500, "all popular sites embed ads, got {with_ads}");
+    }
+
+    #[test]
+    fn some_sites_are_slow() {
+        let sites = generate(&GeneratorConfig::default());
+        let slow = sites.iter().filter(|s| s.page.dom_content_loaded_ms > 60_000).count();
+        assert!(slow >= 2, "expected slow sites for the timeout path, got {slow}");
+    }
+}

@@ -1,0 +1,214 @@
+//! The shared origin-server handler: one [`HttpHandler`] implementation
+//! serves every address in the simulated world (virtual hosting), with
+//! behaviour selected by hostname class — site content, CDN assets, ad
+//! exchanges, vendor endpoints, DoH resolvers.
+
+use std::collections::HashMap;
+
+use panoptes_http::json::{self, Value};
+use panoptes_http::{Request, Response, StatusCode};
+use panoptes_simnet::net::{FlowContext, HttpHandler, NetError, Network};
+
+use crate::site::SiteSpec;
+use crate::vendors::{endpoint, Purpose};
+
+/// Content index: `(host, path) → body size`, plus redirect entries,
+/// built from the site specs.
+#[derive(Debug, Default)]
+pub struct Directory {
+    resources: HashMap<(String, String), u32>,
+    redirects: HashMap<(String, String), String>,
+}
+
+impl Directory {
+    /// Builds the index from the generated site population.
+    pub fn from_sites(sites: &[SiteSpec]) -> Directory {
+        let mut resources = HashMap::new();
+        let mut redirects = HashMap::new();
+        for site in sites {
+            resources.insert(
+                (site.host.clone(), site.landing_path.clone()),
+                site.page.document_size,
+            );
+            if site.apex_redirect {
+                redirects.insert(
+                    (site.domain.clone(), site.landing_path.clone()),
+                    site.landing_url_string(),
+                );
+            }
+            for r in &site.page.resources {
+                resources.insert((r.host.clone(), r.path_without_query()), r.size);
+            }
+        }
+        Directory { resources, redirects }
+    }
+
+    /// The redirect target of `path` on `host`, if one is configured.
+    pub fn redirect_of(&self, host: &str, path: &str) -> Option<&str> {
+        self.redirects.get(&(host.to_string(), path.to_string())).map(String::as_str)
+    }
+
+    /// Looks up the size of `path` on `host` (query string ignored, as an
+    /// origin would route on the path).
+    pub fn size_of(&self, host: &str, path: &str) -> Option<u32> {
+        self.resources.get(&(host.to_string(), path.to_string())).copied()
+    }
+
+    /// Number of indexed resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+}
+
+impl crate::site::ResourceSpec {
+    /// The path component of the resource without its query string.
+    pub fn path_without_query(&self) -> String {
+        self.path.split('?').next().unwrap_or(&self.path).to_string()
+    }
+}
+
+/// The world's single origin handler.
+pub struct OriginServer {
+    directory: Directory,
+}
+
+impl OriginServer {
+    /// Builds the handler over a content index.
+    pub fn new(directory: Directory) -> OriginServer {
+        OriginServer { directory }
+    }
+
+    fn vendor_response(&self, purpose: Purpose, net: &Network, req: &Request) -> Response {
+        match purpose {
+            Purpose::Doh => {
+                // Resolve for real against the zone so the client can
+                // proceed — and the exchange is a genuine HTTPS flow.
+                let name = req.url.query_param("name").unwrap_or_default().to_string();
+                let answer = net
+                    .resolve_silent(&name)
+                    .map(|ip| ip.to_string())
+                    .unwrap_or_else(|| "0.0.0.0".to_string());
+                let body = json::to_string(&Value::object(vec![
+                    ("Status", Value::Number(0.0)),
+                    ("Question", Value::object(vec![("name", Value::str(name))])),
+                    ("Answer", Value::Array(vec![Value::object(vec![
+                        ("type", Value::Number(1.0)),
+                        ("data", Value::str(answer)),
+                    ])])),
+                ]));
+                Response::ok(body).with_header("content-type", "application/dns-json")
+            }
+            Purpose::History | Purpose::Telemetry => {
+                Response::status(StatusCode::NO_CONTENT)
+            }
+            Purpose::Update => Response::sized(2_048),
+            Purpose::Config => Response::ok(r#"{"features":{},"ttl":3600}"#)
+                .with_header("content-type", "application/json"),
+            Purpose::SiteCheck => Response::ok(r#"{"verdict":"clean"}"#)
+                .with_header("content-type", "application/json"),
+            Purpose::StartPage => Response::sized(15_000),
+            Purpose::AdSdk => Response::ok(
+                r#"{"bid":{"price":0.42,"creative":"..."},"ttl":300}"#,
+            )
+            .with_header("content-type", "application/json")
+            .with_header("set-cookie", "aduid=sim-cookie-1; Max-Age=31536000"),
+            Purpose::SocialGraph => Response::ok(r#"{"data":[],"paging":{}}"#)
+                .with_header("content-type", "application/json"),
+        }
+    }
+}
+
+impl HttpHandler for OriginServer {
+    fn handle(
+        &self,
+        net: &Network,
+        _ctx: &FlowContext,
+        req: Request,
+    ) -> Result<Response, NetError> {
+        let host = req.url.host();
+        let path = req.url.path();
+
+        // Vendor / third-party service endpoints.
+        if let Some(ep) = endpoint(host) {
+            return Ok(self.vendor_response(ep.purpose, net, &req));
+        }
+
+        // Apex → www redirects.
+        if let Some(location) = self.directory.redirect_of(host, path) {
+            return Ok(Response::status(StatusCode::MOVED_PERMANENTLY)
+                .with_header("location", location));
+        }
+
+        // Site / CDN content from the index.
+        if let Some(size) = self.directory.size_of(host, path) {
+            let mut resp = Response::sized(size as usize);
+            resp.headers.set("content-type", content_type_for(path));
+            // First-party session cookie on document loads.
+            if path == "/" || !path.contains('.') {
+                resp.headers.append("set-cookie", "session=sim; Path=/");
+            }
+            return Ok(resp);
+        }
+
+        // Ad exchanges and trackers accept any path (bid endpoints are
+        // dynamic); recognize them by registrable domain.
+        let reg = req.url.registrable_domain();
+        if crate::thirdparty::AD_NETWORKS.contains(&reg.as_str()) {
+            return Ok(self.vendor_response(Purpose::AdSdk, net, &req));
+        }
+        if crate::thirdparty::TRACKERS.contains(&reg.as_str()) {
+            return Ok(Response::status(StatusCode::NO_CONTENT));
+        }
+
+        Ok(Response::status(StatusCode::NOT_FOUND))
+    }
+}
+
+fn content_type_for(path: &str) -> &'static str {
+    if path.ends_with(".js") {
+        "application/javascript"
+    } else if path.ends_with(".css") {
+        "text/css"
+    } else if path.ends_with(".jpg") || path.ends_with(".png") {
+        "image/jpeg"
+    } else if path.starts_with("/api/") {
+        "application/json"
+    } else {
+        "text/html"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn directory_indexes_documents_and_resources() {
+        let sites = generate(&GeneratorConfig { popular: 5, sensitive: 4, ..Default::default() });
+        let dir = Directory::from_sites(&sites);
+        assert!(!dir.is_empty());
+        let site = &sites[0];
+        assert_eq!(
+            dir.size_of(&site.host, &site.landing_path),
+            Some(site.page.document_size)
+        );
+        let r = &site.page.resources[0];
+        assert_eq!(dir.size_of(&r.host, &r.path_without_query()), Some(r.size));
+        assert_eq!(dir.size_of("nowhere.example", "/"), None);
+    }
+
+    #[test]
+    fn content_types() {
+        assert_eq!(content_type_for("/a.js"), "application/javascript");
+        assert_eq!(content_type_for("/a.css"), "text/css");
+        assert_eq!(content_type_for("/img/a.jpg"), "image/jpeg");
+        assert_eq!(content_type_for("/api/feed"), "application/json");
+        assert_eq!(content_type_for("/"), "text/html");
+    }
+}

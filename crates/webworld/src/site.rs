@@ -1,0 +1,239 @@
+//! Site and page models.
+
+/// The sensitive Curlie categories the paper selected (§3: "websites
+/// associated with sensitive issues regarding Society (e.g., warfare and
+/// conflict), Religion, Sexuality and Health (e.g., mental health)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensitiveCategory {
+    /// Society: warfare, conflict, political activism.
+    Society,
+    /// Religion.
+    Religion,
+    /// Sexuality.
+    Sexuality,
+    /// Health, including mental health.
+    Health,
+}
+
+impl SensitiveCategory {
+    /// All four categories in a fixed order.
+    pub const ALL: [SensitiveCategory; 4] = [
+        SensitiveCategory::Society,
+        SensitiveCategory::Religion,
+        SensitiveCategory::Sexuality,
+        SensitiveCategory::Health,
+    ];
+
+    /// Label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SensitiveCategory::Society => "society",
+            SensitiveCategory::Religion => "religion",
+            SensitiveCategory::Sexuality => "sexuality",
+            SensitiveCategory::Health => "health",
+        }
+    }
+}
+
+/// Whether a site is from the popularity ranking or the sensitive set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteCategory {
+    /// From the Tranco-like top ranking.
+    Popular,
+    /// From the Curlie-like sensitive directory.
+    Sensitive(SensitiveCategory),
+}
+
+impl SiteCategory {
+    /// True for sensitive-directory sites.
+    pub fn is_sensitive(self) -> bool {
+        matches!(self, SiteCategory::Sensitive(_))
+    }
+}
+
+/// What kind of resource a page element is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The main HTML document.
+    Document,
+    /// First-party or CDN script.
+    Script,
+    /// Stylesheet.
+    Style,
+    /// Image/media.
+    Image,
+    /// XHR/fetch to an API.
+    Xhr,
+    /// A third-party advertising request (bid, creative).
+    Ad,
+    /// A third-party analytics/tracking beacon.
+    Tracker,
+}
+
+impl ResourceKind {
+    /// True for the third-party ad/tracking kinds an engine-side
+    /// ad-blocker goes after.
+    pub fn is_ad_related(self) -> bool {
+        matches!(self, ResourceKind::Ad | ResourceKind::Tracker)
+    }
+}
+
+/// One resource a page load fetches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSpec {
+    /// Host serving the resource.
+    pub host: String,
+    /// Path on that host.
+    pub path: String,
+    /// Response body size in bytes.
+    pub size: u32,
+    /// Resource kind.
+    pub kind: ResourceKind,
+}
+
+impl ResourceSpec {
+    /// Full https URL of the resource.
+    pub fn url_string(&self) -> String {
+        format!("https://{}{}", self.host, self.path)
+    }
+}
+
+/// The load plan of a site's landing page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageSpec {
+    /// Size of the main document in bytes.
+    pub document_size: u32,
+    /// Everything fetched after the document, in order.
+    pub resources: Vec<ResourceSpec>,
+    /// Virtual time until `DOMContentLoaded` fires, in milliseconds
+    /// (past which the crawler's 60-second budget would apply).
+    pub dom_content_loaded_ms: u32,
+}
+
+impl PageSpec {
+    /// Number of requests a full load issues (document + resources).
+    pub fn request_count(&self) -> usize {
+        1 + self.resources.len()
+    }
+
+    /// Total response bytes of a full load.
+    pub fn total_bytes(&self) -> u64 {
+        self.document_size as u64 + self.resources.iter().map(|r| r.size as u64).sum::<u64>()
+    }
+
+    /// Distinct hosts contacted by a full load (document host excluded —
+    /// pass it separately since `PageSpec` doesn't know its own domain).
+    pub fn third_party_hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self.resources.iter().map(|r| r.host.as_str()).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+}
+
+/// One website in the crawl population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSpec {
+    /// 1-based popularity rank (or position within the sensitive set).
+    pub rank: u32,
+    /// Registrable domain of the site.
+    pub domain: String,
+    /// Hostname of the landing page (usually `www.` + domain).
+    pub host: String,
+    /// Landing-page path; sensitive sites get topical paths so full-URL
+    /// leaks are distinguishable from hostname-only leaks.
+    pub landing_path: String,
+    /// Ranking bucket / sensitive category.
+    pub category: SiteCategory,
+    /// The page load plan.
+    pub page: PageSpec,
+    /// When true, the canonical entry point is the apex domain, which
+    /// answers `301` to the `www.` host — the redirect dance most real
+    /// top sites perform.
+    pub apex_redirect: bool,
+}
+
+impl SiteSpec {
+    /// The URL the crawler navigates to: the apex for redirecting sites,
+    /// the `www.` landing page otherwise.
+    pub fn url_string(&self) -> String {
+        if self.apex_redirect {
+            format!("https://{}{}", self.domain, self.landing_path)
+        } else {
+            format!("https://{}{}", self.host, self.landing_path)
+        }
+    }
+
+    /// The post-redirect landing URL (`www.` host).
+    pub fn landing_url_string(&self) -> String {
+        format!("https://{}{}", self.host, self.landing_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PageSpec {
+        PageSpec {
+            document_size: 50_000,
+            resources: vec![
+                ResourceSpec {
+                    host: "cdn.a.com".into(),
+                    path: "/app.js".into(),
+                    size: 10_000,
+                    kind: ResourceKind::Script,
+                },
+                ResourceSpec {
+                    host: "doubleclick.net".into(),
+                    path: "/bid".into(),
+                    size: 2_000,
+                    kind: ResourceKind::Ad,
+                },
+                ResourceSpec {
+                    host: "cdn.a.com".into(),
+                    path: "/logo.png".into(),
+                    size: 4_000,
+                    kind: ResourceKind::Image,
+                },
+            ],
+            dom_content_loaded_ms: 900,
+        }
+    }
+
+    #[test]
+    fn page_accounting() {
+        let p = page();
+        assert_eq!(p.request_count(), 4);
+        assert_eq!(p.total_bytes(), 66_000);
+        assert_eq!(p.third_party_hosts(), vec!["cdn.a.com", "doubleclick.net"]);
+    }
+
+    #[test]
+    fn kinds_classify() {
+        assert!(ResourceKind::Ad.is_ad_related());
+        assert!(ResourceKind::Tracker.is_ad_related());
+        assert!(!ResourceKind::Script.is_ad_related());
+        assert!(SiteCategory::Sensitive(SensitiveCategory::Health).is_sensitive());
+        assert!(!SiteCategory::Popular.is_sensitive());
+    }
+
+    #[test]
+    fn urls_render() {
+        let r = &page().resources[1];
+        assert_eq!(r.url_string(), "https://doubleclick.net/bid");
+        let site = SiteSpec {
+            rank: 3,
+            domain: "example.org".into(),
+            host: "www.example.org".into(),
+            landing_path: "/".into(),
+            category: SiteCategory::Popular,
+            page: page(),
+            apex_redirect: false,
+        };
+        assert_eq!(site.url_string(), "https://www.example.org/");
+        let redirecting = SiteSpec { apex_redirect: true, ..site };
+        assert_eq!(redirecting.url_string(), "https://example.org/");
+        assert_eq!(redirecting.landing_url_string(), "https://www.example.org/");
+    }
+}

@@ -1,0 +1,128 @@
+//! Population statistics over a generated world — the sanity numbers a
+//! measurement paper reports about its crawl list (and which the
+//! reproduction's engine-side request volumes derive from).
+
+use crate::site::{SensitiveCategory, SiteCategory, SiteSpec};
+
+/// Aggregate statistics of a site population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldStats {
+    /// Number of popularity-ranked sites.
+    pub popular_sites: usize,
+    /// Number of sensitive-directory sites.
+    pub sensitive_sites: usize,
+    /// Sites per sensitive category, in [`SensitiveCategory::ALL`] order.
+    pub per_category: [usize; 4],
+    /// Mean requests per page load (document + subresources).
+    pub mean_requests_per_page: f64,
+    /// Mean page weight in bytes (sum of response sizes).
+    pub mean_page_bytes: f64,
+    /// Mean third-party ad/tracker requests per *popular* page.
+    pub mean_ads_per_popular_page: f64,
+    /// Sites whose `DOMContentLoaded` exceeds the 60 s crawl budget.
+    pub slow_sites: usize,
+    /// Sites entered through an apex→www redirect.
+    pub redirecting_sites: usize,
+}
+
+/// Computes statistics over a site population.
+pub fn world_stats(sites: &[SiteSpec]) -> WorldStats {
+    let popular: Vec<&SiteSpec> =
+        sites.iter().filter(|s| !s.category.is_sensitive()).collect();
+    let sensitive: Vec<&SiteSpec> =
+        sites.iter().filter(|s| s.category.is_sensitive()).collect();
+
+    let mut per_category = [0usize; 4];
+    for s in &sensitive {
+        if let SiteCategory::Sensitive(cat) = s.category {
+            let idx = SensitiveCategory::ALL.iter().position(|c| *c == cat).unwrap();
+            per_category[idx] += 1;
+        }
+    }
+
+    let n = sites.len().max(1) as f64;
+    let mean_requests =
+        sites.iter().map(|s| s.page.request_count() as f64).sum::<f64>() / n;
+    let mean_bytes = sites.iter().map(|s| s.page.total_bytes() as f64).sum::<f64>() / n;
+    let mean_ads = if popular.is_empty() {
+        0.0
+    } else {
+        popular
+            .iter()
+            .map(|s| {
+                s.page
+                    .resources
+                    .iter()
+                    .filter(|r| r.kind.is_ad_related())
+                    .count() as f64
+            })
+            .sum::<f64>()
+            / popular.len() as f64
+    };
+
+    WorldStats {
+        popular_sites: popular.len(),
+        sensitive_sites: sensitive.len(),
+        per_category,
+        mean_requests_per_page: mean_requests,
+        mean_page_bytes: mean_bytes,
+        mean_ads_per_popular_page: mean_ads,
+        slow_sites: sites.iter().filter(|s| s.page.dom_content_loaded_ms > 60_000).count(),
+        redirecting_sites: sites.iter().filter(|s| s.apex_redirect).count(),
+    }
+}
+
+impl WorldStats {
+    /// Ad kinds dominate the engine/native calibration; this is the
+    /// expected engine request count for a full crawl of the population.
+    pub fn expected_engine_requests(&self, total_sites: usize) -> f64 {
+        self.mean_requests_per_page * total_sites as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn paper_scale_population_shape() {
+        let sites = generate(&GeneratorConfig::default());
+        let stats = world_stats(&sites);
+        assert_eq!(stats.popular_sites, 500);
+        assert_eq!(stats.sensitive_sites, 500);
+        assert_eq!(stats.per_category, [125, 125, 125, 125]);
+        // The calibration in DESIGN.md assumes ~20 requests/page average.
+        assert!(
+            (15.0..=30.0).contains(&stats.mean_requests_per_page),
+            "{}",
+            stats.mean_requests_per_page
+        );
+        assert!(stats.mean_page_bytes > 100_000.0);
+        // Popular pages carry several ad/tracker embeds.
+        assert!(
+            (4.0..=14.0).contains(&stats.mean_ads_per_popular_page),
+            "{}",
+            stats.mean_ads_per_popular_page
+        );
+        assert!(stats.slow_sites >= 2);
+        // Every 9th popular site redirects.
+        assert_eq!(stats.redirecting_sites, 500 / 9);
+    }
+
+    #[test]
+    fn expected_engine_requests_scales() {
+        let sites = generate(&GeneratorConfig { popular: 10, sensitive: 10, ..Default::default() });
+        let stats = world_stats(&sites);
+        let expected = stats.expected_engine_requests(20);
+        assert!(expected > 100.0);
+    }
+
+    #[test]
+    fn empty_population_is_all_zero() {
+        let stats = world_stats(&[]);
+        assert_eq!(stats.popular_sites, 0);
+        assert_eq!(stats.mean_requests_per_page, 0.0);
+        assert_eq!(stats.redirecting_sites, 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The third-party infrastructure the simulated web embeds: ad
+//! exchanges, analytics beacons and shared CDNs.
+//!
+//! Every domain here is hosted in the `panoptes-geo` address plan and is
+//! present in the bundled Steven Black excerpt (ads/trackers) or absent
+//! from it (CDNs), so the Figure 3 classification has exactly the same
+//! shape as against the real lists.
+
+/// An ad exchange / SSP a page may call for bids.
+pub const AD_NETWORKS: &[&str] = &[
+    "doubleclick.net",
+    "googlesyndication.com",
+    "adnxs.com",
+    "rubiconproject.com",
+    "pubmatic.com",
+    "openx.net",
+    "criteo.com",
+    "bidswitch.net",
+    "amazon-adsystem.com",
+    "taboola.com",
+    "outbrain.com",
+    "smartadserver.com",
+    "indexexchange.com",
+    "sovrn.com",
+    "triplelift.com",
+];
+
+/// Analytics / audience-measurement beacons.
+pub const TRACKERS: &[&str] = &[
+    "google-analytics.com",
+    "googletagmanager.com",
+    "scorecardresearch.com",
+    "quantserve.com",
+    "demdex.net",
+    "facebook.net",
+];
+
+/// Shared content-delivery networks (not ad-related; they must *not*
+/// count toward Figure 3's ad percentage).
+pub const CDNS: &[&str] = &[
+    "cdn.jsdelivr.example",
+    "static.cloudfront.example",
+    "assets.fastly.example",
+    "fonts.gstatic.example",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_are_disjoint() {
+        for ad in AD_NETWORKS {
+            assert!(!TRACKERS.contains(ad) && !CDNS.contains(ad));
+        }
+        for t in TRACKERS {
+            assert!(!CDNS.contains(t));
+        }
+    }
+
+    #[test]
+    fn counts() {
+        assert!(AD_NETWORKS.len() >= 10);
+        assert!(TRACKERS.len() >= 5);
+        assert!(CDNS.len() >= 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! World assembly: generate the site population, allocate every host an
+//! address from its country's block, and install hosts + servers on a
+//! [`Network`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use panoptes_http::netaddr::{Cidr, IpAddr};
+use panoptes_simnet::Network;
+
+use crate::generator::{generate, GeneratorConfig};
+use crate::origin::{Directory, OriginServer};
+use crate::site::SiteSpec;
+use crate::thirdparty::{AD_NETWORKS, CDNS, TRACKERS};
+use crate::vendors::all_endpoints;
+
+/// Countries generic web content is hosted in (the crawl runs from an
+/// EU vantage point; most of the web it reaches is EU/US-hosted).
+const SITE_HOSTING: &[&str] = &["US", "DE", "NL", "IE", "GR"];
+
+/// The assembled simulated Web.
+pub struct World {
+    /// The crawl population in rank order (popular then sensitive).
+    pub sites: Vec<SiteSpec>,
+    origin: Arc<OriginServer>,
+    host_ips: BTreeMap<String, IpAddr>,
+}
+
+impl World {
+    /// Builds the world for the given generator configuration.
+    pub fn build(config: &GeneratorConfig) -> World {
+        let sites = generate(config);
+        let directory = Directory::from_sites(&sites);
+        let origin = Arc::new(OriginServer::new(directory));
+
+        let mut allocator = Allocator::new();
+        let mut host_ips = BTreeMap::new();
+
+        // Vendor endpoints pin their country (that is the §3.4 finding).
+        for ep in all_endpoints() {
+            host_ips.insert(ep.host.to_string(), allocator.allocate(ep.country));
+        }
+        // Ad networks / trackers / shared CDNs are US-hosted.
+        for host in AD_NETWORKS.iter().chain(TRACKERS).chain(CDNS) {
+            host_ips.entry(host.to_string()).or_insert_with(|| allocator.allocate("US"));
+        }
+        // Site hosts hash across the generic hosting countries.
+        for site in &sites {
+            let country = SITE_HOSTING[(fnv1a(&site.domain) % SITE_HOSTING.len() as u64) as usize];
+            for host in site_hosts(site) {
+                host_ips.entry(host).or_insert_with(|| allocator.allocate(country));
+            }
+        }
+
+        World { sites, origin, host_ips }
+    }
+
+    /// Registers every host and server endpoint on `net`.
+    pub fn install(&self, net: &Network) {
+        for (host, ip) in &self.host_ips {
+            net.register_host(host, *ip);
+            net.register_endpoint(*ip, self.origin.clone());
+        }
+    }
+
+    /// Address of `host`, if it exists in this world.
+    pub fn ip_of(&self, host: &str) -> Option<IpAddr> {
+        self.host_ips.get(host).copied()
+    }
+
+    /// Number of distinct hosts in the world.
+    pub fn host_count(&self) -> usize {
+        self.host_ips.len()
+    }
+
+    /// The site serving `domain`, if any.
+    pub fn site_by_domain(&self, domain: &str) -> Option<&SiteSpec> {
+        self.sites.iter().find(|s| s.domain == domain)
+    }
+
+    /// Iterates `(host, ip)` pairs.
+    pub fn hosts(&self) -> impl Iterator<Item = (&str, IpAddr)> {
+        self.host_ips.iter().map(|(h, ip)| (h.as_str(), *ip))
+    }
+}
+
+/// Every hostname a site's page load can touch that belongs to the site
+/// itself.
+fn site_hosts(site: &SiteSpec) -> Vec<String> {
+    let mut hosts = vec![site.host.clone()];
+    if site.apex_redirect {
+        hosts.push(site.domain.clone());
+    }
+    for r in &site.page.resources {
+        if r.host.ends_with(&site.domain) {
+            hosts.push(r.host.clone());
+        }
+    }
+    hosts.sort_unstable();
+    hosts.dedup();
+    hosts
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Allocates sequential host addresses within each country's plan block.
+struct Allocator {
+    counters: HashMap<&'static str, u32>,
+    blocks: HashMap<&'static str, Cidr>,
+}
+
+impl Allocator {
+    fn new() -> Allocator {
+        let mut blocks = HashMap::new();
+        for (block, country) in panoptes_geo::db::ADDRESS_PLAN {
+            // First plan block per country wins (one hosting range each).
+            blocks.entry(*country).or_insert_with(|| Cidr::parse(block).expect("plan"));
+        }
+        Allocator { counters: HashMap::new(), blocks }
+    }
+
+    fn allocate(&mut self, country: &'static str) -> IpAddr {
+        let block = *self
+            .blocks
+            .get(country)
+            .unwrap_or_else(|| panic!("no plan block for {country}"));
+        let counter = self.counters.entry(country).or_insert(10);
+        *counter += 1;
+        block.host(*counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_geo::{Country, GeoDb};
+
+    fn small_world() -> World {
+        World::build(&GeneratorConfig { popular: 10, sensitive: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn vendor_hosts_land_in_their_country() {
+        let world = small_world();
+        let geo = GeoDb::standard();
+        let cases = [
+            ("sba.yandex.net", "RU"),
+            ("wup.browser.qq.com", "CN"),
+            ("collect.ucweb.com", "CA"),
+            ("sitecheck2.opera.com", "NO"),
+            ("app.adjust.com", "DE"),
+            ("graph.facebook.com", "US"),
+        ];
+        for (host, country) in cases {
+            let ip = world.ip_of(host).unwrap_or_else(|| panic!("{host} missing"));
+            assert_eq!(geo.country_of(ip), Some(Country::new(country)), "{host}");
+        }
+    }
+
+    #[test]
+    fn site_hosts_resolve_and_are_distinct() {
+        let world = small_world();
+        let site = &world.sites[0];
+        let ip = world.ip_of(&site.host).expect("landing host allocated");
+        let geo = GeoDb::standard();
+        assert!(geo.country_of(ip).is_some());
+        // Distinct hosts get distinct addresses.
+        let mut ips: Vec<IpAddr> = world.hosts().map(|(_, ip)| ip).collect();
+        let n = ips.len();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), n, "address collision");
+    }
+
+    #[test]
+    fn install_registers_everything() {
+        use panoptes_simnet::tls::{CaId, CertificateAuthority};
+        let world = small_world();
+        let net = Network::new(
+            CertificateAuthority::new(CaId::public_web_pki()),
+            IpAddr::new(192, 168, 1, 50),
+        );
+        world.install(&net);
+        for (host, ip) in world.hosts() {
+            assert_eq!(net.resolve_silent(host), Some(ip));
+        }
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.sites, b.sites);
+        let a_ips: Vec<_> = a.hosts().collect();
+        let b_ips: Vec<_> = b.hosts().collect();
+        assert_eq!(a_ips, b_ips);
+    }
+
+    #[test]
+    fn cdn_subdomains_belong_to_site() {
+        let world = small_world();
+        for site in &world.sites {
+            for r in &site.page.resources {
+                if r.host.ends_with(&site.domain) {
+                    assert!(world.ip_of(&r.host).is_some(), "{} unallocated", r.host);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Longitudinal auditing: compare two releases of the same browser and
+//! catch a privacy regression. Release 1.0 is clean; release 2.0 "adds
+//! search suggestions" that quietly report every visited domain. The
+//! comparison module flags the regression automatically.
+//!
+//! ```text
+//! cargo run --release --example longitudinal
+//! ```
+
+use panoptes_suite::analysis::compare::compare_campaigns;
+use panoptes_suite::analysis::history::LeakGranularity;
+use panoptes_suite::browsers::registry::profile_by_name;
+use panoptes_suite::browsers::{BrowserProfile, NativeCall, Payload};
+use panoptes_suite::http::method::Method;
+use panoptes_suite::panoptes::campaign::run_crawl;
+use panoptes_suite::panoptes::config::CampaignConfig;
+use panoptes_suite::web::generator::GeneratorConfig;
+use panoptes_suite::web::World;
+
+/// Release 2.0's new per-visit calls: the old catalogue plus the
+/// "suggestions" endpoint that receives the visited domain.
+const V2_PER_VISIT: &[NativeCall] = &[
+    NativeCall::ping("improving.duckduckgo.com", "/t/page_visit_anon"),
+    NativeCall {
+        host: "staticcdn.duckduckgo.com",
+        path: "/suggest",
+        method: Method::Get,
+        payload: Payload::DomainOnly { param: "q" },
+        body_pad: 0,
+        count: 1,
+        respects_incognito: false,
+    },
+];
+
+fn main() {
+    let world = World::build(&GeneratorConfig { popular: 20, sensitive: 10, ..Default::default() });
+    let config = CampaignConfig::default();
+
+    // Release 1.0: the shipped (clean) DuckDuckGo model.
+    let v1 = profile_by_name("DuckDuckGo").unwrap();
+    // Release 2.0: same app, one new feature with a privacy bug.
+    let v2 = BrowserProfile { version: "5.159.0", per_visit: V2_PER_VISIT, ..v1.clone() };
+
+    println!("crawling {} {} ...", v1.name, v1.version);
+    let run_v1 = run_crawl(&world, &v1, &world.sites, &config);
+    println!("crawling {} {} ...", v2.name, v2.version);
+    let run_v2 = run_crawl(&world, &v2, &world.sites, &config);
+
+    let delta = compare_campaigns(&run_v1, &run_v2);
+    println!("\n== release comparison ==");
+    println!("browser        : {}", delta.browser);
+    println!(
+        "leak class     : {:?} -> {:?}",
+        delta.leak_a.map(LeakGranularity::as_str),
+        delta.leak_b.map(LeakGranularity::as_str)
+    );
+    println!("native ratio   : {:.3} -> {:.3}", delta.ratio_a, delta.ratio_b);
+    println!("native requests: {:+}", delta.native_delta);
+
+    assert!(delta.regressed(), "the audit must flag the new domain reporting");
+    println!(
+        "\nVERDICT: {} {} introduces a browsing-history leak ({} -> {}); block the release.",
+        v2.name,
+        v2.version,
+        delta.leak_a.map(LeakGranularity::as_str).unwrap_or("none"),
+        delta.leak_b.map(LeakGranularity::as_str).unwrap_or("none"),
+    );
+}

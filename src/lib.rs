@@ -1,0 +1,18 @@
+//! Umbrella crate for the Panoptes suite.
+//!
+//! Re-exports every workspace crate under one roof so the root-level
+//! `examples/` and `tests/` can exercise the whole system through a single
+//! dependency. Library users should depend on the individual crates.
+
+pub use panoptes;
+pub use panoptes_analysis as analysis;
+pub use panoptes_blocklist as blocklist;
+pub use panoptes_browsers as browsers;
+pub use panoptes_device as device;
+pub use panoptes_geo as geo;
+pub use panoptes_guard as guard;
+pub use panoptes_http as http;
+pub use panoptes_instrument as instrument;
+pub use panoptes_mitm as mitm;
+pub use panoptes_simnet as simnet;
+pub use panoptes_web as web;
