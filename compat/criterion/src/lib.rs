@@ -1,0 +1,237 @@
+//! Offline shim for `criterion` 0.5.
+//!
+//! Implements the calling convention the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `bench_function`,
+//! `benchmark_group` with `sample_size` / `throughput` / `finish`,
+//! `Bencher::{iter, iter_batched}`, `black_box` — and reports
+//! min/mean/max wall-clock per target to stdout. No statistics, no
+//! HTML reports: the point is that `cargo bench` runs offline and
+//! emits comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declared workload per iteration, echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures for one benchmark target.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` input per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!("  {:.1} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<50} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  ({} samples){rate}",
+        samples.len()
+    );
+}
+
+/// The harness: collects targets and runs them with a shared config.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the sample count for subsequent targets.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark target.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher { samples: &mut samples, sample_size: self.sample_size });
+        report(name, &samples, None);
+        self
+    }
+
+    /// Opens a named group of related targets.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Hook for `criterion_main!`'s teardown; prints nothing extra.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related targets sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent targets in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration workload, echoed as a rate in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one target inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher { samples: &mut samples, sample_size: self.sample_size });
+        report(&format!("{}/{}", self.name, name), &samples, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, with criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g.
+            // `--bench`); a listing request must not run the benches.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sampled() {
+        let mut n = 0u32;
+        Criterion::default().sample_size(5).bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                n += 1;
+                n
+            })
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_group");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        let mut calls = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u32, |x| {
+                calls += 1;
+                x * 2
+            }, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline shim for `crossbeam` 0.8: the `thread::scope` API, backed by
+//! `std::thread::scope` (stable since 1.63).
+//!
+//! Semantics mirrored from crossbeam:
+//!
+//! * `scope(f)` returns `Err` (instead of propagating the panic) when
+//!   the closure or an **unjoined** child thread panics;
+//! * `ScopedJoinHandle::join` returns the child's panic payload as
+//!   `Err`, so a caller that joins every handle observes panics
+//!   per-thread — the property the fleet executor's panic isolation
+//!   builds on.
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of a scope or a join: `Err` carries a panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; a panic becomes `Err`.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope in which threads borrowing from the caller's stack can be
+    /// spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; every thread spawned in the scope
+    /// is joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u32, 2, 3];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn joined_panic_is_isolated() {
+        let out = thread::scope(|s| {
+            let bad = s.spawn(|_| -> u32 { panic!("boom") });
+            let good = s.spawn(|_| 7u32);
+            (bad.join().is_err(), good.join().unwrap())
+        })
+        .unwrap();
+        assert_eq!(out, (true, 7));
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn unjoined_panic_turns_into_err() {
+        let res = thread::scope(|s| {
+            s.spawn(|_| panic!("stray"));
+        });
+        assert!(res.is_err());
+    }
+}

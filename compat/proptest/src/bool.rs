@@ -1,0 +1,18 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Fair coin.
+pub const ANY: BoolAny = BoolAny;

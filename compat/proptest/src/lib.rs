@@ -1,0 +1,111 @@
+//! Offline shim for `proptest` 1.x.
+//!
+//! Implements the subset the workspace's property tests use, with the
+//! same spelling: the [`proptest!`] macro, `prop_assert*`,
+//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, `any::<T>()`, integer-range strategies,
+//! regex-subset string strategies (`"[a-z]{1,8}\\.com"`, `"\\PC{0,64}"`),
+//! and the `collection` / `option` / `sample` / `bool` modules.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a **deterministic** per-test seed, so runs
+//!   are reproducible without a persistence file;
+//! * no shrinking — a failing case reports its case index and seed
+//!   instead;
+//! * the case count is fixed (default 64, `PROPTEST_CASES` overrides,
+//!   `ProptestConfig::with_cases` per test).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Short-name re-exports (`prop::bool::ANY`, `prop::sample::select`).
+        pub use crate::{bool, collection, option, sample};
+    }
+}
+
+/// Runs each `#[test]` body against `cases` generated inputs.
+///
+/// Supported grammar (a strict subset of upstream's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]   // optional
+///     #[test]
+///     fn my_property(x in 0u32..100, s in "[a-z]{1,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )+) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// `assert!` under proptest's name (no shrinking, so plain asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

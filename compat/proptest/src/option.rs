@@ -1,0 +1,38 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Upstream defaults to P(None) = 1/4 too.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// `None` a quarter of the time, `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_none_and_some() {
+        let mut rng = TestRng::from_seed(13);
+        let s = of(0u32..10);
+        let vals: Vec<Option<u32>> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}

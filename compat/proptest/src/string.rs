@@ -1,0 +1,235 @@
+//! Regex-subset string generation.
+//!
+//! Supported grammar (covers every pattern the workspace's tests use):
+//!
+//! * literal characters, and `\x` escapes (`\.` → `.`);
+//! * `\PC` — any printable (non-control) character, mostly ASCII with a
+//!   sprinkling of non-ASCII to exercise Unicode handling;
+//! * `.` — same as `\PC`;
+//! * character classes `[a-z0-9.-]` (ranges + literals; `-` is literal
+//!   when first or last);
+//! * groups of literal alternatives `(com|org|net)`;
+//! * repetition suffixes `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded
+//!   forms cap at 8).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Lit(char),
+    AnyPrintable,
+    Class(Vec<char>),
+    Alt(Vec<String>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Printable pool sampled by `\PC` / `.`: heavy on ASCII, with enough
+/// non-ASCII and JSON-hostile characters to exercise escaping paths.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', 'π', '中', '文', '«', '»', '€', '☃'];
+
+fn sample_printable(rng: &mut TestRng) -> char {
+    if rng.below(10) == 0 {
+        EXOTIC[rng.below(EXOTIC.len())]
+    } else {
+        char::from(b' ' + rng.below(95) as u8) // 0x20..=0x7E
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        assert_eq!(chars.get(i + 1), Some(&'C'), "only \\PC is supported");
+                        i += 2;
+                        Atom::AnyPrintable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Lit(c)
+                    }
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while chars[i] != ']' {
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        members.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1;
+                assert!(!members.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(members)
+            }
+            '(' => {
+                i += 1;
+                let mut alts = vec![String::new()];
+                while chars[i] != ')' {
+                    if chars[i] == '|' {
+                        alts.push(String::new());
+                    } else if chars[i] == '\\' {
+                        i += 1;
+                        alts.last_mut().expect("non-empty").push(chars[i]);
+                    } else {
+                        alts.last_mut().expect("non-empty").push(chars[i]);
+                    }
+                    i += 1;
+                }
+                i += 1;
+                Atom::Alt(alts)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                i += 1;
+                let mut min = 0u32;
+                while chars[i].is_ascii_digit() {
+                    min = min * 10 + chars[i].to_digit(10).expect("digit");
+                    i += 1;
+                }
+                let max = if chars[i] == ',' {
+                    i += 1;
+                    let mut max = 0u32;
+                    while chars[i].is_ascii_digit() {
+                        max = max * 10 + chars[i].to_digit(10).expect("digit");
+                        i += 1;
+                    }
+                    max
+                } else {
+                    min
+                };
+                assert_eq!(chars[i], '}', "unterminated repetition in {pattern:?}");
+                i += 1;
+                (min, max)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let reps = piece.min + rng.below((piece.max - piece.min + 1) as usize) as u32;
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::AnyPrintable => out.push(sample_printable(rng)),
+                Atom::Class(members) => out.push(members[rng.below(members.len())]),
+                Atom::Alt(alts) => out.push_str(&alts[rng.below(alts.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9.-]{1,30}", &mut r);
+            assert!((1..=30).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '.'
+                || c == '-'));
+        }
+    }
+
+    #[test]
+    fn domain_shaped_pattern() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z]{1,8}\\.(com|org|net)", &mut r);
+            let (label, tld) = s.split_once('.').expect("dot");
+            assert!((1..=8).contains(&label.len()));
+            assert!(matches!(tld, "com" | "org" | "net"));
+        }
+    }
+
+    #[test]
+    fn printable_any_never_emits_controls() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("\\PC{0,100}", &mut r);
+            assert!(s.len() <= 400); // chars ≤ 100, bytes ≤ 4× that
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_optional() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(generate_from_pattern("[a-f]{4}", &mut r).len(), 4);
+            let opt = generate_from_pattern("x?", &mut r);
+            assert!(opt.is_empty() || opt == "x");
+        }
+    }
+
+    #[test]
+    fn leading_dash_is_literal() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[-a-c]{8}", &mut r);
+            assert!(s.chars().all(|c| matches!(c, '-' | 'a'..='c')), "{s:?}");
+        }
+    }
+}

@@ -1,14 +1,26 @@
 //! Full-study orchestration: all 15 browsers over the same site list.
+//!
+//! Two paths produce identical output:
+//!
+//! * the legacy sequential loop ([`run_full_crawl`] / [`run_full_idle`]),
+//! * the parallel fleet ([`run_full_crawl_jobs`] / [`run_full_idle_jobs`]
+//!   / [`run_full_study_jobs`]), which executes campaign units across a
+//!   bounded worker pool and re-orders results into profile order.
+//!
+//! Per-campaign [`Testbed`](panoptes::Testbed) isolation makes the two
+//! paths observationally equivalent; `tests/fleet_determinism.rs`
+//! asserts byte-identical exports across worker counts.
 
 use panoptes::campaign::{run_crawl, CampaignResult};
 use panoptes::config::CampaignConfig;
+use panoptes::fleet::{self, FleetError, FleetOptions, StudyOutput, UnitOutput};
 use panoptes::idle::{run_idle, IdleResult};
 use panoptes_browsers::registry::all_profiles;
 use panoptes_simnet::clock::SimDuration;
 use panoptes_web::site::SiteSpec;
 use panoptes_web::World;
 
-/// Crawls every browser in Table 1 over `sites`.
+/// Crawls every browser in Table 1 over `sites`, sequentially.
 pub fn run_full_crawl(
     world: &World,
     sites: &[SiteSpec],
@@ -20,7 +32,7 @@ pub fn run_full_crawl(
         .collect()
 }
 
-/// Runs the §3.5 idle experiment for every browser.
+/// Runs the §3.5 idle experiment for every browser, sequentially.
 pub fn run_full_idle(
     world: &World,
     duration: SimDuration,
@@ -30,6 +42,48 @@ pub fn run_full_idle(
         .iter()
         .map(|profile| run_idle(world, profile, duration, config))
         .collect()
+}
+
+/// Crawls every browser across the fleet's worker pool. Results come
+/// back in [`all_profiles`] order regardless of execution order; a
+/// panicking campaign fails only its own unit.
+pub fn run_full_crawl_jobs(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    options: &FleetOptions,
+) -> Result<Vec<CampaignResult>, FleetError<UnitOutput>> {
+    let units: Vec<_> = all_profiles().into_iter().map(fleet::FleetUnit::crawl).collect();
+    let outputs = fleet::run_units(world, sites, config, &units, options)?;
+    Ok(outputs.into_iter().filter_map(UnitOutput::into_crawl).collect())
+}
+
+/// Runs the idle experiment for every browser across the worker pool.
+pub fn run_full_idle_jobs(
+    world: &World,
+    duration: SimDuration,
+    config: &CampaignConfig,
+    options: &FleetOptions,
+) -> Result<Vec<IdleResult>, FleetError<UnitOutput>> {
+    let units: Vec<_> = all_profiles()
+        .into_iter()
+        .map(|profile| fleet::FleetUnit::idle(profile, duration))
+        .collect();
+    let outputs = fleet::run_units(world, &world.sites, config, &units, options)?;
+    Ok(outputs.into_iter().filter_map(UnitOutput::into_idle).collect())
+}
+
+/// Runs crawl **and** idle for every browser as one fleet over a shared
+/// worker pool — 30 units for the paper's 15 browsers — so idle units
+/// backfill workers while the long crawls drain.
+pub fn run_full_study_jobs(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    idle: SimDuration,
+    options: &FleetOptions,
+) -> Result<StudyOutput, FleetError<UnitOutput>> {
+    fleet::run_study(world, sites, config, &all_profiles(), idle, options)
 }
 
 #[cfg(test)]
@@ -47,5 +101,39 @@ mod tests {
             assert_eq!(r.visits.len(), 5, "{}", r.profile.name);
             assert!(!r.store.is_empty(), "{}", r.profile.name);
         }
+    }
+
+    #[test]
+    fn parallel_crawl_matches_sequential_in_order() {
+        let world =
+            World::build(&GeneratorConfig { popular: 3, sensitive: 2, ..Default::default() });
+        let config = CampaignConfig::default();
+        let sequential = run_full_crawl(&world, &world.sites, &config);
+        let parallel =
+            run_full_crawl_jobs(&world, &world.sites, &config, &FleetOptions::with_jobs(4))
+                .expect("no failures");
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.profile.name, s.profile.name);
+            assert_eq!(p.store.export_jsonl(), s.store.export_jsonl(), "{}", p.profile.name);
+            assert_eq!(p.visits, s.visits, "{}", p.profile.name);
+        }
+    }
+
+    #[test]
+    fn study_jobs_returns_both_experiments() {
+        let world =
+            World::build(&GeneratorConfig { popular: 2, sensitive: 2, ..Default::default() });
+        let config = CampaignConfig::default();
+        let study = run_full_study_jobs(
+            &world,
+            &world.sites,
+            &config,
+            SimDuration::from_secs(60),
+            &FleetOptions::with_jobs(8),
+        )
+        .expect("no failures");
+        assert_eq!(study.crawls.len(), 15);
+        assert_eq!(study.idles.len(), 15);
     }
 }

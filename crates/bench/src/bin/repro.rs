@@ -1,12 +1,18 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--popular N] [--sensitive N] [--seed S] [--only SECTION]
+//! repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N]
+//!       [--only SECTION]
 //! ```
 //!
 //! Sections: `table1 fig2 fig3 fig4 table2 fig5 leaks dns incognito
 //! sensitive transfers idle-dest listing1`. Default: everything at paper
 //! scale (500 + 500 sites, 10-minute idle).
+//!
+//! `--jobs N` runs the browser campaigns across an N-worker fleet
+//! (default: the machine's available parallelism; `--jobs 1` forces the
+//! legacy sequential path). Output is byte-identical for every N — the
+//! fleet re-orders results into profile order before rendering.
 //!
 //! `--har DIR` additionally writes one HAR 1.2 file per browser campaign
 //! into DIR, for inspection with off-the-shelf HAR tooling. `--json FILE`
@@ -14,7 +20,8 @@
 //! one JSON document).
 
 use panoptes::campaign::run_crawl;
-use panoptes_bench::experiments::{crawl_all, idle_all, Scale};
+use panoptes::fleet::{self, FleetOptions, FleetUnit};
+use panoptes_bench::experiments::{crawl_all, crawl_all_jobs, idle_all, idle_all_jobs, Scale};
 use panoptes_bench::render;
 use panoptes_browsers::registry::profile_by_name;
 use panoptes_device::DeviceProperties;
@@ -26,10 +33,15 @@ fn main() {
     let mut har_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => scale = Scale::quick(),
+            "--jobs" => {
+                i += 1;
+                jobs = Some(args[i].parse().expect("--jobs N"));
+            }
             "--popular" => {
                 i += 1;
                 scale.popular = args[i].parse().expect("--popular N");
@@ -60,7 +72,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR]"
+                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR]"
                 );
                 return;
             }
@@ -82,8 +94,25 @@ fn main() {
         scale.popular, scale.sensitive, scale.seed
     );
 
-    eprintln!("crawling 15 browsers...");
-    let (world, results) = crawl_all(&scale);
+    let fleet_options = match jobs {
+        Some(n) => FleetOptions::with_jobs(n).verbose(),
+        None => FleetOptions::default().verbose(),
+    };
+    let effective = fleet_options.effective_jobs(15);
+
+    eprintln!("crawling 15 browsers ({effective} worker(s))...");
+    let (world, results) = if jobs == Some(1) {
+        // The legacy sequential path, kept reachable for A/B runs.
+        crawl_all(&scale)
+    } else {
+        match crawl_all_jobs(&scale, &fleet_options) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("crawl fleet failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
     let props = DeviceProperties::testbed_tablet();
 
     if let Some(dir) = &har_dir {
@@ -138,15 +167,49 @@ fn main() {
         eprintln!("incognito re-crawls (Edge / Opera / UC International)...");
         let config = scale.config();
         let incog = config.clone().incognito();
-        let pairs: Vec<_> = ["Edge", "Opera", "UC International"]
-            .iter()
-            .map(|name| {
-                let p = profile_by_name(name).expect("known browser");
-                let normal = run_crawl(&world, &p, &world.sites, &config);
-                let incognito = run_crawl(&world, &p, &world.sites, &incog);
-                (normal, incognito)
-            })
-            .collect();
+        let browsers = ["Edge", "Opera", "UC International"];
+        let pairs: Vec<_> = if jobs == Some(1) {
+            browsers
+                .iter()
+                .map(|name| {
+                    let p = profile_by_name(name).expect("known browser");
+                    let normal = run_crawl(&world, &p, &world.sites, &config);
+                    let incognito = run_crawl(&world, &p, &world.sites, &incog);
+                    (normal, incognito)
+                })
+                .collect()
+        } else {
+            // Six units (3 browsers x 2 modes) over one pool; the
+            // incognito units override the campaign config per-unit.
+            let units: Vec<FleetUnit> = browsers
+                .iter()
+                .flat_map(|name| {
+                    let p = profile_by_name(name).expect("known browser");
+                    [
+                        FleetUnit::crawl(p.clone()),
+                        FleetUnit::crawl(p).with_config(incog.clone()),
+                    ]
+                })
+                .collect();
+            let outputs =
+                match fleet::run_units(&world, &world.sites, &config, &units, &fleet_options) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("incognito fleet failed: {e}");
+                        std::process::exit(1);
+                    }
+                };
+            let mut crawls =
+                outputs.into_iter().filter_map(panoptes::fleet::UnitOutput::into_crawl);
+            browsers
+                .iter()
+                .map(|_| {
+                    let normal = crawls.next().expect("normal crawl");
+                    let incognito = crawls.next().expect("incognito crawl");
+                    (normal, incognito)
+                })
+                .collect()
+        };
         println!("{}", render::incognito_md(&pairs));
     }
 
@@ -158,8 +221,21 @@ fn main() {
     }
 
     if want("fig5") || want("idle-dest") || json_path.is_some() || csv_dir.is_some() {
-        eprintln!("idle experiment (15 browsers x {}s)...", scale.idle.as_secs());
-        let idle = idle_all(&scale);
+        eprintln!(
+            "idle experiment (15 browsers x {}s, {effective} worker(s))...",
+            scale.idle.as_secs()
+        );
+        let idle = if jobs == Some(1) {
+            idle_all(&scale)
+        } else {
+            match idle_all_jobs(&scale, &fleet_options) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("idle fleet failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
         if want("fig5") {
             println!("{}", render::fig5(&idle));
         }

@@ -1,9 +1,16 @@
 //! Experiment drivers: one function per paper artefact.
+//!
+//! Every driver has a sequential form and a `_jobs` form running the
+//! same campaigns across the [`fleet`](panoptes::fleet) worker pool;
+//! both produce byte-identical results in the same order.
 
 use panoptes::campaign::CampaignResult;
 use panoptes::config::CampaignConfig;
+use panoptes::fleet::{FleetError, FleetOptions, UnitOutput};
 use panoptes::idle::IdleResult;
-use panoptes_analysis::study::{run_full_crawl, run_full_idle};
+use panoptes_analysis::study::{
+    run_full_crawl, run_full_crawl_jobs, run_full_idle, run_full_idle_jobs,
+};
 use panoptes_simnet::clock::SimDuration;
 use panoptes_web::generator::GeneratorConfig;
 use panoptes_web::World;
@@ -69,4 +76,27 @@ pub fn crawl_all(scale: &Scale) -> (World, Vec<CampaignResult>) {
 pub fn idle_all(scale: &Scale) -> Vec<IdleResult> {
     let world = scale.world();
     run_full_idle(&world, scale.idle, &scale.config())
+}
+
+/// Runs the full 15-browser crawl across the fleet worker pool.
+///
+/// Output is identical to [`crawl_all`] — same results, same order —
+/// for any worker count; only wall-clock time differs.
+pub fn crawl_all_jobs(
+    scale: &Scale,
+    options: &FleetOptions,
+) -> Result<(World, Vec<CampaignResult>), FleetError<UnitOutput>> {
+    let world = scale.world();
+    let config = scale.config();
+    let results = run_full_crawl_jobs(&world, &world.sites, &config, options)?;
+    Ok((world, results))
+}
+
+/// Runs the 15-browser idle experiment across the fleet worker pool.
+pub fn idle_all_jobs(
+    scale: &Scale,
+    options: &FleetOptions,
+) -> Result<Vec<IdleResult>, FleetError<UnitOutput>> {
+    let world = scale.world();
+    run_full_idle_jobs(&world, scale.idle, &scale.config(), options)
 }

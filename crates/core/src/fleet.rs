@@ -1,0 +1,540 @@
+//! The fleet executor: runs campaign units across a bounded worker pool.
+//!
+//! The paper's study is 15 browsers × (crawl + idle) = 30 campaign
+//! units, and every unit assembles its own isolated [`Testbed`] — its
+//! own simulated tablet, network, proxy, capture database, and clock.
+//! Units therefore share **no mutable state** (the [`World`] is read
+//! concurrently but never written after construction), which makes the
+//! fleet embarrassingly parallel *and* observation-preserving:
+//!
+//! * every unit computes exactly what the sequential path computes —
+//!   same flows, same ids, same virtual timestamps — because nothing a
+//!   unit observes depends on which worker ran it or when;
+//! * results are re-ordered into the submission order before they are
+//!   returned, so downstream renderers and exporters see the byte-exact
+//!   sequential output.
+//!
+//! `tests/fleet_determinism.rs` (workspace root) enforces the guarantee
+//! end-to-end: the full-study export is byte-identical for any worker
+//! count.
+//!
+//! Panics are isolated per unit: a panicking campaign is reported as a
+//! failed unit (with its browser name and the panic message) and the
+//! remaining units still complete. The fleet returns
+//! `Result<Vec<_>, FleetError<_>>` rather than poisoning the study;
+//! completed results stay available inside the error.
+//!
+//! [`Testbed`]: crate::testbed::Testbed
+//! [`World`]: panoptes_web::World
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use panoptes_browsers::BrowserProfile;
+use panoptes_simnet::clock::SimDuration;
+use panoptes_web::site::SiteSpec;
+use panoptes_web::World;
+
+use crate::campaign::{run_crawl, CampaignResult};
+use crate::config::CampaignConfig;
+use crate::idle::{run_idle, IdleResult};
+
+/// How wide the fleet runs, and whether it narrates to stderr.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct FleetOptions {
+    /// Worker count. `None` uses the machine's available parallelism;
+    /// `Some(1)` forces the sequential path (no worker threads at all).
+    pub jobs: Option<usize>,
+    /// Per-unit progress lines on stderr (started / finished / failed).
+    pub progress: bool,
+}
+
+
+impl FleetOptions {
+    /// An option set running `jobs` workers, silent.
+    pub fn with_jobs(jobs: usize) -> FleetOptions {
+        FleetOptions { jobs: Some(jobs), progress: false }
+    }
+
+    /// Enables stderr progress reporting.
+    pub fn verbose(mut self) -> FleetOptions {
+        self.progress = true;
+        self
+    }
+
+    /// The effective worker count for `n_units` units.
+    pub fn effective_jobs(&self, n_units: usize) -> usize {
+        let requested = self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        requested.clamp(1, n_units.max(1))
+    }
+}
+
+/// One failed campaign unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetFailure {
+    /// The unit's label (browser name + experiment kind).
+    pub unit: String,
+    /// The unit's position in the submission order.
+    pub index: usize,
+    /// The panic message, as well as it could be extracted.
+    pub message: String,
+}
+
+/// The fleet's error: which units failed, plus every completed result
+/// (in submission order, `None` at the failed slots) so a caller can
+/// salvage the rest of the study.
+pub struct FleetError<T> {
+    /// The failed units, in submission order.
+    pub failures: Vec<FleetFailure>,
+    /// Results of the units that completed, in submission order.
+    pub completed: Vec<Option<T>>,
+}
+
+impl<T> fmt::Display for FleetError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.completed.len();
+        write!(f, "{}/{} fleet units failed:", self.failures.len(), total)?;
+        for failure in &self.failures {
+            write!(f, " [{}] {} ({});", failure.index, failure.unit, failure.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T> fmt::Debug for FleetError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetError")
+            .field("failures", &self.failures)
+            .field("completed_units", &self.completed.iter().filter(|c| c.is_some()).count())
+            .finish()
+    }
+}
+
+impl<T> std::error::Error for FleetError<T> {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `runner(0..labels.len())` across a bounded worker pool and
+/// returns the results **in submission order** — the fleet's generic
+/// engine, also usable for non-campaign workloads (and for fault
+/// injection in tests).
+///
+/// With one effective worker the units run sequentially on the calling
+/// thread: no worker threads, same in-order execution as a plain loop.
+/// Panic isolation applies in both modes.
+pub fn execute<T, F>(
+    labels: &[String],
+    options: &FleetOptions,
+    runner: F,
+) -> Result<Vec<T>, FleetError<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = labels.len();
+    let jobs = options.effective_jobs(n);
+    let started_at = Instant::now();
+    if options.progress {
+        eprintln!("[fleet] {n} units across {jobs} worker(s)");
+    }
+
+    let run_one = |index: usize| -> Result<T, FleetFailure> {
+        if options.progress {
+            eprintln!("[fleet] {}: started", labels[index]);
+        }
+        let unit_start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| runner(index))) {
+            Ok(value) => {
+                if options.progress {
+                    eprintln!(
+                        "[fleet] {}: finished in {:?}",
+                        labels[index],
+                        unit_start.elapsed()
+                    );
+                }
+                Ok(value)
+            }
+            Err(payload) => {
+                let failure = FleetFailure {
+                    unit: labels[index].clone(),
+                    index,
+                    message: panic_message(payload.as_ref()),
+                };
+                if options.progress {
+                    eprintln!("[fleet] {}: FAILED ({})", failure.unit, failure.message);
+                }
+                Err(failure)
+            }
+        }
+    };
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    let mut failures: Vec<FleetFailure> = Vec::new();
+
+    if jobs <= 1 {
+        for index in 0..n {
+            match run_one(index) {
+                Ok(value) => slots.push(Some(value)),
+                Err(failure) => {
+                    failures.push(failure);
+                    slots.push(None);
+                }
+            }
+        }
+    } else {
+        let results: Mutex<Vec<(usize, Result<T, FleetFailure>)>> =
+            Mutex::new(Vec::with_capacity(n));
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|_| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let outcome = run_one(index);
+                        results.lock().push((index, outcome));
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // Worker bodies catch unit panics, so a worker thread
+                // itself never panics; join only for completion.
+                handle.join().expect("fleet worker survived");
+            }
+        })
+        .expect("fleet scope");
+
+        // Re-order into submission order so downstream consumers see
+        // exactly the sequential sequence.
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(index, _)| *index);
+        debug_assert_eq!(collected.len(), n);
+        for (_, outcome) in collected {
+            match outcome {
+                Ok(value) => slots.push(Some(value)),
+                Err(failure) => {
+                    failures.push(failure);
+                    slots.push(None);
+                }
+            }
+        }
+    }
+
+    if options.progress {
+        eprintln!(
+            "[fleet] {}/{} units completed in {:?}",
+            n - failures.len(),
+            n,
+            started_at.elapsed()
+        );
+    }
+
+    if failures.is_empty() {
+        Ok(slots.into_iter().map(|slot| slot.expect("no failure recorded")).collect())
+    } else {
+        Err(FleetError { failures, completed: slots })
+    }
+}
+
+/// The experiment a [`FleetUnit`] runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitKind {
+    /// The §2.1 crawl campaign over the fleet's site list.
+    Crawl,
+    /// The §3.5 idle experiment for the given window.
+    Idle(SimDuration),
+}
+
+/// One campaign unit: a browser profile plus the experiment to run,
+/// optionally under a unit-specific configuration (e.g. incognito).
+#[derive(Debug, Clone)]
+pub struct FleetUnit {
+    /// The browser to run.
+    pub profile: BrowserProfile,
+    /// Crawl or idle.
+    pub kind: UnitKind,
+    /// Overrides the fleet-wide [`CampaignConfig`] when set.
+    pub config: Option<CampaignConfig>,
+}
+
+impl FleetUnit {
+    /// A crawl unit under the fleet-wide config.
+    pub fn crawl(profile: BrowserProfile) -> FleetUnit {
+        FleetUnit { profile, kind: UnitKind::Crawl, config: None }
+    }
+
+    /// An idle unit under the fleet-wide config.
+    pub fn idle(profile: BrowserProfile, duration: SimDuration) -> FleetUnit {
+        FleetUnit { profile, kind: UnitKind::Idle(duration), config: None }
+    }
+
+    /// Overrides this unit's campaign configuration.
+    pub fn with_config(mut self, config: CampaignConfig) -> FleetUnit {
+        self.config = Some(config);
+        self
+    }
+
+    /// The unit's progress label: browser name + experiment kind.
+    pub fn label(&self) -> String {
+        match self.kind {
+            UnitKind::Crawl => format!("{} crawl", self.profile.name),
+            UnitKind::Idle(_) => format!("{} idle", self.profile.name),
+        }
+    }
+}
+
+/// One unit's output, in the same position the unit was submitted.
+pub enum UnitOutput {
+    /// Output of a [`UnitKind::Crawl`] unit.
+    Crawl(CampaignResult),
+    /// Output of a [`UnitKind::Idle`] unit.
+    Idle(IdleResult),
+}
+
+impl UnitOutput {
+    /// The crawl result, if this unit was a crawl.
+    pub fn into_crawl(self) -> Option<CampaignResult> {
+        match self {
+            UnitOutput::Crawl(result) => Some(result),
+            UnitOutput::Idle(_) => None,
+        }
+    }
+
+    /// The idle result, if this unit was an idle run.
+    pub fn into_idle(self) -> Option<IdleResult> {
+        match self {
+            UnitOutput::Idle(result) => Some(result),
+            UnitOutput::Crawl(_) => None,
+        }
+    }
+}
+
+/// Runs a mixed list of campaign units over the worker pool, returning
+/// their outputs in submission order.
+pub fn run_units(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    units: &[FleetUnit],
+    options: &FleetOptions,
+) -> Result<Vec<UnitOutput>, FleetError<UnitOutput>> {
+    let labels: Vec<String> = units.iter().map(FleetUnit::label).collect();
+    execute(&labels, options, |index| {
+        let unit = &units[index];
+        let unit_config = unit.config.as_ref().unwrap_or(config);
+        match unit.kind {
+            UnitKind::Crawl => {
+                let result = run_crawl(world, &unit.profile, sites, unit_config);
+                if options.progress {
+                    let sim: SimDuration =
+                        result.visits.iter().map(|v| v.dwell).fold(SimDuration::ZERO, |a, b| a + b);
+                    eprintln!(
+                        "[fleet] {}: {} flows captured, {} visits, sim {}",
+                        labels_for_progress(unit.profile.name, "crawl"),
+                        result.store.len(),
+                        result.visits.len(),
+                        sim,
+                    );
+                }
+                UnitOutput::Crawl(result)
+            }
+            UnitKind::Idle(duration) => {
+                let result = run_idle(world, &unit.profile, duration, unit_config);
+                if options.progress {
+                    eprintln!(
+                        "[fleet] {}: {} flows captured, sim {}",
+                        labels_for_progress(unit.profile.name, "idle"),
+                        result.store.len(),
+                        duration,
+                    );
+                }
+                UnitOutput::Idle(result)
+            }
+        }
+    })
+}
+
+fn labels_for_progress(name: &str, kind: &str) -> String {
+    format!("{name} {kind}")
+}
+
+/// The full paper study (crawl + idle per browser) as one fleet.
+pub struct StudyOutput {
+    /// Crawl results, one per profile, in profile order.
+    pub crawls: Vec<CampaignResult>,
+    /// Idle results, one per profile, in profile order.
+    pub idles: Vec<IdleResult>,
+}
+
+/// Runs crawl **and** idle units for every profile in `profiles` across
+/// one shared worker pool — idle units fill workers while long crawls
+/// drain, so the pool never idles before the tail.
+pub fn run_study(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    profiles: &[BrowserProfile],
+    idle: SimDuration,
+    options: &FleetOptions,
+) -> Result<StudyOutput, FleetError<UnitOutput>> {
+    let mut units = Vec::with_capacity(profiles.len() * 2);
+    for profile in profiles {
+        units.push(FleetUnit::crawl(profile.clone()));
+    }
+    for profile in profiles {
+        units.push(FleetUnit::idle(profile.clone(), idle));
+    }
+    let outputs = run_units(world, sites, config, &units, options)?;
+    let mut crawls = Vec::with_capacity(profiles.len());
+    let mut idles = Vec::with_capacity(profiles.len());
+    for output in outputs {
+        match output {
+            UnitOutput::Crawl(result) => crawls.push(result),
+            UnitOutput::Idle(result) => idles.push(result),
+        }
+    }
+    Ok(StudyOutput { crawls, idles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes_browsers::registry::{all_profiles, profile_by_name};
+    use panoptes_web::generator::GeneratorConfig;
+
+    fn small_world() -> World {
+        World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() })
+    }
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("unit-{i}")).collect()
+    }
+
+    #[test]
+    fn execute_preserves_submission_order() {
+        for jobs in [1, 2, 5, 16] {
+            let out = execute(&labels(17), &FleetOptions::with_jobs(jobs), |i| i * 10)
+                .expect("no failures");
+            assert_eq!(out, (0..17).map(|i| i * 10).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn execute_isolates_panicking_units() {
+        for jobs in [1, 4] {
+            let err = execute(&labels(6), &FleetOptions::with_jobs(jobs), |i| {
+                if i == 2 {
+                    panic!("injected fault in unit 2");
+                }
+                i
+            })
+            .expect_err("unit 2 panics");
+            assert_eq!(err.failures.len(), 1, "jobs={jobs}");
+            assert_eq!(err.failures[0].index, 2);
+            assert_eq!(err.failures[0].unit, "unit-2");
+            assert!(err.failures[0].message.contains("injected fault"));
+            // The other five units still completed, in order.
+            let salvaged: Vec<usize> = err.completed.iter().flatten().copied().collect();
+            assert_eq!(salvaged, vec![0, 1, 3, 4, 5]);
+            assert!(err.completed[2].is_none());
+        }
+    }
+
+    #[test]
+    fn fleet_error_display_names_units() {
+        let err = execute(&["Chrome crawl".to_string()], &FleetOptions::with_jobs(1), |_| {
+            panic!("boom");
+            #[allow(unreachable_code)]
+            ()
+        })
+        .expect_err("panics");
+        let text = err.to_string();
+        assert!(text.contains("Chrome crawl"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+
+    #[test]
+    fn crawl_units_match_direct_run() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let profile = profile_by_name("Yandex").unwrap();
+        let direct = run_crawl(&world, &profile, &world.sites, &config);
+
+        let units = vec![FleetUnit::crawl(profile.clone()), FleetUnit::crawl(profile)];
+        let out = run_units(&world, &world.sites, &config, &units, &FleetOptions::with_jobs(2))
+            .expect("no failures");
+        for output in out {
+            let result = output.into_crawl().expect("crawl unit");
+            assert_eq!(result.store.export_jsonl(), direct.store.export_jsonl());
+            assert_eq!(result.visits, direct.visits);
+        }
+    }
+
+    #[test]
+    fn mixed_study_splits_and_orders() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let profiles: Vec<_> = all_profiles().into_iter().take(3).collect();
+        let study = run_study(
+            &world,
+            &world.sites,
+            &config,
+            &profiles,
+            SimDuration::from_secs(60),
+            &FleetOptions::with_jobs(4),
+        )
+        .expect("no failures");
+        assert_eq!(study.crawls.len(), 3);
+        assert_eq!(study.idles.len(), 3);
+        for (result, profile) in study.crawls.iter().zip(&profiles) {
+            assert_eq!(result.profile.name, profile.name);
+        }
+        for (result, profile) in study.idles.iter().zip(&profiles) {
+            assert_eq!(result.profile.name, profile.name);
+        }
+    }
+
+    #[test]
+    fn unit_config_override_is_respected() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let reseeded = CampaignConfig { seed: 999, ..config.clone() };
+        let profile = profile_by_name("Yandex").unwrap();
+        let units = vec![
+            FleetUnit::crawl(profile.clone()),
+            FleetUnit::crawl(profile.clone()).with_config(reseeded.clone()),
+        ];
+        let out = run_units(&world, &world.sites, &config, &units, &FleetOptions::with_jobs(2))
+            .expect("no failures");
+        let [default_unit, reseeded_unit]: [UnitOutput; 2] = out.try_into().ok().expect("two");
+        let default_unit = default_unit.into_crawl().expect("crawl");
+        let reseeded_unit = reseeded_unit.into_crawl().expect("crawl");
+        // The override took effect: a different seed mints different
+        // persistent identifiers, so the captures differ...
+        assert_ne!(default_unit.store.export_jsonl(), reseeded_unit.store.export_jsonl());
+        // ...and each unit matches a direct run under its own config.
+        let direct = run_crawl(&world, &profile, &world.sites, &reseeded);
+        assert_eq!(reseeded_unit.store.export_jsonl(), direct.store.export_jsonl());
+        assert_eq!(default_unit.store.export_jsonl(), {
+            let d = run_crawl(&world, &profile, &world.sites, &config);
+            d.store.export_jsonl()
+        });
+    }
+}

@@ -21,7 +21,8 @@
 //!
 //! [`idle`] implements the §3.5 idle experiment on the same rig;
 //! [`archive`] persists a campaign (capture + ground truth) losslessly
-//! for offline re-analysis.
+//! for offline re-analysis; [`fleet`] runs many campaign units across a
+//! bounded worker pool with byte-identical, order-preserved output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,11 +30,13 @@
 pub mod archive;
 pub mod campaign;
 pub mod config;
+pub mod fleet;
 pub mod idle;
 pub mod report;
 pub mod testbed;
 
 pub use campaign::{run_crawl, CampaignResult, VisitRecord};
 pub use config::CampaignConfig;
+pub use fleet::{FleetError, FleetOptions, FleetUnit, StudyOutput, UnitKind, UnitOutput};
 pub use idle::{run_idle, IdleResult};
 pub use testbed::Testbed;

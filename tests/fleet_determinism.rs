@@ -1,0 +1,104 @@
+//! The fleet's headline guarantee, enforced end-to-end: running the
+//! full study across a worker pool changes **nothing** about what the
+//! study observes. For every worker count the per-browser capture
+//! export, the ground-truth visit log, the DNS log, and the rendered
+//! study report are byte-identical to the legacy sequential path.
+//!
+//! This is what makes `repro --jobs N` safe to use for the paper's
+//! artefacts: parallelism buys wall-clock time only, never a different
+//! dataset.
+
+use panoptes::fleet::{self, FleetOptions};
+use panoptes_analysis::study::{run_full_crawl, run_full_idle, run_full_study_jobs};
+use panoptes_analysis::summary::study_report;
+use panoptes_bench::experiments::Scale;
+use panoptes_browsers::registry::all_profiles;
+use panoptes_simnet::clock::SimDuration;
+
+const IDLE: SimDuration = SimDuration::from_secs(120);
+
+#[test]
+fn full_study_is_byte_identical_across_worker_counts() {
+    let scale = Scale::quick();
+    let world = scale.world();
+    let config = scale.config();
+
+    let seq_crawls = run_full_crawl(&world, &world.sites, &config);
+    let seq_idles = run_full_idle(&world, IDLE, &config);
+    let reference_report = study_report(&seq_crawls, &seq_idles);
+
+    for jobs in [1usize, 2, 8] {
+        let study = run_full_study_jobs(
+            &world,
+            &world.sites,
+            &config,
+            IDLE,
+            &FleetOptions::with_jobs(jobs),
+        )
+        .unwrap_or_else(|e| panic!("jobs={jobs}: {e}"));
+
+        assert_eq!(study.crawls.len(), seq_crawls.len(), "jobs={jobs}");
+        for (par, seq) in study.crawls.iter().zip(&seq_crawls) {
+            let name = &seq.profile.name;
+            assert_eq!(par.profile.name, *name, "jobs={jobs}: crawl order");
+            assert_eq!(
+                par.store.export_jsonl(),
+                seq.store.export_jsonl(),
+                "jobs={jobs} {name}: capture export diverged"
+            );
+            assert_eq!(par.visits, seq.visits, "jobs={jobs} {name}: visit log diverged");
+            assert_eq!(par.dns_log, seq.dns_log, "jobs={jobs} {name}: DNS log diverged");
+            assert_eq!(par.engine_sent, seq.engine_sent, "jobs={jobs} {name}");
+            assert_eq!(par.native_sent, seq.native_sent, "jobs={jobs} {name}");
+        }
+
+        assert_eq!(study.idles.len(), seq_idles.len(), "jobs={jobs}");
+        for (par, seq) in study.idles.iter().zip(&seq_idles) {
+            let name = &seq.profile.name;
+            assert_eq!(par.profile.name, *name, "jobs={jobs}: idle order");
+            assert_eq!(
+                par.store.export_jsonl(),
+                seq.store.export_jsonl(),
+                "jobs={jobs} {name}: idle capture diverged"
+            );
+            assert_eq!(par.idle_sent, seq.idle_sent, "jobs={jobs} {name}");
+        }
+
+        assert_eq!(
+            study_report(&study.crawls, &study.idles),
+            reference_report,
+            "jobs={jobs}: rendered study report diverged"
+        );
+    }
+}
+
+#[test]
+fn panicking_campaign_fails_only_its_own_unit() {
+    // A 15-unit fleet where the Yandex slot panics mid-campaign: the
+    // failure must carry the browser's name and the other 14 units'
+    // results must still come back, in order.
+    let profiles = all_profiles();
+    let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let poisoned = labels.iter().position(|n| n == "Yandex").expect("Yandex in registry");
+
+    let err = fleet::execute(&labels, &FleetOptions::with_jobs(4), |i| {
+        if i == poisoned {
+            panic!("simulated campaign crash");
+        }
+        labels[i].clone()
+    })
+    .expect_err("the poisoned unit must fail the fleet");
+
+    assert_eq!(err.failures.len(), 1);
+    assert_eq!(err.failures[0].unit, "Yandex");
+    assert_eq!(err.failures[0].index, poisoned);
+    assert!(err.failures[0].message.contains("simulated campaign crash"));
+
+    assert_eq!(err.completed.len(), labels.len());
+    assert!(err.completed[poisoned].is_none());
+    for (i, slot) in err.completed.iter().enumerate() {
+        if i != poisoned {
+            assert_eq!(slot.as_deref(), Some(labels[i].as_str()), "unit {i} missing");
+        }
+    }
+}

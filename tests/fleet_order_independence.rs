@@ -1,0 +1,68 @@
+//! Property: a campaign unit's result depends only on the unit itself
+//! — never on where it sits in the submission order, which worker ran
+//! it, or what ran beside it. We submit the 15 browsers in a random
+//! permutation at a random worker count and require every output slot
+//! to match a direct, isolated `run_crawl` of that slot's browser.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use panoptes::campaign::run_crawl;
+use panoptes::config::CampaignConfig;
+use panoptes::fleet::{self, FleetOptions, FleetUnit};
+use panoptes_browsers::registry::all_profiles;
+use panoptes_web::generator::GeneratorConfig;
+use panoptes_web::World;
+
+fn shuffled_profiles(seed: u64) -> Vec<panoptes_browsers::BrowserProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut profiles = all_profiles();
+    // Fisher–Yates over the registry order.
+    for i in (1..profiles.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        profiles.swap(i, j);
+    }
+    profiles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn shuffled_submission_order_leaves_each_result_unchanged(
+        perm_seed in any::<u64>(),
+        jobs in 1usize..6,
+    ) {
+        let world = World::build(&GeneratorConfig {
+            popular: 3,
+            sensitive: 2,
+            ..Default::default()
+        });
+        let config = CampaignConfig::default();
+
+        let profiles = shuffled_profiles(perm_seed);
+        let units: Vec<FleetUnit> =
+            profiles.iter().cloned().map(FleetUnit::crawl).collect();
+        let outputs =
+            fleet::run_units(&world, &world.sites, &config, &units, &FleetOptions::with_jobs(jobs))
+                .expect("no unit failures");
+
+        prop_assert_eq!(outputs.len(), profiles.len());
+        for (output, profile) in outputs.into_iter().zip(&profiles) {
+            let fleet_result = output.into_crawl().expect("crawl unit yields crawl output");
+            let direct = run_crawl(&world, profile, &world.sites, &config);
+            prop_assert_eq!(
+                &fleet_result.profile.name, &profile.name,
+                "slot out of order (perm_seed={}, jobs={})", perm_seed, jobs
+            );
+            prop_assert_eq!(
+                fleet_result.store.export_jsonl(),
+                direct.store.export_jsonl(),
+                "{}: capture depends on submission order (perm_seed={}, jobs={})",
+                profile.name, perm_seed, jobs
+            );
+            prop_assert_eq!(&fleet_result.visits, &direct.visits, "{}", profile.name);
+            prop_assert_eq!(&fleet_result.dns_log, &direct.dns_log, "{}", profile.name);
+        }
+    }
+}
