@@ -30,7 +30,8 @@ pub fn ad_domain_row(result: &CampaignResult) -> AdDomainRow {
 pub fn ad_domain_row_with(result: &CampaignResult, list: &HostsList) -> AdDomainRow {
     let hosts: BTreeSet<String> = result
         .store
-        .native_flows()
+        .snapshot()
+        .native()
         .iter()
         .map(|f| f.host.clone())
         .collect();

@@ -67,7 +67,7 @@ pub struct CostRow {
 pub fn cost_row(result: &CampaignResult, model: &EnergyModel) -> CostRow {
     let mut flows = 0u64;
     let mut bytes = 0u64;
-    for f in result.store.all() {
+    for f in result.store.snapshot().iter() {
         if f.class == FlowClass::Native {
             flows += 1;
             bytes += f.bytes_out + f.bytes_in;

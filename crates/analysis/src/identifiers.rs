@@ -12,7 +12,8 @@ use std::collections::{BTreeMap, HashMap};
 use panoptes::campaign::CampaignResult;
 use panoptes_blocklist::data::steven_black_excerpt;
 
-use crate::scan::{looks_like_identifier, observations};
+use crate::facts::capture_facts;
+use crate::scan::looks_like_identifier;
 
 /// One stable identifier observed at one destination.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,16 +41,18 @@ pub fn find_identifiers(result: &CampaignResult, min_flows: usize) -> Vec<Identi
     let ad_list = steven_black_excerpt();
     // (destination, key, value) → count
     let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
-    for flow in result.store.native_flows() {
-        let mut seen_in_flow: HashMap<(String, String), ()> = HashMap::new();
-        for obs in observations(&flow) {
+    let snap = result.store.snapshot();
+    let facts = capture_facts(&snap);
+    for view in facts.views(snap.native()) {
+        let mut seen_in_flow: HashMap<(&str, &str), ()> = HashMap::new();
+        for obs in view.observations() {
             if !looks_like_identifier(&obs.value) {
                 continue;
             }
             // Count each (key,value) once per flow.
-            if seen_in_flow.insert((obs.key.clone(), obs.value.clone()), ()).is_none() {
+            if seen_in_flow.insert((&obs.key, &obs.value), ()).is_none() {
                 *counts
-                    .entry((flow.host.clone(), obs.key, obs.value))
+                    .entry((view.host.clone(), obs.key.clone(), obs.value.clone()))
                     .or_default() += 1;
             }
         }

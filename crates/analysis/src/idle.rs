@@ -60,7 +60,7 @@ pub fn timeline(result: &IdleResult, bucket: SimDuration) -> IdleTimeline {
     let start = result.idle_start.0;
     let total_secs = result.duration.as_secs();
     let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
-    for flow in result.store.native_flows() {
+    for flow in result.store.snapshot().native() {
         if flow.time_us < start {
             continue;
         }
@@ -102,7 +102,7 @@ pub fn destination_shares(result: &IdleResult) -> Vec<DestinationShare> {
     let start = result.idle_start.0;
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut total = 0u64;
-    for flow in result.store.native_flows() {
+    for flow in result.store.snapshot().native() {
         if flow.time_us < start {
             continue;
         }

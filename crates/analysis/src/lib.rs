@@ -3,6 +3,9 @@
 //! The measurement analyses of the paper's §3, run against captured flow
 //! databases. Each module regenerates one artefact:
 //!
+//! * [`facts`] — the parse-once layer every pass shares: memoised
+//!   per-flow URLs, observations and decodings over the sealed
+//!   [`panoptes_mitm::FlowSnapshot`],
 //! * [`volume`] — Figure 2 (request counts + native/engine ratio) and
 //!   Figure 4 (outgoing traffic volume),
 //! * [`addomains`] — Figure 3 (% of distinct native-contact domains that
@@ -34,6 +37,7 @@ pub mod addomains;
 pub mod compare;
 pub mod cost;
 pub mod dns;
+pub mod facts;
 pub mod history;
 pub mod identifiers;
 pub mod idle;

@@ -15,7 +15,7 @@ use panoptes::campaign::CampaignResult;
 use panoptes_browsers::PiiField;
 use panoptes_device::DeviceProperties;
 
-use crate::scan::observations;
+use crate::facts::capture_facts;
 
 /// One browser's Table 2 row: which fields were observed leaking, with
 /// an example destination per field.
@@ -76,14 +76,16 @@ fn matches_field(field: PiiField, key: &str, value: &str, props: &DeviceProperti
 /// Scans a campaign's *native* flows for the Table 2 fields.
 pub fn pii_row(result: &CampaignResult, props: &DeviceProperties) -> PiiRow {
     let mut leaked: Vec<(PiiField, String)> = Vec::new();
-    for flow in result.store.native_flows() {
-        for obs in observations(&flow) {
+    let snap = result.store.snapshot();
+    let facts = capture_facts(&snap);
+    for view in facts.views(snap.native()) {
+        for obs in view.observations() {
             for field in PiiField::ALL {
                 if leaked.iter().any(|(f, _)| *f == field) {
                     continue;
                 }
                 if matches_field(field, &obs.key, &obs.value, props) {
-                    leaked.push((field, flow.host.clone()));
+                    leaked.push((field, view.host.clone()));
                 }
             }
         }

@@ -7,7 +7,7 @@ use std::collections::HashSet;
 
 use panoptes::campaign::CampaignResult;
 
-use crate::scan::{decodings, observations};
+use crate::facts::capture_facts;
 
 /// One browser's sensitive-leak row.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,14 +34,16 @@ pub fn sensitive_row(result: &CampaignResult) -> SensitiveRow {
         result.visits.iter().map(|v| v.domain.as_str()).collect();
 
     let mut leaked: HashSet<String> = HashSet::new();
-    for flow in result.store.all() {
-        if visited_domains.contains(flow.registrable_domain().as_str()) {
+    let snap = result.store.snapshot();
+    let facts = capture_facts(&snap);
+    for view in facts.views(snap.all()) {
+        if visited_domains.contains(view.registrable_domain()) {
             continue; // first-party traffic is not a leak
         }
-        for obs in observations(&flow) {
-            for decoded in decodings(&obs.value) {
+        for (_, decoded_values) in view.decoded_observations() {
+            for decoded in decoded_values {
                 if sensitive_urls.contains(decoded.as_str()) {
-                    leaked.insert(decoded);
+                    leaked.insert(decoded.clone());
                 }
             }
         }

@@ -37,7 +37,7 @@ pub fn transfer_row(result: &CampaignResult, geo: &GeoDb) -> Option<TransferRow>
     // Destination host → IP from the capture itself (the flows carry the
     // dst address, exactly what the paper extracts).
     let mut dest_ip: BTreeMap<String, IpAddr> = BTreeMap::new();
-    for flow in result.store.all() {
+    for flow in result.store.snapshot().iter() {
         if let Some(ip) = IpAddr::parse(&flow.dst_ip) {
             dest_ip.entry(flow.host.clone()).or_insert(ip);
         }

@@ -1,0 +1,152 @@
+//! Records the analysis-path perf trajectory as `BENCH_analysis.json`.
+//!
+//! Measures, with plain wall-clock timing (no Criterion machinery, so
+//! the numbers are trivially reproducible):
+//!
+//! * the ~10-pass extraction workload over a quick-scale capture —
+//!   cloning + reparse baseline vs sealed snapshot + `FlowFacts`;
+//! * the full study report (flows/sec through `study_report`);
+//! * `FilterList::should_block` over a 1.5k-rule list — reference
+//!   linear scan vs indexed engine (matches/sec).
+//!
+//! Usage: `bench_analysis [output.json]` (default `BENCH_analysis.json`).
+
+use std::time::Instant;
+
+use panoptes_analysis::facts::capture_facts;
+use panoptes_analysis::scan::{decodings, observations};
+use panoptes_analysis::study::{run_full_crawl, run_full_idle};
+use panoptes_analysis::summary::study_report;
+use panoptes_bench::experiments::Scale;
+use panoptes_bench::perf;
+use panoptes_simnet::clock::SimDuration;
+
+const PASSES: usize = 10;
+const REPS: usize = 5;
+
+/// Best-of-`REPS` wall-clock seconds of `f`.
+fn time_best<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        sink = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_analysis.json".into());
+
+    eprintln!("building quick-scale study capture…");
+    let scale = Scale::quick();
+    let world = scale.world();
+    let config = scale.config();
+    let crawls = run_full_crawl(&world, &world.sites, &config);
+    let idles = run_full_idle(&world, SimDuration::from_secs(120), &config);
+    let crawl_flows: u64 = crawls.iter().map(|r| r.store.len() as u64).sum();
+    let total_flows: u64 =
+        crawl_flows + idles.iter().map(|r| r.store.len() as u64).sum::<u64>();
+
+    eprintln!("extraction: cloning baseline…");
+    let (clone_secs, clone_sink) = time_best(|| {
+        let mut sink = 0usize;
+        for r in &crawls {
+            for _ in 0..PASSES {
+                for flow in r.store.all() { // clone-ok: this IS the pre-refactor baseline
+                    for obs in observations(&flow) {
+                        sink += decodings(&obs.value).len();
+                    }
+                }
+            }
+        }
+        sink
+    });
+
+    eprintln!("extraction: snapshot + facts…");
+    let (snap_secs, snap_sink) = time_best(|| {
+        let mut sink = 0usize;
+        for r in &crawls {
+            let snap = r.store.snapshot();
+            let facts = capture_facts(&snap);
+            for _ in 0..PASSES {
+                for view in facts.views(snap.all()) {
+                    for (_, decoded) in view.decoded_observations() {
+                        sink += decoded.len();
+                    }
+                }
+            }
+        }
+        sink
+    });
+    assert_eq!(clone_sink, snap_sink, "paths disagreed on the extraction workload");
+
+    eprintln!("full study report…");
+    let (report_secs, report_len) = time_best(|| study_report(&crawls, &idles).len());
+
+    eprintln!("filterlist: 1.5k rules…");
+    let list = perf::synthetic_filterlist(1200, 300);
+    let urls = perf::filterlist_workload(2000);
+    let (linear_secs, linear_hits) =
+        time_best(|| urls.iter().filter(|(h, u)| list.should_block_linear(h, u)).count());
+    let (indexed_secs, indexed_hits) =
+        time_best(|| urls.iter().filter(|(h, u)| list.should_block(h, u)).count());
+    assert_eq!(linear_hits, indexed_hits, "filterlist engines diverged");
+
+    let extraction_flows = (crawl_flows as usize * PASSES) as f64;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"analysis\",\n",
+            "  \"scale\": \"quick\",\n",
+            "  \"capture_flows\": {capture_flows},\n",
+            "  \"extraction_passes\": {passes},\n",
+            "  \"extraction\": {{\n",
+            "    \"cloning_reparse_secs\": {clone_secs:.6},\n",
+            "    \"cloning_reparse_flows_per_sec\": {clone_rate:.0},\n",
+            "    \"snapshot_facts_secs\": {snap_secs:.6},\n",
+            "    \"snapshot_facts_flows_per_sec\": {snap_rate:.0},\n",
+            "    \"speedup\": {extract_speedup:.2}\n",
+            "  }},\n",
+            "  \"full_report\": {{\n",
+            "    \"secs\": {report_secs:.6},\n",
+            "    \"flows_per_sec\": {report_rate:.0},\n",
+            "    \"report_bytes\": {report_len}\n",
+            "  }},\n",
+            "  \"filterlist\": {{\n",
+            "    \"rules\": {rules},\n",
+            "    \"urls\": {url_count},\n",
+            "    \"hits\": {hits},\n",
+            "    \"linear_secs\": {linear_secs:.6},\n",
+            "    \"linear_matches_per_sec\": {linear_rate:.0},\n",
+            "    \"indexed_secs\": {indexed_secs:.6},\n",
+            "    \"indexed_matches_per_sec\": {indexed_rate:.0},\n",
+            "    \"speedup\": {filter_speedup:.2}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        capture_flows = total_flows,
+        passes = PASSES,
+        clone_secs = clone_secs,
+        clone_rate = extraction_flows / clone_secs,
+        snap_secs = snap_secs,
+        snap_rate = extraction_flows / snap_secs,
+        extract_speedup = clone_secs / snap_secs,
+        report_secs = report_secs,
+        report_rate = total_flows as f64 / report_secs,
+        report_len = report_len,
+        rules = list.len(),
+        url_count = urls.len(),
+        hits = indexed_hits,
+        linear_secs = linear_secs,
+        linear_rate = urls.len() as f64 / linear_secs,
+        indexed_secs = indexed_secs,
+        indexed_rate = urls.len() as f64 / indexed_secs,
+        filter_speedup = linear_secs / indexed_secs,
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -245,11 +245,8 @@ pub fn listing1(results: &[CampaignResult]) -> String {
     let Some(opera) = opera else {
         return String::from("(no Opera campaign in this run)\n");
     };
-    let flow = opera
-        .store
-        .native_flows()
-        .into_iter()
-        .find(|f| f.host == "s-odx.oleads.com");
+    let snap = opera.store.snapshot();
+    let flow = snap.native().iter().find(|f| f.host == "s-odx.oleads.com");
     match flow {
         Some(f) => format!(
             "## Listing 1 — Native ad request issued by Opera\n\n```\nPOST {}\nbody: {}\n```\n",

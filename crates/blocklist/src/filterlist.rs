@@ -10,9 +10,29 @@
 //! This powers the CocCoc model's engine-side ad blocking (§3.1: CocCoc
 //! "is an ad-blocking browser that enforces the easylist filterlist in
 //! its web engine").
+//!
+//! # Matching engine
+//!
+//! [`FilterList::should_block`] is indexed, not a linear rule scan:
+//!
+//! * domain-anchor rules live in a hash set consulted once per label
+//!   suffix of the host (`a.b.c.com` costs at most four lookups however
+//!   many anchor rules are loaded);
+//! * substring rules are bucketed by their **rarest byte** (per a
+//!   static URL byte-frequency table); a bucket is scanned only when
+//!   its byte occurs in the URL at all, so almost every rule is skipped
+//!   without ever running `contains`;
+//! * exception rules use the same structures and are consulted only
+//!   after a block rule has actually hit.
+//!
+//! [`FilterList::should_block_linear`] keeps the original rule-by-rule
+//! scan as the reference implementation; the proptest equivalence suite
+//! and the filterlist benchmark pin the indexed engine against it.
+
+use std::collections::{BTreeMap, HashSet};
 
 /// One parsed rule.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Pattern {
     /// `||domain^` — matches the URL host (and subdomains).
     DomainAnchor(String),
@@ -20,10 +40,98 @@ enum Pattern {
     Substring(String),
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Rule {
     pattern: Pattern,
     exception: bool,
+}
+
+/// 256-bit presence bitmap of the bytes occurring in a URL.
+struct ByteSet([u64; 4]);
+
+impl ByteSet {
+    fn of(text: &str) -> ByteSet {
+        let mut set = [0u64; 4];
+        for &b in text.as_bytes() {
+            set[(b >> 6) as usize] |= 1 << (b & 63);
+        }
+        ByteSet(set)
+    }
+
+    fn contains(&self, b: u8) -> bool {
+        self.0[(b >> 6) as usize] & (1 << (b & 63)) != 0
+    }
+}
+
+/// How rare a byte is in serialized URL text; higher is rarer. Used to
+/// pick each substring rule's bucket byte so the pre-filter skips as
+/// many buckets as possible per URL.
+fn rarity(b: u8) -> u8 {
+    match b {
+        b'/' | b'.' | b':' | b'e' | b'a' | b't' | b'o' | b'i' | b'n' | b's' | b'r' | b'c' => 0,
+        b'a'..=b'z' => 1,
+        b'0'..=b'9' => 2,
+        b'-' | b'_' | b'=' | b'&' | b'?' | b'%' => 3,
+        _ => 4,
+    }
+}
+
+/// The rarest byte of a (non-empty, already lowercased) pattern.
+fn bucket_byte(pattern: &str) -> u8 {
+    pattern
+        .bytes()
+        .max_by_key(|&b| rarity(b))
+        .expect("zero-length substring patterns are rejected at parse")
+}
+
+/// Indexed form of one rule set (blocks or exceptions).
+#[derive(Debug, Clone, Default)]
+struct PatternIndex {
+    /// Domain-anchor rules, looked up by host label suffix.
+    anchors: HashSet<String>,
+    /// Substring rules keyed by their rarest byte; `BTreeMap` keeps the
+    /// build deterministic.
+    substrings: BTreeMap<u8, Vec<String>>,
+}
+
+impl PatternIndex {
+    fn insert(&mut self, pattern: &Pattern) {
+        match pattern {
+            Pattern::DomainAnchor(d) => {
+                self.anchors.insert(d.clone());
+            }
+            Pattern::Substring(s) => {
+                self.substrings.entry(bucket_byte(s)).or_default().push(s.clone());
+            }
+        }
+    }
+
+    /// Indexed equivalent of "any pattern matches (host, url)". Both
+    /// inputs must already be lowercased; `seen` is the URL's byte set.
+    fn matches(&self, host_lower: &str, url_lower: &str, seen: &ByteSet) -> bool {
+        if !self.anchors.is_empty() {
+            // `||d^` hits when d is the whole host or a suffix preceded
+            // by a dot — i.e. exactly the suffixes starting at position
+            // 0 or right after each '.'.
+            if self.anchors.contains(host_lower) {
+                return true;
+            }
+            for (i, b) in host_lower.bytes().enumerate() {
+                if b == b'.' && self.anchors.contains(&host_lower[i + 1..]) {
+                    return true;
+                }
+            }
+        }
+        for (&byte, bucket) in &self.substrings {
+            if !seen.contains(byte) {
+                continue;
+            }
+            if bucket.iter().any(|s| url_lower.contains(s.as_str())) {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// A parsed filterlist.
@@ -31,6 +139,8 @@ struct Rule {
 pub struct FilterList {
     blocks: Vec<Pattern>,
     exceptions: Vec<Pattern>,
+    block_index: PatternIndex,
+    exception_index: PatternIndex,
 }
 
 impl FilterList {
@@ -39,18 +149,26 @@ impl FilterList {
         FilterList::default()
     }
 
-    /// Parses filterlist text.
+    /// Parses filterlist text. Identical rules are deduplicated; rules
+    /// whose pattern would be zero-length (`||^`, a bare `$options`
+    /// line) are dropped rather than becoming match-everything rules.
     pub fn parse(text: &str) -> FilterList {
         let mut list = FilterList::new();
+        let mut seen: HashSet<Rule> = HashSet::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
                 continue;
             }
             if let Some(rule) = parse_rule(line) {
+                if !seen.insert(rule.clone()) {
+                    continue;
+                }
                 if rule.exception {
+                    list.exception_index.insert(&rule.pattern);
                     list.exceptions.push(rule.pattern);
                 } else {
+                    list.block_index.insert(&rule.pattern);
                     list.blocks.push(rule.pattern);
                 }
             }
@@ -60,6 +178,21 @@ impl FilterList {
 
     /// True when a request for `url_text` (to `host`) should be blocked.
     pub fn should_block(&self, host: &str, url_text: &str) -> bool {
+        if self.blocks.is_empty() {
+            return false;
+        }
+        let host_lower = host.to_ascii_lowercase();
+        let url_lower = url_text.to_ascii_lowercase();
+        let seen = ByteSet::of(&url_lower);
+        if !self.block_index.matches(&host_lower, &url_lower, &seen) {
+            return false;
+        }
+        !self.exception_index.matches(&host_lower, &url_lower, &seen)
+    }
+
+    /// The original rule-by-rule scan, kept as the reference the indexed
+    /// engine is proven equivalent to (and benchmarked against).
+    pub fn should_block_linear(&self, host: &str, url_text: &str) -> bool {
         let blocked = self.blocks.iter().any(|p| pattern_matches(p, host, url_text));
         if !blocked {
             return false;
@@ -95,6 +228,9 @@ fn parse_rule(line: &str) -> Option<Rule> {
         }
         Pattern::DomainAnchor(domain.to_ascii_lowercase())
     } else {
+        if body.chars().all(|c| c == '^') {
+            return None; // separator-only token: would match nothing useful
+        }
         Pattern::Substring(body.to_ascii_lowercase())
     };
     Some(Rule { pattern, exception })
@@ -175,6 +311,51 @@ mod tests {
         let list = FilterList::parse("! comment\n[Adblock Plus 2.0]\n||x.com^$third-party\n");
         assert_eq!(list.len(), 1);
         assert!(list.should_block("x.com", "https://x.com/"));
+    }
+
+    #[test]
+    fn duplicate_rules_are_deduplicated() {
+        let list = FilterList::parse("||x.com^\n||x.com^\n/ads/\n/ads/\n@@||y.com^\n@@||y.com^");
+        assert_eq!(list.len(), 3);
+        assert!(list.should_block("x.com", "https://x.com/"));
+    }
+
+    #[test]
+    fn degenerate_rules_are_dropped() {
+        // `||^` and a bare separator would otherwise become
+        // match-everything rules; `$third-party` alone is pure options.
+        let list = FilterList::parse("||^\n^\n^^\n$third-party\n@@||^");
+        assert!(list.is_empty());
+        assert!(!list.should_block("site.com", "https://site.com/"));
+    }
+
+    #[test]
+    fn case_is_insensitive_both_ways() {
+        let list = FilterList::parse("||DoubleClick.NET^\n/ADS/");
+        assert!(list.should_block("STATS.DOUBLECLICK.net", "https://x/"));
+        assert!(list.should_block("site.com", "https://site.com/Ads/banner"));
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_the_excerpt() {
+        let list = easylist_excerpt();
+        let cases = [
+            ("doubleclick.net", "https://doubleclick.net/pixel"),
+            ("stats.g.doubleclick.net", "https://stats.g.doubleclick.net/x"),
+            ("site.com", "https://site.com/ads/banner.js"),
+            ("site.com", "https://site.com/adserver/bid"),
+            ("site.com", "https://site.com/news"),
+            ("example-ads-allowed.com", "https://example-ads-allowed.com/ads/x"),
+            ("notdoubleclick.net", "https://notdoubleclick.net/"),
+            ("a.b.c.rubiconproject.com", "https://a.b.c.rubiconproject.com/"),
+        ];
+        for (host, url) in cases {
+            assert_eq!(
+                list.should_block(host, url),
+                list.should_block_linear(host, url),
+                "{host} {url}"
+            );
+        }
     }
 
     #[test]

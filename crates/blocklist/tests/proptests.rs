@@ -58,3 +58,82 @@ proptest! {
         prop_assert!(!list.should_block(&domain, &url));
     }
 }
+
+/// One random filterlist line covering every rule form the parser
+/// understands: anchors, bare tokens, exceptions, options, comments.
+fn arb_rule_line() -> impl Strategy<Value = String> {
+    let domain = "[a-z]{1,6}\\.(com|net|org)";
+    let token = "[a-z/^.=-]{1,8}";
+    prop_oneof![
+        domain.prop_map(|d| format!("||{d}^")),
+        domain.prop_map(|d| format!("||{d}")),
+        domain.prop_map(|d| format!("@@||{d}^")),
+        domain.prop_map(|d| format!("||{d}^$third-party")),
+        token.prop_map(|t| t.to_string()),
+        token.prop_map(|t| format!("@@{t}")),
+        token.prop_map(|t| format!("{t}$script")),
+        Just("! a comment".to_string()),
+        Just("||^".to_string()),
+        Just("^".to_string()),
+    ]
+}
+
+proptest! {
+    /// The tentpole equivalence: the indexed engine and the reference
+    /// linear scan agree on every (rules, host, url) — including probes
+    /// built from the list's own domains so block/exception paths are
+    /// actually exercised, not just misses.
+    #[test]
+    fn indexed_engine_matches_linear_scan(
+        lines in proptest::collection::vec(arb_rule_line(), 0..40),
+        sub in "[a-z]{1,6}",
+        host in "[a-z]{1,8}\\.(com|net|org)",
+        path in "[a-zA-Z0-9/^.=-]{0,24}",
+    ) {
+        let list = FilterList::parse(&lines.join("\n"));
+
+        let mut probes: Vec<(String, String)> = Vec::new();
+        probes.push((host.clone(), format!("https://{host}/{path}")));
+        // Recombine the generated rules into hosts that should hit.
+        for line in &lines {
+            let body = line.trim_start_matches("@@");
+            if let Some(domain) =
+                body.strip_prefix("||").map(|d| d.split('$').next().unwrap().trim_end_matches('^'))
+            {
+                if !domain.is_empty() {
+                    probes.push((domain.to_string(), format!("https://{domain}/{path}")));
+                    let subbed = format!("{sub}.{domain}");
+                    probes.push((subbed.clone(), format!("https://{subbed}/{path}")));
+                    let fake = format!("{sub}{domain}");
+                    probes.push((fake.clone(), format!("https://{fake}/{path}")));
+                }
+            } else if !body.starts_with('!') {
+                let token = body.split('$').next().unwrap();
+                probes.push((host.clone(), format!("https://{host}/{token}/{path}")));
+            }
+        }
+
+        for (h, u) in &probes {
+            prop_assert_eq!(
+                list.should_block(h, u),
+                list.should_block_linear(h, u),
+                "diverged on host={} url={} rules={:?}", h, u, lines
+            );
+        }
+    }
+
+    /// Dedupe is pure: a list parsed from duplicated text decides
+    /// exactly like the original.
+    #[test]
+    fn duplicated_text_decides_identically(
+        lines in proptest::collection::vec(arb_rule_line(), 0..20),
+        host in "[a-z]{1,8}\\.(com|net|org)",
+        path in "[a-z0-9/]{0,16}",
+    ) {
+        let once = FilterList::parse(&lines.join("\n"));
+        let doubled = FilterList::parse(&format!("{}\n{}", lines.join("\n"), lines.join("\n")));
+        prop_assert_eq!(once.len(), doubled.len(), "dedupe removes the copies");
+        let url = format!("https://{host}/{path}");
+        prop_assert_eq!(once.should_block(&host, &url), doubled.should_block(&host, &url));
+    }
+}

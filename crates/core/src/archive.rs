@@ -63,7 +63,8 @@ pub fn save(result: &CampaignResult) -> String {
             ])
         })
         .collect();
-    let flows: Vec<Value> = result.store.all().iter().map(Flow::to_json).collect();
+    let flows: Vec<Value> =
+        result.store.snapshot().iter().map(Flow::to_json).collect();
     json::to_string(&Value::object(vec![
         ("format", Value::str("panoptes-campaign/1")),
         ("browser", Value::str(result.profile.name)),
@@ -186,7 +187,10 @@ mod tests {
         assert_eq!(restored.uid, original.uid);
         assert_eq!(restored.visits, original.visits);
         assert_eq!(restored.dns_log, original.dns_log);
-        assert_eq!(restored.store.all(), original.store.all());
+        assert_eq!(
+            restored.store.export_jsonl(),
+            original.store.export_jsonl()
+        );
         assert_eq!(restored.engine_sent, original.engine_sent);
         assert_eq!(restored.native_sent, original.native_sent);
     }

@@ -35,6 +35,10 @@ pub struct VisitRecord {
 }
 
 /// The output of one browser's crawl campaign.
+///
+/// Cloning is cheap where it matters: the capture store is shared via
+/// `Arc`, never deep-copied.
+#[derive(Clone)]
 pub struct CampaignResult {
     /// The browser that was crawled.
     pub profile: BrowserProfile,
@@ -210,8 +214,8 @@ mod tests {
         let result = run_crawl(&world, &profile, &world.sites, &config);
 
         assert_eq!(result.visits.len(), 12);
-        let engine = result.store.engine_flows();
-        let native = result.store.native_flows();
+        let snap = result.store.snapshot();
+        let (engine, native) = (snap.engine(), snap.native());
         assert!(!engine.is_empty() && !native.is_empty());
         // Engine self-count matches the proxy's engine database exactly.
         assert_eq!(result.engine_sent, engine.len() as u64);

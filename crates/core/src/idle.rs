@@ -14,6 +14,9 @@ use crate::config::CampaignConfig;
 use crate::testbed::Testbed;
 
 /// Output of one browser's idle run.
+///
+/// Cloning shares the capture store via `Arc`; flows are not copied.
+#[derive(Clone)]
 pub struct IdleResult {
     /// The browser.
     pub profile: BrowserProfile,
@@ -77,9 +80,10 @@ mod tests {
             SimDuration::from_secs(600),
             &CampaignConfig::default(),
         );
-        let native = result.store.native_flows();
+        let snap = result.store.snapshot();
         // Exclude launch-time flows: idle chatter starts after startup.
-        let graph = native.iter().filter(|f| f.host == "graph.facebook.com").count();
+        let graph =
+            snap.native().iter().filter(|f| f.host == "graph.facebook.com").count();
         assert!(graph >= 15, "graph heartbeats, got {graph}");
         assert!(result.idle_sent > 0);
     }
@@ -95,7 +99,8 @@ mod tests {
         );
         let mut times: Vec<u64> = result
             .store
-            .native_flows()
+            .snapshot()
+            .native()
             .iter()
             .filter(|f| f.host == "news.opera-api.com")
             .map(|f| f.time_us)

@@ -26,13 +26,13 @@ pub struct CampaignSummary {
 
 /// Summarizes a campaign's capture.
 pub fn summarize(result: &CampaignResult) -> CampaignSummary {
-    let flows = result.store.all();
+    let snap = result.store.snapshot();
     let mut engine_requests = 0u64;
     let mut native_requests = 0u64;
     let mut pinned = 0u64;
     let mut engine_bytes = 0u64;
     let mut native_bytes = 0u64;
-    for f in &flows {
+    for f in snap.iter() {
         match f.class {
             FlowClass::Engine => {
                 engine_requests += 1;
@@ -109,8 +109,9 @@ mod tests {
             &CampaignConfig::default(),
         );
         let s = summarize(&result);
-        assert_eq!(s.engine_requests, result.store.engine_flows().len() as u64);
-        assert_eq!(s.native_requests, result.store.native_flows().len() as u64);
+        let snap = result.store.snapshot();
+        assert_eq!(s.engine_requests, snap.engine().len() as u64);
+        assert_eq!(s.native_requests, snap.native().len() as u64);
         assert!(s.native_ratio > 0.0);
         let text = summary_text(&result);
         let parsed = panoptes_http::json::parse(&text).unwrap();

@@ -151,6 +151,34 @@ impl Flow {
         json::to_string(&self.to_json())
     }
 
+    /// Upper-bound estimate of this flow's [`Self::to_jsonl`] length
+    /// (including a trailing newline), used to pre-reserve export
+    /// buffers. Must never undershoot: string fields budget an extra
+    /// eighth for escape expansion, and the fixed part covers key
+    /// names, punctuation and the widest numeric renderings.
+    pub fn jsonl_len_estimate(&self) -> usize {
+        fn escaped(s: &str) -> usize {
+            // JSON escaping grows a string by at most 6x ("\u00XX"),
+            // but synthetic captures are ASCII-dominated; len/8 + 2
+            // slack covers the realistic quote/backslash density while
+            // the +2 absorbs tiny strings.
+            s.len() + s.len() / 8 + 2
+        }
+        let strings = escaped(&self.package)
+            + escaped(&self.host)
+            + escaped(&self.dst_ip)
+            + escaped(&self.url)
+            + escaped(&self.request_body)
+            + self
+                .request_headers
+                .iter()
+                .map(|(n, v)| escaped(n) + escaped(v) + 8)
+                .sum::<usize>();
+        // Keys + quotes + commas + braces + six u64/u32 fields at up to
+        // 20 digits each + method/version/class labels + newline.
+        320 + strings
+    }
+
     /// Registrable domain of the destination.
     pub fn registrable_domain(&self) -> String {
         panoptes_http::url::registrable_domain(&self.host)

@@ -18,7 +18,10 @@ const EPOCH_ISO_DATE: (u64, u64, u64) = (2023, 5, 12);
 
 /// Renders `flows` as a HAR `log` document.
 pub fn to_har(flows: &[Flow]) -> Value {
-    let entries: Vec<Value> = flows.iter().map(entry).collect();
+    har_log(flows.iter().map(entry).collect())
+}
+
+fn har_log(entries: Vec<Value>) -> Value {
     Value::object(vec![(
         "log",
         Value::object(vec![
@@ -35,9 +38,11 @@ pub fn to_har(flows: &[Flow]) -> Value {
     )])
 }
 
-/// Convenience: exports a whole store.
+/// Convenience: exports a whole store (zero-copy: renders straight off
+/// the sealed snapshot, no per-flow clone).
 pub fn store_to_har(store: &FlowStore) -> String {
-    json::to_string_pretty(&to_har(&store.all()))
+    let snap = store.snapshot();
+    json::to_string_pretty(&har_log(snap.iter().map(entry).collect()))
 }
 
 fn entry(flow: &Flow) -> Value {

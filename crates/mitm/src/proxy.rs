@@ -202,7 +202,8 @@ mod tests {
             .with_header(TAINT_HEADER, "tok");
         let (resp, _) = net.send_http(&client(), req).unwrap();
         assert_eq!(resp.status, StatusCode::OK, "origin must not see the taint");
-        let flows = store.all();
+        let snap = store.snapshot();
+        let flows = snap.all();
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].class, FlowClass::Engine);
         assert_eq!(flows[0].host, "site.com");
@@ -215,8 +216,9 @@ mod tests {
         let (net, store) = testbed();
         let req = Request::get(Url::parse("https://site.com/api").unwrap());
         net.send_http(&client(), req).unwrap();
-        assert_eq!(store.native_flows().len(), 1);
-        assert_eq!(store.engine_flows().len(), 0);
+        let snap = store.snapshot();
+        assert_eq!(snap.native().len(), 1);
+        assert_eq!(snap.engine().len(), 0);
     }
 
     #[test]
@@ -226,7 +228,8 @@ mod tests {
         let req = Request::get(Url::parse("https://dead.com/").unwrap());
         let (resp, _) = net.send_http(&client(), req).unwrap();
         assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
-        let flows = store.all();
+        let snap = store.snapshot();
+        let flows = snap.all();
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].status, 502);
     }
@@ -238,7 +241,8 @@ mod tests {
         c.pins = PinPolicy::pin(&["site.com"]);
         let req = Request::get(Url::parse("https://site.com/secret").unwrap());
         assert_eq!(net.send_http(&c, req).unwrap_err(), NetError::PinnedBypass);
-        let flows = store.all();
+        let snap = store.snapshot();
+        let flows = snap.all();
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].class, FlowClass::PinnedOpaque);
         assert_eq!(flows[0].status, 0);
@@ -254,7 +258,7 @@ mod tests {
                 Request::get(Url::parse(&format!("https://site.com/{i}")).unwrap());
             net.send_http(&client(), req).unwrap();
         }
-        let ids: Vec<u64> = store.all().iter().map(|f| f.id).collect();
+        let ids: Vec<u64> = store.snapshot().iter().map(|f| f.id).collect();
         assert_eq!(ids, vec![1, 2, 3]);
     }
 }

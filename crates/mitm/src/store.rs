@@ -4,6 +4,29 @@
 //! in different local databases." The store keeps every captured flow and
 //! exposes the two categories as views, plus JSONL persistence so
 //! campaigns can be archived and re-analysed offline.
+//!
+//! # Zero-copy analysis path
+//!
+//! Flows are held as [`Arc<Flow>`] and consumed through a sealed
+//! [`FlowSnapshot`]: an immutable view built **once** per capture that
+//! carries precomputed per-class and per-package indices. The ~10
+//! analysis passes of a study all iterate the same snapshot — no
+//! per-pass deep clone of URLs, headers and bodies, no mutex traffic.
+//! Appending or clearing flows invalidates the memoised snapshot; the
+//! next [`FlowStore::snapshot`] call seals a fresh one.
+//!
+//! The pre-snapshot cloning accessors ([`FlowStore::all`],
+//! [`FlowStore::native_flows`], …) remain as thin compatibility shims
+//! for tests and external tooling; production analysis code must use
+//! the snapshot (CI greps for regressions — see
+//! `tools/check-no-clone-analysis.sh`).
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
@@ -11,10 +34,128 @@ use panoptes_http::json;
 
 use crate::flow::{Flow, FlowClass};
 
+/// A sealed, immutable view of a capture: every flow in capture order
+/// plus per-class and per-package indices, all sharing the same
+/// [`Arc<Flow>`] records (building a snapshot never deep-copies a flow).
+#[derive(Default)]
+pub struct FlowSnapshot {
+    flows: Vec<Arc<Flow>>,
+    engine: Vec<Arc<Flow>>,
+    native: Vec<Arc<Flow>>,
+    pinned: Vec<Arc<Flow>>,
+    blocked: Vec<Arc<Flow>>,
+    by_package: HashMap<String, Vec<Arc<Flow>>>,
+    /// Slot for a derived-data cache layered on top of the snapshot by a
+    /// downstream crate (the analysis crate parks its parse-once
+    /// `CaptureFacts` here). Lives and dies with the snapshot, so the
+    /// cache can never outlive or lag the capture it describes.
+    extension: OnceLock<Box<dyn Any + Send + Sync>>,
+}
+
+impl fmt::Debug for FlowSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowSnapshot")
+            .field("flows", &self.flows.len())
+            .field("engine", &self.engine.len())
+            .field("native", &self.native.len())
+            .field("packages", &self.by_package.len())
+            .finish()
+    }
+}
+
+impl FlowSnapshot {
+    fn build(flows: Vec<Arc<Flow>>) -> FlowSnapshot {
+        let mut snap = FlowSnapshot { flows, ..FlowSnapshot::default() };
+        for flow in &snap.flows {
+            match flow.class {
+                FlowClass::Engine => snap.engine.push(flow.clone()),
+                FlowClass::Native => snap.native.push(flow.clone()),
+                FlowClass::PinnedOpaque => snap.pinned.push(flow.clone()),
+                FlowClass::Blocked => snap.blocked.push(flow.clone()),
+            }
+            snap.by_package
+                .entry(flow.package.clone())
+                .or_default()
+                .push(flow.clone());
+        }
+        snap
+    }
+
+    /// Every captured flow in capture order.
+    pub fn all(&self) -> &[Arc<Flow>] {
+        &self.flows
+    }
+
+    /// Iterates every flow in capture order.
+    pub fn iter(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.iter().map(|f| f.as_ref())
+    }
+
+    /// The engine-traffic database view.
+    pub fn engine(&self) -> &[Arc<Flow>] {
+        &self.engine
+    }
+
+    /// The native-traffic database view.
+    pub fn native(&self) -> &[Arc<Flow>] {
+        &self.native
+    }
+
+    /// Flows of one classification.
+    pub fn by_class(&self, class: FlowClass) -> &[Arc<Flow>] {
+        match class {
+            FlowClass::Engine => &self.engine,
+            FlowClass::Native => &self.native,
+            FlowClass::PinnedOpaque => &self.pinned,
+            FlowClass::Blocked => &self.blocked,
+        }
+    }
+
+    /// Flows sent by one app package (empty for unknown packages).
+    pub fn by_package(&self, package: &str) -> &[Arc<Flow>] {
+        self.by_package.get(package).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The packages observed in this capture, in arbitrary order.
+    pub fn packages(&self) -> impl Iterator<Item = &str> {
+        self.by_package.keys().map(String::as_str)
+    }
+
+    /// Total number of flows in the snapshot.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when the snapshot holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Returns the snapshot's extension cache, initialising it with
+    /// `init` on first use. One extension type per snapshot: a later
+    /// caller asking for a different `T` is a programming error and
+    /// panics.
+    pub fn extension_or_init<T, F>(&self, init: F) -> &T
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        self.extension
+            .get_or_init(|| Box::new(init()))
+            .downcast_ref::<T>()
+            .expect("FlowSnapshot extension requested with a different type than it was initialised with")
+    }
+}
+
 /// Thread-safe, append-only capture database.
 #[derive(Default)]
 pub struct FlowStore {
-    flows: Mutex<Vec<Flow>>,
+    flows: Mutex<Vec<Arc<Flow>>>,
+    /// Bumped on every mutation; lets [`Self::snapshot`] detect that a
+    /// freshly built snapshot is already stale without nesting locks.
+    generation: AtomicU64,
+    /// Memoised sealed snapshot: `(generation it was built at, view)`.
+    snapshot: Mutex<Option<(u64, Arc<FlowSnapshot>)>>,
 }
 
 impl FlowStore {
@@ -23,34 +164,70 @@ impl FlowStore {
         FlowStore::default()
     }
 
-    /// Appends a flow.
+    /// Appends a flow. Invalidates the memoised snapshot.
     pub fn push(&self, flow: Flow) {
-        self.flows.lock().push(flow);
+        self.flows.lock().push(Arc::new(flow));
+        self.generation.fetch_add(1, Ordering::Release);
+        *self.snapshot.lock() = None;
     }
 
-    /// Snapshot of every captured flow in capture order.
+    /// The sealed snapshot of the capture: built once, then shared by
+    /// every analysis pass until the store is mutated again.
+    pub fn snapshot(&self) -> Arc<FlowSnapshot> {
+        if let Some((gen, snap)) = self.snapshot.lock().as_ref() {
+            if *gen == self.generation.load(Ordering::Acquire) {
+                return snap.clone();
+            }
+        }
+        // Build outside both locks: cloning the Arc vec is cheap and the
+        // builder never touches the store again.
+        let gen = self.generation.load(Ordering::Acquire);
+        let flows = self.flows.lock().clone();
+        let snap = Arc::new(FlowSnapshot::build(flows));
+        // Memoise only if no mutation raced the build; the returned
+        // snapshot is still a correct view of the flows it was built on.
+        if gen == self.generation.load(Ordering::Acquire) {
+            *self.snapshot.lock() = Some((gen, snap.clone()));
+        }
+        snap
+    }
+
+    /// Cloning snapshot of every captured flow in capture order.
+    ///
+    /// Compatibility shim: deep-copies every flow. Analysis code must
+    /// use [`Self::snapshot`] instead.
     pub fn all(&self) -> Vec<Flow> {
-        self.flows.lock().clone()
+        self.flows.lock().iter().map(|f| (**f).clone()).collect()
     }
 
-    /// The engine-traffic database.
+    /// The engine-traffic database (cloning shim; see [`Self::snapshot`]).
     pub fn engine_flows(&self) -> Vec<Flow> {
         self.by_class(FlowClass::Engine)
     }
 
-    /// The native-traffic database.
+    /// The native-traffic database (cloning shim; see [`Self::snapshot`]).
     pub fn native_flows(&self) -> Vec<Flow> {
         self.by_class(FlowClass::Native)
     }
 
-    /// Flows of one classification.
+    /// Flows of one classification (cloning shim; see [`Self::snapshot`]).
     pub fn by_class(&self, class: FlowClass) -> Vec<Flow> {
-        self.flows.lock().iter().filter(|f| f.class == class).cloned().collect()
+        self.flows
+            .lock()
+            .iter()
+            .filter(|f| f.class == class)
+            .map(|f| (**f).clone())
+            .collect()
     }
 
-    /// Flows sent by one app package.
+    /// Flows sent by one app package (cloning shim; see [`Self::snapshot`]).
     pub fn by_package(&self, package: &str) -> Vec<Flow> {
-        self.flows.lock().iter().filter(|f| f.package == package).cloned().collect()
+        self.flows
+            .lock()
+            .iter()
+            .filter(|f| f.package == package)
+            .map(|f| (**f).clone())
+            .collect()
     }
 
     /// Total number of captured flows.
@@ -66,17 +243,34 @@ impl FlowStore {
     /// Removes every flow (start of a fresh campaign).
     pub fn clear(&self) {
         self.flows.lock().clear();
+        self.generation.fetch_add(1, Ordering::Release);
+        *self.snapshot.lock() = None;
     }
 
-    /// Serializes the whole capture as JSONL.
+    /// Serializes the whole capture as JSONL. The output buffer is
+    /// pre-reserved from per-flow line estimates, and the store lock is
+    /// taken exactly once.
     pub fn export_jsonl(&self) -> String {
         let flows = self.flows.lock();
-        let mut out = String::new();
+        let mut out = String::with_capacity(
+            flows.iter().map(|f| f.jsonl_len_estimate()).sum(),
+        );
         for flow in flows.iter() {
             out.push_str(&flow.to_jsonl());
             out.push('\n');
         }
         out
+    }
+
+    /// Streams the capture as JSONL into `out`, one line at a time, so
+    /// archive writers don't double-buffer the whole export.
+    pub fn write_jsonl(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        let flows = self.flows.lock();
+        for flow in flows.iter() {
+            out.write_str(&flow.to_jsonl())?;
+            out.write_char('\n')?;
+        }
+        Ok(())
     }
 
     /// Parses a JSONL capture produced by [`Self::export_jsonl`].
@@ -138,6 +332,68 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_views_match_cloning_shims() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Engine, "a"));
+        store.push(flow(2, FlowClass::Native, "a"));
+        store.push(flow(3, FlowClass::Native, "b"));
+        store.push(flow(4, FlowClass::Blocked, "b"));
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), store.len());
+        assert!(!snap.is_empty());
+        let all: Vec<Flow> = snap.iter().cloned().collect();
+        assert_eq!(all, store.all());
+        for class in [
+            FlowClass::Engine,
+            FlowClass::Native,
+            FlowClass::PinnedOpaque,
+            FlowClass::Blocked,
+        ] {
+            let view: Vec<Flow> =
+                snap.by_class(class).iter().map(|f| (**f).clone()).collect();
+            assert_eq!(view, store.by_class(class), "{class:?}");
+        }
+        assert_eq!(snap.engine().len(), 1);
+        assert_eq!(snap.native().len(), 2);
+        for pkg in ["a", "b"] {
+            let view: Vec<Flow> =
+                snap.by_package(pkg).iter().map(|f| (**f).clone()).collect();
+            assert_eq!(view, store.by_package(pkg), "{pkg}");
+        }
+        assert!(snap.by_package("unknown").is_empty());
+        let mut pkgs: Vec<&str> = snap.packages().collect();
+        pkgs.sort_unstable();
+        assert_eq!(pkgs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn snapshot_is_memoised_and_invalidated_by_mutation() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Native, "p"));
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "same sealed snapshot reused");
+        store.push(flow(2, FlowClass::Native, "p"));
+        let c = store.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "mutation invalidates the memo");
+        assert_eq!(c.len(), 2);
+        // The old snapshot still reflects the capture it sealed.
+        assert_eq!(a.len(), 1);
+        store.clear();
+        assert!(store.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_shares_records_with_the_store() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Native, "p"));
+        let snap = store.snapshot();
+        // The class view and the capture-order view are the same record.
+        assert!(Arc::ptr_eq(&snap.all()[0], &snap.native()[0]));
+        assert!(Arc::ptr_eq(&snap.all()[0], &snap.by_package("p")[0]));
+    }
+
+    #[test]
     fn jsonl_roundtrip() {
         let store = FlowStore::new();
         for i in 0..5 {
@@ -147,6 +403,31 @@ mod tests {
         assert_eq!(text.lines().count(), 5);
         let restored = FlowStore::import_jsonl(&text).unwrap();
         assert_eq!(restored.all(), store.all());
+    }
+
+    #[test]
+    fn streamed_export_matches_buffered() {
+        let store = FlowStore::new();
+        for i in 0..7 {
+            store.push(flow(i, FlowClass::Native, "p"));
+        }
+        let mut streamed = String::new();
+        store.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(streamed, store.export_jsonl());
+    }
+
+    #[test]
+    fn export_reserve_estimate_covers_actual_lines() {
+        let store = FlowStore::new();
+        let mut f = flow(1, FlowClass::Native, "com.example.browser");
+        f.url = "https://t.example/p?uid=abc&tz=Europe%2FAthens".into();
+        f.request_headers = vec![("user-agent".into(), "UA \"quoted\"".into())];
+        f.request_body = "{\"k\":\"v\\n\"}".into();
+        store.push(f);
+        let text = store.export_jsonl();
+        let estimate: usize =
+            store.snapshot().iter().map(Flow::jsonl_len_estimate).sum();
+        assert!(estimate >= text.len(), "estimate {estimate} < actual {}", text.len());
     }
 
     #[test]

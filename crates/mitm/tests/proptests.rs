@@ -97,3 +97,68 @@ proptest! {
         prop_assert_eq!(partitioned, store.len());
     }
 }
+
+proptest! {
+    /// Snapshot views are exactly naive filters of the capture: same
+    /// flows, same order, for every class and package — and the
+    /// capture-order view is the pushed sequence itself.
+    #[test]
+    fn snapshot_views_equal_naive_filtering(
+        flows in proptest::collection::vec(arb_flow(), 0..30),
+    ) {
+        let store = FlowStore::new();
+        for f in &flows {
+            store.push(f.clone());
+        }
+        let snap = store.snapshot();
+
+        let all: Vec<Flow> = snap.iter().cloned().collect();
+        prop_assert_eq!(&all, &flows);
+
+        for class in [
+            FlowClass::Engine,
+            FlowClass::Native,
+            FlowClass::PinnedOpaque,
+            FlowClass::Blocked,
+        ] {
+            let view: Vec<Flow> =
+                snap.by_class(class).iter().map(|f| (**f).clone()).collect();
+            let naive: Vec<Flow> =
+                flows.iter().filter(|f| f.class == class).cloned().collect();
+            prop_assert_eq!(view, naive, "class {:?}", class);
+        }
+
+        let packages: std::collections::BTreeSet<&str> =
+            flows.iter().map(|f| f.package.as_str()).collect();
+        for pkg in packages {
+            let view: Vec<Flow> =
+                snap.by_package(pkg).iter().map(|f| (**f).clone()).collect();
+            let naive: Vec<Flow> =
+                flows.iter().filter(|f| f.package == pkg).cloned().collect();
+            prop_assert_eq!(view, naive, "package {}", pkg);
+        }
+        prop_assert!(snap.by_package("no-such-package").is_empty());
+    }
+
+    /// The streaming JSONL writer and the buffered exporter emit the
+    /// same bytes, and the reserve estimate never undershoots.
+    #[test]
+    fn jsonl_export_variants_agree(
+        flows in proptest::collection::vec(arb_flow(), 0..20),
+    ) {
+        let store = FlowStore::new();
+        for f in &flows {
+            store.push(f.clone());
+        }
+        let buffered = store.export_jsonl();
+        let mut streamed = String::new();
+        store.write_jsonl(&mut streamed).unwrap();
+        prop_assert_eq!(&streamed, &buffered);
+        let estimate: usize =
+            store.snapshot().iter().map(Flow::jsonl_len_estimate).sum();
+        prop_assert!(
+            estimate >= buffered.len(),
+            "estimate {} < actual {}", estimate, buffered.len()
+        );
+    }
+}

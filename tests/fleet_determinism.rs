@@ -72,6 +72,67 @@ fn full_study_is_byte_identical_across_worker_counts() {
     }
 }
 
+/// The snapshot migration's determinism guarantee, end-to-end: the
+/// rendered study report is byte-identical whether the analysis runs
+/// over the live zero-copy snapshots or over stores rebuilt flow-by-flow
+/// from the JSONL archive (the pre-refactor materialised form). Any
+/// divergence between the sealed-snapshot/parse-once path and a naive
+/// re-read of the same capture would surface here.
+#[test]
+fn study_report_is_byte_identical_across_snapshot_rebuilds() {
+    use panoptes_mitm::FlowStore;
+    use std::sync::Arc;
+
+    let scale = Scale::quick();
+    let world = scale.world();
+    let config = scale.config();
+
+    let crawls = run_full_crawl(&world, &world.sites, &config);
+    let idles = run_full_idle(&world, IDLE, &config);
+    let reference_report = study_report(&crawls, &idles);
+
+    let rebuilt_crawls: Vec<_> = crawls
+        .iter()
+        .map(|c| {
+            let store = FlowStore::import_jsonl(&c.store.export_jsonl())
+                .unwrap_or_else(|line| panic!("{}: bad line {line}", c.profile.name));
+            // Same capture, fresh store: every snapshot, facts slot and
+            // index is rebuilt from scratch.
+            let mut rebuilt = c.clone();
+            rebuilt.store = Arc::new(store);
+            rebuilt
+        })
+        .collect();
+    let rebuilt_idles: Vec<_> = idles
+        .iter()
+        .map(|i| {
+            let store = FlowStore::import_jsonl(&i.store.export_jsonl())
+                .unwrap_or_else(|line| panic!("{}: bad line {line}", i.profile.name));
+            let mut rebuilt = i.clone();
+            rebuilt.store = Arc::new(store);
+            rebuilt
+        })
+        .collect();
+
+    assert_eq!(
+        study_report(&rebuilt_crawls, &rebuilt_idles),
+        reference_report,
+        "report over archive-roundtripped stores diverged"
+    );
+
+    // And the sealed snapshot views agree exactly with the cloning
+    // compatibility shims on real campaign captures.
+    for c in &crawls {
+        let snap = c.store.snapshot();
+        let all: Vec<_> = snap.iter().cloned().collect();
+        assert_eq!(all, c.store.all(), "{}", c.profile.name);
+        let native: Vec<_> = snap.native().iter().map(|f| (**f).clone()).collect();
+        assert_eq!(native, c.store.native_flows(), "{}", c.profile.name);
+        let engine: Vec<_> = snap.engine().iter().map(|f| (**f).clone()).collect();
+        assert_eq!(engine, c.store.engine_flows(), "{}", c.profile.name);
+    }
+}
+
 #[test]
 fn panicking_campaign_fails_only_its_own_unit() {
     // A 15-unit fleet where the Yandex slot panics mid-campaign: the

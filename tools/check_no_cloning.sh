@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Guards the zero-copy analysis path: the analysis/core/bench crates
+# must read captures through `FlowStore::snapshot()` (shared
+# `Arc<Flow>` records), never through the deep-cloning shims that the
+# mitm crate keeps for tests and for the pre-refactor benchmark
+# baseline.
+#
+# A line may opt out with a `clone-ok` comment when cloning is the
+# point (e.g. the benchmark's before/after comparison). Criterion
+# benches under `benches/` are exempt wholesale for the same reason.
+#
+# Exits non-zero, listing offenders, if any analysis pass reintroduces
+# `store.all()` / `native_flows()` / `engine_flows()` / `by_class(...)`
+# / `by_package(...)` on a store.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern='store(())?\.((all|native_flows|engine_flows)\(\)|by_(class|package)\()'
+dirs="crates/analysis/src crates/core/src crates/bench/src"
+
+offenders=$(grep -rnE "$pattern" $dirs --include='*.rs' | grep -v 'clone-ok' || true)
+
+if [ -n "$offenders" ]; then
+    echo "error: cloning FlowStore accessors in analysis-path code:" >&2
+    echo "$offenders" >&2
+    echo >&2
+    echo "Use store.snapshot() and its borrowed views instead" >&2
+    echo "(FlowSnapshot::all/engine/native/by_class/by_package)," >&2
+    echo "or mark an intentional baseline with a 'clone-ok' comment." >&2
+    exit 1
+fi
+
+echo "ok: no cloning FlowStore accessors in $dirs"
