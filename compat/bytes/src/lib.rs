@@ -1,42 +1,75 @@
 //! Offline shim for `bytes` 1.x: just [`Bytes`], an immutable
 //! reference-counted byte buffer. Clones share the allocation, which is
 //! what the proxy relies on when the same request body flows through
-//! several addons.
+//! several addons, and [`Bytes::slice`] produces zero-copy sub-views of
+//! the same allocation — the capture path serves sized filler bodies by
+//! slicing one shared buffer instead of allocating per response.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, cheaply clonable contiguous byte buffer.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<[u8]>);
+/// An immutable, cheaply clonable contiguous byte buffer (a view
+/// `[start, end)` into a shared allocation).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// The empty buffer (no allocation shared with anything).
     pub fn new() -> Bytes {
-        Bytes(Arc::from(&[][..]))
+        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
     }
 
     /// Copies `data` into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        let len = data.len();
+        Bytes { data: Arc::from(data), start: 0, end: len }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a view of `range` within this buffer, sharing the same
+    /// allocation (no copy). Panics when the range is out of bounds,
+    /// matching slice-indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice start {begin} > end {end}");
+        assert!(end <= len, "slice end {end} out of bounds (len {len})");
+        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
@@ -49,20 +82,49 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
+    }
+}
+
+// Equality, ordering and hashing are content-based (the view, not the
+// backing allocation), matching the derived impls of the pre-slicing
+// representation.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -73,7 +135,8 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        let len = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end: len }
     }
 }
 
@@ -109,19 +172,19 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.0[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.0[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<&str> for Bytes {
     fn eq(&self, other: &&str) -> bool {
-        &self.0[..] == other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 
@@ -146,6 +209,25 @@ mod tests {
         let a = Bytes::from("hello".to_string());
         let b = a.clone();
         assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let a = Bytes::from(&b"hello world"[..]);
+        let b = a.slice(6..);
+        assert_eq!(b, "world");
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_ptr(), a[6..].as_ptr());
+        let c = b.slice(1..3);
+        assert_eq!(c, "or");
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(&b"abc"[..]).slice(..4);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub fn ad_domain_row_with(result: &CampaignResult, list: &HostsList) -> AdDomain
         .snapshot()
         .native()
         .iter()
-        .map(|f| f.host.clone())
+        .map(|f| f.host.to_string())
         .collect();
     let ad_hosts: Vec<String> =
         hosts.iter().filter(|h| list.contains(h)).cloned().collect();

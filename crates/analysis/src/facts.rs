@@ -194,6 +194,7 @@ pub fn capture_facts(snapshot: &FlowSnapshot) -> Arc<CaptureFacts> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panoptes_http::netaddr::IpAddr;
     use crate::scan::observations;
     use panoptes_http::method::Method;
     use panoptes_http::request::HttpVersion;
@@ -205,8 +206,8 @@ mod tests {
             time_us: id * 1000,
             uid: 1,
             package: "p".into(),
-            host: Url::parse(url).map(|u| u.host().to_string()).unwrap_or_default(),
-            dst_ip: "1.1.1.1".into(),
+            host: Url::parse(url).map(|u| u.host().into()).unwrap_or_default(),
+            dst_ip: IpAddr::new(1, 1, 1, 1),
             dst_port: 443,
             method: Method::Post,
             url: url.into(),

@@ -52,7 +52,7 @@ pub fn find_identifiers(result: &CampaignResult, min_flows: usize) -> Vec<Identi
             // Count each (key,value) once per flow.
             if seen_in_flow.insert((&obs.key, &obs.value), ()).is_none() {
                 *counts
-                    .entry((view.host.clone(), obs.key.clone(), obs.value.clone()))
+                    .entry((view.host.to_string(), obs.key.clone(), obs.value.clone()))
                     .or_default() += 1;
             }
         }

@@ -85,7 +85,7 @@ pub fn pii_row(result: &CampaignResult, props: &DeviceProperties) -> PiiRow {
                     continue;
                 }
                 if matches_field(field, &obs.key, &obs.value, props) {
-                    leaked.push((field, view.host.clone()));
+                    leaked.push((field, view.host.to_string()));
                 }
             }
         }

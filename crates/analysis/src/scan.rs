@@ -120,6 +120,7 @@ pub fn looks_like_identifier(value: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panoptes_http::netaddr::IpAddr;
     use panoptes_http::method::Method;
     use panoptes_http::request::HttpVersion;
     use panoptes_mitm::FlowClass;
@@ -130,8 +131,8 @@ mod tests {
             time_us: 0,
             uid: 1,
             package: "p".into(),
-            host: Url::parse(url).unwrap().host().to_string(),
-            dst_ip: "1.1.1.1".into(),
+            host: Url::parse(url).unwrap().host().into(),
+            dst_ip: IpAddr::new(1, 1, 1, 1),
             dst_port: 443,
             method: Method::Post,
             url: url.into(),

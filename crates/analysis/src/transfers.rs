@@ -38,9 +38,7 @@ pub fn transfer_row(result: &CampaignResult, geo: &GeoDb) -> Option<TransferRow>
     // dst address, exactly what the paper extracts).
     let mut dest_ip: BTreeMap<String, IpAddr> = BTreeMap::new();
     for flow in result.store.snapshot().iter() {
-        if let Some(ip) = IpAddr::parse(&flow.dst_ip) {
-            dest_ip.entry(flow.host.clone()).or_insert(ip);
-        }
+        dest_ip.entry(flow.host.to_string()).or_insert(flow.dst_ip);
     }
 
     let mut destinations = Vec::new();

@@ -13,6 +13,7 @@ use panoptes_browsers::registry::profile_by_name;
 use panoptes_device::DeviceProperties;
 use panoptes_http::codec::{b64_encode, percent_encode_component};
 use panoptes_http::method::Method;
+use panoptes_http::netaddr::IpAddr;
 use panoptes_http::request::HttpVersion;
 use panoptes_mitm::{Flow, FlowClass, FlowStore};
 use panoptes_simnet::clock::SimDuration;
@@ -40,7 +41,7 @@ fn campaign(visits: &[&str], flows: Vec<Flow>) -> CampaignResult {
                 }
             })
             .collect(),
-        dns_log: Vec::new(),
+        dns_log: panoptes_simnet::dns::DnsLogSnapshot::default(),
         engine_sent: 0,
         native_sent: 0,
         adblocked: 0,
@@ -54,7 +55,7 @@ fn native_flow(id: u64, host: &str, url: &str) -> Flow {
         uid: 10000,
         package: "com.android.chrome".into(),
         host: host.into(),
-        dst_ip: "23.20.0.50".into(),
+        dst_ip: IpAddr::new(23, 20, 0, 50),
         dst_port: 443,
         method: Method::Get,
         url: url.into(),

@@ -1,0 +1,63 @@
+//! Capture-path benchmark: end-to-end requests/sec through the full
+//! rig (filter → transparent proxy → taint addon → flow store), the
+//! pre-refactor cloning replica against the zero-allocation path, plus
+//! the plan cache in isolation. The `bench_capture` binary records the
+//! same comparison as `BENCH_capture.json` with plain wall clocks; this
+//! Criterion target exists for statistically careful local runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use panoptes_bench::capture::{
+    capture_net, generator_config, run_baseline, run_zero_alloc, sweep_old_style, sweep_requests,
+    sweep_zero_alloc,
+};
+use panoptes_web::World;
+
+fn capture_end_to_end(c: &mut Criterion) {
+    let config = generator_config(12, 8);
+    let requests = sweep_requests(&World::shared(&config));
+    let flows = run_zero_alloc(&config, &requests).len() as u64;
+
+    let mut group = c.benchmark_group("capture_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flows));
+    group.bench_function("pre_refactor_replica", |b| {
+        b.iter(|| black_box(run_baseline(&config, &requests).len()))
+    });
+    group.bench_function("zero_alloc", |b| {
+        b.iter(|| black_box(run_zero_alloc(&config, &requests).len()))
+    });
+    group.finish();
+}
+
+fn capture_request_path(c: &mut Criterion) {
+    let config = generator_config(12, 8);
+    let world = World::shared(&config);
+    let requests = sweep_requests(&world);
+
+    let mut group = c.benchmark_group("capture_request_path");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    let (net, _store) = capture_net(|net| world.install(net));
+    group.bench_function("pre_refactor_replica", |b| {
+        b.iter(|| sweep_old_style(&net, &requests))
+    });
+    let (net, _store) = capture_net(|net| world.install(net));
+    group.bench_function("zero_alloc", |b| b.iter(|| sweep_zero_alloc(&net, &requests)));
+    group.finish();
+}
+
+fn plan_cache(c: &mut Criterion) {
+    let config = generator_config(12, 8);
+    let mut group = c.benchmark_group("plan_cache");
+    group.bench_function("world_build_cold", |b| {
+        b.iter(|| black_box(World::build(&config).host_count()))
+    });
+    group.bench_function("world_shared_cached", |b| {
+        b.iter(|| black_box(World::shared(&config).host_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, capture_end_to_end, capture_request_path, plan_cache);
+criterion_main!(benches);

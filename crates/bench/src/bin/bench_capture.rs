@@ -1,0 +1,136 @@
+//! Records the capture-path perf trajectory as `BENCH_capture.json`.
+//!
+//! Measures, with plain wall-clock timing (no Criterion machinery, so
+//! the numbers are trivially reproducible):
+//!
+//! * **end-to-end capture throughput** — one capture run (world +
+//!   install + full request sweep through filter → proxy → taint →
+//!   store), pre-refactor replica vs zero-allocation path;
+//! * **request path only** — the sweep over a prebuilt rig, isolating
+//!   the per-request wins (no world setup in the loop);
+//! * **plan cache** — `World::build` per run vs the shared cached plan.
+//!
+//! Before reporting anything it asserts both paths captured the exact
+//! same `(host, url, status)` sequence.
+//!
+//! Usage: `bench_capture [--quick] [output.json]`
+//! (default `BENCH_capture.json`; `--quick` is the CI smoke scale).
+
+use std::time::Instant;
+
+use panoptes_bench::capture::{
+    capture_net, flow_signature, generator_config, run_baseline, run_zero_alloc, sweep_old_style,
+    sweep_requests, sweep_zero_alloc,
+};
+use panoptes_web::World;
+
+/// Best-of-`reps` wall-clock seconds of `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut out_path = "BENCH_capture.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => out_path = other.to_string(),
+        }
+    }
+    // Full run: the study's quick scale. --quick: a CI smoke scale.
+    let (config, reps) =
+        if quick { (generator_config(8, 5), 2) } else { (generator_config(30, 20), 5) };
+
+    // The dispatch workload — request templates over the world's URL
+    // sweep — is identical for both paths and prepared once up front.
+    let requests = sweep_requests(&World::shared(&config));
+
+    eprintln!("validating: both paths capture the identical study…");
+    let baseline_store = run_baseline(&config, &requests);
+    let zero_alloc_store = run_zero_alloc(&config, &requests);
+    assert_eq!(
+        flow_signature(&baseline_store),
+        flow_signature(&zero_alloc_store),
+        "capture paths diverged"
+    );
+    let flow_count = baseline_store.len();
+
+    eprintln!("end-to-end: pre-refactor replica…");
+    let base_secs = time_best(reps, || {
+        run_baseline(&config, &requests);
+    });
+    eprintln!("end-to-end: zero-allocation path…");
+    let fast_secs = time_best(reps, || {
+        run_zero_alloc(&config, &requests);
+    });
+
+    eprintln!("request path over a prebuilt rig…");
+    let world = World::shared(&config);
+    let (net_old, _store_old) = capture_net(|net| world.install(net));
+    let req_base_secs = time_best(reps, || sweep_old_style(&net_old, &requests));
+    let (net_new, _store_new) = capture_net(|net| world.install(net));
+    let req_fast_secs = time_best(reps, || sweep_zero_alloc(&net_new, &requests));
+
+    eprintln!("plan cache: cold build vs shared…");
+    let build_secs = time_best(reps, || {
+        std::hint::black_box(World::build(&config).host_count());
+    });
+    let shared_secs = time_best(reps, || {
+        std::hint::black_box(World::shared(&config).host_count());
+    });
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"capture\",\n",
+            "  \"scale\": \"{scale}\",\n",
+            "  \"requests_per_run\": {requests},\n",
+            "  \"end_to_end\": {{\n",
+            "    \"baseline_secs\": {base_secs:.6},\n",
+            "    \"baseline_requests_per_sec\": {base_rate:.0},\n",
+            "    \"zero_alloc_secs\": {fast_secs:.6},\n",
+            "    \"zero_alloc_requests_per_sec\": {fast_rate:.0},\n",
+            "    \"speedup\": {e2e_speedup:.2}\n",
+            "  }},\n",
+            "  \"request_path\": {{\n",
+            "    \"baseline_secs\": {req_base_secs:.6},\n",
+            "    \"baseline_requests_per_sec\": {req_base_rate:.0},\n",
+            "    \"zero_alloc_secs\": {req_fast_secs:.6},\n",
+            "    \"zero_alloc_requests_per_sec\": {req_fast_rate:.0},\n",
+            "    \"speedup\": {req_speedup:.2}\n",
+            "  }},\n",
+            "  \"plan_cache\": {{\n",
+            "    \"world_build_secs\": {build_secs:.6},\n",
+            "    \"world_shared_secs\": {shared_secs:.6},\n",
+            "    \"speedup\": {cache_speedup:.1}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        scale = if quick { "smoke" } else { "quick" },
+        requests = flow_count,
+        base_secs = base_secs,
+        base_rate = flow_count as f64 / base_secs,
+        fast_secs = fast_secs,
+        fast_rate = flow_count as f64 / fast_secs,
+        e2e_speedup = base_secs / fast_secs,
+        req_base_secs = req_base_secs,
+        req_base_rate = flow_count as f64 / req_base_secs,
+        req_fast_secs = req_fast_secs,
+        req_fast_rate = flow_count as f64 / req_fast_secs,
+        req_speedup = req_base_secs / req_fast_secs,
+        build_secs = build_secs,
+        shared_secs = shared_secs,
+        cache_speedup = build_secs / shared_secs,
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -4,6 +4,8 @@
 //! same campaigns across the [`fleet`](panoptes::fleet) worker pool;
 //! both produce byte-identical results in the same order.
 
+use std::sync::Arc;
+
 use panoptes::campaign::CampaignResult;
 use panoptes::config::CampaignConfig;
 use panoptes::fleet::{FleetError, FleetOptions, UnitOutput};
@@ -49,9 +51,11 @@ impl Scale {
         }
     }
 
-    /// Builds the world for this scale.
-    pub fn world(&self) -> World {
-        World::build(&GeneratorConfig {
+    /// The (cached, shared) world for this scale: the plan cache builds
+    /// it once per configuration and every driver — sequential, fleet,
+    /// bench — reuses the same immutable instance.
+    pub fn world(&self) -> Arc<World> {
+        World::shared(&GeneratorConfig {
             seed: self.seed,
             popular: self.popular,
             sensitive: self.sensitive,
@@ -65,7 +69,7 @@ impl Scale {
 }
 
 /// Runs the full 15-browser crawl at the given scale.
-pub fn crawl_all(scale: &Scale) -> (World, Vec<CampaignResult>) {
+pub fn crawl_all(scale: &Scale) -> (Arc<World>, Vec<CampaignResult>) {
     let world = scale.world();
     let config = scale.config();
     let results = run_full_crawl(&world, &world.sites, &config);
@@ -85,7 +89,7 @@ pub fn idle_all(scale: &Scale) -> Vec<IdleResult> {
 pub fn crawl_all_jobs(
     scale: &Scale,
     options: &FleetOptions,
-) -> Result<(World, Vec<CampaignResult>), FleetError<UnitOutput>> {
+) -> Result<(Arc<World>, Vec<CampaignResult>), FleetError<UnitOutput>> {
     let world = scale.world();
     let config = scale.config();
     let results = run_full_crawl_jobs(&world, &world.sites, &config, options)?;

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
+pub mod capture_baseline;
 pub mod experiments;
 pub mod perf;
 pub mod render;

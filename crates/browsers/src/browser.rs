@@ -83,7 +83,7 @@ impl Browser {
         trust.install(CaId::mitm());
         let client = ClientTemplate {
             uid,
-            package: profile.package.to_string(),
+            package: profile.package.into(),
             trust,
             pins: PinPolicy::pin(profile.pinned_domains),
         };
@@ -230,7 +230,7 @@ impl Browser {
 
         let mut sent = 0;
         let deadline = start.plus(total);
-        while let Some((at, call)) = queue.pop_due(deadline) {
+        for (at, call) in queue.drain_until(deadline) {
             if at > env.clock.now() {
                 env.clock.advance_to(at);
             }

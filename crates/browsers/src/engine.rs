@@ -16,7 +16,7 @@ use panoptes_device::DeviceProperties;
 use panoptes_http::request::HttpVersion;
 use panoptes_http::url::Url;
 use panoptes_http::useragent::UserAgent;
-use panoptes_http::{CookieJar, Cookie, Request};
+use panoptes_http::{Atom, CookieJar, Cookie, Request};
 use panoptes_simnet::clock::{SimClock, SimInstant};
 use panoptes_simnet::dns::ResolverKind;
 use panoptes_simnet::net::{ClientCtx, NetError, Network};
@@ -33,8 +33,9 @@ const PARALLELISM: u64 = 8;
 pub struct ClientTemplate {
     /// Kernel UID of the browser process.
     pub uid: u32,
-    /// Package name.
-    pub package: String,
+    /// Package name (interned — cloning into each request context is a
+    /// reference-count bump).
+    pub package: Atom,
     /// Trust store (system roots + the installed Panoptes MITM CA).
     pub trust: TrustStore,
     /// The app's pinning policy.
@@ -75,7 +76,7 @@ pub struct EngineSession {
     filter: Option<FilterList>,
     attempts_h3: bool,
     dns_cache: HashSet<String>,
-    h3_blocked: HashSet<String>,
+    h3_blocked: HashSet<Atom>,
     /// Cookie jar used in incognito (discarded when the session ends).
     pub incognito_jar: CookieJar,
     user_agent: String,
@@ -157,7 +158,7 @@ impl EngineSession {
         stats: &mut EngineStats,
         full_latency: bool,
     ) -> Option<panoptes_http::Response> {
-        let host = url.host().to_string();
+        let host = url.host_atom().clone();
         let url_text = url.to_string_full();
         if let Some(filter) = &self.filter {
             if filter.should_block(&host, &url_text) {

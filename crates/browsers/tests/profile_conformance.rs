@@ -76,7 +76,7 @@ fn native_flows_come_only_from_the_declared_catalogue() {
         let expected = expected_hosts(&profile);
         for flow in store.native_flows() {
             assert!(
-                expected.contains(&flow.host),
+                expected.contains(flow.host.as_str()),
                 "{}: undeclared native destination {}",
                 profile.name,
                 flow.host

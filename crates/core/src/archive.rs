@@ -13,7 +13,8 @@ use panoptes_browsers::registry::profile_by_name;
 use panoptes_http::json::{self, Value};
 use panoptes_mitm::{Flow, FlowStore};
 use panoptes_simnet::clock::SimDuration;
-use panoptes_simnet::dns::{DnsLogEntry, DohProvider, ResolverKind};
+use panoptes_http::Atom;
+use panoptes_simnet::dns::{DnsLogEntry, DnsLogSnapshot, DohProvider, ResolverKind};
 
 use crate::campaign::{CampaignResult, VisitRecord};
 
@@ -122,7 +123,7 @@ pub fn load(text: &str) -> Result<CampaignResult, ArchiveError> {
             };
             Some(DnsLogEntry {
                 uid: e.get("uid")?.as_i64()? as u32,
-                name: e.get("name")?.as_str()?.to_string(),
+                name: Atom::intern(e.get("name")?.as_str()?),
                 resolver,
             })
         })
@@ -143,7 +144,7 @@ pub fn load(text: &str) -> Result<CampaignResult, ArchiveError> {
         uid: doc.get("uid").and_then(|v| v.as_i64()).ok_or_else(|| err("missing uid"))? as u32,
         store,
         visits,
-        dns_log,
+        dns_log: DnsLogSnapshot::from_entries(dns_log),
         engine_sent: doc
             .get("engine_sent")
             .and_then(|v| v.as_i64())

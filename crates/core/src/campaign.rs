@@ -11,7 +11,7 @@ use panoptes_instrument::tap::{Instrumentation, RequestTap, TaintInjector};
 use panoptes_instrument::AppiumDriver;
 use panoptes_mitm::{FlowStore, TAINT_HEADER};
 use panoptes_simnet::clock::SimDuration;
-use panoptes_simnet::dns::DnsLogEntry;
+use panoptes_simnet::dns::DnsLogSnapshot;
 use panoptes_web::site::SiteSpec;
 use panoptes_web::World;
 
@@ -48,8 +48,9 @@ pub struct CampaignResult {
     pub store: Arc<FlowStore>,
     /// Ground-truth visit log.
     pub visits: Vec<VisitRecord>,
-    /// DNS queries observed at the device resolver / DoH log.
-    pub dns_log: Vec<DnsLogEntry>,
+    /// DNS queries observed at the device resolver / DoH log (shared,
+    /// immutable snapshot — cloning a result never copies the log).
+    pub dns_log: DnsLogSnapshot,
     /// Total engine requests reported by the engine itself (sanity
     /// cross-check against the store).
     pub engine_sent: u64,

@@ -2,7 +2,9 @@
 
 use panoptes_http::json::{self, Value};
 use panoptes_http::method::Method;
+use panoptes_http::netaddr::IpAddr;
 use panoptes_http::request::HttpVersion;
+use panoptes_http::Atom;
 
 /// How the taint-splitting addon classified a flow (§2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,12 +53,13 @@ pub struct Flow {
     pub time_us: u64,
     /// Kernel UID of the sending process.
     pub uid: u32,
-    /// Package name of the sending app.
-    pub package: String,
-    /// Destination hostname (SNI).
-    pub host: String,
-    /// Destination address as dotted quad.
-    pub dst_ip: String,
+    /// Package name of the sending app (interned — shared across the
+    /// thousands of flows a campaign captures per app).
+    pub package: Atom,
+    /// Destination hostname (SNI), interned.
+    pub host: Atom,
+    /// Destination address.
+    pub dst_ip: IpAddr,
     /// Destination port.
     pub dst_port: u16,
     /// Request method.
@@ -64,7 +67,9 @@ pub struct Flow {
     /// Full serialized request URL (after taint-header removal).
     pub url: String,
     /// Request headers as `name: value` lines (wire order, post-addon).
-    pub request_headers: Vec<(String, String)>,
+    /// Both halves interned — recording a flow's headers is one `Vec`
+    /// plus reference-count bumps.
+    pub request_headers: Vec<(Atom, Atom)>,
     /// Request body (lossy UTF-8; synthetic bodies are always text).
     pub request_body: String,
     /// Response status code (0 for opaque/pinned flows).
@@ -93,7 +98,7 @@ impl Flow {
             ("uid", Value::from(self.uid)),
             ("package", Value::str(&self.package)),
             ("host", Value::str(&self.host)),
-            ("dst_ip", Value::str(&self.dst_ip)),
+            ("dst_ip", Value::str(self.dst_ip.to_string())),
             ("dst_port", Value::from(self.dst_port as u32)),
             ("method", Value::str(self.method.as_str())),
             ("url", Value::str(&self.url)),
@@ -123,16 +128,19 @@ impl Flow {
             .iter()
             .map(|pair| {
                 let pair = pair.as_array()?;
-                Some((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_str()?.to_string()))
+                Some((
+                    Atom::intern(pair.first()?.as_str()?),
+                    Atom::intern(pair.get(1)?.as_str()?),
+                ))
             })
             .collect::<Option<Vec<_>>>()?;
         Some(Flow {
             id: v.get("id")?.as_i64()? as u64,
             time_us: v.get("time_us")?.as_i64()? as u64,
             uid: v.get("uid")?.as_i64()? as u32,
-            package: v.get("package")?.as_str()?.to_string(),
-            host: v.get("host")?.as_str()?.to_string(),
-            dst_ip: v.get("dst_ip")?.as_str()?.to_string(),
+            package: Atom::intern(v.get("package")?.as_str()?),
+            host: Atom::intern(v.get("host")?.as_str()?),
+            dst_ip: IpAddr::parse(v.get("dst_ip")?.as_str()?)?,
             dst_port: v.get("dst_port")?.as_i64()? as u16,
             method: Method::parse(v.get("method")?.as_str()?)?,
             url: v.get("url")?.as_str()?.to_string(),
@@ -166,7 +174,6 @@ impl Flow {
         }
         let strings = escaped(&self.package)
             + escaped(&self.host)
-            + escaped(&self.dst_ip)
             + escaped(&self.url)
             + escaped(&self.request_body)
             + self
@@ -175,8 +182,9 @@ impl Flow {
                 .map(|(n, v)| escaped(n) + escaped(v) + 8)
                 .sum::<usize>();
         // Keys + quotes + commas + braces + six u64/u32 fields at up to
-        // 20 digits each + method/version/class labels + newline.
-        320 + strings
+        // 20 digits each + a dotted-quad address + method/version/class
+        // labels + newline.
+        340 + strings
     }
 
     /// Registrable domain of the destination.
@@ -204,7 +212,7 @@ mod tests {
             uid: 10050,
             package: "ru.yandex.browser".into(),
             host: "sba.yandex.net".into(),
-            dst_ip: "77.88.0.11".into(),
+            dst_ip: IpAddr::new(77, 88, 0, 11),
             dst_port: 443,
             method: Method::Post,
             url: "https://sba.yandex.net/report?url=aHR0cHM6Ly9leGFtcGxlLmNvbS8".into(),

@@ -106,7 +106,7 @@ fn entry(flow: &Flow) -> Value {
                 ("receive", Value::from(0u32)),
             ]),
         ),
-        ("serverIPAddress", Value::str(&flow.dst_ip)),
+        ("serverIPAddress", Value::str(flow.dst_ip.to_string())),
         // Panoptes extensions.
         ("_class", Value::str(flow.class.as_str())),
         ("_uid", Value::from(flow.uid)),
@@ -140,6 +140,7 @@ fn iso_time(time_us: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panoptes_http::netaddr::IpAddr;
     use crate::flow::FlowClass;
     use panoptes_http::method::Method;
     use panoptes_http::request::HttpVersion;
@@ -151,7 +152,7 @@ mod tests {
             uid: 10050,
             package: "ru.yandex.browser".into(),
             host: "sba.yandex.net".into(),
-            dst_ip: "77.88.0.11".into(),
+            dst_ip: IpAddr::new(77, 88, 0, 11),
             dst_port: 443,
             method: Method::Post,
             url: "https://sba.yandex.net/safety/check?url=abc".into(),

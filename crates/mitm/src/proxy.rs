@@ -53,6 +53,35 @@ impl TransparentProxy {
         &self.store
     }
 
+    /// Snapshots the request half of a flow record. The response half
+    /// (`status`, `bytes_in`) is filled in once the exchange completes.
+    fn flow_of(&self, ctx: &FlowContext, req: &Request, class: FlowClass) -> Flow {
+        Flow {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            time_us: ctx.time.0,
+            uid: ctx.uid,
+            // Atoms carried through the FlowContext: cloning is a
+            // reference-count bump, not a string copy.
+            package: ctx.app_package.clone(),
+            host: ctx.sni.clone(),
+            dst_ip: ctx.dst_ip,
+            dst_port: ctx.dst_port,
+            method: req.method,
+            url: req.url.to_string_full(),
+            request_headers: req
+                .headers
+                .iter_interned()
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect(),
+            request_body: String::from_utf8_lossy(&req.body).into_owned(),
+            status: 0,
+            bytes_out: req.wire_size(),
+            bytes_in: 0,
+            version: ctx.version,
+            class,
+        }
+    }
+
     fn record(
         &self,
         ctx: &FlowContext,
@@ -61,28 +90,9 @@ impl TransparentProxy {
         status: u16,
         bytes_in: u64,
     ) {
-        let flow = Flow {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            time_us: ctx.time.0,
-            uid: ctx.uid,
-            package: ctx.app_package.clone(),
-            host: ctx.sni.clone(),
-            dst_ip: ctx.dst_ip.to_string(),
-            dst_port: ctx.dst_port,
-            method: req.method,
-            url: req.url.to_string_full(),
-            request_headers: req
-                .headers
-                .iter()
-                .map(|(n, v)| (n.to_string(), v.to_string()))
-                .collect(),
-            request_body: String::from_utf8_lossy(&req.body).into_owned(),
-            status,
-            bytes_out: req.wire_size(),
-            bytes_in,
-            version: ctx.version,
-            class,
-        };
+        let mut flow = self.flow_of(ctx, req, class);
+        flow.status = status;
+        flow.bytes_in = bytes_in;
         self.store.push(flow);
     }
 }
@@ -111,16 +121,23 @@ impl HttpHandler for TransparentProxy {
             return Ok(denied);
         }
 
-        match net.origin_fetch(ctx, req.clone()) {
+        // Snapshot the flow record now, then hand `req` to the origin by
+        // value — the forward no longer deep-clones the request.
+        let mut flow = self.flow_of(ctx, &req, class);
+        match net.origin_fetch(ctx, req) {
             Ok(mut response) => {
                 self.addons.run_response(ctx, &mut response);
-                self.record(ctx, &req, class, response.status.0, response.wire_size());
+                flow.status = response.status.0;
+                flow.bytes_in = response.wire_size();
+                self.store.push(flow);
                 Ok(response)
             }
             Err(err) => {
                 let gateway = Response::status(StatusCode::BAD_GATEWAY)
                     .with_header("x-mitm-error", &err.to_string());
-                self.record(ctx, &req, class, StatusCode::BAD_GATEWAY.0, gateway.wire_size());
+                flow.status = StatusCode::BAD_GATEWAY.0;
+                flow.bytes_in = gateway.wire_size();
+                self.store.push(flow);
                 Ok(gateway)
             }
         }

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use panoptes_http::json;
+use panoptes_http::Atom;
 
 use crate::flow::{Flow, FlowClass};
 
@@ -44,7 +45,7 @@ pub struct FlowSnapshot {
     native: Vec<Arc<Flow>>,
     pinned: Vec<Arc<Flow>>,
     blocked: Vec<Arc<Flow>>,
-    by_package: HashMap<String, Vec<Arc<Flow>>>,
+    by_package: HashMap<Atom, Vec<Arc<Flow>>>,
     /// Slot for a derived-data cache layered on top of the snapshot by a
     /// downstream crate (the analysis crate parks its parse-once
     /// `CaptureFacts` here). Lives and dies with the snapshot, so the
@@ -118,7 +119,7 @@ impl FlowSnapshot {
 
     /// The packages observed in this capture, in arbitrary order.
     pub fn packages(&self) -> impl Iterator<Item = &str> {
-        self.by_package.keys().map(String::as_str)
+        self.by_package.keys().map(Atom::as_str)
     }
 
     /// Total number of flows in the snapshot.
@@ -293,6 +294,7 @@ impl FlowStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panoptes_http::netaddr::IpAddr;
     use panoptes_http::method::Method;
     use panoptes_http::request::HttpVersion;
 
@@ -303,7 +305,7 @@ mod tests {
             uid: 10000,
             package: package.into(),
             host: "h.com".into(),
-            dst_ip: "1.2.3.4".into(),
+            dst_ip: IpAddr::new(1, 2, 3, 4),
             dst_port: 443,
             method: Method::Get,
             url: "https://h.com/".into(),

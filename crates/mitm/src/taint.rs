@@ -63,11 +63,14 @@ impl Addon for TaintAddon {
     }
 
     fn on_request(&self, ir: &mut InterceptedRequest<'_>) {
-        let values = ir.request.headers.remove(TAINT_HEADER);
-        if values.is_empty() {
+        // Strip-and-verify in place: no owned copies of the removed
+        // values are ever made.
+        let (removed, all_match) =
+            ir.request.headers.strip_matching(TAINT_HEADER, &self.token);
+        if removed == 0 {
             *ir.class = FlowClass::Native;
             self.native_seen.fetch_add(1, Ordering::Relaxed);
-        } else if values.iter().all(|v| *v == self.token) {
+        } else if all_match {
             *ir.class = FlowClass::Engine;
             self.engine_seen.fetch_add(1, Ordering::Relaxed);
         } else {

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use panoptes_http::json;
 use panoptes_http::method::Method;
+use panoptes_http::netaddr::IpAddr;
 use panoptes_http::request::HttpVersion;
 use panoptes_mitm::har::to_har;
 use panoptes_mitm::{Flow, FlowClass, FlowStore};
@@ -29,14 +30,15 @@ fn arb_flow() -> impl Strategy<Value = Flow> {
                 id,
                 time_us,
                 uid,
-                package,
-                host: host.clone(),
-                dst_ip: "10.0.0.1".into(),
+                package: package.as_str().into(),
+                host: host.as_str().into(),
+                dst_ip: IpAddr::new(10, 0, 0, 1),
                 dst_port: 443,
                 method: Method::Get,
                 url: format!("https://{host}/p"),
                 request_headers: headers
                     .into_iter()
+                    .map(|(n, v)| (n.as_str().into(), v.as_str().into()))
                     .collect(),
                 request_body: body,
                 status,

@@ -1,0 +1,278 @@
+//! Interned strings for the capture hot path.
+//!
+//! The capture pipeline repeats the same few hundred strings millions of
+//! times: hostnames, registrable domains, package names, header names.
+//! An [`Atom`] is a reference-counted interned string — `Arc<str>` backed
+//! by a sharded global intern table — so every occurrence of
+//! `"sba.yandex.net"` in a study shares one allocation, cloning a flow
+//! context is a reference-count bump, and equality between interned
+//! copies is a pointer comparison.
+//!
+//! Interning is keyed on content: two [`Atom::from`] calls with equal
+//! strings return pointer-identical atoms regardless of which thread or
+//! shard performed the intern (the shard is chosen by a content hash, so
+//! equal strings always meet in the same shard). The table only ever
+//! grows; the string population of a study (hosts, packages, header
+//! names) is bounded, so this is a cache, not a leak.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of intern-table shards (power of two; the shard index is the
+/// low bits of the content hash).
+const SHARDS: usize = 16;
+
+fn table() -> &'static [Mutex<HashSet<Arc<str>>>; SHARDS] {
+    static TABLE: OnceLock<[Mutex<HashSet<Arc<str>>>; SHARDS]> = OnceLock::new();
+    TABLE.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashSet::new())))
+}
+
+/// FNV-1a — the deterministic hash the workspace standardises on.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// An interned, immutable, cheaply clonable string.
+#[derive(Clone)]
+pub struct Atom(Arc<str>);
+
+impl Atom {
+    /// Interns `s`, returning the canonical atom for its content. Equal
+    /// inputs yield pointer-identical atoms.
+    pub fn intern(s: &str) -> Atom {
+        let shard = &table()[(fnv1a(s) as usize) & (SHARDS - 1)];
+        let mut set = shard.lock().expect("intern shard poisoned");
+        if let Some(existing) = set.get(s) {
+            return Atom(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(s);
+        set.insert(arc.clone());
+        Atom(arc)
+    }
+
+    /// The string content.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True when both atoms share the same allocation. Interned atoms
+    /// with equal content always do; this is the O(1) fast path behind
+    /// [`PartialEq`].
+    pub fn ptr_eq(a: &Atom, b: &Atom) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Default for Atom {
+    fn default() -> Atom {
+        Atom::intern("")
+    }
+}
+
+impl Deref for Atom {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Atom {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Atom {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Atom {
+        Atom::intern(s)
+    }
+}
+
+impl From<&String> for Atom {
+    fn from(s: &String) -> Atom {
+        Atom::intern(s)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Atom {
+        Atom::intern(&s)
+    }
+}
+
+impl From<&Atom> for String {
+    fn from(a: &Atom) -> String {
+        a.as_str().to_string()
+    }
+}
+
+impl From<Atom> for String {
+    fn from(a: Atom) -> String {
+        a.as_str().to_string()
+    }
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Atom) -> bool {
+        // Interned equal content shares a pointer; the content fallback
+        // keeps equality correct for atoms from different processes of
+        // interning history (e.g. after deserialisation).
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Atom {}
+
+impl PartialEq<str> for Atom {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Atom {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Atom {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Atom> for str {
+    fn eq(&self, other: &Atom) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<Atom> for &str {
+    fn eq(&self, other: &Atom) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl PartialEq<Atom> for String {
+    fn eq(&self, other: &Atom) -> bool {
+        self.as_str() == &*other.0
+    }
+}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Atom) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Atom) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(&other.0)
+        }
+    }
+}
+
+// Content hash, matching `Borrow<str>`: a `HashMap<Atom, _>` can be
+// probed with a plain `&str` key without interning or allocating.
+impl Hash for Atom {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (*self.0).hash(state)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equal_content_is_pointer_equal() {
+        let a = Atom::intern("www.example.com");
+        let b = Atom::intern("www.example.com");
+        assert!(Atom::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_content_differs() {
+        let a = Atom::intern("a.example");
+        let b = Atom::intern("b.example");
+        assert!(!Atom::ptr_eq(&a, &b));
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn str_interop() {
+        let a = Atom::from("host.example");
+        assert_eq!(a, "host.example");
+        assert_eq!("host.example", a);
+        assert_eq!(a.as_str(), "host.example");
+        assert_eq!(a.len(), 12);
+        assert!(a.ends_with(".example"));
+        assert_eq!(a.to_string(), "host.example");
+        assert_eq!(format!("{a:?}"), "\"host.example\"");
+    }
+
+    #[test]
+    fn map_lookup_by_str_key() {
+        let mut map: HashMap<Atom, u32> = HashMap::new();
+        map.insert(Atom::intern("pkg.one"), 1);
+        assert_eq!(map.get("pkg.one"), Some(&1));
+        assert_eq!(map.get("pkg.two"), None);
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Atom::intern("clone.me");
+        let b = a.clone();
+        assert!(Atom::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(Atom::default(), "");
+        assert!(Atom::default().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_interning_converges() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Atom::intern("converge.example")))
+            .collect();
+        let atoms: Vec<Atom> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for pair in atoms.windows(2) {
+            assert!(Atom::ptr_eq(&pair[0], &pair[1]));
+        }
+    }
+}

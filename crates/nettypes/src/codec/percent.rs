@@ -19,6 +19,13 @@ pub fn percent_encode_component(input: &str) -> String {
     encode_with(input, is_unreserved)
 }
 
+/// Length in bytes of [`percent_encode_component`]'s output, without
+/// building the string: unreserved bytes cost 1, everything else 3
+/// (`%XX`). Lets wire-size accounting skip the encode allocation.
+pub fn percent_encode_component_len(input: &str) -> usize {
+    input.bytes().map(|b| if is_unreserved(b) { 1 } else { 3 }).sum()
+}
+
 fn encode_with(input: &str, keep: impl Fn(u8) -> bool) -> String {
     let mut out = String::with_capacity(input.len());
     for &b in input.as_bytes() {
@@ -76,6 +83,13 @@ mod tests {
     fn decode_roundtrip() {
         for s in ["", "plain", "a=b&c d", "ünïcode/✓", "100%"] {
             assert_eq!(percent_decode(&percent_encode_component(s)), s);
+        }
+    }
+
+    #[test]
+    fn encoded_component_len_matches_encoder() {
+        for s in ["", "plain", "a=b&c d", "ünïcode/✓", "100%", "safe-._~"] {
+            assert_eq!(percent_encode_component_len(s), percent_encode_component(s).len());
         }
     }
 

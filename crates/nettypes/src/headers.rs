@@ -5,13 +5,21 @@
 //! the rest byte-identically, otherwise origin servers could detect the
 //! measurement. Lookups are ASCII-case-insensitive per RFC 9110.
 
+use crate::atom::Atom;
+
 /// One `name: value` header field.
+///
+/// Both halves are interned. Names draw from a tiny population; values
+/// draw from the bounded vocabularies of the generated world (profile
+/// constants, taint tokens, content types, per-site redirect targets),
+/// so repeated `set`/`append`/clone — and every captured flow record —
+/// is a reference-count bump instead of a fresh allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeaderField {
     /// Field name exactly as set (original casing preserved for the wire).
-    pub name: String,
+    pub name: Atom,
     /// Field value.
-    pub value: String,
+    pub value: Atom,
 }
 
 /// An ordered multimap of HTTP header fields.
@@ -27,13 +35,13 @@ impl Headers {
     }
 
     /// Appends a field, keeping any existing fields with the same name.
-    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+    pub fn append(&mut self, name: impl Into<Atom>, value: impl Into<Atom>) {
         self.fields.push(HeaderField { name: name.into(), value: value.into() });
     }
 
     /// Sets a field, replacing every existing field with the same
     /// (case-insensitive) name. The new field is appended at the end.
-    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+    pub fn set(&mut self, name: impl Into<Atom>, value: impl Into<Atom>) {
         let name = name.into();
         self.fields.retain(|f| !f.name.eq_ignore_ascii_case(&name));
         self.fields.push(HeaderField { name, value: value.into() });
@@ -60,8 +68,9 @@ impl Headers {
         self.get(name).is_some()
     }
 
-    /// Removes every field named `name`; returns the removed values in order.
-    pub fn remove(&mut self, name: &str) -> Vec<String> {
+    /// Removes every field named `name`; returns the removed values in
+    /// order (shared atoms — no copies are made).
+    pub fn remove(&mut self, name: &str) -> Vec<Atom> {
         let mut removed = Vec::new();
         self.fields.retain(|f| {
             if f.name.eq_ignore_ascii_case(name) {
@@ -74,9 +83,36 @@ impl Headers {
         removed
     }
 
+    /// Removes every field named `name` in place, reporting how many
+    /// were removed and whether every removed value equalled
+    /// `expected`. The allocation-free form of [`Headers::remove`] for
+    /// strip-and-verify protocols (the taint addon) that never need the
+    /// removed values themselves.
+    pub fn strip_matching(&mut self, name: &str, expected: &str) -> (usize, bool) {
+        let mut removed = 0;
+        let mut all_match = true;
+        self.fields.retain(|f| {
+            if f.name.eq_ignore_ascii_case(name) {
+                removed += 1;
+                all_match &= f.value == expected;
+                false
+            } else {
+                true
+            }
+        });
+        (removed, all_match)
+    }
+
     /// Iterates fields in wire order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.fields.iter().map(|f| (f.name.as_str(), f.value.as_str()))
+    }
+
+    /// Iterates fields in wire order as interned atoms, for consumers
+    /// that keep the fields (cloning an [`Atom`] is a reference-count
+    /// bump, not a string copy).
+    pub fn iter_interned(&self) -> impl Iterator<Item = (&Atom, &Atom)> {
+        self.fields.iter().map(|f| (&f.name, &f.value))
     }
 
     /// Number of fields (counting duplicates).

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atom;
 pub mod codec;
 pub mod cookie;
 pub mod h1;
@@ -54,6 +55,7 @@ pub mod status;
 pub mod url;
 pub mod useragent;
 
+pub use atom::Atom;
 pub use cookie::{Cookie, CookieJar};
 pub use headers::Headers;
 pub use method::Method;

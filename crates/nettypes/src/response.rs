@@ -1,9 +1,25 @@
 //! HTTP responses with wire-size accounting.
 
+use std::sync::{Mutex, OnceLock};
+
 use bytes::Bytes;
 
 use crate::headers::Headers;
 use crate::status::StatusCode;
+
+/// Returns `size` filler bytes (`b'.'`) as a zero-copy slice of a shared
+/// buffer, growing the buffer geometrically when a larger size appears.
+/// The simulated web serves tens of thousands of sized bodies per study;
+/// sharing one allocation removes a `vec![b'.'; size]` per response.
+fn filler(size: usize) -> Bytes {
+    static FILLER: OnceLock<Mutex<Bytes>> = OnceLock::new();
+    let cell = FILLER.get_or_init(|| Mutex::new(Bytes::from(vec![b'.'; 64 * 1024])));
+    let mut buf = cell.lock().expect("filler buffer poisoned");
+    if buf.len() < size {
+        *buf = Bytes::from(vec![b'.'; size.next_power_of_two()]);
+    }
+    buf.slice(..size)
+}
 
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +47,7 @@ impl Response {
     /// simulated web serves *sized* content, not real content, since only
     /// volumes and structure matter to the measurement.
     pub fn sized(size: usize) -> Response {
-        let mut r = Response::ok(Bytes::from(vec![b'.'; size]));
+        let mut r = Response::ok(filler(size));
         r.headers.set("content-length", size.to_string());
         r
     }
@@ -66,6 +82,19 @@ mod tests {
         let small = Response::sized(10);
         let big = Response::sized(1000);
         assert!(big.wire_size() >= small.wire_size() + 990);
+    }
+
+    #[test]
+    fn sized_bodies_share_the_filler_buffer() {
+        // Grow first so the buffer is stable for the sharing check even
+        // when other tests run concurrently.
+        let big = Response::sized(200_000);
+        assert_eq!(big.body.len(), 200_000);
+        assert!(big.body.iter().all(|&c| c == b'.'));
+        let a = Response::sized(100);
+        let b = Response::sized(40);
+        assert_eq!(a.body.as_ptr(), b.body.as_ptr());
+        assert!(a.body.iter().all(|&c| c == b'.'));
     }
 
     #[test]

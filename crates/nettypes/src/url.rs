@@ -9,7 +9,10 @@
 //! 3. the **registrable domain** (eTLD+1 — the unit used to decide whether
 //!    a native request goes to a third party).
 
-use crate::codec::percent::{percent_decode, percent_encode_component};
+use crate::atom::Atom;
+use crate::codec::percent::{
+    percent_decode, percent_encode_component, percent_encode_component_len,
+};
 
 /// URL scheme; only the two the measured traffic uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,7 +68,9 @@ impl std::error::Error for UrlError {}
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Url {
     scheme: Scheme,
-    host: String,
+    /// Interned: hostnames repeat heavily across a study's requests, so
+    /// cloning a URL bumps a reference count instead of copying the name.
+    host: Atom,
     port: Option<u16>,
     path: String,
     query: Vec<(String, String)>,
@@ -122,14 +127,19 @@ impl Url {
         let path = if path_raw.is_empty() { "/".to_string() } else { path_raw.to_string() };
         let query = query_raw.map(parse_query).unwrap_or_default();
 
-        Ok(Url { scheme, host, port, path, query, fragment })
+        Ok(Url { scheme, host: host.into(), port, path, query, fragment })
     }
 
     /// Builds an `https` URL for `host` with path `/`.
     pub fn https(host: &str) -> Url {
+        let host = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            Atom::from(host.to_ascii_lowercase())
+        } else {
+            Atom::intern(host)
+        };
         Url {
             scheme: Scheme::Https,
-            host: host.to_ascii_lowercase(),
+            host,
             port: None,
             path: "/".to_string(),
             query: Vec::new(),
@@ -144,6 +154,12 @@ impl Url {
 
     /// Lowercased hostname.
     pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The hostname as its interned atom — for callers that keep it
+    /// (cloning an [`Atom`] is a reference-count bump).
+    pub fn host_atom(&self) -> &Atom {
         &self.host
     }
 
@@ -247,6 +263,40 @@ impl Url {
         }
         out
     }
+
+    /// Byte length of [`Url::to_string_full`] without building the
+    /// string. Wire-size accounting (the paper's Figure 4 volume
+    /// numbers) calls this once per request, so it must agree with the
+    /// serializer exactly — see `encoded_len_matches_serialization`.
+    pub fn encoded_len(&self) -> usize {
+        let mut len = self.scheme.as_str().len() + 3 + self.host.len() + self.path.len();
+        if let Some(p) = self.port {
+            if p != self.scheme.default_port() {
+                len += 1 + decimal_digits(p);
+            }
+        }
+        if !self.query.is_empty() {
+            // '?' plus '&'-joined `k=v` pairs.
+            len += self.query.len() + self.query.len(); // one '?'/'&' and one '=' per pair
+            for (k, v) in &self.query {
+                len += percent_encode_component_len(k) + percent_encode_component_len(v);
+            }
+        }
+        if let Some(f) = &self.fragment {
+            len += 1 + f.len();
+        }
+        len
+    }
+}
+
+fn decimal_digits(p: u16) -> usize {
+    match p {
+        0..=9 => 1,
+        10..=99 => 2,
+        100..=999 => 3,
+        1000..=9999 => 4,
+        _ => 5,
+    }
 }
 
 impl std::fmt::Display for Url {
@@ -278,24 +328,36 @@ const MULTI_LABEL_SUFFIXES: &[&str] =
 
 /// Extracts the registrable domain (eTLD+1) from a hostname.
 pub fn registrable_domain(host: &str) -> String {
+    registrable_suffix(host).to_string()
+}
+
+/// Borrowing form of [`registrable_domain`]: the eTLD+1 is always a
+/// suffix of the hostname, so it can be returned as a slice. The
+/// allocation-free comparison path (third-party checks, pin checks) uses
+/// this directly.
+pub fn registrable_suffix(host: &str) -> &str {
     let host = host.trim_end_matches('.');
-    let labels: Vec<&str> = host.split('.').collect();
-    if labels.len() <= 2 {
-        return host.to_string();
+    let label_count = host.split('.').count();
+    if label_count <= 2 {
+        return host;
     }
     for suffix in MULTI_LABEL_SUFFIXES {
         if let Some(prefix) = host.strip_suffix(suffix) {
             if let Some(prefix) = prefix.strip_suffix('.') {
                 let owner = prefix.rsplit('.').next().unwrap_or("");
                 if owner.is_empty() {
-                    return host.to_string();
+                    return host;
                 }
-                return format!("{owner}.{suffix}");
+                return &host[prefix.len() - owner.len()..];
             }
         }
     }
-    let n = labels.len();
-    format!("{}.{}", labels[n - 2], labels[n - 1])
+    let mut dots = host.rmatch_indices('.');
+    dots.next();
+    match dots.next() {
+        Some((i, _)) => &host[i + 1..],
+        None => host,
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +439,35 @@ mod tests {
         assert_eq!(u.query_param("a"), Some("keep"));
         assert_eq!(u.query_param("b"), Some("redacted"));
         assert_eq!(u.query_param("c"), Some("redacted"));
+    }
+
+    #[test]
+    fn encoded_len_matches_serialization() {
+        for s in [
+            "https://example.com",
+            "http://example.com/",
+            "https://example.com:8443/x",
+            "https://example.com:443/x",
+            "http://example.com:80/x",
+            "https://t.example/p?q=hello%20world&flag",
+            "https://t.example/p?a=1&b=2&c=%26%3D",
+            "https://www.youtube.com/watch?v=abc&t=42s#frag",
+            "https://sba.yandex.net/report?url=aHR0cHM6Ly94",
+        ] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(u.encoded_len(), u.to_string_full().len(), "for {s}");
+        }
+        let u = Url::https("h.example").with_query_param("k y", "v/✓");
+        assert_eq!(u.encoded_len(), u.to_string_full().len());
+    }
+
+    #[test]
+    fn registrable_suffix_borrows_from_host() {
+        for host in ["news.bbc.co.uk", "a.b.example.com.cn", "www.youtube.com", "localhost"] {
+            assert_eq!(registrable_suffix(host), registrable_domain(host));
+            assert!(host.ends_with(registrable_suffix(host)));
+        }
+        assert_eq!(registrable_suffix("host.example."), "host.example");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use panoptes_http::json::{self, Value};
 use panoptes_http::netaddr::{Cidr, IpAddr};
 use panoptes_http::h1;
 use panoptes_http::url::{registrable_domain, Url};
-use panoptes_http::Request;
+use panoptes_http::{Atom, Request};
 
 proptest! {
     #[test]
@@ -155,4 +155,35 @@ fn arb_json(depth: u32) -> impl Strategy<Value = Value> {
             }),
         ]
     })
+}
+
+proptest! {
+    /// Interning round-trips arbitrary strings and is idempotent: the
+    /// same text always resolves to the same shared allocation.
+    #[test]
+    fn atom_intern_roundtrip(s in "\\PC{0,64}") {
+        let a = Atom::intern(&s);
+        prop_assert_eq!(a.as_str(), s.as_str());
+        let b = Atom::intern(&s);
+        prop_assert!(Atom::ptr_eq(&a, &b));
+        prop_assert!(Atom::ptr_eq(&a, &a.clone()));
+    }
+
+    /// Atom equality and ordering agree with the underlying strings, so
+    /// swapping `String` fields for atoms cannot reorder any report.
+    #[test]
+    fn atom_order_matches_str(a in "\\PC{0,32}", b in "\\PC{0,32}") {
+        let (x, y) = (Atom::intern(&a), Atom::intern(&b));
+        prop_assert_eq!(x == y, a == b);
+        prop_assert_eq!(x.cmp(&y), a.cmp(&b));
+    }
+
+    /// Interning from another thread still converges on the one shared
+    /// allocation per distinct string (the shard table is global).
+    #[test]
+    fn atom_intern_cross_thread(s in "\\PC{1,32}") {
+        let s2 = s.clone();
+        let remote = std::thread::spawn(move || Atom::intern(&s2)).join().unwrap();
+        prop_assert!(Atom::ptr_eq(&Atom::intern(&s), &remote));
+    }
 }

@@ -14,10 +14,14 @@
 //!   traffic to a third party.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use panoptes_http::netaddr::IpAddr;
 use panoptes_http::url::Url;
-use panoptes_http::Request;
+use panoptes_http::{Atom, Request};
 
 /// A DNS zone: the authoritative host → address map for the simulated
 /// Internet. Populated by `panoptes-web` when the world is built.
@@ -37,9 +41,14 @@ impl DnsZone {
         self.records.insert(host.to_ascii_lowercase(), addr);
     }
 
-    /// Looks up an A record.
+    /// Looks up an A record. Hosts on the request path are already
+    /// lowercase (URL parsing lowercases them), so the common case is a
+    /// borrowed probe; only mixed-case queries pay the lowercasing copy.
     pub fn lookup(&self, host: &str) -> Option<IpAddr> {
-        self.records.get(&host.to_ascii_lowercase()).copied()
+        if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            return self.records.get(&host.to_ascii_lowercase()).copied();
+        }
+        self.records.get(host).copied()
     }
 
     /// Number of registered records.
@@ -109,9 +118,111 @@ pub struct DnsLogEntry {
     /// UID of the app that asked.
     pub uid: u32,
     /// The name queried.
-    pub name: String,
+    pub name: Atom,
     /// Which mechanism was used.
     pub resolver: ResolverKind,
+}
+
+/// Number of [`DnsLog`] shards. Writers from different fleet workers
+/// hash to different shards, so an append rarely contends.
+const DNS_LOG_SHARDS: usize = 8;
+
+/// An append-only, sharded DNS query log.
+///
+/// Appends take one shard lock; reads return a memoised
+/// [`DnsLogSnapshot`] (shared `Arc`, merged and ordered by a global
+/// append sequence) instead of cloning the whole log under a lock —
+/// the former `SimNet::dns_log()` behaviour this replaces.
+#[derive(Debug, Default)]
+pub struct DnsLog {
+    shards: [Mutex<Vec<(u64, DnsLogEntry)>>; DNS_LOG_SHARDS],
+    next_seq: AtomicU64,
+    memo: Mutex<Option<(u64, DnsLogSnapshot)>>,
+}
+
+/// An immutable, cheaply clonable view of the DNS log in append order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DnsLogSnapshot(Arc<Vec<DnsLogEntry>>);
+
+impl DnsLog {
+    /// An empty log.
+    pub fn new() -> DnsLog {
+        DnsLog::default()
+    }
+
+    /// Appends one entry.
+    pub fn push(&self, entry: DnsLogEntry) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.shards[(seq as usize) % DNS_LOG_SHARDS].lock().push((seq, entry));
+    }
+
+    /// Number of entries logged so far.
+    pub fn len(&self) -> usize {
+        self.next_seq.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of all entries in append order. Memoised: repeated
+    /// calls without intervening appends share one allocation.
+    pub fn snapshot(&self) -> DnsLogSnapshot {
+        let seq = self.next_seq.load(Ordering::Acquire);
+        let mut memo = self.memo.lock();
+        if let Some((at, snap)) = memo.as_ref() {
+            if *at == seq {
+                return snap.clone();
+            }
+        }
+        let mut merged: Vec<(u64, DnsLogEntry)> = Vec::with_capacity(seq as usize);
+        for shard in &self.shards {
+            merged.extend(shard.lock().iter().cloned());
+        }
+        merged.sort_unstable_by_key(|(s, _)| *s);
+        let snap = DnsLogSnapshot(Arc::new(merged.into_iter().map(|(_, e)| e).collect()));
+        *memo = Some((seq, snap.clone()));
+        snap
+    }
+}
+
+impl DnsLogSnapshot {
+    /// Builds a snapshot from already-ordered entries (e.g. parsed from
+    /// an archive).
+    pub fn from_entries(entries: Vec<DnsLogEntry>) -> DnsLogSnapshot {
+        DnsLogSnapshot(Arc::new(entries))
+    }
+
+    /// Entries in append order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DnsLogEntry> {
+        self.0.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::ops::Index<usize> for DnsLogSnapshot {
+    type Output = DnsLogEntry;
+    fn index(&self, i: usize) -> &DnsLogEntry {
+        &self.0[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a DnsLogSnapshot {
+    type Item = &'a DnsLogEntry;
+    type IntoIter = std::slice::Iter<'a, DnsLogEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +256,33 @@ mod tests {
         assert_eq!(req.url.path(), "/dns-query");
         assert_eq!(req.url.query_param("name"), Some("www.youtube.com"));
         assert_eq!(req.headers.get("accept"), Some("application/dns-json"));
+    }
+
+    #[test]
+    fn dns_log_preserves_append_order_across_shards() {
+        let log = DnsLog::new();
+        for i in 0..20u32 {
+            log.push(DnsLogEntry {
+                uid: i,
+                name: Atom::intern(&format!("host{i}.example")),
+                resolver: ResolverKind::LocalStub,
+            });
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 20);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.uid, i as u32);
+        }
+        // Memoised: same snapshot while nothing is appended.
+        let again = log.snapshot();
+        assert_eq!(snap.len(), again.len());
+        log.push(DnsLogEntry {
+            uid: 99,
+            name: Atom::intern("late.example"),
+            resolver: ResolverKind::LocalStub,
+        });
+        assert_eq!(log.snapshot().len(), 21);
+        assert_eq!(log.snapshot()[20].uid, 99);
     }
 
     #[test]

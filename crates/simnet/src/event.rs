@@ -6,20 +6,28 @@
 //! order for ten virtual minutes. Ties break FIFO so runs are
 //! deterministic regardless of heap internals.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use crate::clock::SimInstant;
 
+/// Heap entry ordered by a `Reverse<(time, seq)>` key: `BinaryHeap` is a
+/// max-heap, so reversing the lexicographic `(time, seq)` key pops the
+/// earliest time first, FIFO within a single instant.
 struct Entry<T> {
-    at: SimInstant,
-    seq: u64,
+    key: Reverse<(SimInstant, u64)>,
     item: T,
+}
+
+impl<T> Entry<T> {
+    fn at(&self) -> SimInstant {
+        self.key.0 .0
+    }
 }
 
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<T> Eq for Entry<T> {}
@@ -30,8 +38,7 @@ impl<T> PartialOrd for Entry<T> {
 }
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -58,27 +65,35 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: SimInstant, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, item });
+        self.heap.push(Entry { key: Reverse((at, seq)), item });
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimInstant, T)> {
-        self.heap.pop().map(|e| (e.at, e.item))
+        self.heap.pop().map(|e| (e.at(), e.item))
     }
 
     /// Removes and returns the earliest event only if it is due at or
     /// before `now`.
     pub fn pop_due(&mut self, now: SimInstant) -> Option<(SimInstant, T)> {
-        if self.heap.peek().is_some_and(|e| e.at <= now) {
+        if self.heap.peek().is_some_and(|e| e.at() <= now) {
             self.pop()
         } else {
             None
         }
     }
 
+    /// Drains every event due at or before `deadline`, in time order
+    /// (FIFO within an instant). The iterator removes events lazily;
+    /// dropping it leaves the remainder queued. This is the idle-phase
+    /// driver's loop shape: `for (at, call) in queue.drain_until(end)`.
+    pub fn drain_until(&mut self, deadline: SimInstant) -> DrainUntil<'_, T> {
+        DrainUntil { queue: self, deadline }
+    }
+
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimInstant> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.peek().map(|e| e.at())
     }
 
     /// Number of pending events.
@@ -89,6 +104,19 @@ impl<T> EventQueue<T> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// Iterator returned by [`EventQueue::drain_until`].
+pub struct DrainUntil<'a, T> {
+    queue: &'a mut EventQueue<T>,
+    deadline: SimInstant,
+}
+
+impl<T> Iterator for DrainUntil<'_, T> {
+    type Item = (SimInstant, T);
+    fn next(&mut self) -> Option<(SimInstant, T)> {
+        self.queue.pop_due(self.deadline)
     }
 }
 
@@ -130,6 +158,34 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimInstant(100)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn drain_until_takes_due_events_in_order() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant(40), "d");
+        q.push(SimInstant(10), "a");
+        q.push(SimInstant(10), "b");
+        q.push(SimInstant(30), "c");
+        let drained: Vec<_> = q.drain_until(SimInstant(30)).collect();
+        assert_eq!(
+            drained,
+            vec![(SimInstant(10), "a"), (SimInstant(10), "b"), (SimInstant(30), "c")]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimInstant(40)));
+    }
+
+    #[test]
+    fn drain_until_is_lazy() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant(1), 1);
+        q.push(SimInstant(2), 2);
+        {
+            let mut it = q.drain_until(SimInstant(10));
+            assert_eq!(it.next(), Some((SimInstant(1), 1)));
+        }
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

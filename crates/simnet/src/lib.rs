@@ -35,5 +35,6 @@ pub mod net;
 pub mod tls;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
+pub use dns::{DnsLog, DnsLogSnapshot};
 pub use event::EventQueue;
-pub use net::{FlowContext, HttpHandler, NetError, Network, TransportReport};
+pub use net::{FlowContext, HttpHandler, NetError, Network, RouteTable, TransportReport};

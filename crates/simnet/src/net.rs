@@ -22,10 +22,10 @@ use parking_lot::{Mutex, RwLock};
 use panoptes_http::netaddr::IpAddr;
 use panoptes_http::request::HttpVersion;
 use panoptes_http::url::Scheme;
-use panoptes_http::{Request, Response};
+use panoptes_http::{Atom, Request, Response};
 
 use crate::clock::{SimDuration, SimInstant};
-use crate::dns::{DnsLogEntry, DnsZone, ResolverKind};
+use crate::dns::{DnsLog, DnsLogEntry, DnsLogSnapshot, DnsZone, ResolverKind};
 use crate::filter::{FilterTable, Proto, Verdict};
 use crate::tls::{
     handshake, Certificate, CertificateAuthority, PinPolicy, TlsOutcome, TrustStore,
@@ -75,7 +75,7 @@ pub struct FlowContext {
     /// Kernel UID of the sending process.
     pub uid: u32,
     /// Package name of the sending app (resolved by the device layer).
-    pub app_package: String,
+    pub app_package: Atom,
     /// Source address (the tablet).
     pub src_ip: IpAddr,
     /// Original destination address (preserved across REDIRECT).
@@ -83,7 +83,7 @@ pub struct FlowContext {
     /// Original destination port.
     pub dst_port: u16,
     /// TLS SNI / Host header — the name the client asked for.
-    pub sni: String,
+    pub sni: Atom,
     /// Protocol version actually used.
     pub version: HttpVersion,
     /// True when the flow reached the handler via proxy interception.
@@ -189,7 +189,7 @@ pub struct ClientCtx {
     /// Kernel UID of the sending process.
     pub uid: u32,
     /// Package name of the sending app.
-    pub app_package: String,
+    pub app_package: Atom,
     /// CA roots this client trusts.
     pub trust: TrustStore,
     /// Certificate-pinning policy of the app.
@@ -203,17 +203,64 @@ struct ProxyRegistration {
     ca: CertificateAuthority,
 }
 
+/// A prebuilt routing layer: host → address plus address → handler, built
+/// once (per world) and installed on a [`Network`] as a single `Arc`
+/// swap. Dynamic [`Network::register_host`]/[`Network::register_endpoint`]
+/// entries overlay it, so tests and setup code keep their incremental
+/// API while a campaign install stops being O(hosts).
+#[derive(Clone, Default)]
+pub struct RouteTable {
+    hosts: HashMap<Atom, IpAddr>,
+    endpoints: HashMap<IpAddr, Arc<dyn HttpHandler>>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Adds an A record (host must already be lowercase, as URL hosts
+    /// are).
+    pub fn add_host(&mut self, host: &str, addr: IpAddr) {
+        debug_assert!(!host.bytes().any(|b| b.is_ascii_uppercase()));
+        self.hosts.insert(Atom::intern(host), addr);
+    }
+
+    /// Adds the handler serving `addr`.
+    pub fn add_endpoint(&mut self, addr: IpAddr, handler: Arc<dyn HttpHandler>) {
+        self.endpoints.insert(addr, handler);
+    }
+
+    /// Number of A records in the table.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+/// A resolved destination: the interned host name, its address, and the
+/// handler listening there (if any). Cached per host so repeat requests
+/// skip name resolution and endpoint lookup entirely.
+#[derive(Clone)]
+struct Route {
+    host: Atom,
+    ip: IpAddr,
+    handler: Option<Arc<dyn HttpHandler>>,
+}
+
 /// The simulated network path between the device and the Internet.
 pub struct Network {
     zone: RwLock<DnsZone>,
     filter: RwLock<FilterTable>,
     endpoints: RwLock<HashMap<IpAddr, Arc<dyn HttpHandler>>>,
+    base: RwLock<Option<Arc<RouteTable>>>,
+    route_cache: RwLock<HashMap<Atom, Route>>,
     proxies: RwLock<HashMap<u16, ProxyRegistration>>,
     origin_ca: CertificateAuthority,
     latency: LatencyModel,
     device_ip: IpAddr,
     stats: Mutex<NetStats>,
-    dns_log: Mutex<Vec<DnsLogEntry>>,
+    dns_log: DnsLog,
     faults: RwLock<HashMap<String, FaultMode>>,
     fault_counters: Mutex<HashMap<String, u32>>,
 }
@@ -226,12 +273,14 @@ impl Network {
             zone: RwLock::new(DnsZone::new()),
             filter: RwLock::new(FilterTable::new()),
             endpoints: RwLock::new(HashMap::new()),
+            base: RwLock::new(None),
+            route_cache: RwLock::new(HashMap::new()),
             proxies: RwLock::new(HashMap::new()),
             origin_ca,
             latency: LatencyModel::default(),
             device_ip,
             stats: Mutex::new(NetStats::default()),
-            dns_log: Mutex::new(Vec::new()),
+            dns_log: DnsLog::new(),
             faults: RwLock::new(HashMap::new()),
             fault_counters: Mutex::new(HashMap::new()),
         }
@@ -276,14 +325,25 @@ impl Network {
         self.latency = model;
     }
 
-    /// Registers an A record in the zone.
+    /// Registers an A record in the zone (overlays any installed
+    /// [`RouteTable`]).
     pub fn register_host(&self, host: &str, addr: IpAddr) {
         self.zone.write().insert(host, addr);
+        self.route_cache.write().clear();
     }
 
-    /// Registers the handler serving `addr`.
+    /// Registers the handler serving `addr` (overlays any installed
+    /// [`RouteTable`]).
     pub fn register_endpoint(&self, addr: IpAddr, handler: Arc<dyn HttpHandler>) {
         self.endpoints.write().insert(addr, handler);
+        self.route_cache.write().clear();
+    }
+
+    /// Installs a prebuilt routing layer in O(1). Dynamic registrations
+    /// (before or after) take precedence over it.
+    pub fn install_routes(&self, table: Arc<RouteTable>) {
+        *self.base.write() = Some(table);
+        self.route_cache.write().clear();
     }
 
     /// Registers a transparent proxy listening on local `port`, forging
@@ -302,33 +362,56 @@ impl Network {
     /// HTTPS request built with [`crate::dns::DohProvider::query_request`]
     /// and then call [`Network::resolve_silent`].)
     pub fn resolve_stub(&self, uid: u32, host: &str) -> Option<IpAddr> {
-        self.dns_log.lock().push(DnsLogEntry {
+        self.dns_log.push(DnsLogEntry {
             uid,
-            name: host.to_string(),
+            name: Atom::intern(host),
             resolver: ResolverKind::LocalStub,
         });
-        self.zone.read().lookup(host)
+        self.resolve_silent(host)
     }
 
     /// Zone lookup with no stub-query logging (used for transport-level
-    /// routing and after a DoH exchange).
+    /// routing and after a DoH exchange). Dynamic zone entries overlay
+    /// the installed route table.
     pub fn resolve_silent(&self, host: &str) -> Option<IpAddr> {
-        self.zone.read().lookup(host)
+        if let Some(ip) = self.zone.read().lookup(host) {
+            return Some(ip);
+        }
+        self.base.read().as_ref().and_then(|t| t.hosts.get(host).copied())
     }
 
     /// Records that `uid` resolved `name` over DoH (the HTTPS flow itself
     /// is sent separately by the caller).
     pub fn log_doh_query(&self, uid: u32, name: &str, provider: crate::dns::DohProvider) {
-        self.dns_log.lock().push(DnsLogEntry {
+        self.dns_log.push(DnsLogEntry {
             uid,
-            name: name.to_string(),
+            name: Atom::intern(name),
             resolver: ResolverKind::Doh(provider),
         });
     }
 
-    /// Snapshot of the DNS query log.
-    pub fn dns_log(&self) -> Vec<DnsLogEntry> {
-        self.dns_log.lock().clone()
+    /// Snapshot of the DNS query log (shared, memoised — no clone of the
+    /// underlying entries).
+    pub fn dns_log(&self) -> DnsLogSnapshot {
+        self.dns_log.snapshot()
+    }
+
+    /// Resolves `host` to its cached [`Route`]: interned name, address,
+    /// and endpoint handler. The first request to a host pays the zone
+    /// and endpoint lookups; every subsequent request is one shared-lock
+    /// map probe, with no allocation and no re-hashing of intermediate
+    /// keys.
+    fn route_for(&self, host: &str) -> Option<Route> {
+        if let Some(route) = self.route_cache.read().get(host) {
+            return Some(route.clone());
+        }
+        let ip = self.resolve_silent(host)?;
+        let handler = self.endpoints.read().get(&ip).cloned().or_else(|| {
+            self.base.read().as_ref().and_then(|t| t.endpoints.get(&ip).cloned())
+        });
+        let route = Route { host: Atom::intern(host), ip, handler };
+        self.route_cache.write().insert(route.host.clone(), route.clone());
+        Some(route)
     }
 
     /// Snapshot of the aggregate counters.
@@ -349,10 +432,9 @@ impl Network {
         client: &ClientCtx,
         req: Request,
     ) -> Result<(Response, TransportReport), NetError> {
-        let host = req.url.host().to_string();
-        let dst_ip = self
-            .resolve_silent(&host)
-            .ok_or_else(|| NetError::NoRoute(host.clone()))?;
+        let route = self
+            .route_for(req.url.host())
+            .ok_or_else(|| NetError::NoRoute(req.url.host().to_string()))?; // clone-ok: cold error path
         let dst_port = req.url.port();
         let proto = match req.version {
             HttpVersion::H3 => Proto::Udp,
@@ -365,9 +447,9 @@ impl Network {
                 self.stats.lock().dropped += 1;
                 Err(NetError::Dropped)
             }
-            Verdict::Accept => self.deliver_direct(client, req, dst_ip, dst_port, &host),
+            Verdict::Accept => self.deliver_direct(client, req, &route, dst_port),
             Verdict::Redirect(port) => {
-                self.deliver_via_proxy(client, req, dst_ip, dst_port, &host, port)
+                self.deliver_via_proxy(client, req, &route, dst_port, port)
             }
         }
     }
@@ -375,9 +457,8 @@ impl Network {
     fn make_ctx(
         &self,
         client: &ClientCtx,
-        dst_ip: IpAddr,
+        route: &Route,
         dst_port: u16,
-        host: &str,
         version: HttpVersion,
         intercepted: bool,
     ) -> FlowContext {
@@ -386,9 +467,9 @@ impl Network {
             uid: client.uid,
             app_package: client.app_package.clone(),
             src_ip: self.device_ip,
-            dst_ip,
+            dst_ip: route.ip,
             dst_port,
-            sni: host.to_string(),
+            sni: route.host.clone(),
             version,
             intercepted,
         }
@@ -398,10 +479,10 @@ impl Network {
         &self,
         client: &ClientCtx,
         req: Request,
-        dst_ip: IpAddr,
+        route: &Route,
         dst_port: u16,
-        host: &str,
     ) -> Result<(Response, TransportReport), NetError> {
+        let host = &route.host;
         if req.url.scheme() == Scheme::Https {
             let cert = self.origin_cert_for(host);
             let outcome = handshake(&client.trust, &client.pins, host, &cert, false);
@@ -409,25 +490,21 @@ impl Network {
                 return Err(NetError::TlsFailed(outcome));
             }
         }
-        let handler = self
-            .endpoints
-            .read()
-            .get(&dst_ip)
-            .cloned()
-            .ok_or(NetError::ConnectionRefused(dst_ip))?;
-        let ctx = self.make_ctx(client, dst_ip, dst_port, host, req.version, false);
-        self.finish(handler, ctx, req, host)
+        let handler =
+            route.handler.clone().ok_or(NetError::ConnectionRefused(route.ip))?;
+        let ctx = self.make_ctx(client, route, dst_port, req.version, false);
+        self.finish(handler, ctx, req)
     }
 
     fn deliver_via_proxy(
         &self,
         client: &ClientCtx,
         req: Request,
-        dst_ip: IpAddr,
+        route: &Route,
         dst_port: u16,
-        host: &str,
         proxy_port: u16,
     ) -> Result<(Response, TransportReport), NetError> {
+        let host = &route.host;
         let (handler, forged) = {
             let proxies = self.proxies.read();
             let reg = proxies
@@ -435,7 +512,7 @@ impl Network {
                 .ok_or(NetError::ConnectionRefused(self.device_ip))?;
             (reg.handler.clone(), reg.ca.issue(host))
         };
-        let ctx = self.make_ctx(client, dst_ip, dst_port, host, req.version, true);
+        let ctx = self.make_ctx(client, route, dst_port, req.version, true);
         if req.url.scheme() == Scheme::Https {
             let outcome = handshake(&client.trust, &client.pins, host, &forged, true);
             match outcome {
@@ -448,7 +525,7 @@ impl Network {
                 other => return Err(NetError::TlsFailed(other)),
             }
         }
-        self.finish(handler, ctx, req, host)
+        self.finish(handler, ctx, req)
     }
 
     fn finish(
@@ -456,8 +533,8 @@ impl Network {
         handler: Arc<dyn HttpHandler>,
         ctx: FlowContext,
         req: Request,
-        host: &str,
     ) -> Result<(Response, TransportReport), NetError> {
+        let host = &ctx.sni;
         let bytes_out = req.wire_size();
         // Injected faults on the *destination* fire before its handler —
         // but never on the proxy hop itself (ctx.intercepted): transparent
@@ -494,25 +571,20 @@ impl Network {
     /// interception. No filter re-evaluation: the proxy's own traffic is
     /// not subject to the app's rules.
     pub fn origin_fetch(&self, ctx: &FlowContext, req: Request) -> Result<Response, NetError> {
-        let host = req.url.host().to_string();
-        let dst_ip = self
-            .resolve_silent(&host)
-            .ok_or_else(|| NetError::NoRoute(host.clone()))?;
-        match self.fault_for(&host) {
-            Some(Err(())) => return Err(NetError::ConnectionRefused(dst_ip)),
+        let route = self
+            .route_for(req.url.host())
+            .ok_or_else(|| NetError::NoRoute(req.url.host().to_string()))?; // clone-ok: cold error path
+        match self.fault_for(&route.host) {
+            Some(Err(())) => return Err(NetError::ConnectionRefused(route.ip)),
             Some(Ok(error_page)) => return Ok(error_page),
             None => {}
         }
-        let handler = self
-            .endpoints
-            .read()
-            .get(&dst_ip)
-            .cloned()
-            .ok_or(NetError::ConnectionRefused(dst_ip))?;
+        let handler =
+            route.handler.clone().ok_or(NetError::ConnectionRefused(route.ip))?;
         let upstream_ctx = FlowContext {
             intercepted: false,
-            dst_ip,
-            sni: host,
+            dst_ip: route.ip,
+            sni: route.host,
             ..ctx.clone()
         };
         handler.handle(self, &upstream_ctx, req)
@@ -561,7 +633,7 @@ mod tests {
         trust.install(CaId::mitm());
         ClientCtx {
             uid,
-            app_package: "com.test.app".to_string(),
+            app_package: "com.test.app".into(),
             trust,
             pins: PinPolicy::none(),
             time: SimInstant::EPOCH,
@@ -681,6 +753,41 @@ mod tests {
         assert_eq!(a, b);
         let bigger = model.latency("example.com", 1000, 2_000_000);
         assert!(bigger > a);
+    }
+
+    #[test]
+    fn installed_route_table_serves_requests() {
+        let net = Network::new(
+            CertificateAuthority::new(CaId::public_web_pki()),
+            IpAddr::new(192, 168, 1, 50),
+        );
+        let mut table = RouteTable::new();
+        table.add_host("bulk.example", IpAddr::new(203, 0, 113, 9));
+        table.add_endpoint(IpAddr::new(203, 0, 113, 9), Arc::new(Echo));
+        assert_eq!(table.host_count(), 1);
+        net.install_routes(Arc::new(table));
+
+        assert_eq!(net.resolve_silent("bulk.example"), Some(IpAddr::new(203, 0, 113, 9)));
+        let req = Request::get(Url::parse("https://bulk.example/x").unwrap());
+        let (resp, _) = net.send_http(&client(1), req).unwrap();
+        assert!(String::from_utf8(resp.body.to_vec()).unwrap().contains("host=bulk.example"));
+    }
+
+    #[test]
+    fn dynamic_registration_overlays_route_table() {
+        let net = network();
+        let mut table = RouteTable::new();
+        table.add_host("example.com", IpAddr::new(203, 0, 113, 200));
+        net.install_routes(Arc::new(table));
+        // The dynamically registered address wins over the table's.
+        assert_eq!(net.resolve_silent("example.com"), Some(IpAddr::new(198, 51, 100, 1)));
+        // A later dynamic registration invalidates cached routes.
+        let req = Request::get(Url::parse("https://example.com/").unwrap());
+        net.send_http(&client(1), req.clone()).unwrap();
+        net.register_host("example.com", IpAddr::new(198, 51, 100, 7));
+        net.register_endpoint(IpAddr::new(198, 51, 100, 7), Arc::new(Echo));
+        net.send_http(&client(1), req).unwrap();
+        assert_eq!(net.resolve_silent("example.com"), Some(IpAddr::new(198, 51, 100, 7)));
     }
 
     #[test]

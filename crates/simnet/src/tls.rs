@@ -7,28 +7,37 @@
 //! bounds (footnote 3). This module models exactly those mechanics — no
 //! actual cryptography is involved, only the trust decisions.
 
-/// Identifies a certificate authority.
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use panoptes_http::Atom;
+use parking_lot::Mutex;
+
+/// Identifies a certificate authority. Interned: the handful of CA
+/// identities in a study are shared atoms, so cloning one into every
+/// issued certificate is a reference-count bump.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CaId(pub String);
+pub struct CaId(pub Atom);
 
 impl CaId {
     /// The public Web PKI root that signs every origin server in the
     /// simulated world.
     pub fn public_web_pki() -> CaId {
-        CaId("public-web-pki".to_string())
+        CaId(Atom::intern("public-web-pki"))
     }
 
     /// The Panoptes mitmproxy CA installed on the test device.
     pub fn mitm() -> CaId {
-        CaId("panoptes-mitm-ca".to_string())
+        CaId(Atom::intern("panoptes-mitm-ca"))
     }
 }
 
-/// A leaf certificate presented during a handshake.
+/// A leaf certificate presented during a handshake. Both fields are
+/// interned, so a cached certificate clones for free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// The DNS name the certificate covers (exact or `*.`-wildcard).
-    pub subject: String,
+    pub subject: Atom,
     /// The CA that issued it.
     pub issuer: CaId,
 }
@@ -48,21 +57,25 @@ impl Certificate {
 }
 
 /// The set of CA roots a client trusts.
+///
+/// `Arc`-backed: cloning one per request (the per-request client context)
+/// is a reference-count bump, and mutation copies-on-write only for the
+/// rare install during setup.
 #[derive(Debug, Clone, Default)]
 pub struct TrustStore {
-    roots: Vec<CaId>,
+    roots: std::sync::Arc<Vec<CaId>>,
 }
 
 impl TrustStore {
     /// The Android system store: public Web PKI only.
     pub fn system() -> TrustStore {
-        TrustStore { roots: vec![CaId::public_web_pki()] }
+        TrustStore { roots: std::sync::Arc::new(vec![CaId::public_web_pki()]) }
     }
 
     /// Installs an additional root (what Panoptes does with the MITM CA).
     pub fn install(&mut self, ca: CaId) {
         if !self.roots.contains(&ca) {
-            self.roots.push(ca);
+            std::sync::Arc::make_mut(&mut self.roots).push(ca);
         }
     }
 
@@ -73,10 +86,11 @@ impl TrustStore {
 }
 
 /// Per-app certificate-pinning policy: a set of registrable domains for
-/// which only the public PKI chain is accepted.
+/// which only the public PKI chain is accepted. `Arc`-backed like
+/// [`TrustStore`], for the same per-request cloning reason.
 #[derive(Debug, Clone, Default)]
 pub struct PinPolicy {
-    pinned_domains: Vec<String>,
+    pinned_domains: std::sync::Arc<Vec<String>>,
 }
 
 impl PinPolicy {
@@ -87,13 +101,22 @@ impl PinPolicy {
 
     /// Pins the given registrable domains.
     pub fn pin(domains: &[&str]) -> PinPolicy {
-        PinPolicy { pinned_domains: domains.iter().map(|d| d.to_string()).collect() }
+        PinPolicy {
+            pinned_domains: std::sync::Arc::new(
+                domains.iter().map(|d| d.to_string()).collect(),
+            ),
+        }
     }
 
-    /// True when connections to `host` are pinned.
+    /// True when connections to `host` are pinned. Allocation-free: the
+    /// registrable domain is a suffix of `host`, compared in place. Most
+    /// apps pin nothing, so the empty case returns immediately.
     pub fn is_pinned(&self, host: &str) -> bool {
-        let reg = panoptes_http::url::registrable_domain(host);
-        self.pinned_domains.contains(&reg)
+        if self.pinned_domains.is_empty() {
+            return false;
+        }
+        let reg = panoptes_http::url::registrable_suffix(host);
+        self.pinned_domains.iter().any(|d| d == reg)
     }
 }
 
@@ -151,16 +174,22 @@ pub fn handshake(
 }
 
 /// A certificate authority that can issue leaf certificates — the MITM
-/// proxy forges one per SNI on the fly, exactly like mitmproxy.
+/// proxy forges one per SNI on the fly, exactly like mitmproxy (which
+/// likewise caches the forged certificate per host after the first
+/// handshake).
 #[derive(Debug, Clone)]
 pub struct CertificateAuthority {
     id: CaId,
+    /// Per-subject certificate cache, shared across clones of the
+    /// authority. A repeat handshake for a host clones the cached
+    /// certificate — two reference-count bumps, no allocation.
+    issued: Arc<Mutex<HashMap<Atom, Certificate>>>,
 }
 
 impl CertificateAuthority {
     /// Creates an authority with the given identity.
     pub fn new(id: CaId) -> CertificateAuthority {
-        CertificateAuthority { id }
+        CertificateAuthority { id, issued: Arc::default() }
     }
 
     /// This authority's identity.
@@ -168,9 +197,16 @@ impl CertificateAuthority {
         &self.id
     }
 
-    /// Issues a leaf certificate for `subject`.
+    /// Issues a leaf certificate for `subject`, reusing the one minted
+    /// on the first handshake for that name.
     pub fn issue(&self, subject: &str) -> Certificate {
-        Certificate { subject: subject.to_string(), issuer: self.id.clone() }
+        let mut issued = self.issued.lock();
+        if let Some(cert) = issued.get(subject) {
+            return cert.clone();
+        }
+        let cert = Certificate { subject: Atom::intern(subject), issuer: self.id.clone() };
+        issued.insert(cert.subject.clone(), cert.clone());
+        cert
     }
 }
 

@@ -12,51 +12,77 @@ use panoptes_simnet::net::{FlowContext, HttpHandler, NetError, Network};
 use crate::site::SiteSpec;
 use crate::vendors::{endpoint, Purpose};
 
-/// Content index: `(host, path) → body size`, plus redirect entries,
-/// built from the site specs.
+/// Content index: `host → path → pre-rendered response`, plus redirect
+/// entries, built from the site specs. Nested maps so a request-path
+/// lookup probes with borrowed `&str` keys — the former `(String,
+/// String)` tuple keys forced two fresh `String`s per served request.
+///
+/// Responses are rendered once at build time (status line, filler body,
+/// `content-length`, `content-type`, session cookie); serving a request
+/// clones the template — a `Bytes` reference-count bump plus the header
+/// fields — instead of re-deriving headers per request under the shared
+/// filler-buffer lock.
 #[derive(Debug, Default)]
 pub struct Directory {
-    resources: HashMap<(String, String), u32>,
-    redirects: HashMap<(String, String), String>,
+    resources: HashMap<String, HashMap<String, PreparedResource>>,
+    redirects: HashMap<String, HashMap<String, String>>,
+    resource_count: usize,
+}
+
+/// One indexed resource: its declared size and the response template
+/// every request for it is answered with.
+#[derive(Debug)]
+struct PreparedResource {
+    size: u32,
+    response: Response,
 }
 
 impl Directory {
     /// Builds the index from the generated site population.
     pub fn from_sites(sites: &[SiteSpec]) -> Directory {
-        let mut resources = HashMap::new();
-        let mut redirects = HashMap::new();
+        let mut dir = Directory::default();
         for site in sites {
-            resources.insert(
-                (site.host.clone(), site.landing_path.clone()),
-                site.page.document_size,
-            );
+            dir.insert_resource(&site.host, site.landing_path.clone(), site.page.document_size);
             if site.apex_redirect {
-                redirects.insert(
-                    (site.domain.clone(), site.landing_path.clone()),
-                    site.landing_url_string(),
-                );
+                dir.redirects
+                    .entry(site.domain.clone())
+                    .or_default()
+                    .insert(site.landing_path.clone(), site.landing_url_string());
             }
             for r in &site.page.resources {
-                resources.insert((r.host.clone(), r.path_without_query()), r.size);
+                dir.insert_resource(&r.host, r.path_without_query(), r.size);
             }
         }
-        Directory { resources, redirects }
+        dir
+    }
+
+    fn insert_resource(&mut self, host: &str, path: String, size: u32) {
+        let paths = self.resources.entry(host.to_string()).or_default();
+        let prepared = PreparedResource { size, response: render_content(&path, size) };
+        if paths.insert(path, prepared).is_none() {
+            self.resource_count += 1;
+        }
     }
 
     /// The redirect target of `path` on `host`, if one is configured.
     pub fn redirect_of(&self, host: &str, path: &str) -> Option<&str> {
-        self.redirects.get(&(host.to_string(), path.to_string())).map(String::as_str)
+        self.redirects.get(host)?.get(path).map(String::as_str)
     }
 
     /// Looks up the size of `path` on `host` (query string ignored, as an
     /// origin would route on the path).
     pub fn size_of(&self, host: &str, path: &str) -> Option<u32> {
-        self.resources.get(&(host.to_string(), path.to_string())).copied()
+        Some(self.resources.get(host)?.get(path)?.size)
+    }
+
+    /// The pre-rendered response for `path` on `host`, if indexed.
+    pub fn response_for(&self, host: &str, path: &str) -> Option<&Response> {
+        Some(&self.resources.get(host)?.get(path)?.response)
     }
 
     /// Number of indexed resources.
     pub fn len(&self) -> usize {
-        self.resources.len()
+        self.resource_count
     }
 
     /// True when nothing is indexed.
@@ -144,29 +170,37 @@ impl HttpHandler for OriginServer {
                 .with_header("location", location));
         }
 
-        // Site / CDN content from the index.
-        if let Some(size) = self.directory.size_of(host, path) {
-            let mut resp = Response::sized(size as usize);
-            resp.headers.set("content-type", content_type_for(path));
-            // First-party session cookie on document loads.
-            if path == "/" || !path.contains('.') {
-                resp.headers.append("set-cookie", "session=sim; Path=/");
-            }
-            return Ok(resp);
+        // Site / CDN content from the index: clone of the template
+        // rendered at build time.
+        if let Some(resp) = self.directory.response_for(host, path) {
+            return Ok(resp.clone());
         }
 
         // Ad exchanges and trackers accept any path (bid endpoints are
-        // dynamic); recognize them by registrable domain.
-        let reg = req.url.registrable_domain();
-        if crate::thirdparty::AD_NETWORKS.contains(&reg.as_str()) {
+        // dynamic); recognize them by registrable domain (borrowed — no
+        // per-request allocation).
+        let reg = panoptes_http::url::registrable_suffix(host);
+        if crate::thirdparty::AD_NETWORKS.contains(&reg) {
             return Ok(self.vendor_response(Purpose::AdSdk, net, &req));
         }
-        if crate::thirdparty::TRACKERS.contains(&reg.as_str()) {
+        if crate::thirdparty::TRACKERS.contains(&reg) {
             return Ok(Response::status(StatusCode::NO_CONTENT));
         }
 
         Ok(Response::status(StatusCode::NOT_FOUND))
     }
+}
+
+/// Renders the response template for a content path: sized filler body,
+/// `content-type` by extension, first-party session cookie on document
+/// loads. Exactly what the handler used to assemble per request.
+fn render_content(path: &str, size: u32) -> Response {
+    let mut resp = Response::sized(size as usize);
+    resp.headers.set("content-type", content_type_for(path));
+    if path == "/" || !path.contains('.') {
+        resp.headers.append("set-cookie", "session=sim; Path=/");
+    }
+    resp
 }
 
 fn content_type_for(path: &str) -> &'static str {

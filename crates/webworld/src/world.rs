@@ -3,10 +3,10 @@
 //! [`Network`].
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use panoptes_http::netaddr::{Cidr, IpAddr};
-use panoptes_simnet::Network;
+use panoptes_simnet::{Network, RouteTable};
 
 use crate::generator::{generate, GeneratorConfig};
 use crate::origin::{Directory, OriginServer};
@@ -22,8 +22,22 @@ const SITE_HOSTING: &[&str] = &["US", "DE", "NL", "IE", "GR"];
 pub struct World {
     /// The crawl population in rank order (popular then sensitive).
     pub sites: Vec<SiteSpec>,
-    origin: Arc<OriginServer>,
     host_ips: BTreeMap<String, IpAddr>,
+    /// Prebuilt host/endpoint routing, shared by every network this
+    /// world is installed on.
+    routes: Arc<RouteTable>,
+}
+
+/// Site-plan cache: one built [`World`] per (seed, popular, sensitive)
+/// generator configuration, shared immutably by every browser session
+/// and fleet worker of a study. Generation is deterministic in the
+/// config, so sharing is transparent; the handful of configurations a
+/// process ever uses makes this a bounded cache, not a leak.
+type PlanCache = Mutex<HashMap<(u64, u32, u32), Arc<World>>>;
+
+fn plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 impl World {
@@ -38,7 +52,7 @@ impl World {
 
         // Vendor endpoints pin their country (that is the §3.4 finding).
         for ep in all_endpoints() {
-            host_ips.insert(ep.host.to_string(), allocator.allocate(ep.country));
+            host_ips.insert(ep.host.to_string(), allocator.allocate(ep.country)); // clone-ok: build-time
         }
         // Ad networks / trackers / shared CDNs are US-hosted.
         for host in AD_NETWORKS.iter().chain(TRACKERS).chain(CDNS) {
@@ -52,15 +66,30 @@ impl World {
             }
         }
 
-        World { sites, origin, host_ips }
+        let mut routes = RouteTable::new();
+        for (host, ip) in &host_ips {
+            routes.add_host(host, *ip);
+            routes.add_endpoint(*ip, origin.clone());
+        }
+
+        World { sites, host_ips, routes: Arc::new(routes) }
     }
 
-    /// Registers every host and server endpoint on `net`.
+    /// The cached, shared world for `config`: built on first request,
+    /// then returned as the same `Arc` for every later caller (browser
+    /// sessions, fleet workers, benches). Use this instead of
+    /// [`World::build`] whenever the world is read-only.
+    pub fn shared(config: &GeneratorConfig) -> Arc<World> {
+        let key = (config.seed, config.popular, config.sensitive);
+        let mut cache = plan_cache().lock().expect("plan cache poisoned");
+        cache.entry(key).or_insert_with(|| Arc::new(World::build(config))).clone()
+    }
+
+    /// Registers every host and server endpoint on `net` — a single
+    /// `Arc` install of the prebuilt route table, not O(hosts) map
+    /// inserts.
     pub fn install(&self, net: &Network) {
-        for (host, ip) in &self.host_ips {
-            net.register_host(host, *ip);
-            net.register_endpoint(*ip, self.origin.clone());
-        }
+        net.install_routes(self.routes.clone());
     }
 
     /// Address of `host`, if it exists in this world.
@@ -191,6 +220,20 @@ mod tests {
         for (host, ip) in world.hosts() {
             assert_eq!(net.resolve_silent(host), Some(ip));
         }
+    }
+
+    #[test]
+    fn shared_worlds_are_cached_per_config() {
+        let config = GeneratorConfig { popular: 7, sensitive: 3, ..Default::default() };
+        let a = World::shared(&config);
+        let b = World::shared(&config);
+        assert!(Arc::ptr_eq(&a, &b), "same config reuses the cached world");
+        let other = World::shared(&GeneratorConfig { popular: 7, sensitive: 4, ..Default::default() });
+        assert!(!Arc::ptr_eq(&a, &other), "different config builds a different world");
+        // The cached world equals a cold build.
+        let cold = World::build(&config);
+        assert_eq!(a.sites, cold.sites);
+        assert_eq!(a.hosts().collect::<Vec<_>>(), cold.hosts().collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Property-based tests for the site generator and the plan cache.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use panoptes_web::generator::GeneratorConfig;
+use panoptes_web::World;
+
+/// Deterministic fingerprint of a built world: every site's URL plus its
+/// subresource URLs in rank order, and the full host→IP table.
+fn fingerprint(world: &World) -> (Vec<String>, Vec<(String, String)>) {
+    let mut urls = Vec::new();
+    for site in &world.sites {
+        urls.push(site.url_string());
+        for r in &site.page.resources {
+            urls.push(r.url_string());
+        }
+    }
+    let hosts = world.hosts().map(|(h, ip)| (h.to_string(), ip.to_string())).collect();
+    (urls, hosts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The generator is a pure function of its configuration: two cold
+    /// builds from the same seed produce the identical world.
+    #[test]
+    fn build_is_deterministic(seed in 0u64..1000, popular in 1u32..12, sensitive in 0u32..8) {
+        let config = GeneratorConfig { seed, popular, sensitive };
+        prop_assert_eq!(fingerprint(&World::build(&config)), fingerprint(&World::build(&config)));
+    }
+
+    /// The plan cache is transparent: the warm shared world is
+    /// indistinguishable from a cold build, and repeat lookups hand back
+    /// the same shared plan instead of regenerating.
+    #[test]
+    fn plan_cache_matches_cold_build(seed in 0u64..1000, popular in 1u32..12, sensitive in 0u32..8) {
+        let config = GeneratorConfig { seed, popular, sensitive };
+        let cold = World::build(&config);
+        let warm = World::shared(&config);
+        prop_assert_eq!(fingerprint(&cold), fingerprint(&warm));
+        prop_assert!(Arc::ptr_eq(&warm, &World::shared(&config)));
+    }
+}

@@ -12,6 +12,12 @@
 # Exits non-zero, listing offenders, if any analysis pass reintroduces
 # `store.all()` / `native_flows()` / `engine_flows()` / `by_class(...)`
 # / `by_package(...)` on a store.
+#
+# It also guards the zero-allocation capture path: fields that hold
+# interned atoms (hosts, package names, certificate subjects, SNI) must
+# be cloned as atoms (a refcount bump), never re-materialised as owned
+# `String`s with `.to_string()` inside the capture crates. Cold paths
+# (error construction, one-time world build) opt out with `clone-ok`.
 
 set -eu
 
@@ -33,3 +39,20 @@ if [ -n "$offenders" ]; then
 fi
 
 echo "ok: no cloning FlowStore accessors in $dirs"
+
+atom_pattern='\.(host|app_package|package|subject|sni)(\(\))?\.to_string\(\)'
+capture_dirs="crates/nettypes/src crates/simnet/src crates/mitm/src crates/browsers/src crates/webworld/src"
+
+atom_offenders=$(grep -rnE "$atom_pattern" $capture_dirs --include='*.rs' | grep -v 'clone-ok' || true)
+
+if [ -n "$atom_offenders" ]; then
+    echo "error: interned-atom fields re-materialised as owned Strings" >&2
+    echo "in capture-path code:" >&2
+    echo "$atom_offenders" >&2
+    echo >&2
+    echo "Clone the Atom (a refcount bump) instead of .to_string()," >&2
+    echo "or mark an intentional cold-path copy with 'clone-ok'." >&2
+    exit 1
+fi
+
+echo "ok: no atom-to-String conversions in $capture_dirs"
