@@ -7,6 +7,7 @@ use std::collections::BTreeSet;
 use panoptes::campaign::CampaignResult;
 use panoptes_blocklist::data::steven_black_excerpt;
 use panoptes_blocklist::HostsList;
+use panoptes_mitm::{Flow, FlowClass};
 
 /// One browser's Figure 3 row.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,28 +27,52 @@ pub fn ad_domain_row(result: &CampaignResult) -> AdDomainRow {
     ad_domain_row_with(result, &steven_black_excerpt())
 }
 
+/// Mergeable accumulator form of the Figure 3 detector: the distinct
+/// native-host set is an order-insensitive union, so sharded merges are
+/// exactly the sequential set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdDomainPartial {
+    hosts: BTreeSet<String>,
+}
+
+impl AdDomainPartial {
+    /// Folds one captured flow into the accumulator.
+    pub fn observe(&mut self, flow: &Flow) {
+        if flow.class == FlowClass::Native && !self.hosts.contains(flow.host.as_str()) {
+            self.hosts.insert(flow.host.to_string());
+        }
+    }
+
+    /// Absorbs a later shard's accumulator.
+    pub fn merge(&mut self, other: AdDomainPartial) {
+        self.hosts.extend(other.hosts);
+    }
+
+    /// Finalises the browser's Figure 3 row against `list`.
+    pub fn finish(self, browser: &str, list: &HostsList) -> AdDomainRow {
+        let ad_hosts: Vec<String> =
+            self.hosts.iter().filter(|h| list.contains(h)).cloned().collect();
+        let percent = if self.hosts.is_empty() {
+            0.0
+        } else {
+            100.0 * ad_hosts.len() as f64 / self.hosts.len() as f64
+        };
+        AdDomainRow {
+            browser: browser.to_string(),
+            native_hosts: self.hosts.into_iter().collect(),
+            ad_hosts,
+            ad_percent: percent,
+        }
+    }
+}
+
 /// Computes the row against a caller-provided hosts list.
 pub fn ad_domain_row_with(result: &CampaignResult, list: &HostsList) -> AdDomainRow {
-    let hosts: BTreeSet<String> = result
-        .store
-        .snapshot()
-        .native()
-        .iter()
-        .map(|f| f.host.to_string())
-        .collect();
-    let ad_hosts: Vec<String> =
-        hosts.iter().filter(|h| list.contains(h)).cloned().collect();
-    let percent = if hosts.is_empty() {
-        0.0
-    } else {
-        100.0 * ad_hosts.len() as f64 / hosts.len() as f64
-    };
-    AdDomainRow {
-        browser: result.profile.name.to_string(),
-        native_hosts: hosts.into_iter().collect(),
-        ad_hosts,
-        ad_percent: percent,
+    let mut partial = AdDomainPartial::default();
+    for f in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
+        partial.observe(f);
     }
+    partial.finish(result.profile.name, list)
 }
 
 /// Figure 3 over a set of campaigns, in input order.

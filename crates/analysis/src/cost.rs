@@ -16,7 +16,7 @@
 //!   across browsers is the meaningful output.
 
 use panoptes::campaign::CampaignResult;
-use panoptes_mitm::FlowClass;
+use panoptes_mitm::{Flow, FlowClass};
 
 /// First-order radio energy model.
 #[derive(Debug, Clone, Copy)]
@@ -63,26 +63,51 @@ pub struct CostRow {
     pub joules_per_1000_pages: f64,
 }
 
-/// Computes the §3.1 cost quantities for one campaign.
-pub fn cost_row(result: &CampaignResult, model: &EnergyModel) -> CostRow {
-    let mut flows = 0u64;
-    let mut bytes = 0u64;
-    for f in result.store.snapshot().iter() {
-        if f.class == FlowClass::Native {
-            flows += 1;
-            bytes += f.bytes_out + f.bytes_in;
+/// Mergeable accumulator form of the cost detector: two sums, so any
+/// sharding of the capture merges back to the sequential row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostPartial {
+    native_flows: u64,
+    native_bytes: u64,
+}
+
+impl CostPartial {
+    /// Folds one captured flow into the accumulator.
+    pub fn observe(&mut self, flow: &Flow) {
+        if flow.class == FlowClass::Native {
+            self.native_flows += 1;
+            self.native_bytes += flow.bytes_out + flow.bytes_in;
         }
     }
-    let visits = result.visits.len().max(1);
-    let scale = 1000.0 / visits as f64;
-    CostRow {
-        browser: result.profile.name.to_string(),
-        visits: result.visits.len(),
-        native_flows: flows,
-        native_bytes: bytes,
-        mb_per_1000_pages: bytes as f64 * scale / 1_048_576.0,
-        joules_per_1000_pages: model.energy_joules(flows, bytes) * scale,
+
+    /// Absorbs a later shard's accumulator.
+    pub fn merge(&mut self, other: CostPartial) {
+        self.native_flows += other.native_flows;
+        self.native_bytes += other.native_bytes;
     }
+
+    /// Finalises the browser's cost row under `model`.
+    pub fn finish(self, browser: &str, visits: usize, model: &EnergyModel) -> CostRow {
+        let scale = 1000.0 / visits.max(1) as f64;
+        CostRow {
+            browser: browser.to_string(),
+            visits,
+            native_flows: self.native_flows,
+            native_bytes: self.native_bytes,
+            mb_per_1000_pages: self.native_bytes as f64 * scale / 1_048_576.0,
+            joules_per_1000_pages: model.energy_joules(self.native_flows, self.native_bytes)
+                * scale,
+        }
+    }
+}
+
+/// Computes the §3.1 cost quantities for one campaign.
+pub fn cost_row(result: &CampaignResult, model: &EnergyModel) -> CostRow {
+    let mut partial = CostPartial::default();
+    for f in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
+        partial.observe(f);
+    }
+    partial.finish(result.profile.name, result.visits.len(), model)
 }
 
 /// Cost table over a study, most expensive first.

@@ -4,7 +4,7 @@
 //! local DNS stub resolver."
 
 use panoptes::campaign::CampaignResult;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::{DnsLogEntry, DohProvider, ResolverKind};
 
 /// What the wire shows about a browser's resolver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,24 +28,55 @@ pub struct DnsRow {
     pub lookups: usize,
 }
 
+/// Mergeable accumulator form of the DNS detector, fed with resolver-log
+/// entries instead of flows. `merge` is **ordered** — `other` must cover
+/// entries strictly after `self`'s — so "first DoH lookup wins" survives
+/// sharding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DnsPartial {
+    doh: Option<DohProvider>,
+    lookups: usize,
+}
+
+impl DnsPartial {
+    /// Folds one resolver-log entry into the accumulator.
+    pub fn observe(&mut self, entry: &DnsLogEntry) {
+        if self.doh.is_none() {
+            if let ResolverKind::Doh(p) = entry.resolver {
+                self.doh = Some(p);
+            }
+        }
+        self.lookups += 1;
+    }
+
+    /// Absorbs a later shard's accumulator (entries after `self`'s).
+    pub fn merge(&mut self, other: DnsPartial) {
+        if self.doh.is_none() {
+            self.doh = other.doh;
+        }
+        self.lookups += other.lookups;
+    }
+
+    /// Finalises the browser's DNS row.
+    pub fn finish(self, browser: &str) -> DnsRow {
+        let resolver = match (self.doh, self.lookups) {
+            (Some(p), _) => ObservedResolver::Doh(p),
+            (None, 0) => ObservedResolver::None,
+            (None, _) => ObservedResolver::LocalStub,
+        };
+        DnsRow { browser: browser.to_string(), resolver, lookups: self.lookups }
+    }
+}
+
 /// Classifies one campaign's DNS behaviour from the capture: DoH flows
 /// appear as native HTTPS to the provider; stub queries only show in the
 /// resolver log.
 pub fn dns_row(result: &CampaignResult) -> DnsRow {
-    let doh = result
-        .dns_log
-        .iter()
-        .find_map(|e| match e.resolver {
-            ResolverKind::Doh(p) => Some(p),
-            ResolverKind::LocalStub => None,
-        });
-    let lookups = result.dns_log.len();
-    let resolver = match (doh, lookups) {
-        (Some(p), _) => ObservedResolver::Doh(p),
-        (None, 0) => ObservedResolver::None,
-        (None, _) => ObservedResolver::LocalStub,
-    };
-    DnsRow { browser: result.profile.name.to_string(), resolver, lookups }
+    let mut partial = DnsPartial::default();
+    for entry in result.dns_log.iter() {
+        partial.observe(entry);
+    }
+    partial.finish(result.profile.name)
 }
 
 /// The §3.2 split over a full study.

@@ -1,0 +1,752 @@
+//! The fused, sharded, overlapped study engine.
+//!
+//! The legacy analysis path walks each capture once **per detector** —
+//! ~10 independent passes over the same snapshot. This module turns the
+//! whole report into a map-reduce over the capture instead:
+//!
+//! * **fused** — every detector exposes a mergeable `Partial`
+//!   accumulator (`observe`/`merge`/`finish`); [`CrawlPartials`]
+//!   bundles them so one iteration over the snapshot feeds all
+//!   detectors at once ([`analyze_crawl`]);
+//! * **sharded** — the fused pass splits the capture into contiguous
+//!   [`shard_ranges`](fleet::shard_ranges) executed across the fleet
+//!   worker pool, then merges the per-shard partials **in shard order**
+//!   ([`analyze_crawl_sharded`]). Because every partial's merge is
+//!   either order-insensitive (sums, set unions) or explicitly ordered
+//!   (first-occurrence fields), the merged report is byte-identical to
+//!   the sequential one for any shard count;
+//! * **overlapped** — [`run_full_study_analyzed`] removes the
+//!   capture→analysis barrier: fleet units hand their sealed captures
+//!   to analysis workers over a bounded channel the moment each unit
+//!   finishes, so detectors run while other browsers are still
+//!   crawling. The per-unit analyses land in submission-order slots, so
+//!   the global aggregation is byte-identical to the sequential study.
+//!
+//! `tests/study_engine_determinism.rs` (workspace root) enforces the
+//! byte-identity across all three paths end-to-end.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
+
+use panoptes::campaign::CampaignResult;
+use panoptes::config::CampaignConfig;
+use panoptes::fleet::{
+    self, FleetError, FleetFailure, FleetOptions, FleetUnit, StudyOutput, UnitOutput,
+};
+use panoptes::idle::IdleResult;
+use panoptes_blocklist::data::steven_black_excerpt;
+use panoptes_blocklist::HostsList;
+use panoptes_browsers::registry::all_profiles;
+use panoptes_device::DeviceProperties;
+use panoptes_geo::GeoDb;
+use panoptes_http::url::Url;
+use panoptes_mitm::FlowClass;
+use panoptes_simnet::clock::SimDuration;
+use panoptes_web::site::SiteSpec;
+use panoptes_web::World;
+
+use crate::addomains::{AdDomainPartial, AdDomainRow};
+use crate::cost::{CostPartial, CostRow, EnergyModel};
+use crate::dns::{DnsPartial, DnsRow};
+use crate::facts::capture_facts;
+use crate::history::{summarize_from, BrowserLeakSummary, HistoryLeak, HistoryPartial};
+use crate::identifiers::{IdentifierPartial, IdentifierSighting};
+use crate::idle::{DestinationShare, IdlePartial, IdleTimeline};
+use crate::pii::{PiiMatcher, PiiPartial, PiiRow};
+use crate::sensitive::{SensitivePartial, SensitiveRow};
+use crate::transfers::{TransferPartial, TransferRow};
+use crate::volume::{VolumePartial, VolumeRow};
+
+/// Stable identifiers are reported when they recur in at least this
+/// many flows to one destination (the §3.3 threshold).
+pub const IDENTIFIER_MIN_FLOWS: usize = 2;
+
+/// The per-campaign ground truth every context-dependent detector joins
+/// against — visited URLs/hosts/domains and the sensitive subset —
+/// built once per campaign and shared by all shards.
+pub struct CrawlContext<'a> {
+    /// URLs the harness navigated to.
+    pub visited_urls: HashSet<&'a str>,
+    /// Hostnames of the visited URLs.
+    pub visited_hosts: HashSet<String>,
+    /// Registrable domains of the visited sites.
+    pub visited_domains: HashSet<&'a str>,
+    /// URLs of the visits flagged sensitive in the ground truth.
+    pub sensitive_urls: HashSet<&'a str>,
+    /// Total visits in the campaign.
+    pub total_visits: usize,
+}
+
+impl<'a> CrawlContext<'a> {
+    /// Builds the context from a campaign's ground-truth visit log.
+    pub fn of(result: &'a CampaignResult) -> CrawlContext<'a> {
+        let visited_urls: HashSet<&str> =
+            result.visits.iter().map(|v| v.url.as_str()).collect();
+        let visited_hosts: HashSet<String> = result
+            .visits
+            .iter()
+            .filter_map(|v| Url::parse(&v.url).ok())
+            .map(|u| u.host().to_string())
+            .collect();
+        let visited_domains: HashSet<&str> =
+            result.visits.iter().map(|v| v.domain.as_str()).collect();
+        let sensitive_urls: HashSet<&str> = result
+            .visits
+            .iter()
+            .filter(|v| v.sensitive)
+            .map(|v| v.url.as_str())
+            .collect();
+        CrawlContext {
+            visited_urls,
+            visited_hosts,
+            visited_domains,
+            sensitive_urls,
+            total_visits: result.visits.len(),
+        }
+    }
+}
+
+/// The shared lookup tables the detectors finalise against: device
+/// ground truth for PII matching, the geolocation database, the
+/// ad/tracker hosts list, and the radio energy model. Built once per
+/// study, shared by every campaign's analysis.
+pub struct AnalysisResources {
+    /// The testbed device's ground-truth properties (Table 2 matching).
+    pub props: DeviceProperties,
+    /// IP → country database (§3.4 transfers).
+    pub geo: GeoDb,
+    /// Ad/tracker hosts list (Figure 3, §3.3 ad-related flags).
+    pub ad_list: HostsList,
+    /// Radio energy model for the §3.1 cost rows.
+    pub energy: EnergyModel,
+}
+
+impl AnalysisResources {
+    /// The paper's standard resources: the testbed tablet, the bundled
+    /// geo database and hosts list, and the LTE energy model.
+    pub fn standard() -> AnalysisResources {
+        AnalysisResources {
+            props: DeviceProperties::testbed_tablet(),
+            geo: GeoDb::standard(),
+            ad_list: steven_black_excerpt(),
+            energy: EnergyModel::lte(),
+        }
+    }
+}
+
+/// Every crawl detector's accumulator, bundled so one fused iteration
+/// over the capture feeds them all. `merge` is **ordered**: `other`
+/// must cover flows strictly after `self`'s shard (shard order), which
+/// is what lets the first-occurrence detectors (PII, transfers)
+/// reproduce the sequential result exactly.
+#[derive(Debug, Default, PartialEq)]
+pub struct CrawlPartials {
+    /// Figure 2/4 sums.
+    pub volume: VolumePartial,
+    /// Figure 3 native-host set.
+    pub addomains: AdDomainPartial,
+    /// §3.2 history-leak buckets.
+    pub history: HistoryPartial,
+    /// Table 2 first-match fields.
+    pub pii: PiiPartial,
+    /// §3.3 identifier counts.
+    pub identifiers: IdentifierPartial,
+    /// §3.4 destination-IP map.
+    pub transfers: TransferPartial,
+    /// §3.2 sensitive-leak set.
+    pub sensitive: SensitivePartial,
+    /// §3.1 cost sums.
+    pub cost: CostPartial,
+}
+
+impl CrawlPartials {
+    /// Folds one captured flow into every detector — the fused pass.
+    ///
+    /// Fusion shares more than the snapshot iteration: the first-party
+    /// test runs once for history *and* sensitive, one decoded-values
+    /// sweep feeds both, and one raw-observations sweep feeds pii *and*
+    /// identifiers — work each standalone detector repeats for itself.
+    pub fn observe(
+        &mut self,
+        view: &crate::facts::FlowView<'_>,
+        ctx: &CrawlContext<'_>,
+        pii: &PiiMatcher<'_>,
+    ) {
+        let flow = view.flow();
+        self.volume.observe(flow);
+        self.addomains.observe(flow);
+        self.cost.observe(flow);
+        self.transfers.observe(flow);
+
+        if !ctx.visited_domains.contains(view.registrable_domain()) {
+            let channel = if crate::history::is_doh_flow(flow) {
+                None
+            } else {
+                HistoryPartial::channel_of(flow.class)
+            };
+            let mut flow_leaked = false;
+            for (obs, decoded_values) in view.decoded_observations() {
+                if let Some(channel) = channel {
+                    flow_leaked |= self
+                        .history
+                        .scan_observation(&flow.host, channel, obs, decoded_values, ctx);
+                }
+                self.sensitive.scan_values(decoded_values, ctx);
+            }
+            if flow_leaked {
+                self.history.record_leak_flow(view);
+            }
+        }
+
+        if flow.class == FlowClass::Native {
+            let mut seen_in_flow: HashMap<(&str, &str), ()> = HashMap::new();
+            for obs in view.observations() {
+                self.pii.scan_observation(pii, &flow.host, obs);
+                self.identifiers.scan_observation(&flow.host, obs, &mut seen_in_flow);
+            }
+        }
+    }
+
+    /// Absorbs a later shard's accumulators, detector by detector.
+    pub fn merge(&mut self, other: CrawlPartials) {
+        self.volume.merge(other.volume);
+        self.addomains.merge(other.addomains);
+        self.history.merge(other.history);
+        self.pii.merge(other.pii);
+        self.identifiers.merge(other.identifiers);
+        self.transfers.merge(other.transfers);
+        self.sensitive.merge(other.sensitive);
+        self.cost.merge(other.cost);
+    }
+}
+
+/// Every §3 result of one crawl campaign, computed by the fused pass.
+/// Self-contained: rendering a report needs no further access to the
+/// capture.
+pub struct CampaignAnalysis {
+    /// Browser name.
+    pub browser: String,
+    /// Browser version (Table 1).
+    pub version: String,
+    /// Pages visited.
+    pub visits: usize,
+    /// Figure 2/4 row.
+    pub volume: VolumeRow,
+    /// Figure 3 row.
+    pub addomains: AdDomainRow,
+    /// §3.2 history leaks.
+    pub history_leaks: Vec<HistoryLeak>,
+    /// Table 2 row.
+    pub pii: PiiRow,
+    /// §3.3 stable identifiers (at [`IDENTIFIER_MIN_FLOWS`]).
+    pub identifiers: Vec<IdentifierSighting>,
+    /// §3.4 transfer row (None when the browser leaks nothing).
+    pub transfers: Option<TransferRow>,
+    /// §3.2 sensitive-category row.
+    pub sensitive: SensitiveRow,
+    /// §3.2 DNS row.
+    pub dns: DnsRow,
+    /// §3.1 cost row.
+    pub cost: CostRow,
+}
+
+impl CampaignAnalysis {
+    /// The §3.2 per-browser leak roll-up.
+    pub fn leak_summary(&self) -> BrowserLeakSummary {
+        summarize_from(&self.browser, &self.history_leaks)
+    }
+}
+
+/// Finalises a campaign's merged partials into the full analysis.
+fn finish_crawl(
+    result: &CampaignResult,
+    partials: CrawlPartials,
+    dns: DnsPartial,
+    ctx: &CrawlContext<'_>,
+    res: &AnalysisResources,
+) -> CampaignAnalysis {
+    let browser = result.profile.name;
+    let history_leaks = partials.history.finish(browser, ctx.total_visits);
+    let transfers = partials.transfers.finish(browser, &history_leaks, &res.geo);
+    CampaignAnalysis {
+        browser: browser.to_string(),
+        version: result.profile.version.to_string(),
+        visits: result.visits.len(),
+        volume: partials.volume.finish(browser),
+        addomains: partials.addomains.finish(browser, &res.ad_list),
+        history_leaks,
+        pii: partials.pii.finish(browser),
+        identifiers: partials.identifiers.finish(browser, IDENTIFIER_MIN_FLOWS, &res.ad_list),
+        transfers,
+        sensitive: partials.sensitive.finish(browser, ctx.sensitive_urls.len()),
+        dns: dns.finish(browser),
+        cost: partials.cost.finish(browser, result.visits.len(), &res.energy),
+    }
+}
+
+/// The campaign's resolver-log accumulator (one pass over the DNS log).
+fn dns_partial(result: &CampaignResult) -> DnsPartial {
+    let mut dns = DnsPartial::default();
+    for entry in result.dns_log.iter() {
+        dns.observe(entry);
+    }
+    dns
+}
+
+/// Analyses one crawl campaign with the fused single-pass engine: one
+/// iteration over the snapshot feeds every detector.
+pub fn analyze_crawl(result: &CampaignResult, res: &AnalysisResources) -> CampaignAnalysis {
+    let ctx = CrawlContext::of(result);
+    let matcher = PiiMatcher::new(&res.props);
+    let snap = result.store.snapshot();
+    let facts = capture_facts(&snap);
+    let mut partials = CrawlPartials::default();
+    for view in facts.views(snap.all()) {
+        partials.observe(&view, &ctx, &matcher);
+    }
+    finish_crawl(result, partials, dns_partial(result), &ctx, res)
+}
+
+/// Analyses one crawl campaign with the fused pass **sharded** across
+/// the fleet worker pool: the capture splits into contiguous near-equal
+/// ranges, each shard folds its range into its own [`CrawlPartials`],
+/// and the shards merge in order. Byte-identical to [`analyze_crawl`]
+/// for any worker count.
+pub fn analyze_crawl_sharded(
+    result: &CampaignResult,
+    res: &AnalysisResources,
+    options: &FleetOptions,
+) -> CampaignAnalysis {
+    let ctx = CrawlContext::of(result);
+    let matcher = PiiMatcher::new(&res.props);
+    let snap = result.store.snapshot();
+    let facts = capture_facts(&snap);
+    let flows = snap.all();
+    let ranges = fleet::shard_ranges(flows.len(), options.effective_jobs(flows.len()));
+    let labels: Vec<String> = ranges
+        .iter()
+        .enumerate()
+        .map(|(i, r)| format!("{} analysis shard {i} ({} flows)", result.profile.name, r.len()))
+        .collect();
+    let shards = fleet::execute(&labels, options, |i| {
+        let mut partials = CrawlPartials::default();
+        for view in facts.views(&flows[ranges[i].clone()]) {
+            partials.observe(&view, &ctx, &matcher);
+        }
+        partials
+    })
+    .unwrap_or_else(|e| panic!("sharded analysis failed: {e}"));
+    let mut merged = CrawlPartials::default();
+    for shard in shards {
+        merged.merge(shard);
+    }
+    finish_crawl(result, merged, dns_partial(result), &ctx, res)
+}
+
+/// Every §3.5 result of one idle campaign. The offset/domain histograms
+/// stay in accumulator form so any bucket width can be rendered without
+/// touching the capture again.
+pub struct IdleAnalysis {
+    /// Browser name.
+    pub browser: String,
+    /// Native requests the browser model reports sending while idle.
+    pub idle_sent: u32,
+    /// The idle window's length.
+    pub duration: SimDuration,
+    partial: IdlePartial,
+}
+
+impl IdleAnalysis {
+    /// The Figure 5 cumulative timeline at `bucket` width.
+    pub fn timeline(&self, bucket: SimDuration) -> IdleTimeline {
+        self.partial.timeline(&self.browser, bucket, self.duration)
+    }
+
+    /// The §3.5 destination shares, largest first.
+    pub fn destination_shares(&self) -> Vec<DestinationShare> {
+        self.partial.destination_shares()
+    }
+}
+
+/// Analyses one idle campaign (one fused pass over the capture).
+pub fn analyze_idle(result: &IdleResult) -> IdleAnalysis {
+    let mut partial = IdlePartial::default();
+    let start = result.idle_start.0;
+    for flow in result.store.snapshot().iter() {
+        partial.observe(flow, start);
+    }
+    IdleAnalysis {
+        browser: result.profile.name.to_string(),
+        idle_sent: result.idle_sent,
+        duration: result.duration,
+        partial,
+    }
+}
+
+/// Like [`analyze_idle`], sharded across the worker pool with in-order
+/// merge — byte-identical for any worker count.
+pub fn analyze_idle_sharded(result: &IdleResult, options: &FleetOptions) -> IdleAnalysis {
+    let snap = result.store.snapshot();
+    let flows = snap.all();
+    let start = result.idle_start.0;
+    let ranges = fleet::shard_ranges(flows.len(), options.effective_jobs(flows.len()));
+    let labels: Vec<String> = ranges
+        .iter()
+        .enumerate()
+        .map(|(i, r)| format!("{} idle shard {i} ({} flows)", result.profile.name, r.len()))
+        .collect();
+    let shards = fleet::execute(&labels, options, |i| {
+        let mut partial = IdlePartial::default();
+        for flow in &flows[ranges[i].clone()] {
+            partial.observe(flow, start);
+        }
+        partial
+    })
+    .unwrap_or_else(|e| panic!("sharded idle analysis failed: {e}"));
+    let mut merged = IdlePartial::default();
+    for shard in shards {
+        merged.merge(shard);
+    }
+    IdleAnalysis {
+        browser: result.profile.name.to_string(),
+        idle_sent: result.idle_sent,
+        duration: result.duration,
+        partial: merged,
+    }
+}
+
+/// The full study's analyses: one [`CampaignAnalysis`] per crawl and
+/// one [`IdleAnalysis`] per idle run, both in input (profile) order.
+pub struct StudyAnalyses {
+    /// Crawl analyses, in input order.
+    pub crawls: Vec<CampaignAnalysis>,
+    /// Idle analyses, in input order.
+    pub idles: Vec<IdleAnalysis>,
+}
+
+/// Analyses a completed study sequentially (fused single-pass per
+/// campaign).
+pub fn analyze_study(
+    results: &[CampaignResult],
+    idles: &[IdleResult],
+    res: &AnalysisResources,
+) -> StudyAnalyses {
+    StudyAnalyses {
+        crawls: results.iter().map(|r| analyze_crawl(r, res)).collect(),
+        idles: idles.iter().map(analyze_idle).collect(),
+    }
+}
+
+/// Analyses a completed study across the fleet worker pool — one unit
+/// per campaign, results in input order. Byte-identical to
+/// [`analyze_study`] for any worker count.
+pub fn analyze_study_jobs(
+    results: &[CampaignResult],
+    idles: &[IdleResult],
+    res: &AnalysisResources,
+    options: &FleetOptions,
+) -> Result<StudyAnalyses, FleetError<()>> {
+    let labels: Vec<String> = results
+        .iter()
+        .map(|r| format!("{} crawl analysis", r.profile.name))
+        .chain(idles.iter().map(|r| format!("{} idle analysis", r.profile.name)))
+        .collect();
+    let crawl_slots: Mutex<Vec<Option<CampaignAnalysis>>> =
+        Mutex::new((0..results.len()).map(|_| None).collect());
+    let idle_slots: Mutex<Vec<Option<IdleAnalysis>>> =
+        Mutex::new((0..idles.len()).map(|_| None).collect());
+    fleet::execute(&labels, options, |index| {
+        if index < results.len() {
+            let analysis = analyze_crawl(&results[index], res);
+            crawl_slots.lock().unwrap()[index] = Some(analysis);
+        } else {
+            let idle_index = index - results.len();
+            let analysis = analyze_idle(&idles[idle_index]);
+            idle_slots.lock().unwrap()[idle_index] = Some(analysis);
+        }
+    })?;
+    Ok(StudyAnalyses {
+        crawls: crawl_slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("fleet reported success"))
+            .collect(),
+        idles: idle_slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("fleet reported success"))
+            .collect(),
+    })
+}
+
+/// One unit's analysis, crawl or idle — the overlapped pipeline's
+/// per-unit product. The crawl side is boxed: a `CampaignAnalysis`
+/// carries every §3 table row and the variants would otherwise differ
+/// by ~400 bytes.
+enum UnitAnalysis {
+    Crawl(Box<CampaignAnalysis>),
+    Idle(IdleAnalysis),
+}
+
+/// A fully captured **and** analysed study: the raw campaign results
+/// (for exports that need flows, e.g. HAR or Listing 1) plus every
+/// per-campaign analysis.
+pub struct AnalyzedStudy {
+    /// The raw captures, in profile order.
+    pub results: StudyOutput,
+    /// The per-campaign analyses, in profile order.
+    pub analyses: StudyAnalyses,
+}
+
+/// Runs the full study (crawl + idle per browser) with the
+/// capture→analysis barrier removed: fleet units stream their sealed
+/// captures to analysis workers over a bounded channel as soon as each
+/// unit finishes, so detectors run while other browsers are still
+/// crawling. Per-unit analyses land in submission-order slots and the
+/// cross-browser aggregation merges them in that order, making the
+/// output byte-identical to capture-everything-then-analyse.
+///
+/// Panic isolation matches the fleet's: a panicking capture unit or
+/// analysis worker fails only its own unit, and the error reports every
+/// failure with its unit label.
+pub fn run_full_study_analyzed(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    idle: SimDuration,
+    options: &FleetOptions,
+    res: &AnalysisResources,
+) -> Result<AnalyzedStudy, FleetError<()>> {
+    let profiles = all_profiles();
+    let mut units = Vec::with_capacity(profiles.len() * 2);
+    for profile in &profiles {
+        units.push(FleetUnit::crawl(profile.clone()));
+    }
+    for profile in &profiles {
+        units.push(FleetUnit::idle(profile.clone(), idle));
+    }
+    let labels: Vec<String> = units.iter().map(FleetUnit::label).collect();
+    let n = units.len();
+    let jobs = options.effective_jobs(n);
+
+    // The hand-off queue: capture workers block (backpressure) once
+    // `jobs` sealed captures are waiting for analysis.
+    let (tx, rx) = sync_channel::<(usize, UnitOutput)>(jobs);
+    let rx = Mutex::new(rx);
+
+    let output_slots: Mutex<Vec<Option<UnitOutput>>> = Mutex::new((0..n).map(|_| None).collect());
+    let analysis_slots: Mutex<Vec<Option<UnitAnalysis>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let analysis_failures: Mutex<Vec<FleetFailure>> = Mutex::new(Vec::new());
+
+    // One analysis worker per fleet worker: with an idle pool the
+    // analyses of early-finishing units overlap the remaining captures.
+    let analysis_workers = jobs;
+
+    let capture_outcome = std::thread::scope(|scope| {
+        for _ in 0..analysis_workers {
+            scope.spawn(|| loop {
+                let message = rx.lock().unwrap().recv();
+                let Ok((index, output)) = message else {
+                    break; // channel closed: capture side is done
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| match &output {
+                    UnitOutput::Crawl(result) => {
+                        UnitAnalysis::Crawl(Box::new(analyze_crawl(result, res)))
+                    }
+                    UnitOutput::Idle(result) => UnitAnalysis::Idle(analyze_idle(result)),
+                }));
+                match outcome {
+                    Ok(analysis) => analysis_slots.lock().unwrap()[index] = Some(analysis),
+                    Err(payload) => analysis_failures.lock().unwrap().push(FleetFailure {
+                        unit: format!("{} analysis", labels[index]),
+                        index,
+                        message: fleet::panic_message(payload.as_ref()),
+                    }),
+                }
+                output_slots.lock().unwrap()[index] = Some(output);
+            });
+        }
+
+        let runner = |index: usize| {
+            let unit = &units[index];
+            let unit_config = unit.config.as_ref().unwrap_or(config);
+            let output = match unit.kind {
+                fleet::UnitKind::Crawl => UnitOutput::Crawl(panoptes::campaign::run_crawl(
+                    world,
+                    &unit.profile,
+                    sites,
+                    unit_config,
+                )),
+                fleet::UnitKind::Idle(duration) => UnitOutput::Idle(panoptes::idle::run_idle(
+                    world,
+                    &unit.profile,
+                    duration,
+                    unit_config,
+                )),
+            };
+            tx.send((index, output)).expect("analysis workers outlive the capture fleet");
+        };
+        let outcome = fleet::execute(&labels, options, runner);
+        drop(tx); // close the queue so analysis workers drain and exit
+        outcome
+    });
+
+    let mut failures = match capture_outcome {
+        Ok(_) => Vec::new(),
+        Err(e) => e.failures,
+    };
+    failures.extend(analysis_failures.into_inner().unwrap());
+    if !failures.is_empty() {
+        failures.sort_by_key(|f| f.index);
+        return Err(FleetError { failures, completed: (0..n).map(|_| None).collect() });
+    }
+
+    let mut crawls = Vec::with_capacity(profiles.len());
+    let mut idle_results = Vec::with_capacity(profiles.len());
+    for output in output_slots.into_inner().unwrap() {
+        match output.expect("no failure recorded") {
+            UnitOutput::Crawl(result) => crawls.push(result),
+            UnitOutput::Idle(result) => idle_results.push(result),
+        }
+    }
+    let mut crawl_analyses = Vec::with_capacity(profiles.len());
+    let mut idle_analyses = Vec::with_capacity(profiles.len());
+    for analysis in analysis_slots.into_inner().unwrap() {
+        match analysis.expect("no failure recorded") {
+            UnitAnalysis::Crawl(a) => crawl_analyses.push(*a),
+            UnitAnalysis::Idle(a) => idle_analyses.push(a),
+        }
+    }
+    Ok(AnalyzedStudy {
+        results: StudyOutput { crawls, idles: idle_results },
+        analyses: StudyAnalyses { crawls: crawl_analyses, idles: idle_analyses },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panoptes::campaign::run_crawl;
+    use panoptes::idle::run_idle;
+    use panoptes_browsers::registry::profile_by_name;
+    use panoptes_web::generator::GeneratorConfig;
+
+    use crate::addomains::ad_domain_row;
+    use crate::cost::cost_row;
+    use crate::dns::dns_row;
+    use crate::history::detect_history_leaks;
+    use crate::identifiers::find_identifiers;
+    use crate::idle::{destination_shares, timeline};
+    use crate::pii::pii_row;
+    use crate::sensitive::sensitive_row;
+    use crate::transfers::transfer_row;
+    use crate::volume::volume_row;
+
+    fn small_world() -> World {
+        World::build(&GeneratorConfig { popular: 6, sensitive: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn fused_analysis_matches_every_legacy_detector() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let res = AnalysisResources::standard();
+        for name in ["Yandex", "Opera", "Chrome", "UC International"] {
+            let result =
+                run_crawl(&world, &profile_by_name(name).unwrap(), &world.sites, &config);
+            let a = analyze_crawl(&result, &res);
+            assert_eq!(a.volume, volume_row(&result), "{name}");
+            assert_eq!(a.addomains, ad_domain_row(&result), "{name}");
+            assert_eq!(a.history_leaks, detect_history_leaks(&result), "{name}");
+            assert_eq!(a.pii, pii_row(&result, &res.props), "{name}");
+            assert_eq!(a.identifiers, find_identifiers(&result, IDENTIFIER_MIN_FLOWS), "{name}");
+            assert_eq!(a.transfers, transfer_row(&result, &res.geo), "{name}");
+            assert_eq!(a.sensitive, sensitive_row(&result), "{name}");
+            assert_eq!(a.dns, dns_row(&result), "{name}");
+            assert_eq!(a.cost, cost_row(&result, &res.energy), "{name}");
+        }
+    }
+
+    #[test]
+    fn sharded_analysis_matches_sequential_for_any_worker_count() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let res = AnalysisResources::standard();
+        let result =
+            run_crawl(&world, &profile_by_name("Yandex").unwrap(), &world.sites, &config);
+        let sequential = analyze_crawl(&result, &res);
+        for jobs in [1usize, 2, 3, 8] {
+            let sharded = analyze_crawl_sharded(&result, &res, &FleetOptions::with_jobs(jobs));
+            assert_eq!(sharded.volume, sequential.volume, "jobs={jobs}");
+            assert_eq!(sharded.history_leaks, sequential.history_leaks, "jobs={jobs}");
+            assert_eq!(sharded.pii, sequential.pii, "jobs={jobs}");
+            assert_eq!(sharded.identifiers, sequential.identifiers, "jobs={jobs}");
+            assert_eq!(sharded.transfers, sequential.transfers, "jobs={jobs}");
+            assert_eq!(sharded.sensitive, sequential.sensitive, "jobs={jobs}");
+            assert_eq!(sharded.addomains, sequential.addomains, "jobs={jobs}");
+            assert_eq!(sharded.cost, sequential.cost, "jobs={jobs}");
+            assert_eq!(sharded.dns, sequential.dns, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sharded_idle_matches_sequential() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let result = run_idle(
+            &world,
+            &profile_by_name("Opera").unwrap(),
+            SimDuration::from_secs(300),
+            &config,
+        );
+        let bucket = SimDuration::from_secs(10);
+        let sequential = analyze_idle(&result);
+        assert_eq!(sequential.timeline(bucket), timeline(&result, bucket));
+        assert_eq!(sequential.destination_shares(), destination_shares(&result));
+        for jobs in [2usize, 5] {
+            let sharded = analyze_idle_sharded(&result, &FleetOptions::with_jobs(jobs));
+            assert_eq!(sharded.timeline(bucket), sequential.timeline(bucket), "jobs={jobs}");
+            assert_eq!(
+                sharded.destination_shares(),
+                sequential.destination_shares(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_study_matches_barrier_study() {
+        let world = small_world();
+        let config = CampaignConfig::default();
+        let res = AnalysisResources::standard();
+        let idle = SimDuration::from_secs(60);
+        let overlapped = run_full_study_analyzed(
+            &world,
+            &world.sites,
+            &config,
+            idle,
+            &FleetOptions::with_jobs(4),
+            &res,
+        )
+        .expect("no failures");
+        assert_eq!(overlapped.results.crawls.len(), 15);
+        assert_eq!(overlapped.results.idles.len(), 15);
+        let barrier = analyze_study(&overlapped.results.crawls, &overlapped.results.idles, &res);
+        for (o, b) in overlapped.analyses.crawls.iter().zip(&barrier.crawls) {
+            assert_eq!(o.browser, b.browser);
+            assert_eq!(o.volume, b.volume, "{}", o.browser);
+            assert_eq!(o.history_leaks, b.history_leaks, "{}", o.browser);
+            assert_eq!(o.pii, b.pii, "{}", o.browser);
+        }
+        let bucket = SimDuration::from_secs(30);
+        for (o, b) in overlapped.analyses.idles.iter().zip(&barrier.idles) {
+            assert_eq!(o.timeline(bucket), b.timeline(bucket), "{}", o.browser);
+            assert_eq!(o.destination_shares(), b.destination_shares(), "{}", o.browser);
+        }
+    }
+}

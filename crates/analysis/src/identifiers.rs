@@ -11,8 +11,10 @@ use std::collections::{BTreeMap, HashMap};
 
 use panoptes::campaign::CampaignResult;
 use panoptes_blocklist::data::steven_black_excerpt;
+use panoptes_blocklist::HostsList;
+use panoptes_mitm::FlowClass;
 
-use crate::facts::capture_facts;
+use crate::facts::{capture_facts, FlowView};
 use crate::scan::looks_like_identifier;
 
 /// One stable identifier observed at one destination.
@@ -34,41 +36,89 @@ pub struct IdentifierSighting {
     pub ad_related: bool,
 }
 
+/// Mergeable accumulator form of the stable-identifier detector: the
+/// per-flow dedup is local to `observe`, and the cross-flow state is a
+/// pure count map, so sharded merges sum back to the sequential counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdentifierPartial {
+    /// (destination, key, value) → flow count.
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl IdentifierPartial {
+    /// Folds one captured flow into the accumulator (native flows only).
+    pub fn observe(&mut self, view: &FlowView<'_>) {
+        if view.class != FlowClass::Native {
+            return;
+        }
+        let mut seen_in_flow: HashMap<(&str, &str), ()> = HashMap::new();
+        for obs in view.observations() {
+            self.scan_observation(&view.host, obs, &mut seen_in_flow);
+        }
+    }
+
+    /// Tests one observation for a high-entropy token and counts it once
+    /// per flow (`seen_in_flow` is the flow-local dedup, reset per
+    /// flow). Shared between [`observe`](Self::observe) and the fused
+    /// engine pass.
+    pub(crate) fn scan_observation<'a>(
+        &mut self,
+        destination: &str,
+        obs: &'a crate::scan::Observation,
+        seen_in_flow: &mut HashMap<(&'a str, &'a str), ()>,
+    ) {
+        if !looks_like_identifier(&obs.value) {
+            return;
+        }
+        // Count each (key,value) once per flow.
+        if seen_in_flow.insert((&obs.key, &obs.value), ()).is_none() {
+            *self
+                .counts
+                .entry((destination.to_string(), obs.key.clone(), obs.value.clone()))
+                .or_default() += 1;
+        }
+    }
+
+    /// Absorbs a later shard's accumulator.
+    pub fn merge(&mut self, other: IdentifierPartial) {
+        for (key, n) in other.counts {
+            *self.counts.entry(key).or_default() += n;
+        }
+    }
+
+    /// Finalises the browser's identifier sightings at `min_flows`.
+    pub fn finish(
+        self,
+        browser: &str,
+        min_flows: usize,
+        ad_list: &HostsList,
+    ) -> Vec<IdentifierSighting> {
+        self.counts
+            .into_iter()
+            .filter(|(_, n)| *n >= min_flows)
+            .map(|((destination, key, value), flows)| IdentifierSighting {
+                browser: browser.to_string(),
+                ad_related: ad_list.contains(&destination),
+                destination,
+                key,
+                value,
+                flows,
+            })
+            .collect()
+    }
+}
+
 /// Finds stable identifiers in a campaign's native traffic: a token
 /// counts when it looks high-entropy and recurs in at least
 /// `min_flows` flows to the same destination under the same key.
 pub fn find_identifiers(result: &CampaignResult, min_flows: usize) -> Vec<IdentifierSighting> {
-    let ad_list = steven_black_excerpt();
-    // (destination, key, value) → count
-    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
-    let snap = result.store.snapshot();
+    let mut partial = IdentifierPartial::default();
+    let snap = result.store.snapshot(); // multipass-ok: legacy standalone detector
     let facts = capture_facts(&snap);
     for view in facts.views(snap.native()) {
-        let mut seen_in_flow: HashMap<(&str, &str), ()> = HashMap::new();
-        for obs in view.observations() {
-            if !looks_like_identifier(&obs.value) {
-                continue;
-            }
-            // Count each (key,value) once per flow.
-            if seen_in_flow.insert((&obs.key, &obs.value), ()).is_none() {
-                *counts
-                    .entry((view.host.to_string(), obs.key.clone(), obs.value.clone()))
-                    .or_default() += 1;
-            }
-        }
+        partial.observe(&view);
     }
-    counts
-        .into_iter()
-        .filter(|(_, n)| *n >= min_flows)
-        .map(|((destination, key, value), flows)| IdentifierSighting {
-            browser: result.profile.name.to_string(),
-            ad_related: ad_list.contains(&destination),
-            destination,
-            key,
-            value,
-            flows,
-        })
-        .collect()
+    partial.finish(result.profile.name, min_flows, &steven_black_excerpt())
 }
 
 /// Per-browser roll-up: does any stable identifier reach an ad server?

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use panoptes::idle::IdleResult;
 use panoptes_http::url::registrable_domain;
+use panoptes_mitm::{Flow, FlowClass};
 use panoptes_simnet::clock::SimDuration;
 
 /// One browser's Figure 5 series.
@@ -53,37 +54,105 @@ impl IdleTimeline {
     }
 }
 
+/// Mergeable accumulator form of the idle detectors: per-second offset
+/// counts feed [`IdlePartial::timeline`], per-domain counts feed
+/// [`IdlePartial::destination_shares`] — both derived from one pass over
+/// the capture instead of one pass each.
+///
+/// The asymmetry of the legacy detectors is preserved deliberately: the
+/// timeline drops flows past the idle window, while destination shares
+/// count every in-window-or-later native flow (matching `timeline` /
+/// `destination_shares` exactly, bucket for bucket and byte for byte).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdlePartial {
+    /// Seconds-since-idle-start → native flow count (no upper bound).
+    offsets: BTreeMap<u64, u64>,
+    /// Registrable destination domain → native flow count.
+    domains: BTreeMap<String, u64>,
+    /// All native flows at or after idle start.
+    total: u64,
+}
+
+impl IdlePartial {
+    /// Folds one captured flow into the accumulator. `start_us` is the
+    /// idle window's start timestamp; launch traffic before it is
+    /// excluded.
+    pub fn observe(&mut self, flow: &Flow, start_us: u64) {
+        if flow.class != FlowClass::Native || flow.time_us < start_us {
+            return;
+        }
+        let offset_secs = (flow.time_us - start_us) / 1_000_000;
+        *self.offsets.entry(offset_secs).or_default() += 1;
+        *self.domains.entry(registrable_domain(&flow.host)).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Absorbs a later shard's accumulator.
+    pub fn merge(&mut self, other: IdlePartial) {
+        for (offset, n) in other.offsets {
+            *self.offsets.entry(offset).or_default() += n;
+        }
+        for (domain, n) in other.domains {
+            *self.domains.entry(domain).or_default() += n;
+        }
+        self.total += other.total;
+    }
+
+    /// Finalises the Figure 5 cumulative timeline at `bucket` width over
+    /// an idle window of `duration`.
+    pub fn timeline(&self, browser: &str, bucket: SimDuration, duration: SimDuration) -> IdleTimeline {
+        let bucket_secs = bucket.as_secs().max(1);
+        let total_secs = duration.as_secs();
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&offset_secs, &n) in &self.offsets {
+            if offset_secs > total_secs {
+                continue;
+            }
+            let bucket_end = ((offset_secs / bucket_secs) + 1) * bucket_secs;
+            *counts.entry(bucket_end).or_default() += n;
+        }
+        let mut cumulative = Vec::new();
+        let mut running = 0u64;
+        let mut t = bucket_secs;
+        while t <= total_secs {
+            running += counts.get(&t).copied().unwrap_or(0);
+            cumulative.push((t, running));
+            t += bucket_secs;
+        }
+        IdleTimeline { browser: browser.to_string(), bucket_secs, cumulative }
+    }
+
+    /// Finalises the §3.5 destination shares, largest first.
+    pub fn destination_shares(&self) -> Vec<DestinationShare> {
+        let total = self.total;
+        let mut shares: Vec<DestinationShare> = self
+            .domains
+            .iter()
+            .map(|(domain, &count)| DestinationShare {
+                domain: domain.clone(),
+                count,
+                percent: if total == 0 { 0.0 } else { 100.0 * count as f64 / total as f64 },
+            })
+            .collect();
+        shares.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
+        shares
+    }
+}
+
+/// Builds the accumulator for one idle capture (one pass).
+fn idle_partial(result: &IdleResult) -> IdlePartial {
+    let mut partial = IdlePartial::default();
+    let start = result.idle_start.0;
+    for flow in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
+        partial.observe(flow, start);
+    }
+    partial
+}
+
 /// Buckets an idle capture into a cumulative timeline. Only flows inside
 /// the idle window count (launch traffic is excluded).
 pub fn timeline(result: &IdleResult, bucket: SimDuration) -> IdleTimeline {
-    let bucket_secs = bucket.as_secs().max(1);
-    let start = result.idle_start.0;
-    let total_secs = result.duration.as_secs();
-    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
-    for flow in result.store.snapshot().native() {
-        if flow.time_us < start {
-            continue;
-        }
-        let offset_secs = (flow.time_us - start) / 1_000_000;
-        if offset_secs > total_secs {
-            continue;
-        }
-        let bucket_end = ((offset_secs / bucket_secs) + 1) * bucket_secs;
-        *counts.entry(bucket_end).or_default() += 1;
-    }
-    let mut cumulative = Vec::new();
-    let mut running = 0u64;
-    let mut t = bucket_secs;
-    while t <= total_secs {
-        running += counts.get(&t).copied().unwrap_or(0);
-        cumulative.push((t, running));
-        t += bucket_secs;
-    }
-    IdleTimeline {
-        browser: result.profile.name.to_string(),
-        bucket_secs,
-        cumulative,
-    }
+    idle_partial(result).timeline(result.profile.name, bucket, result.duration)
 }
 
 /// One destination's share of a browser's idle natives (§3.5).
@@ -99,26 +168,7 @@ pub struct DestinationShare {
 
 /// Destination shares of the idle window, largest first.
 pub fn destination_shares(result: &IdleResult) -> Vec<DestinationShare> {
-    let start = result.idle_start.0;
-    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-    let mut total = 0u64;
-    for flow in result.store.snapshot().native() {
-        if flow.time_us < start {
-            continue;
-        }
-        *counts.entry(registrable_domain(&flow.host)).or_default() += 1;
-        total += 1;
-    }
-    let mut shares: Vec<DestinationShare> = counts
-        .into_iter()
-        .map(|(domain, count)| DestinationShare {
-            domain,
-            count,
-            percent: if total == 0 { 0.0 } else { 100.0 * count as f64 / total as f64 },
-        })
-        .collect();
-    shares.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
-    shares
+    idle_partial(result).destination_shares()
 }
 
 /// Convenience: one domain's share in percent.

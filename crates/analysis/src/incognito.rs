@@ -4,7 +4,7 @@
 
 use panoptes::campaign::CampaignResult;
 
-use crate::history::{detect_history_leaks, LeakGranularity};
+use crate::history::{detect_history_leaks, HistoryLeak, LeakGranularity};
 
 /// Comparison of one browser's normal vs incognito campaigns.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,10 +25,24 @@ pub fn compare(normal: &CampaignResult, incognito: &CampaignResult) -> Incognito
         normal.profile.package, incognito.profile.package,
         "comparing different browsers"
     );
-    let n = detect_history_leaks(normal).iter().map(|l| l.granularity).max();
-    let i = detect_history_leaks(incognito).iter().map(|l| l.granularity).max();
+    compare_leaks(
+        normal.profile.name,
+        &detect_history_leaks(normal),
+        &detect_history_leaks(incognito),
+    )
+}
+
+/// [`compare`] over already-detected leak sets (the fused study engine
+/// detects each mode's leaks once and compares the results).
+pub fn compare_leaks(
+    browser: &str,
+    normal: &[HistoryLeak],
+    incognito: &[HistoryLeak],
+) -> IncognitoRow {
+    let n = normal.iter().map(|l| l.granularity).max();
+    let i = incognito.iter().map(|l| l.granularity).max();
     IncognitoRow {
-        browser: normal.profile.name.to_string(),
+        browser: browser.to_string(),
         normal: n,
         incognito: i,
         still_leaks: n.is_some() && i == n,

@@ -21,6 +21,10 @@
 //! * [`incognito`] — §3.2's incognito comparison,
 //! * [`sensitive`] — §3.2's sensitive-category leak check,
 //! * [`idle`] — Figure 5 timelines and §3.5 destination shares,
+//! * [`engine`] — the fused single-pass study engine: every detector's
+//!   mergeable `Partial` folded in one iteration over the capture,
+//!   sharded across the fleet pool, with a capture→analysis overlap
+//!   driver,
 //! * [`study`] — the full 15-browser study orchestration,
 //! * [`summary`] — a machine-readable JSON document of every result,
 //! * [`compare`] — per-browser deltas between two studies (longitudinal
@@ -37,6 +41,7 @@ pub mod addomains;
 pub mod compare;
 pub mod cost;
 pub mod dns;
+pub mod engine;
 pub mod facts;
 pub mod history;
 pub mod identifiers;

@@ -14,8 +14,9 @@
 use panoptes::campaign::CampaignResult;
 use panoptes_browsers::PiiField;
 use panoptes_device::DeviceProperties;
+use panoptes_mitm::FlowClass;
 
-use crate::facts::capture_facts;
+use crate::facts::{capture_facts, FlowView};
 
 /// One browser's Table 2 row: which fields were observed leaking, with
 /// an example destination per field.
@@ -34,64 +35,145 @@ impl PiiRow {
     }
 }
 
-fn key_hint(key: &str, hints: &[&str]) -> bool {
-    let key = key.to_ascii_lowercase();
-    hints.iter().any(|h| key.contains(h))
+fn key_hint(key_lower: &str, hints: &[&str]) -> bool {
+    hints.iter().any(|h| key_lower.contains(h))
 }
 
-/// Tests one observation against one field, given the device's ground
-/// truth.
-fn matches_field(field: PiiField, key: &str, value: &str, props: &DeviceProperties) -> bool {
-    match field {
-        PiiField::DeviceType => value.eq_ignore_ascii_case(&props.device_type),
-        PiiField::DeviceManufacturer => {
-            value.eq_ignore_ascii_case(&props.manufacturer)
-                && key_hint(key, &["vendor", "manuf", "brand", "make"])
+/// The Table 2 matcher with the device ground truth's string forms
+/// rendered up front, so the per-observation tests are pure comparisons
+/// — no allocation on the capture-scan hot path.
+pub struct PiiMatcher<'a> {
+    props: &'a DeviceProperties,
+    resolution_string: String,
+    resolution_w: String,
+    resolution_h: String,
+    local_ip: String,
+    dpi: String,
+}
+
+impl<'a> PiiMatcher<'a> {
+    /// Prepares the matcher for one device's ground truth.
+    pub fn new(props: &'a DeviceProperties) -> PiiMatcher<'a> {
+        PiiMatcher {
+            props,
+            resolution_string: props.resolution_string(),
+            resolution_w: props.resolution.0.to_string(),
+            resolution_h: props.resolution.1.to_string(),
+            local_ip: props.local_ip.to_string(),
+            dpi: props.dpi.to_string(),
         }
-        PiiField::Timezone => value == props.timezone,
-        PiiField::Resolution => {
-            value == props.resolution_string()
-                || (key_hint(key, &["width"]) && value == props.resolution.0.to_string())
-                || (key_hint(key, &["height"]) && value == props.resolution.1.to_string())
+    }
+
+    /// Tests one observation (key pre-lowercased) against one field.
+    fn matches_field(&self, field: PiiField, key_lower: &str, value: &str) -> bool {
+        let props = self.props;
+        match field {
+            PiiField::DeviceType => value.eq_ignore_ascii_case(&props.device_type),
+            PiiField::DeviceManufacturer => {
+                value.eq_ignore_ascii_case(&props.manufacturer)
+                    && key_hint(key_lower, &["vendor", "manuf", "brand", "make"])
+            }
+            PiiField::Timezone => value == props.timezone,
+            PiiField::Resolution => {
+                value == self.resolution_string
+                    || (key_hint(key_lower, &["width"]) && value == self.resolution_w)
+                    || (key_hint(key_lower, &["height"]) && value == self.resolution_h)
+            }
+            PiiField::LocalIp => value == self.local_ip,
+            PiiField::Dpi => key_hint(key_lower, &["dpi", "density"]) && value == self.dpi,
+            PiiField::RootedStatus => {
+                key_hint(key_lower, &["root"]) && matches!(value, "true" | "1" | "TRUE")
+            }
+            PiiField::Locale => value == props.locale,
+            PiiField::Country => {
+                value == props.country && key_hint(key_lower, &["country", "geo", "region"])
+            }
+            PiiField::Location => {
+                let Ok(v) = value.parse::<f64>() else { return false };
+                (key_hint(key_lower, &["lat"]) && (v - props.location.0).abs() < 0.05)
+                    || (key_hint(key_lower, &["lon", "lng"]) && (v - props.location.1).abs() < 0.05)
+            }
+            PiiField::ConnectionType => value == props.connection.as_str(),
+            PiiField::NetworkType => value == props.network.as_str(),
         }
-        PiiField::LocalIp => value == props.local_ip.to_string(),
-        PiiField::Dpi => key_hint(key, &["dpi", "density"]) && value == props.dpi.to_string(),
-        PiiField::RootedStatus => {
-            key_hint(key, &["root"]) && matches!(value, "true" | "1" | "TRUE")
+    }
+}
+
+/// Mergeable accumulator form of the Table 2 detector. Each field keeps
+/// its *first* matching destination in capture order; `merge` is
+/// **ordered** (`other` covers flows strictly after `self`'s shard), so
+/// first-match-wins survives sharding and the merged row is byte-equal
+/// to the sequential one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PiiPartial {
+    leaked: Vec<(PiiField, String)>,
+}
+
+impl PiiPartial {
+    /// Folds one captured flow into the accumulator (native flows only).
+    pub fn observe(&mut self, view: &FlowView<'_>, matcher: &PiiMatcher<'_>) {
+        if view.class != FlowClass::Native {
+            return;
         }
-        PiiField::Locale => value == props.locale,
-        PiiField::Country => {
-            value == props.country && key_hint(key, &["country", "geo", "region"])
+        for obs in view.observations() {
+            self.scan_observation(matcher, &view.host, obs);
         }
-        PiiField::Location => {
-            let Ok(v) = value.parse::<f64>() else { return false };
-            (key_hint(key, &["lat"]) && (v - props.location.0).abs() < 0.05)
-                || (key_hint(key, &["lon", "lng"]) && (v - props.location.1).abs() < 0.05)
+    }
+
+    /// Tests one observation against every still-unseen field. Shared
+    /// between [`observe`](Self::observe) and the fused engine pass.
+    pub(crate) fn scan_observation(
+        &mut self,
+        matcher: &PiiMatcher<'_>,
+        destination: &str,
+        obs: &crate::scan::Observation,
+    ) {
+        if self.leaked.len() == PiiField::ALL.len() {
+            return;
         }
-        PiiField::ConnectionType => value == props.connection.as_str(),
-        PiiField::NetworkType => value == props.network.as_str(),
+        let key_lower: std::borrow::Cow<'_, str> =
+            if obs.key.bytes().any(|b| b.is_ascii_uppercase()) {
+                std::borrow::Cow::Owned(obs.key.to_ascii_lowercase())
+            } else {
+                std::borrow::Cow::Borrowed(&obs.key)
+            };
+        for field in PiiField::ALL {
+            if self.leaked.iter().any(|(f, _)| *f == field) {
+                continue;
+            }
+            if matcher.matches_field(field, &key_lower, &obs.value) {
+                self.leaked.push((field, destination.to_string()));
+            }
+        }
+    }
+
+    /// Absorbs a later shard's accumulator (flows after `self`'s).
+    pub fn merge(&mut self, other: PiiPartial) {
+        for (field, host) in other.leaked {
+            if !self.leaked.iter().any(|(f, _)| *f == field) {
+                self.leaked.push((field, host));
+            }
+        }
+    }
+
+    /// Finalises the browser's Table 2 row.
+    pub fn finish(self, browser: &str) -> PiiRow {
+        let mut leaked = self.leaked;
+        leaked.sort_by_key(|(f, _)| PiiField::ALL.iter().position(|x| x == f));
+        PiiRow { browser: browser.to_string(), leaked }
     }
 }
 
 /// Scans a campaign's *native* flows for the Table 2 fields.
 pub fn pii_row(result: &CampaignResult, props: &DeviceProperties) -> PiiRow {
-    let mut leaked: Vec<(PiiField, String)> = Vec::new();
-    let snap = result.store.snapshot();
+    let matcher = PiiMatcher::new(props);
+    let mut partial = PiiPartial::default();
+    let snap = result.store.snapshot(); // multipass-ok: legacy standalone detector
     let facts = capture_facts(&snap);
     for view in facts.views(snap.native()) {
-        for obs in view.observations() {
-            for field in PiiField::ALL {
-                if leaked.iter().any(|(f, _)| *f == field) {
-                    continue;
-                }
-                if matches_field(field, &obs.key, &obs.value, props) {
-                    leaked.push((field, view.host.to_string()));
-                }
-            }
-        }
+        partial.observe(&view, &matcher);
     }
-    leaked.sort_by_key(|(f, _)| PiiField::ALL.iter().position(|x| x == f));
-    PiiRow { browser: result.profile.name.to_string(), leaked }
+    partial.finish(result.profile.name)
 }
 
 /// Table 2 over a set of campaigns (device props shared — one testbed).
@@ -157,16 +239,20 @@ mod tests {
     #[test]
     fn field_detectors_are_value_grounded() {
         let props = DeviceProperties::testbed_tablet();
-        assert!(matches_field(PiiField::Timezone, "tz", "Europe/Athens", &props));
-        assert!(!matches_field(PiiField::Timezone, "tz", "Europe/Berlin", &props));
-        assert!(matches_field(PiiField::Resolution, "screen", "1200x1920", &props));
-        assert!(matches_field(PiiField::Resolution, "deviceScreenWidth", "1200", &props));
-        assert!(!matches_field(PiiField::Resolution, "slot", "1200", &props));
-        assert!(matches_field(PiiField::Dpi, "dpi", "224", &props));
-        assert!(!matches_field(PiiField::Dpi, "count", "224", &props));
-        assert!(matches_field(PiiField::Location, "latitude", "35.3387", &props));
-        assert!(!matches_field(PiiField::Location, "latitude", "48.85", &props));
-        assert!(matches_field(PiiField::Country, "countryCode", "GR", &props));
-        assert!(!matches_field(PiiField::Country, "param", "GR", &props));
+        let m = PiiMatcher::new(&props);
+        let check = |field, key: &str, value: &str| {
+            m.matches_field(field, &key.to_ascii_lowercase(), value)
+        };
+        assert!(check(PiiField::Timezone, "tz", "Europe/Athens"));
+        assert!(!check(PiiField::Timezone, "tz", "Europe/Berlin"));
+        assert!(check(PiiField::Resolution, "screen", "1200x1920"));
+        assert!(check(PiiField::Resolution, "deviceScreenWidth", "1200"));
+        assert!(!check(PiiField::Resolution, "slot", "1200"));
+        assert!(check(PiiField::Dpi, "dpi", "224"));
+        assert!(!check(PiiField::Dpi, "count", "224"));
+        assert!(check(PiiField::Location, "latitude", "35.3387"));
+        assert!(!check(PiiField::Location, "latitude", "48.85"));
+        assert!(check(PiiField::Country, "countryCode", "GR"));
+        assert!(!check(PiiField::Country, "param", "GR"));
     }
 }

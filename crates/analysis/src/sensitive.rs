@@ -3,11 +3,12 @@
 //! Google Ads' blocked sensitive categories (religion, sexuality,
 //! politics, health) — no local filtering at all.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use panoptes::campaign::CampaignResult;
 
-use crate::facts::capture_facts;
+use crate::engine::CrawlContext;
+use crate::facts::{capture_facts, FlowView};
 
 /// One browser's sensitive-leak row.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,39 +23,69 @@ pub struct SensitiveRow {
     pub example: Option<String>,
 }
 
-/// Checks whether sensitive visits leak in full detail.
-pub fn sensitive_row(result: &CampaignResult) -> SensitiveRow {
-    let sensitive_urls: HashSet<&str> = result
-        .visits
-        .iter()
-        .filter(|v| v.sensitive)
-        .map(|v| v.url.as_str())
-        .collect();
-    let visited_domains: HashSet<&str> =
-        result.visits.iter().map(|v| v.domain.as_str()).collect();
+/// Mergeable accumulator form of the §3.2 sensitive-content detector:
+/// the leaked-URL set is an order-insensitive union, so any sharding of
+/// the capture merges back to the sequential row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SensitivePartial {
+    leaked: BTreeSet<String>,
+}
 
-    let mut leaked: HashSet<String> = HashSet::new();
-    let snap = result.store.snapshot();
-    let facts = capture_facts(&snap);
-    for view in facts.views(snap.all()) {
-        if visited_domains.contains(view.registrable_domain()) {
-            continue; // first-party traffic is not a leak
+impl SensitivePartial {
+    /// Folds one captured flow into the accumulator.
+    pub fn observe(&mut self, view: &FlowView<'_>, ctx: &CrawlContext<'_>) {
+        if ctx.visited_domains.contains(view.registrable_domain()) {
+            return; // first-party traffic is not a leak
         }
         for (_, decoded_values) in view.decoded_observations() {
-            for decoded in decoded_values {
-                if sensitive_urls.contains(decoded.as_str()) {
-                    leaked.insert(decoded.clone());
-                }
+            self.scan_values(decoded_values, ctx);
+        }
+    }
+
+    /// Tests one observation's decodings against the sensitive ground
+    /// truth. Shared between [`observe`](Self::observe) and the fused
+    /// engine pass.
+    pub(crate) fn scan_values(&mut self, decoded_values: &[String], ctx: &CrawlContext<'_>) {
+        for decoded in decoded_values {
+            // The ground truth holds full visit URLs, which always
+            // contain a `/`; skip the set hash for values that cannot
+            // match.
+            if decoded.contains('/')
+                && ctx.sensitive_urls.contains(decoded.as_str())
+                && !self.leaked.contains(decoded.as_str())
+            {
+                self.leaked.insert(decoded.clone());
             }
         }
     }
-    let example = leaked.iter().min().cloned();
-    SensitiveRow {
-        browser: result.profile.name.to_string(),
-        sensitive_visits: sensitive_urls.len(),
-        sensitive_urls_leaked: leaked.len(),
-        example,
+
+    /// Absorbs a later shard's accumulator.
+    pub fn merge(&mut self, other: SensitivePartial) {
+        self.leaked.extend(other.leaked);
     }
+
+    /// Finalises the browser's sensitive-leak row.
+    pub fn finish(self, browser: &str, sensitive_visits: usize) -> SensitiveRow {
+        let example = self.leaked.iter().next().cloned();
+        SensitiveRow {
+            browser: browser.to_string(),
+            sensitive_visits,
+            sensitive_urls_leaked: self.leaked.len(),
+            example,
+        }
+    }
+}
+
+/// Checks whether sensitive visits leak in full detail.
+pub fn sensitive_row(result: &CampaignResult) -> SensitiveRow {
+    let ctx = CrawlContext::of(result);
+    let mut partial = SensitivePartial::default();
+    let snap = result.store.snapshot(); // multipass-ok: legacy standalone detector
+    let facts = capture_facts(&snap);
+    for view in facts.views(snap.all()) {
+        partial.observe(&view, &ctx);
+    }
+    partial.finish(result.profile.name, ctx.sensitive_urls.len())
 }
 
 #[cfg(test)]

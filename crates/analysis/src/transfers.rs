@@ -14,7 +14,9 @@ use panoptes::campaign::CampaignResult;
 use panoptes_geo::{Country, GeoDb};
 use panoptes_http::netaddr::IpAddr;
 
-use crate::history::{detect_history_leaks, LeakGranularity};
+use panoptes_mitm::Flow;
+
+use crate::history::{detect_history_leaks, HistoryLeak, LeakGranularity};
 
 /// Where one browser's history leaks land.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,36 +31,70 @@ pub struct TransferRow {
     pub leaves_eu: bool,
 }
 
+/// Mergeable accumulator form of the §3.4 detector's capture pass: the
+/// destination-host → first-seen IP map. `merge` is **ordered** (`other`
+/// covers flows strictly after `self`'s shard) so first-IP-wins survives
+/// sharding; the geolocation itself happens at `finish` against the
+/// history leaks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransferPartial {
+    dest_ip: BTreeMap<String, IpAddr>,
+}
+
+impl TransferPartial {
+    /// Folds one captured flow into the accumulator.
+    pub fn observe(&mut self, flow: &Flow) {
+        if !self.dest_ip.contains_key(flow.host.as_str()) {
+            self.dest_ip.insert(flow.host.to_string(), flow.dst_ip);
+        }
+    }
+
+    /// Absorbs a later shard's accumulator (flows after `self`'s).
+    pub fn merge(&mut self, other: TransferPartial) {
+        for (host, ip) in other.dest_ip {
+            self.dest_ip.entry(host).or_insert(ip);
+        }
+    }
+
+    /// Finalises the browser's transfer row against its history leaks.
+    pub fn finish(
+        self,
+        browser: &str,
+        leaks: &[HistoryLeak],
+        geo: &GeoDb,
+    ) -> Option<TransferRow> {
+        let worst = leaks.iter().map(|l| l.granularity).max()?;
+        let mut destinations = Vec::new();
+        for leak in leaks {
+            if leak.granularity != worst {
+                continue;
+            }
+            if let Some(country) =
+                self.dest_ip.get(&leak.destination).and_then(|ip| geo.country_of(*ip))
+            {
+                if !destinations.iter().any(|(h, _)| h == &leak.destination) {
+                    destinations.push((leak.destination.clone(), country));
+                }
+            }
+        }
+        let leaves_eu = destinations.iter().any(|(_, c)| !c.is_eu());
+        Some(TransferRow {
+            browser: browser.to_string(),
+            granularity: worst,
+            destinations,
+            leaves_eu,
+        })
+    }
+}
+
 /// Geolocates every history-leak destination of a campaign.
 pub fn transfer_row(result: &CampaignResult, geo: &GeoDb) -> Option<TransferRow> {
     let leaks = detect_history_leaks(result);
-    let worst = leaks.iter().map(|l| l.granularity).max()?;
-
-    // Destination host → IP from the capture itself (the flows carry the
-    // dst address, exactly what the paper extracts).
-    let mut dest_ip: BTreeMap<String, IpAddr> = BTreeMap::new();
-    for flow in result.store.snapshot().iter() {
-        dest_ip.entry(flow.host.to_string()).or_insert(flow.dst_ip);
+    let mut partial = TransferPartial::default();
+    for flow in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
+        partial.observe(flow);
     }
-
-    let mut destinations = Vec::new();
-    for leak in &leaks {
-        if leak.granularity != worst {
-            continue;
-        }
-        if let Some(country) = dest_ip.get(&leak.destination).and_then(|ip| geo.country_of(*ip)) {
-            if !destinations.iter().any(|(h, _)| h == &leak.destination) {
-                destinations.push((leak.destination.clone(), country));
-            }
-        }
-    }
-    let leaves_eu = destinations.iter().any(|(_, c)| !c.is_eu());
-    Some(TransferRow {
-        browser: result.profile.name.to_string(),
-        granularity: worst,
-        destinations,
-        leaves_eu,
-    })
+    partial.finish(result.profile.name, &leaks, geo)
 }
 
 /// §3.4 over a full study: rows for every browser that leaks history.

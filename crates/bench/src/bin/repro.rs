@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N]
-//!       [--only SECTION]
+//!       [--overlap] [--only SECTION]
 //! ```
 //!
 //! Sections: `table1 fig2 fig3 fig4 table2 fig5 leaks dns incognito
@@ -11,8 +11,13 @@
 //!
 //! `--jobs N` runs the browser campaigns across an N-worker fleet
 //! (default: the machine's available parallelism; `--jobs 1` forces the
-//! legacy sequential path). Output is byte-identical for every N — the
-//! fleet re-orders results into profile order before rendering.
+//! legacy sequential path). Every capture is analysed once by the fused
+//! single-pass engine and all sections render from those analyses.
+//! `--overlap` additionally removes the capture→analysis barrier: each
+//! campaign streams to an analysis worker the moment it seals, running
+//! crawl, idle and analysis on one worker pool. Output is byte-identical
+//! for every N, with and without `--overlap` — results always come back
+//! in profile order before rendering.
 //!
 //! `--har DIR` additionally writes one HAR 1.2 file per browser campaign
 //! into DIR, for inspection with off-the-shelf HAR tooling. `--json FILE`
@@ -21,10 +26,16 @@
 
 use panoptes::campaign::run_crawl;
 use panoptes::fleet::{self, FleetOptions, FleetUnit};
-use panoptes_bench::experiments::{crawl_all, crawl_all_jobs, idle_all, idle_all_jobs, Scale};
+use panoptes_analysis::engine::{
+    analyze_crawl, analyze_idle, analyze_study_jobs, AnalysisResources, CampaignAnalysis,
+    IdleAnalysis, StudyAnalyses,
+};
+use panoptes_analysis::summary::study_report_from;
+use panoptes_bench::experiments::{
+    crawl_all, crawl_all_jobs, idle_all, idle_all_jobs, study_all_overlapped, Scale,
+};
 use panoptes_bench::render;
 use panoptes_browsers::registry::profile_by_name;
-use panoptes_device::DeviceProperties;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +45,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut overlap = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +54,7 @@ fn main() {
                 i += 1;
                 jobs = Some(args[i].parse().expect("--jobs N"));
             }
+            "--overlap" => overlap = true,
             "--popular" => {
                 i += 1;
                 scale.popular = args[i].parse().expect("--popular N");
@@ -72,7 +85,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR]"
+                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR]"
                 );
                 return;
             }
@@ -99,21 +112,52 @@ fn main() {
         None => FleetOptions::default().verbose(),
     };
     let effective = fleet_options.effective_jobs(15);
+    let res = AnalysisResources::standard();
 
-    eprintln!("crawling 15 browsers ({effective} worker(s))...");
-    let (world, results) = if jobs == Some(1) {
-        // The legacy sequential path, kept reachable for A/B runs.
-        crawl_all(&scale)
-    } else {
-        match crawl_all_jobs(&scale, &fleet_options) {
-            Ok(out) => out,
+    // In --overlap mode the idle campaigns run (and everything gets
+    // analysed) on the same pool as the crawls, so their analyses are
+    // ready before any rendering starts.
+    let mut overlapped_idles: Option<Vec<IdleAnalysis>> = None;
+
+    let (world, results, crawl_analyses) = if overlap {
+        eprintln!("overlapped study: crawl + idle + analysis, 15 browsers, {effective} worker(s)...");
+        match study_all_overlapped(&scale, &fleet_options, &res) {
+            Ok((world, study)) => {
+                overlapped_idles = Some(study.analyses.idles);
+                (world, study.results.crawls, study.analyses.crawls)
+            }
             Err(e) => {
-                eprintln!("crawl fleet failed: {e}");
+                eprintln!("overlapped study failed: {e}");
                 std::process::exit(1);
             }
         }
+    } else {
+        eprintln!("crawling 15 browsers ({effective} worker(s))...");
+        let (world, results) = if jobs == Some(1) {
+            // The legacy sequential path, kept reachable for A/B runs.
+            crawl_all(&scale)
+        } else {
+            match crawl_all_jobs(&scale, &fleet_options) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("crawl fleet failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        let analyses: Vec<CampaignAnalysis> = if jobs == Some(1) {
+            results.iter().map(|r| analyze_crawl(r, &res)).collect()
+        } else {
+            match analyze_study_jobs(&results, &[], &res, &fleet_options) {
+                Ok(s) => s.crawls,
+                Err(e) => {
+                    eprintln!("analysis fleet failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        (world, results, analyses)
     };
-    let props = DeviceProperties::testbed_tablet();
 
     if let Some(dir) = &har_dir {
         std::fs::create_dir_all(dir).expect("create --har directory");
@@ -126,41 +170,41 @@ fn main() {
     }
 
     if want("table1") {
-        println!("{}", render::table1(&results));
+        println!("{}", render::table1(&crawl_analyses));
     }
     if want("fig2") {
-        println!("{}", render::fig2(&results));
+        println!("{}", render::fig2(&crawl_analyses));
     }
     if want("fig3") {
-        println!("{}", render::fig3(&results));
+        println!("{}", render::fig3(&crawl_analyses));
     }
     if want("fig4") {
-        println!("{}", render::fig4(&results));
+        println!("{}", render::fig4(&crawl_analyses));
     }
     if want("table2") {
-        println!("{}", render::table2_md(&results, &props));
+        println!("{}", render::table2_md(&crawl_analyses));
     }
     if want("leaks") {
-        println!("{}", render::leaks_md(&results));
-        println!("{}", render::leak_summary_md(&results));
+        println!("{}", render::leaks_md(&crawl_analyses));
+        println!("{}", render::leak_summary_md(&crawl_analyses));
     }
     if want("dns") {
-        println!("{}", render::dns_md(&results));
+        println!("{}", render::dns_md(&crawl_analyses));
     }
     if want("sensitive") {
-        println!("{}", render::sensitive_md(&results));
+        println!("{}", render::sensitive_md(&crawl_analyses));
     }
     if want("transfers") {
-        println!("{}", render::transfers_md(&results));
+        println!("{}", render::transfers_md(&crawl_analyses));
     }
     if want("listing1") {
         println!("{}", render::listing1(&results));
     }
     if want("identifiers") {
-        println!("{}", render::identifiers_md(&results));
+        println!("{}", render::identifiers_md(&crawl_analyses));
     }
     if want("cost") {
-        println!("{}", render::cost_md(&results));
+        println!("{}", render::cost_md(&crawl_analyses));
     }
 
     if want("incognito") {
@@ -168,7 +212,7 @@ fn main() {
         let config = scale.config();
         let incog = config.clone().incognito();
         let browsers = ["Edge", "Opera", "UC International"];
-        let pairs: Vec<_> = if jobs == Some(1) {
+        let raw_pairs: Vec<_> = if jobs == Some(1) {
             browsers
                 .iter()
                 .map(|name| {
@@ -210,50 +254,72 @@ fn main() {
                 })
                 .collect()
         };
+        let pairs: Vec<_> = raw_pairs
+            .iter()
+            .map(|(n, i)| (analyze_crawl(n, &res), analyze_crawl(i, &res)))
+            .collect();
         println!("{}", render::incognito_md(&pairs));
     }
 
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create --csv directory");
-        std::fs::write(format!("{dir}/fig2.csv"), render::fig2_csv(&results)).expect("fig2.csv");
-        std::fs::write(format!("{dir}/fig3.csv"), render::fig3_csv(&results)).expect("fig3.csv");
+        std::fs::write(format!("{dir}/fig2.csv"), render::fig2_csv(&crawl_analyses))
+            .expect("fig2.csv");
+        std::fs::write(format!("{dir}/fig3.csv"), render::fig3_csv(&crawl_analyses))
+            .expect("fig3.csv");
         eprintln!("wrote {dir}/fig2.csv, {dir}/fig3.csv");
     }
 
     if want("fig5") || want("idle-dest") || json_path.is_some() || csv_dir.is_some() {
-        eprintln!(
-            "idle experiment (15 browsers x {}s, {effective} worker(s))...",
-            scale.idle.as_secs()
-        );
-        let idle = if jobs == Some(1) {
-            idle_all(&scale)
-        } else {
-            match idle_all_jobs(&scale, &fleet_options) {
-                Ok(out) => out,
-                Err(e) => {
-                    eprintln!("idle fleet failed: {e}");
-                    std::process::exit(1);
+        let idle_analyses: Vec<IdleAnalysis> = match overlapped_idles.take() {
+            Some(analyses) => analyses, // already captured and analysed
+            None => {
+                eprintln!(
+                    "idle experiment (15 browsers x {}s, {effective} worker(s))...",
+                    scale.idle.as_secs()
+                );
+                let idle = if jobs == Some(1) {
+                    idle_all(&scale)
+                } else {
+                    match idle_all_jobs(&scale, &fleet_options) {
+                        Ok(out) => out,
+                        Err(e) => {
+                            eprintln!("idle fleet failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                };
+                if jobs == Some(1) {
+                    idle.iter().map(analyze_idle).collect()
+                } else {
+                    match analyze_study_jobs(&[], &idle, &res, &fleet_options) {
+                        Ok(s) => s.idles,
+                        Err(e) => {
+                            eprintln!("idle analysis fleet failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
                 }
             }
         };
         if want("fig5") {
-            println!("{}", render::fig5(&idle));
+            println!("{}", render::fig5(&idle_analyses));
         }
         if want("idle-dest") {
-            println!("{}", render::idle_dest_md(&idle));
-        }
-        if let Some(path) = &json_path {
-            std::fs::write(path, panoptes_analysis::summary::study_report(&results, &idle))
-                .expect("write --json file");
-            eprintln!("wrote {path}");
+            println!("{}", render::idle_dest_md(&idle_analyses));
         }
         if let Some(dir) = &csv_dir {
             std::fs::write(
                 format!("{dir}/fig5.csv"),
-                render::fig5_csv(&idle, panoptes_simnet::SimDuration::from_secs(10)),
+                render::fig5_csv(&idle_analyses, panoptes_simnet::SimDuration::from_secs(10)),
             )
             .expect("fig5.csv");
             eprintln!("wrote {dir}/fig5.csv");
+        }
+        if let Some(path) = &json_path {
+            let study = StudyAnalyses { crawls: crawl_analyses, idles: idle_analyses };
+            std::fs::write(path, study_report_from(&study)).expect("write --json file");
+            eprintln!("wrote {path}");
         }
     }
     eprintln!("done.");

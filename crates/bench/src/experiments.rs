@@ -10,6 +10,7 @@ use panoptes::campaign::CampaignResult;
 use panoptes::config::CampaignConfig;
 use panoptes::fleet::{FleetError, FleetOptions, UnitOutput};
 use panoptes::idle::IdleResult;
+use panoptes_analysis::engine::{run_full_study_analyzed, AnalysisResources, AnalyzedStudy};
 use panoptes_analysis::study::{
     run_full_crawl, run_full_crawl_jobs, run_full_idle, run_full_idle_jobs,
 };
@@ -103,4 +104,20 @@ pub fn idle_all_jobs(
 ) -> Result<Vec<IdleResult>, FleetError<UnitOutput>> {
     let world = scale.world();
     run_full_idle_jobs(&world, scale.idle, &scale.config(), options)
+}
+
+/// Runs the full study — crawl **and** idle campaigns — with the
+/// capture→analysis barrier removed: each unit's capture streams to an
+/// analysis worker as soon as it seals, so detectors run while other
+/// browsers are still crawling. Results and analyses come back in
+/// profile order, byte-identical to the barrier drivers above.
+pub fn study_all_overlapped(
+    scale: &Scale,
+    options: &FleetOptions,
+    res: &AnalysisResources,
+) -> Result<(Arc<World>, AnalyzedStudy), FleetError<()>> {
+    let world = scale.world();
+    let study =
+        run_full_study_analyzed(&world, &world.sites, &scale.config(), scale.idle, options, res)?;
+    Ok((world, study))
 }

@@ -1,37 +1,36 @@
 //! Markdown rendering of every table and figure.
+//!
+//! Every renderer consumes the fused engine's per-campaign products
+//! ([`CampaignAnalysis`] / [`IdleAnalysis`]) so the whole report costs
+//! one pass over each capture, however many sections are printed.
+//! [`listing1`] is the one exception: it quotes a raw captured flow, so
+//! it still reads the campaign's store.
 
 use panoptes::campaign::CampaignResult;
-use panoptes::idle::IdleResult;
-use panoptes_analysis::addomains::figure3;
-use panoptes_analysis::dns::{doh_split, ObservedResolver};
-use panoptes_analysis::history::{detect_history_leaks, summarize_leaks, LeakChannel, LeakGranularity};
-use panoptes_analysis::idle::{destination_shares, timeline};
-use panoptes_analysis::incognito::compare;
-use panoptes_analysis::pii::table2;
-use panoptes_analysis::sensitive::sensitive_row;
-use panoptes_analysis::transfers::transfers;
-use panoptes_analysis::volume::figure2;
+use panoptes_analysis::dns::ObservedResolver;
+use panoptes_analysis::engine::{CampaignAnalysis, IdleAnalysis};
+use panoptes_analysis::history::{LeakChannel, LeakGranularity};
+use panoptes_analysis::incognito::compare_leaks;
 use panoptes_browsers::PiiField;
-use panoptes_device::DeviceProperties;
-use panoptes_geo::GeoDb;
 use panoptes_simnet::clock::SimDuration;
 
 /// Table 1: the browser dataset.
-pub fn table1(results: &[CampaignResult]) -> String {
+pub fn table1(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from("## Table 1 — Browser dataset\n\n| Browser | Version |\n|---|---|\n");
-    for r in results {
-        out.push_str(&format!("| {} | {} |\n", r.profile.name, r.profile.version));
+    for a in analyses {
+        out.push_str(&format!("| {} | {} |\n", a.browser, a.version));
     }
     out
 }
 
 /// Figure 2: request counts + native/engine ratio.
-pub fn fig2(results: &[CampaignResult]) -> String {
+pub fn fig2(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## Figure 2 — Requests: website (engine) vs browser (native)\n\n\
          | Browser | Engine reqs | Native reqs | Native/Engine |\n|---|---|---|---|\n",
     );
-    for row in figure2(results) {
+    for a in analyses {
+        let row = &a.volume;
         out.push_str(&format!(
             "| {} | {} | {} | {:.2} |\n",
             row.browser, row.engine_requests, row.native_requests, row.request_ratio
@@ -41,12 +40,13 @@ pub fn fig2(results: &[CampaignResult]) -> String {
 }
 
 /// Figure 3: % of native-contact domains that are ad-related.
-pub fn fig3(results: &[CampaignResult]) -> String {
+pub fn fig3(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## Figure 3 — Native destinations that are third-party/ad domains\n\n\
          | Browser | Native hosts | Ad hosts | Ad % |\n|---|---|---|---|\n",
     );
-    for row in figure3(results) {
+    for a in analyses {
+        let row = &a.addomains;
         out.push_str(&format!(
             "| {} | {} | {} | {:.1}% |\n",
             row.browser,
@@ -59,12 +59,13 @@ pub fn fig3(results: &[CampaignResult]) -> String {
 }
 
 /// Figure 4: outgoing traffic volume.
-pub fn fig4(results: &[CampaignResult]) -> String {
+pub fn fig4(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## Figure 4 — Outgoing volume: website vs browser-native\n\n\
          | Browser | Engine bytes | Native bytes | Native/Engine |\n|---|---|---|---|\n",
     );
-    for row in figure2(results) {
+    for a in analyses {
+        let row = &a.volume;
         out.push_str(&format!(
             "| {} | {} | {} | {:.2} |\n",
             row.browser, row.engine_bytes, row.native_bytes, row.volume_ratio
@@ -74,7 +75,7 @@ pub fn fig4(results: &[CampaignResult]) -> String {
 }
 
 /// Table 2: the PII matrix.
-pub fn table2_md(results: &[CampaignResult], props: &DeviceProperties) -> String {
+pub fn table2_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from("## Table 2 — PII / device info leaked natively\n\n| Browser |");
     for f in PiiField::ALL {
         out.push_str(&format!(" {} |", f.label()));
@@ -82,10 +83,10 @@ pub fn table2_md(results: &[CampaignResult], props: &DeviceProperties) -> String
     out.push_str("\n|---|");
     out.push_str(&"---|".repeat(12));
     out.push('\n');
-    for row in table2(results, props) {
-        out.push_str(&format!("| {} |", row.browser));
+    for a in analyses {
+        out.push_str(&format!("| {} |", a.pii.browser));
         for f in PiiField::ALL {
-            out.push_str(if row.leaks(f) { " Yes |" } else { " No |" });
+            out.push_str(if a.pii.leaks(f) { " Yes |" } else { " No |" });
         }
         out.push('\n');
     }
@@ -93,18 +94,14 @@ pub fn table2_md(results: &[CampaignResult], props: &DeviceProperties) -> String
 }
 
 /// §3.2: the history-leak findings.
-pub fn leaks_md(results: &[CampaignResult]) -> String {
+pub fn leaks_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## §3.2 — Browsing-history leaks\n\n\
          | Browser | Granularity | Destination(s) | Encoding | Channel | Persistent ID |\n\
          |---|---|---|---|---|---|\n",
     );
-    for r in results {
-        let leaks = detect_history_leaks(r);
-        if leaks.is_empty() {
-            continue;
-        }
-        for l in &leaks {
+    for a in analyses {
+        for l in &a.history_leaks {
             out.push_str(&format!(
                 "| {} | {} | {} | {:?} | {} | {} |\n",
                 l.browser,
@@ -123,12 +120,18 @@ pub fn leaks_md(results: &[CampaignResult]) -> String {
 }
 
 /// §3.2: the DoH/stub split.
-pub fn dns_md(results: &[CampaignResult]) -> String {
-    let (rows, doh, stub) = doh_split(results);
+pub fn dns_md(analyses: &[CampaignAnalysis]) -> String {
+    let doh = analyses
+        .iter()
+        .filter(|a| matches!(a.dns.resolver, ObservedResolver::Doh(_)))
+        .count();
+    let stub =
+        analyses.iter().filter(|a| a.dns.resolver == ObservedResolver::LocalStub).count();
     let mut out = format!(
         "## §3.2 — DNS behaviour ({doh} DoH / {stub} stub)\n\n| Browser | Resolver | Lookups |\n|---|---|---|\n"
     );
-    for row in rows {
+    for a in analyses {
+        let row = &a.dns;
         let resolver = match row.resolver {
             ObservedResolver::LocalStub => "local stub".to_string(),
             ObservedResolver::Doh(p) => format!("DoH ({})", p.host()),
@@ -140,12 +143,12 @@ pub fn dns_md(results: &[CampaignResult]) -> String {
 }
 
 /// §3.2: incognito comparison (normal vs incognito campaign pairs).
-pub fn incognito_md(pairs: &[(CampaignResult, CampaignResult)]) -> String {
+pub fn incognito_md(pairs: &[(CampaignAnalysis, CampaignAnalysis)]) -> String {
     let mut out = String::from(
         "## §3.2 — Incognito mode\n\n| Browser | Normal | Incognito | Still leaks |\n|---|---|---|---|\n",
     );
     for (normal, incog) in pairs {
-        let row = compare(normal, incog);
+        let row = compare_leaks(&normal.browser, &normal.history_leaks, &incog.history_leaks);
         out.push_str(&format!(
             "| {} | {} | {} | {} |\n",
             row.browser,
@@ -158,13 +161,13 @@ pub fn incognito_md(pairs: &[(CampaignResult, CampaignResult)]) -> String {
 }
 
 /// §3.2: sensitive-category leaking.
-pub fn sensitive_md(results: &[CampaignResult]) -> String {
+pub fn sensitive_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## §3.2 — Sensitive-category visits leaked in full\n\n\
          | Browser | Sensitive visits | Leaked in full | Example |\n|---|---|---|---|\n",
     );
-    for r in results {
-        let row = sensitive_row(r);
+    for a in analyses {
+        let row = &a.sensitive;
         if row.sensitive_urls_leaked == 0 {
             continue;
         }
@@ -180,13 +183,12 @@ pub fn sensitive_md(results: &[CampaignResult]) -> String {
 }
 
 /// §3.4: international transfers.
-pub fn transfers_md(results: &[CampaignResult]) -> String {
-    let geo = GeoDb::standard();
+pub fn transfers_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## §3.4 — International data transfers of history leaks\n\n\
          | Browser | Granularity | Destination | Country | Outside EU |\n|---|---|---|---|---|\n",
     );
-    for row in transfers(results, &geo) {
+    for row in analyses.iter().filter_map(|a| a.transfers.as_ref()) {
         for (host, country) in &row.destinations {
             out.push_str(&format!(
                 "| {} | {} | {} | {} ({}) | {} |\n",
@@ -203,7 +205,7 @@ pub fn transfers_md(results: &[CampaignResult]) -> String {
 }
 
 /// Figure 5: idle timelines (cumulative counts at checkpoints).
-pub fn fig5(results: &[IdleResult]) -> String {
+pub fn fig5(analyses: &[IdleAnalysis]) -> String {
     let checkpoints = [30u64, 60, 120, 300, 600];
     let mut out = String::from("## Figure 5 — Native requests while idle (cumulative)\n\n| Browser |");
     for c in checkpoints {
@@ -212,9 +214,9 @@ pub fn fig5(results: &[IdleResult]) -> String {
     out.push_str(" 1st-min share |\n|---|");
     out.push_str(&"---|".repeat(checkpoints.len() + 1));
     out.push('\n');
-    for r in results {
-        let tl = timeline(r, SimDuration::from_secs(10));
-        out.push_str(&format!("| {} |", r.profile.name));
+    for a in analyses {
+        let tl = a.timeline(SimDuration::from_secs(10));
+        out.push_str(&format!("| {} |", a.browser));
         for c in checkpoints {
             out.push_str(&format!(" {} |", tl.at(c)));
         }
@@ -224,15 +226,15 @@ pub fn fig5(results: &[IdleResult]) -> String {
 }
 
 /// §3.5: idle destination shares (top 3 per browser).
-pub fn idle_dest_md(results: &[IdleResult]) -> String {
+pub fn idle_dest_md(analyses: &[IdleAnalysis]) -> String {
     let mut out = String::from(
         "## §3.5 — Idle destinations (top 3 per browser)\n\n| Browser | Destination | Share |\n|---|---|---|\n",
     );
-    for r in results {
-        for share in destination_shares(r).into_iter().take(3) {
+    for a in analyses {
+        for share in a.destination_shares().into_iter().take(3) {
             out.push_str(&format!(
                 "| {} | {} | {:.1}% |\n",
-                r.profile.name, share.domain, share.percent
+                a.browser, share.domain, share.percent
             ));
         }
     }
@@ -257,13 +259,12 @@ pub fn listing1(results: &[CampaignResult]) -> String {
 }
 
 /// §3.3 — stable identifiers observed at native destinations.
-pub fn identifiers_md(results: &[CampaignResult]) -> String {
-    use panoptes_analysis::identifiers::find_identifiers;
+pub fn identifiers_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## §3.3 — Stable identifiers at native destinations\n\n| Browser | Destination | Key | Flows | Ad-related |\n|---|---|---|---|---|\n",
     );
-    for r in results {
-        for s in find_identifiers(r, 2) {
+    for a in analyses {
+        for s in &a.identifiers {
             out.push_str(&format!(
                 "| {} | {} | {} | {} | {} |\n",
                 s.browser,
@@ -278,12 +279,13 @@ pub fn identifiers_md(results: &[CampaignResult]) -> String {
 }
 
 /// §3.1 — the user-borne cost of native tracking.
-pub fn cost_md(results: &[CampaignResult]) -> String {
-    use panoptes_analysis::cost::{cost_table, EnergyModel};
+pub fn cost_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## §3.1 — User-borne cost of native tracking (per 1000 pages)\n\n| Browser | Native flows | Native bytes | Data plan (MB) | Radio energy, LTE (J) |\n|---|---|---|---|---|\n",
     );
-    for row in cost_table(results, &EnergyModel::lte()) {
+    let mut rows: Vec<_> = analyses.iter().map(|a| &a.cost).collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.native_bytes));
+    for row in rows {
         out.push_str(&format!(
             "| {} | {} | {} | {:.2} | {:.0} |\n",
             row.browser, row.native_flows, row.native_bytes, row.mb_per_1000_pages, row.joules_per_1000_pages
@@ -293,11 +295,12 @@ pub fn cost_md(results: &[CampaignResult]) -> String {
 }
 
 /// Figure 2/4 as CSV (plot-ready).
-pub fn fig2_csv(results: &[CampaignResult]) -> String {
+pub fn fig2_csv(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "browser,engine_requests,native_requests,request_ratio,engine_bytes,native_bytes,volume_ratio\n",
     );
-    for r in figure2(results) {
+    for a in analyses {
+        let r = &a.volume;
         out.push_str(&format!(
             "{},{},{},{:.4},{},{},{:.4}\n",
             r.browser,
@@ -313,9 +316,10 @@ pub fn fig2_csv(results: &[CampaignResult]) -> String {
 }
 
 /// Figure 3 as CSV.
-pub fn fig3_csv(results: &[CampaignResult]) -> String {
+pub fn fig3_csv(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from("browser,native_hosts,ad_hosts,ad_percent\n");
-    for r in figure3(results) {
+    for a in analyses {
+        let r = &a.addomains;
         out.push_str(&format!(
             "{},{},{},{:.2}\n",
             r.browser,
@@ -329,24 +333,24 @@ pub fn fig3_csv(results: &[CampaignResult]) -> String {
 
 /// Figure 5 as CSV: one row per (browser, bucket) with the cumulative
 /// count — the exact series the paper plots.
-pub fn fig5_csv(results: &[IdleResult], bucket: SimDuration) -> String {
+pub fn fig5_csv(analyses: &[IdleAnalysis], bucket: SimDuration) -> String {
     let mut out = String::from("browser,seconds,cumulative_native_requests\n");
-    for r in results {
-        let tl = timeline(r, bucket);
+    for a in analyses {
+        let tl = a.timeline(bucket);
         for (t, n) in &tl.cumulative {
-            out.push_str(&format!("{},{},{}\n", r.profile.name, t, n));
+            out.push_str(&format!("{},{},{}\n", a.browser, t, n));
         }
     }
     out
 }
 
 /// §3.2 roll-up: one line per leaking browser.
-pub fn leak_summary_md(results: &[CampaignResult]) -> String {
+pub fn leak_summary_md(analyses: &[CampaignAnalysis]) -> String {
     let mut out = String::from(
         "## §3.2 — Leak summary\n\n| Browser | Worst granularity | Destinations | Persistent ID | Via JS injection |\n|---|---|---|---|---|\n",
     );
-    for r in results {
-        let s = summarize_leaks(r);
+    for a in analyses {
+        let s = a.leak_summary();
         if s.worst.is_none() {
             continue;
         }

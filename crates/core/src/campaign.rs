@@ -65,6 +65,16 @@ impl CampaignResult {
     pub fn visited_urls(&self) -> Vec<&str> {
         self.visits.iter().map(|v| v.url.as_str()).collect()
     }
+
+    /// The visited registrable domains (ground truth, may repeat).
+    pub fn visited_domains(&self) -> Vec<&str> {
+        self.visits.iter().map(|v| v.domain.as_str()).collect()
+    }
+
+    /// The URLs of the visits flagged sensitive in the ground truth.
+    pub fn sensitive_urls(&self) -> Vec<&str> {
+        self.visits.iter().filter(|v| v.sensitive).map(|v| v.url.as_str()).collect()
+    }
 }
 
 /// Runs one browser's crawling campaign over `sites` (§2.1):

@@ -24,37 +24,70 @@ pub struct CampaignSummary {
     pub volume_ratio: f64,
 }
 
-/// Summarizes a campaign's capture.
-pub fn summarize(result: &CampaignResult) -> CampaignSummary {
-    let snap = result.store.snapshot();
-    let mut engine_requests = 0u64;
-    let mut native_requests = 0u64;
-    let mut pinned = 0u64;
-    let mut engine_bytes = 0u64;
-    let mut native_bytes = 0u64;
-    for f in snap.iter() {
-        match f.class {
+/// The mergeable accumulator form of [`CampaignSummary`]: feed it flows
+/// with [`observe`](SummaryPartial::observe) (in any shard of the
+/// capture), combine shards with [`merge`](SummaryPartial::merge), and
+/// [`finish`](SummaryPartial::finish) once at the end. Because every
+/// field is a plain sum, the result is independent of sharding — the
+/// same observe/merge/finish contract the analysis crate's detector
+/// partials follow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaryPartial {
+    engine_requests: u64,
+    native_requests: u64,
+    pinned_flows: u64,
+    engine_bytes_out: u64,
+    native_bytes_out: u64,
+}
+
+impl SummaryPartial {
+    /// Folds one captured flow into the accumulator.
+    pub fn observe(&mut self, flow: &panoptes_mitm::Flow) {
+        match flow.class {
             FlowClass::Engine => {
-                engine_requests += 1;
-                engine_bytes += f.bytes_out;
+                self.engine_requests += 1;
+                self.engine_bytes_out += flow.bytes_out;
             }
             FlowClass::Native => {
-                native_requests += 1;
-                native_bytes += f.bytes_out;
+                self.native_requests += 1;
+                self.native_bytes_out += flow.bytes_out;
             }
-            FlowClass::PinnedOpaque => pinned += 1,
+            FlowClass::PinnedOpaque => self.pinned_flows += 1,
             FlowClass::Blocked => {}
         }
     }
-    CampaignSummary {
-        engine_requests,
-        native_requests,
-        pinned_flows: pinned,
-        engine_bytes_out: engine_bytes,
-        native_bytes_out: native_bytes,
-        native_ratio: ratio(native_requests, engine_requests),
-        volume_ratio: ratio(native_bytes, engine_bytes),
+
+    /// Absorbs another shard's accumulator.
+    pub fn merge(&mut self, other: SummaryPartial) {
+        self.engine_requests += other.engine_requests;
+        self.native_requests += other.native_requests;
+        self.pinned_flows += other.pinned_flows;
+        self.engine_bytes_out += other.engine_bytes_out;
+        self.native_bytes_out += other.native_bytes_out;
     }
+
+    /// Finalises the ratios.
+    pub fn finish(self) -> CampaignSummary {
+        CampaignSummary {
+            engine_requests: self.engine_requests,
+            native_requests: self.native_requests,
+            pinned_flows: self.pinned_flows,
+            engine_bytes_out: self.engine_bytes_out,
+            native_bytes_out: self.native_bytes_out,
+            native_ratio: ratio(self.native_requests, self.engine_requests),
+            volume_ratio: ratio(self.native_bytes_out, self.engine_bytes_out),
+        }
+    }
+}
+
+/// Summarizes a campaign's capture.
+pub fn summarize(result: &CampaignResult) -> CampaignSummary {
+    let snap = result.store.snapshot();
+    let mut partial = SummaryPartial::default();
+    for f in snap.iter() {
+        partial.observe(f);
+    }
+    partial.finish()
 }
 
 fn ratio(a: u64, b: u64) -> f64 {
@@ -97,6 +130,32 @@ mod tests {
     use panoptes_browsers::registry::profile_by_name;
     use panoptes_web::generator::GeneratorConfig;
     use panoptes_web::World;
+
+    #[test]
+    fn sharded_summary_matches_sequential() {
+        let world =
+            World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() });
+        let result = run_crawl(
+            &world,
+            &profile_by_name("Yandex").unwrap(),
+            &world.sites,
+            &CampaignConfig::default(),
+        );
+        let sequential = summarize(&result);
+        let snap = result.store.snapshot();
+        let flows = snap.all();
+        for shards in [1usize, 2, 3, 8] {
+            let mut merged = SummaryPartial::default();
+            for range in crate::fleet::shard_ranges(flows.len(), shards) {
+                let mut partial = SummaryPartial::default();
+                for flow in &flows[range] {
+                    partial.observe(flow);
+                }
+                merged.merge(partial);
+            }
+            assert_eq!(merged.finish(), sequential, "shards={shards}");
+        }
+    }
 
     #[test]
     fn summary_is_consistent_with_store() {

@@ -1,0 +1,87 @@
+//! The fused study engine's headline guarantee, enforced end-to-end at
+//! the workspace level: the rendered study report is **byte-identical**
+//! whether the analysis runs
+//!
+//! * as the legacy multi-pass (one snapshot iteration per detector),
+//! * as the fused single pass ([`analyze_study`]),
+//! * sharded across any fleet worker count,
+//! * or fully overlapped with capture
+//!   ([`run_full_study_analyzed`] — analysis workers consume sealed
+//!   captures while later campaigns are still crawling).
+//!
+//! Fusion, sharding and overlap buy wall-clock time only, never a
+//! different report.
+
+use panoptes::fleet::FleetOptions;
+use panoptes_analysis::engine::{
+    analyze_crawl_sharded, analyze_idle_sharded, analyze_study, analyze_study_jobs,
+    run_full_study_analyzed, AnalysisResources, StudyAnalyses,
+};
+use panoptes_analysis::study::{run_full_crawl, run_full_idle};
+use panoptes_analysis::summary::{study_report_from, study_report_multipass};
+use panoptes_bench::experiments::Scale;
+use panoptes_simnet::clock::SimDuration;
+
+const IDLE: SimDuration = SimDuration::from_secs(120);
+
+#[test]
+fn fused_sharded_and_overlapped_reports_are_byte_identical() {
+    let scale = Scale::quick();
+    let world = scale.world();
+    let config = scale.config();
+
+    let crawls = run_full_crawl(&world, &world.sites, &config);
+    let idles = run_full_idle(&world, IDLE, &config);
+    let reference = study_report_multipass(&crawls, &idles);
+    let res = AnalysisResources::standard();
+
+    // Fused single pass.
+    assert_eq!(
+        reference,
+        study_report_from(&analyze_study(&crawls, &idles, &res)),
+        "fused report diverged from the legacy multi-pass"
+    );
+
+    // Campaign-level parallel analysis over the same captures.
+    for jobs in [2usize, 8] {
+        let analyses = analyze_study_jobs(&crawls, &idles, &res, &FleetOptions::with_jobs(jobs))
+            .unwrap_or_else(|e| panic!("campaign-parallel analysis failed at jobs={jobs}: {e}"));
+        assert_eq!(
+            reference,
+            study_report_from(&analyses),
+            "campaign-parallel report diverged at jobs={jobs}"
+        );
+    }
+
+    // Flow-level sharding of the fused pass inside each campaign.
+    for jobs in [3usize, 8] {
+        let options = FleetOptions::with_jobs(jobs);
+        let sharded = StudyAnalyses {
+            crawls: crawls.iter().map(|r| analyze_crawl_sharded(r, &res, &options)).collect(),
+            idles: idles.iter().map(|r| analyze_idle_sharded(r, &options)).collect(),
+        };
+        assert_eq!(
+            reference,
+            study_report_from(&sharded),
+            "flow-sharded report diverged at jobs={jobs}"
+        );
+    }
+
+    // Capture→analysis overlap, sequential and parallel.
+    for jobs in [1usize, 8] {
+        let study = run_full_study_analyzed(
+            &world,
+            &world.sites,
+            &config,
+            IDLE,
+            &FleetOptions::with_jobs(jobs),
+            &res,
+        )
+        .unwrap_or_else(|e| panic!("overlapped study failed at jobs={jobs}: {e}"));
+        assert_eq!(
+            reference,
+            study_report_from(&study.analyses),
+            "overlapped report diverged at jobs={jobs}"
+        );
+    }
+}

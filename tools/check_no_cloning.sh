@@ -56,3 +56,32 @@ if [ -n "$atom_offenders" ]; then
 fi
 
 echo "ok: no atom-to-String conversions in $capture_dirs"
+
+# Third gate: the fused study engine. Detectors must feed on the fused
+# pass (`engine::CrawlPartials`) instead of opening their own snapshot
+# iteration — every extra `store.snapshot()` walk outside the engine
+# and facts layers is another full pass over the capture. The legacy
+# standalone entry points are kept deliberately as the byte-identity
+# reference for the fused engine; they (and only they) opt out with a
+# `multipass-ok` comment.
+
+multipass_pattern='\.snapshot\(\)'
+engine_dirs="crates/analysis/src"
+
+multipass_offenders=$(grep -rnE "$multipass_pattern" $engine_dirs --include='*.rs' \
+    | grep -v 'multipass-ok' \
+    | grep -v 'crates/analysis/src/engine\.rs' \
+    | grep -v 'crates/analysis/src/facts\.rs' || true)
+
+if [ -n "$multipass_offenders" ]; then
+    echo "error: detector opens its own snapshot iteration outside the" >&2
+    echo "fused engine pass:" >&2
+    echo "$multipass_offenders" >&2
+    echo >&2
+    echo "Feed the detector through engine::CrawlPartials (observe/" >&2
+    echo "merge/finish) so the study stays single-pass, or mark a" >&2
+    echo "deliberate legacy reference path with 'multipass-ok'." >&2
+    exit 1
+fi
+
+echo "ok: no multi-pass snapshot iterations outside the fused engine in $engine_dirs"
