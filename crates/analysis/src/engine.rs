@@ -298,10 +298,16 @@ fn dns_partial(result: &CampaignResult) -> DnsPartial {
 /// Analyses one crawl campaign with the fused single-pass engine: one
 /// iteration over the snapshot feeds every detector.
 pub fn analyze_crawl(result: &CampaignResult, res: &AnalysisResources) -> CampaignAnalysis {
+    let _span = panoptes_obs::trace::span_at(
+        "study.analyze_crawl",
+        None,
+        Some(result.profile.name.to_string()),
+    );
     let ctx = CrawlContext::of(result);
     let matcher = PiiMatcher::new(&res.props);
     let snap = result.store.snapshot();
     let facts = capture_facts(&snap);
+    panoptes_obs::count!("study.flows.observed", Deterministic, snap.all().len() as u64);
     let mut partials = CrawlPartials::default();
     for view in facts.views(snap.all()) {
         partials.observe(&view, &ctx, &matcher);
@@ -319,12 +325,24 @@ pub fn analyze_crawl_sharded(
     res: &AnalysisResources,
     options: &FleetOptions,
 ) -> CampaignAnalysis {
+    let _span = panoptes_obs::trace::span_at(
+        "study.analyze_crawl_sharded",
+        None,
+        Some(result.profile.name.to_string()),
+    );
     let ctx = CrawlContext::of(result);
     let matcher = PiiMatcher::new(&res.props);
     let snap = result.store.snapshot();
     let facts = capture_facts(&snap);
     let flows = snap.all();
+    panoptes_obs::count!("study.flows.observed", Deterministic, flows.len() as u64);
     let ranges = fleet::shard_ranges(flows.len(), options.effective_jobs(flows.len()));
+    for range in &ranges {
+        // Runtime-class: the shard topology changes with `--jobs` by
+        // construction, so the skew histogram is excluded from the
+        // byte-identity guarantee.
+        panoptes_obs::record!("study.shard.flows", Runtime, range.len() as u64);
+    }
     let labels: Vec<String> = ranges
         .iter()
         .enumerate()
@@ -338,10 +356,16 @@ pub fn analyze_crawl_sharded(
         partials
     })
     .unwrap_or_else(|e| panic!("sharded analysis failed: {e}"));
+    let merge_start = std::time::Instant::now();
     let mut merged = CrawlPartials::default();
     for shard in shards {
         merged.merge(shard);
     }
+    panoptes_obs::record!(
+        "study.merge.wall_us",
+        Runtime,
+        merge_start.elapsed().as_micros() as u64
+    );
     finish_crawl(result, merged, dns_partial(result), &ctx, res)
 }
 
@@ -372,8 +396,18 @@ impl IdleAnalysis {
 
 /// Analyses one idle campaign (one fused pass over the capture).
 pub fn analyze_idle(result: &IdleResult) -> IdleAnalysis {
+    let _span = panoptes_obs::trace::span_at(
+        "study.analyze_idle",
+        None,
+        Some(result.profile.name.to_string()),
+    );
     let mut partial = IdlePartial::default();
     let start = result.idle_start.0;
+    panoptes_obs::count!(
+        "study.idle_flows.observed",
+        Deterministic,
+        result.store.snapshot().len() as u64
+    );
     for flow in result.store.snapshot().iter() {
         partial.observe(flow, start);
     }
@@ -388,10 +422,19 @@ pub fn analyze_idle(result: &IdleResult) -> IdleAnalysis {
 /// Like [`analyze_idle`], sharded across the worker pool with in-order
 /// merge — byte-identical for any worker count.
 pub fn analyze_idle_sharded(result: &IdleResult, options: &FleetOptions) -> IdleAnalysis {
+    let _span = panoptes_obs::trace::span_at(
+        "study.analyze_idle_sharded",
+        None,
+        Some(result.profile.name.to_string()),
+    );
     let snap = result.store.snapshot();
     let flows = snap.all();
     let start = result.idle_start.0;
+    panoptes_obs::count!("study.idle_flows.observed", Deterministic, flows.len() as u64);
     let ranges = fleet::shard_ranges(flows.len(), options.effective_jobs(flows.len()));
+    for range in &ranges {
+        panoptes_obs::record!("study.shard.flows", Runtime, range.len() as u64);
+    }
     let labels: Vec<String> = ranges
         .iter()
         .enumerate()
@@ -521,6 +564,7 @@ pub fn run_full_study_analyzed(
     options: &FleetOptions,
     res: &AnalysisResources,
 ) -> Result<AnalyzedStudy, FleetError<()>> {
+    let _span = panoptes_obs::trace::span("study.overlapped");
     let profiles = all_profiles();
     let mut units = Vec::with_capacity(profiles.len() * 2);
     for profile in &profiles {
@@ -554,6 +598,7 @@ pub fn run_full_study_analyzed(
                 let Ok((index, output)) = message else {
                     break; // channel closed: capture side is done
                 };
+                panoptes_obs::gauge_add!("study.overlap.occupancy", -1);
                 let outcome = catch_unwind(AssertUnwindSafe(|| match &output {
                     UnitOutput::Crawl(result) => {
                         UnitAnalysis::Crawl(Box::new(analyze_crawl(result, res)))
@@ -589,6 +634,10 @@ pub fn run_full_study_analyzed(
                     unit_config,
                 )),
             };
+            // The occupancy gauge tracks sealed captures sitting in the
+            // hand-off queue; its high-water mark shows how often the
+            // analysis side was the bottleneck.
+            panoptes_obs::gauge_add!("study.overlap.occupancy", 1);
             tx.send((index, output)).expect("analysis workers outlive the capture fleet");
         };
         let outcome = fleet::execute(&labels, options, runner);

@@ -1,0 +1,68 @@
+//! Microbenchmarks for the observability layer itself.
+//!
+//! The disabled numbers are the ones that matter: every pipeline
+//! instrumentation point compiles to a relaxed load plus a not-taken
+//! branch, so `obs/disabled_*` should sit at or below a nanosecond per
+//! op. The enabled numbers bound the cost a `--metrics` / `--trace-out`
+//! run pays per counter bump, histogram sample, span, and export byte.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use panoptes_obs::{trace, METRICS, TRACE};
+
+/// A counter bump + histogram sample + gauge move, exactly as the
+/// pipeline emits them. `#[inline(never)]` so the disabled branch can't
+/// be hoisted out of the measurement loop.
+#[inline(never)]
+fn metric_probe(i: u64) {
+    panoptes_obs::count!("bench.obs.crit_counter", Runtime, i & 1);
+    panoptes_obs::record!("bench.obs.crit_histogram", Runtime, i);
+    panoptes_obs::gauge_add!("bench.obs.crit_gauge", 1 - ((i & 2) as i64));
+}
+
+#[inline(never)]
+fn span_probe() {
+    drop(trace::span("bench.obs.crit_span"));
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(30);
+
+    panoptes_obs::disable(METRICS | TRACE);
+    group.throughput(Throughput::Elements(3));
+    group.bench_function("disabled_metric_probe", |b| {
+        b.iter(|| metric_probe(black_box(7)))
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("disabled_span", |b| b.iter(span_probe));
+
+    panoptes_obs::enable(METRICS);
+    group.throughput(Throughput::Elements(3));
+    group.bench_function("enabled_metric_probe", |b| {
+        b.iter(|| metric_probe(black_box(7)))
+    });
+    panoptes_obs::disable(METRICS);
+
+    panoptes_obs::enable(TRACE);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("enabled_span", |b| b.iter(span_probe));
+    let events = trace::drain();
+    panoptes_obs::disable(TRACE);
+
+    // Serialisation throughput over whatever the span benchmark left
+    // behind (capped so the corpus is stable across sample counts).
+    let corpus: Vec<_> = events.into_iter().take(4096).collect();
+    if !corpus.is_empty() {
+        group.throughput(Throughput::Elements(corpus.len() as u64));
+        group.bench_function("to_jsonl", |b| b.iter(|| trace::to_jsonl(black_box(&corpus))));
+        let jsonl = trace::to_jsonl(&corpus);
+        group.bench_function("parse_jsonl", |b| {
+            b.iter(|| trace::parse_jsonl(black_box(&jsonl)).expect("corpus parses"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

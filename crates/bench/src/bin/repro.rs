@@ -23,6 +23,12 @@
 //! into DIR, for inspection with off-the-shelf HAR tooling. `--json FILE`
 //! writes the machine-readable study summary (every analysis result as
 //! one JSON document).
+//!
+//! `--metrics` enables the panoptes-obs metrics layer and prints the
+//! two-section run report (deterministic counts vs runtime timings) on
+//! **stderr** after the run; `--trace-out FILE` enables the trace layer
+//! and writes the span/event JSONL there. Both leave stdout — the
+//! reproduction tables — byte-identical to a run without them.
 
 use panoptes::campaign::run_crawl;
 use panoptes::fleet::{self, FleetOptions, FleetUnit};
@@ -46,10 +52,17 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut overlap = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => scale = Scale::quick(),
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args[i].clone());
+            }
             "--jobs" => {
                 i += 1;
                 jobs = Some(args[i].parse().expect("--jobs N"));
@@ -85,7 +98,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR]"
+                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR] [--metrics] [--trace-out FILE]"
                 );
                 return;
             }
@@ -98,6 +111,15 @@ fn main() {
     }
     let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
 
+    // Telemetry goes to stderr / the trace file only: stdout (the
+    // reproduction tables) stays byte-identical with or without it.
+    if metrics {
+        panoptes_obs::enable(panoptes_obs::METRICS);
+    }
+    if trace_out.is_some() {
+        panoptes_obs::enable(panoptes_obs::TRACE);
+    }
+
     eprintln!(
         "# Panoptes reproduction — {} popular + {} sensitive sites, seed {:#x}",
         scale.popular, scale.sensitive, scale.seed
@@ -108,7 +130,7 @@ fn main() {
     );
 
     let fleet_options = match jobs {
-        Some(n) => FleetOptions::with_jobs(n).verbose(),
+        Some(n) => FleetOptions::with_progress(n),
         None => FleetOptions::default().verbose(),
     };
     let effective = fleet_options.effective_jobs(15);
@@ -321,6 +343,16 @@ fn main() {
             std::fs::write(path, study_report_from(&study)).expect("write --json file");
             eprintln!("wrote {path}");
         }
+    }
+    if metrics {
+        eprint!("{}", panoptes_obs::report::render(&panoptes_obs::metrics::snapshot()));
+    }
+    if let Some(path) = &trace_out {
+        // All worker scopes have joined by now, so the export sees
+        // every thread's ring.
+        let jsonl = panoptes_obs::trace::export_jsonl();
+        std::fs::write(path, &jsonl).expect("write --trace-out file");
+        eprintln!("wrote {path} ({} trace events)", jsonl.lines().count());
     }
     eprintln!("done.");
 }

@@ -124,8 +124,12 @@ impl PatternIndex {
         }
         for (&byte, bucket) in &self.substrings {
             if !seen.contains(byte) {
+                // The byte-set prefilter proved this bucket can't match
+                // without scanning it.
+                panoptes_obs::count!("blocklist.index.bitmap_rejects", Deterministic);
                 continue;
             }
+            panoptes_obs::count!("blocklist.index.bucket_scans", Deterministic);
             if bucket.iter().any(|s| url_lower.contains(s.as_str())) {
                 return true;
             }
@@ -178,6 +182,7 @@ impl FilterList {
 
     /// True when a request for `url_text` (to `host`) should be blocked.
     pub fn should_block(&self, host: &str, url_text: &str) -> bool {
+        panoptes_obs::count!("blocklist.probes", Deterministic);
         if self.blocks.is_empty() {
             return false;
         }

@@ -51,6 +51,9 @@ pub struct FleetOptions {
     /// `Some(1)` forces the sequential path (no worker threads at all).
     pub jobs: Option<usize>,
     /// Per-unit progress lines on stderr (started / finished / failed).
+    /// Lines go through the structured [`panoptes_obs::progress`] sink:
+    /// written atomically (no tearing under high `jobs`), coloured only
+    /// on a tty with `NO_COLOR` unset.
     pub progress: bool,
 }
 
@@ -59,6 +62,11 @@ impl FleetOptions {
     /// An option set running `jobs` workers, silent.
     pub fn with_jobs(jobs: usize) -> FleetOptions {
         FleetOptions { jobs: Some(jobs), progress: false }
+    }
+
+    /// An option set running `jobs` workers with progress reporting on.
+    pub fn with_progress(jobs: usize) -> FleetOptions {
+        FleetOptions::with_jobs(jobs).verbose()
     }
 
     /// Enables stderr progress reporting.
@@ -152,22 +160,35 @@ where
     let n = labels.len();
     let jobs = options.effective_jobs(n);
     let started_at = Instant::now();
+    let _fleet_span =
+        panoptes_obs::trace::span_at("fleet.execute", None, Some(format!("{n} units, {jobs} jobs")));
+    // Runtime-class: which work runs through the fleet (vs the
+    // sequential or overlapped paths) is a property of the execution
+    // mode, not the workload.
+    panoptes_obs::count!("fleet.units.submitted", Runtime, n as u64);
     if options.progress {
-        eprintln!("[fleet] {n} units across {jobs} worker(s)");
+        panoptes_obs::progress::emit("fleet", &format!("{n} units across {jobs} worker(s)"));
     }
 
     let run_one = |index: usize| -> Result<T, FleetFailure> {
+        let _unit_span =
+            panoptes_obs::trace::span_at("fleet.unit", None, Some(labels[index].clone()));
         if options.progress {
-            eprintln!("[fleet] {}: started", labels[index]);
+            panoptes_obs::progress::emit("fleet", &format!("{}: started", labels[index]));
         }
         let unit_start = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| runner(index))) {
             Ok(value) => {
+                panoptes_obs::count!("fleet.units.completed", Runtime);
+                panoptes_obs::record!(
+                    "fleet.unit.wall_us",
+                    Runtime,
+                    unit_start.elapsed().as_micros() as u64
+                );
                 if options.progress {
-                    eprintln!(
-                        "[fleet] {}: finished in {:?}",
-                        labels[index],
-                        unit_start.elapsed()
+                    panoptes_obs::progress::emit(
+                        "fleet",
+                        &format!("{}: finished in {:?}", labels[index], unit_start.elapsed()),
                     );
                 }
                 Ok(value)
@@ -178,8 +199,12 @@ where
                     index,
                     message: panic_message(payload.as_ref()),
                 };
+                panoptes_obs::count!("fleet.units.failed", Runtime);
                 if options.progress {
-                    eprintln!("[fleet] {}: FAILED ({})", failure.unit, failure.message);
+                    panoptes_obs::progress::emit(
+                        "fleet",
+                        &format!("{}: FAILED ({})", failure.unit, failure.message),
+                    );
                 }
                 Err(failure)
             }
@@ -206,13 +231,28 @@ where
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
-                    s.spawn(|_| loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= n {
-                            break;
+                    s.spawn(|_| {
+                        panoptes_obs::gauge_add!("fleet.workers.active", 1);
+                        let mut claimed = 0u64;
+                        let mut idle_us = 0u64;
+                        loop {
+                            // Time between finishing one unit and having
+                            // the next in hand: the steal/queue wait.
+                            let wait_start = Instant::now();
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= n {
+                                break;
+                            }
+                            idle_us += wait_start.elapsed().as_micros() as u64;
+                            claimed += 1;
+                            let outcome = run_one(index);
+                            results.lock().push((index, outcome));
                         }
-                        let outcome = run_one(index);
-                        results.lock().push((index, outcome));
+                        // Per-worker balance: how many units this worker
+                        // stole, and how long it spent waiting for work.
+                        panoptes_obs::record!("fleet.worker.units_claimed", Runtime, claimed);
+                        panoptes_obs::record!("fleet.worker.steal_wait_us", Runtime, idle_us);
+                        panoptes_obs::gauge_add!("fleet.workers.active", -1);
                     })
                 })
                 .collect();
@@ -241,11 +281,9 @@ where
     }
 
     if options.progress {
-        eprintln!(
-            "[fleet] {}/{} units completed in {:?}",
-            n - failures.len(),
-            n,
-            started_at.elapsed()
+        panoptes_obs::progress::emit(
+            "fleet",
+            &format!("{}/{} units completed in {:?}", n - failures.len(), n, started_at.elapsed()),
         );
     }
 
@@ -368,12 +406,15 @@ pub fn run_units(
                 if options.progress {
                     let sim: SimDuration =
                         result.visits.iter().map(|v| v.dwell).fold(SimDuration::ZERO, |a, b| a + b);
-                    eprintln!(
-                        "[fleet] {}: {} flows captured, {} visits, sim {}",
-                        labels_for_progress(unit.profile.name, "crawl"),
-                        result.store.len(),
-                        result.visits.len(),
-                        sim,
+                    panoptes_obs::progress::emit(
+                        "fleet",
+                        &format!(
+                            "{}: {} flows captured, {} visits, sim {}",
+                            labels_for_progress(unit.profile.name, "crawl"),
+                            result.store.len(),
+                            result.visits.len(),
+                            sim,
+                        ),
                     );
                 }
                 UnitOutput::Crawl(result)
@@ -381,11 +422,14 @@ pub fn run_units(
             UnitKind::Idle(duration) => {
                 let result = run_idle(world, &unit.profile, duration, unit_config);
                 if options.progress {
-                    eprintln!(
-                        "[fleet] {}: {} flows captured, sim {}",
-                        labels_for_progress(unit.profile.name, "idle"),
-                        result.store.len(),
-                        duration,
+                    panoptes_obs::progress::emit(
+                        "fleet",
+                        &format!(
+                            "{}: {} flows captured, sim {}",
+                            labels_for_progress(unit.profile.name, "idle"),
+                            result.store.len(),
+                            duration,
+                        ),
                     );
                 }
                 UnitOutput::Idle(result)

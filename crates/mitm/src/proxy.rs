@@ -56,6 +56,16 @@ impl TransparentProxy {
     /// Snapshots the request half of a flow record. The response half
     /// (`status`, `bytes_in`) is filled in once the exchange completes.
     fn flow_of(&self, ctx: &FlowContext, req: &Request, class: FlowClass) -> Flow {
+        panoptes_obs::count!("mitm.flows.built", Deterministic);
+        match class {
+            FlowClass::Blocked => {
+                panoptes_obs::count!("mitm.flows.blocked", Deterministic)
+            }
+            FlowClass::PinnedOpaque => {
+                panoptes_obs::count!("mitm.flows.pinned_opaque", Deterministic)
+            }
+            _ => {}
+        }
         Flow {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             time_us: ctx.time.0,

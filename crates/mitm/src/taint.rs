@@ -67,6 +67,9 @@ impl Addon for TaintAddon {
         // values are ever made.
         let (removed, all_match) =
             ir.request.headers.strip_matching(TAINT_HEADER, &self.token);
+        if removed > 0 {
+            panoptes_obs::count!("mitm.taint.stripped", Deterministic, removed as u64);
+        }
         if removed == 0 {
             *ir.class = FlowClass::Native;
             self.native_seen.fetch_add(1, Ordering::Relaxed);
@@ -78,6 +81,7 @@ impl Addon for TaintAddon {
             *ir.class = FlowClass::Native;
             self.spoofed.fetch_add(1, Ordering::Relaxed);
             self.native_seen.fetch_add(1, Ordering::Relaxed);
+            panoptes_obs::count!("mitm.taint.spoofed", Deterministic);
         }
     }
 }

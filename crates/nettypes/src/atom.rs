@@ -31,6 +31,28 @@ fn table() -> &'static [Mutex<HashSet<Arc<str>>>; SHARDS] {
     TABLE.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashSet::new())))
 }
 
+/// Per-shard hit/miss counters, resolved once. Runtime-class: the
+/// intern table lives for the whole process, so a shard's hit/miss
+/// balance depends on everything that ran before this snapshot, not on
+/// the workload alone.
+fn shard_stats() -> &'static [(
+    &'static panoptes_obs::metrics::Counter,
+    &'static panoptes_obs::metrics::Counter,
+); SHARDS] {
+    use panoptes_obs::metrics::{counter, MetricClass};
+    static STATS: OnceLock<
+        [(&'static panoptes_obs::metrics::Counter, &'static panoptes_obs::metrics::Counter); SHARDS],
+    > = OnceLock::new();
+    STATS.get_or_init(|| {
+        std::array::from_fn(|i| {
+            (
+                counter(&format!("atom.intern.shard{i:02}.hits"), MetricClass::Runtime),
+                counter(&format!("atom.intern.shard{i:02}.misses"), MetricClass::Runtime),
+            )
+        })
+    })
+}
+
 /// FNV-1a — the deterministic hash the workspace standardises on.
 fn fnv1a(s: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -49,10 +71,17 @@ impl Atom {
     /// Interns `s`, returning the canonical atom for its content. Equal
     /// inputs yield pointer-identical atoms.
     pub fn intern(s: &str) -> Atom {
-        let shard = &table()[(fnv1a(s) as usize) & (SHARDS - 1)];
+        let shard_index = (fnv1a(s) as usize) & (SHARDS - 1);
+        let shard = &table()[shard_index];
         let mut set = shard.lock().expect("intern shard poisoned");
         if let Some(existing) = set.get(s) {
+            if panoptes_obs::metrics_enabled() {
+                shard_stats()[shard_index].0.incr();
+            }
             return Atom(existing.clone());
+        }
+        if panoptes_obs::metrics_enabled() {
+            shard_stats()[shard_index].1.incr();
         }
         let arc: Arc<str> = Arc::from(s);
         set.insert(arc.clone());

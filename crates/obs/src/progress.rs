@@ -1,0 +1,95 @@
+//! The structured progress sink.
+//!
+//! The fleet (and anything else narrating a long run) reports through
+//! [`emit`] instead of raw `eprintln!`. The differences that matter:
+//!
+//! * **tear-free** — each line is formatted into one buffer and written
+//!   with a single `write_all` on the locked stderr handle, so two
+//!   fleet workers finishing at once can no longer interleave halves of
+//!   their lines (the torn-output bug this replaced);
+//! * **colour-correct** — the `[topic]` prefix is dimmed only when
+//!   stderr is a terminal, `NO_COLOR` is unset, and `TERM` is not
+//!   `dumb`, so CI logs and redirected output stay clean ANSI-free
+//!   text;
+//! * **traceable** — when the trace layer is on, every progress line is
+//!   also recorded as a `progress.<topic>` point event, so a
+//!   `--trace-out` capture contains the full narration with timestamps.
+
+use std::io::{IsTerminal, Write};
+use std::sync::OnceLock;
+
+/// The colour decision, as a pure function of its inputs (testable
+/// without a real terminal): colour only on a tty, with `NO_COLOR`
+/// unset (any value disables, per the no-color.org convention), and
+/// `TERM` not `dumb`.
+pub fn should_color(stderr_is_tty: bool, no_color: Option<&str>, term: Option<&str>) -> bool {
+    stderr_is_tty && no_color.is_none() && term != Some("dumb")
+}
+
+/// The cached process-wide colour decision for stderr.
+pub fn color_enabled() -> bool {
+    static DECISION: OnceLock<bool> = OnceLock::new();
+    *DECISION.get_or_init(|| {
+        should_color(
+            std::io::stderr().is_terminal(),
+            std::env::var("NO_COLOR").ok().as_deref(),
+            std::env::var("TERM").ok().as_deref(),
+        )
+    })
+}
+
+const DIM: &str = "\x1b[2m";
+const RESET: &str = "\x1b[0m";
+
+/// Formats one progress line (without trailing newline) the way
+/// [`emit`] writes it.
+fn format_line(topic: &str, msg: &str, color: bool) -> String {
+    if color {
+        format!("{DIM}[{topic}]{RESET} {msg}")
+    } else {
+        format!("[{topic}] {msg}")
+    }
+}
+
+/// Writes one progress line to stderr atomically, and records it as a
+/// trace point when the trace layer is on. Errors writing to stderr are
+/// ignored (progress must never take the run down).
+pub fn emit(topic: &str, msg: &str) {
+    if crate::trace_enabled() {
+        let name = format!("progress.{topic}");
+        crate::trace::point(&name, None, Some(msg));
+    }
+    let mut line = format_line(topic, msg, color_enabled());
+    line.push('\n');
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(line.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_requires_tty_and_no_color_unset_and_term_not_dumb() {
+        assert!(should_color(true, None, Some("xterm-256color")));
+        assert!(should_color(true, None, None));
+        assert!(!should_color(false, None, Some("xterm")), "not a tty");
+        assert!(!should_color(true, Some(""), Some("xterm")), "NO_COLOR set (even empty)");
+        assert!(!should_color(true, Some("1"), Some("xterm")), "NO_COLOR=1");
+        assert!(!should_color(true, None, Some("dumb")), "TERM=dumb");
+    }
+
+    #[test]
+    fn plain_lines_have_no_escapes() {
+        let line = format_line("fleet", "8 units across 4 worker(s)", false);
+        assert_eq!(line, "[fleet] 8 units across 4 worker(s)");
+        assert!(!line.contains('\x1b'));
+    }
+
+    #[test]
+    fn colored_lines_dim_only_the_topic() {
+        let line = format_line("fleet", "done", true);
+        assert_eq!(line, "\x1b[2m[fleet]\x1b[0m done");
+    }
+}

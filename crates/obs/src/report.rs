@@ -1,0 +1,136 @@
+//! The `MetricsReport` renderer behind `repro --metrics`.
+//!
+//! The report is two strictly separated sections. The **deterministic**
+//! section holds the metrics whose values are pure functions of the
+//! workload — it is rendered by [`render_deterministic`] alone, with no
+//! timing, topology or gauge data mixed in, which is what lets the
+//! determinism tests (and CI) assert that section byte-identical across
+//! `--jobs 1`, `--jobs 8` and `--jobs 8 --overlap`. The **runtime**
+//! section holds everything else: timings, shard topology, gauges,
+//! process-lifetime cache state.
+//!
+//! All formatting is integer-only (counts, sums, log2 buckets) — no
+//! floats anywhere near the deterministic section, so there is no
+//! rounding to betray the byte-identity guarantee.
+
+use crate::metrics::{MetricClass, MetricEntry, MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Width the metric names pad to; long names simply overflow the column.
+const NAME_WIDTH: usize = 44;
+
+fn render_entry(out: &mut String, e: &MetricEntry) {
+    match &e.value {
+        MetricValue::Counter(v) => {
+            let _ = writeln!(out, "  {:<NAME_WIDTH$} {v}", e.name);
+        }
+        MetricValue::Gauge { value, max } => {
+            let _ = writeln!(out, "  {:<NAME_WIDTH$} level={value} high_water={max}", e.name);
+        }
+        MetricValue::Histogram { count, sum, buckets } => {
+            let _ = write!(out, "  {:<NAME_WIDTH$} count={count} sum={sum} log2=[", e.name);
+            for (i, (bucket, n)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{bucket}:{n}");
+            }
+            out.push_str("]\n");
+        }
+    }
+}
+
+/// Renders only the deterministic section body (no header), the exact
+/// bytes the determinism assertions compare.
+pub fn render_deterministic(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for e in snapshot.of_class(MetricClass::Deterministic) {
+        render_entry(&mut out, e);
+    }
+    out
+}
+
+/// Renders the full two-section report.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== metrics: deterministic (byte-identical across --jobs / --overlap) ==\n");
+    let det = render_deterministic(snapshot);
+    if det.is_empty() {
+        out.push_str("  (none recorded)\n");
+    } else {
+        out.push_str(&det);
+    }
+    out.push_str("== metrics: runtime (this execution only) ==\n");
+    let mut any = false;
+    for e in snapshot.of_class(MetricClass::Runtime) {
+        any = true;
+        render_entry(&mut out, e);
+    }
+    if !any {
+        out.push_str("  (none recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: vec![
+                MetricEntry {
+                    name: "fleet.units.completed".into(),
+                    class: MetricClass::Runtime,
+                    value: MetricValue::Counter(8),
+                },
+                MetricEntry {
+                    name: "mitm.flows.built".into(),
+                    class: MetricClass::Deterministic,
+                    value: MetricValue::Counter(1234),
+                },
+                MetricEntry {
+                    name: "simnet.queue.drain_depth".into(),
+                    class: MetricClass::Deterministic,
+                    value: MetricValue::Histogram {
+                        count: 3,
+                        sum: 12,
+                        buckets: vec![(2, 2), (4, 1)],
+                    },
+                },
+                MetricEntry {
+                    name: "study.overlap.occupancy".into(),
+                    class: MetricClass::Runtime,
+                    value: MetricValue::Gauge { value: 0, max: 2 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn deterministic_section_excludes_runtime_entries() {
+        let det = render_deterministic(&sample());
+        assert!(det.contains("mitm.flows.built"));
+        assert!(det.contains("simnet.queue.drain_depth"));
+        assert!(!det.contains("fleet.units.completed"));
+        assert!(!det.contains("study.overlap.occupancy"));
+    }
+
+    #[test]
+    fn full_report_renders_both_sections_in_order() {
+        let report = render(&sample());
+        let det_header = report.find("deterministic").expect("det header");
+        let runtime_header = report.find("runtime (this execution").expect("runtime header");
+        assert!(det_header < runtime_header);
+        assert!(report.contains(
+            "simnet.queue.drain_depth                     count=3 sum=12 log2=[2:2 4:1]"
+        ));
+        assert!(report.contains("study.overlap.occupancy                      level=0 high_water=2"));
+    }
+
+    #[test]
+    fn empty_sections_say_so() {
+        let report = render(&MetricsSnapshot::default());
+        assert_eq!(report.matches("(none recorded)").count(), 2);
+    }
+}

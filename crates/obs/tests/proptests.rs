@@ -1,0 +1,64 @@
+//! Property tests for the trace JSONL codec: any well-formed event
+//! sequence must survive emit → parse → re-emit **byte-identically**,
+//! including names and details containing quotes, backslashes, control
+//! characters, and non-ASCII text.
+
+use proptest::prelude::*;
+
+use panoptes_obs::trace::{parse_jsonl, to_jsonl, EventKind, TraceEvent};
+
+/// Strings that stress the escaper: JSON metacharacters, control
+/// characters (escaped as `\u00xx`), and multi-byte code points.
+fn tricky_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop::sample::select(vec![
+            'a', 'Z', '0', '.', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}',
+            'é', '→', '眼',
+        ]),
+        0..16,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn event() -> impl Strategy<Value = TraceEvent> {
+    (
+        prop::sample::select(vec![EventKind::Start, EventKind::End, EventKind::Point]),
+        tricky_string(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(tricky_string()),
+    )
+        .prop_map(|(kind, name, span, thread, seq, wall_ns, sim_us, detail)| TraceEvent {
+            kind,
+            name,
+            span: span as u64,
+            thread: thread as u64,
+            seq: seq as u64,
+            wall_ns: wall_ns as u64,
+            sim_us: sim_us.map(u64::from),
+            detail,
+        })
+}
+
+proptest! {
+    #[test]
+    fn jsonl_roundtrip_is_byte_identical(events in proptest::collection::vec(event(), 0..24)) {
+        let jsonl = to_jsonl(&events);
+        let parsed = parse_jsonl(&jsonl)
+            .unwrap_or_else(|e| panic!("emitted JSONL failed to parse: {e}\n{jsonl}"));
+        prop_assert_eq!(&parsed, &events, "parse must invert emit");
+        prop_assert_eq!(to_jsonl(&parsed), jsonl, "re-emit must be byte-identical");
+    }
+
+    #[test]
+    fn parse_rejects_truncated_lines(events in proptest::collection::vec(event(), 1..8)) {
+        let jsonl = to_jsonl(&events);
+        // Chop the closing brace (and newline) off the last line: the
+        // parser must reject rather than silently accept.
+        let truncated = &jsonl[..jsonl.len().saturating_sub(2)];
+        prop_assert!(parse_jsonl(truncated).is_err());
+    }
+}

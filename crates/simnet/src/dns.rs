@@ -152,6 +152,7 @@ impl DnsLog {
 
     /// Appends one entry.
     pub fn push(&self, entry: DnsLogEntry) {
+        panoptes_obs::count!("simnet.dns.queries", Deterministic);
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         self.shards[(seq as usize) % DNS_LOG_SHARDS].lock().push((seq, entry));
     }

@@ -66,11 +66,18 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { key: Reverse((at, seq)), item });
+        panoptes_obs::count!("simnet.queue.events_scheduled", Deterministic);
+        panoptes_obs::gauge_add!("simnet.queue.depth", 1);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimInstant, T)> {
-        self.heap.pop().map(|e| (e.at(), e.item))
+        let popped = self.heap.pop().map(|e| (e.at(), e.item));
+        if popped.is_some() {
+            panoptes_obs::count!("simnet.queue.events_fired", Deterministic);
+            panoptes_obs::gauge_add!("simnet.queue.depth", -1);
+        }
+        popped
     }
 
     /// Removes and returns the earliest event only if it is due at or
@@ -88,7 +95,7 @@ impl<T> EventQueue<T> {
     /// dropping it leaves the remainder queued. This is the idle-phase
     /// driver's loop shape: `for (at, call) in queue.drain_until(end)`.
     pub fn drain_until(&mut self, deadline: SimInstant) -> DrainUntil<'_, T> {
-        DrainUntil { queue: self, deadline }
+        DrainUntil { queue: self, deadline, drained: 0 }
     }
 
     /// Time of the next event without removing it.
@@ -111,12 +118,26 @@ impl<T> EventQueue<T> {
 pub struct DrainUntil<'a, T> {
     queue: &'a mut EventQueue<T>,
     deadline: SimInstant,
+    drained: usize,
 }
 
 impl<T> Iterator for DrainUntil<'_, T> {
     type Item = (SimInstant, T);
     fn next(&mut self) -> Option<(SimInstant, T)> {
-        self.queue.pop_due(self.deadline)
+        let next = self.queue.pop_due(self.deadline);
+        if next.is_some() {
+            self.drained += 1;
+        }
+        next
+    }
+}
+
+impl<T> Drop for DrainUntil<'_, T> {
+    fn drop(&mut self) {
+        // One histogram sample per drain pass: how many events a single
+        // deadline released. The distribution (not just the total) is
+        // what reveals bursty idle-phase schedules.
+        panoptes_obs::record!("simnet.queue.drain_depth", Deterministic, self.drained as u64);
     }
 }
 

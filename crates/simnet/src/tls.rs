@@ -202,8 +202,12 @@ impl CertificateAuthority {
     pub fn issue(&self, subject: &str) -> Certificate {
         let mut issued = self.issued.lock();
         if let Some(cert) = issued.get(subject) {
+            // Deterministic: each testbed owns its CA, so the hit/miss
+            // balance is a function of the unit's flow sequence alone.
+            panoptes_obs::count!("simnet.tls.cert_cache.hits", Deterministic);
             return cert.clone();
         }
+        panoptes_obs::count!("simnet.tls.cert_cache.misses", Deterministic);
         let cert = Certificate { subject: Atom::intern(subject), issuer: self.id.clone() };
         issued.insert(cert.subject.clone(), cert.clone());
         cert

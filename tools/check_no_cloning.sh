@@ -85,3 +85,28 @@ if [ -n "$multipass_offenders" ]; then
 fi
 
 echo "ok: no multi-pass snapshot iterations outside the fused engine in $engine_dirs"
+
+# Fourth gate: structured progress output. Library crates must report
+# progress through `panoptes_obs::progress::emit` (single atomic write,
+# NO_COLOR/tty aware, mirrored into the trace when tracing is on) —
+# never through bare `eprintln!`/`println!`, which tear under the
+# parallel fleet and pollute the byte-compared repro stdout. Binaries
+# under `src/bin/` own their stdout and are exempt; a deliberate
+# library-side print opts out with a `print-ok` comment.
+
+print_pattern='\be?println!\('
+print_offenders=$(find crates -type d -name src | while read -r d; do
+    grep -rnE "$print_pattern" "$d" --include='*.rs' | grep -v '/src/bin/' || true
+done | grep -v 'print-ok' || true)
+
+if [ -n "$print_offenders" ]; then
+    echo "error: bare stdout/stderr prints in library crates:" >&2
+    echo "$print_offenders" >&2
+    echo >&2
+    echo "Report progress through panoptes_obs::progress::emit (torn-" >&2
+    echo "line safe, NO_COLOR aware, trace-mirrored), or mark a" >&2
+    echo "deliberate print with a 'print-ok' comment." >&2
+    exit 1
+fi
+
+echo "ok: no bare prints in library crates"
