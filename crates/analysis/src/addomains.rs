@@ -72,7 +72,7 @@ pub fn ad_domain_row_with(result: &CampaignResult, list: &HostsList) -> AdDomain
     for f in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
         partial.observe(f);
     }
-    partial.finish(result.profile.name, list)
+    partial.finish(&result.profile.name, list)
 }
 
 /// Figure 3 over a set of campaigns, in input order.

@@ -107,7 +107,7 @@ pub fn cost_row(result: &CampaignResult, model: &EnergyModel) -> CostRow {
     for f in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
         partial.observe(f);
     }
-    partial.finish(result.profile.name, result.visits.len(), model)
+    partial.finish(&result.profile.name, result.visits.len(), model)
 }
 
 /// Cost table over a study, most expensive first.

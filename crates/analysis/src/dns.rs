@@ -76,7 +76,7 @@ pub fn dns_row(result: &CampaignResult) -> DnsRow {
     for entry in result.dns_log.iter() {
         partial.observe(entry);
     }
-    partial.finish(result.profile.name)
+    partial.finish(&result.profile.name)
 }
 
 /// The §3.2 split over a full study.

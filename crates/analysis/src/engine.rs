@@ -267,7 +267,7 @@ fn finish_crawl(
     ctx: &CrawlContext<'_>,
     res: &AnalysisResources,
 ) -> CampaignAnalysis {
-    let browser = result.profile.name;
+    let browser = result.profile.name.as_str();
     let history_leaks = partials.history.finish(browser, ctx.total_visits);
     let transfers = partials.transfers.finish(browser, &history_leaks, &res.geo);
     CampaignAnalysis {
@@ -564,13 +564,30 @@ pub fn run_full_study_analyzed(
     options: &FleetOptions,
     res: &AnalysisResources,
 ) -> Result<AnalyzedStudy, FleetError<()>> {
+    run_study_analyzed_with(world, sites, config, idle, options, res, &all_profiles())
+}
+
+/// [`run_full_study_analyzed`] over an explicit browser population —
+/// the paper's 15 pinned browsers, a Table 1 prefix, or a sampled
+/// population from [`panoptes_browsers::registry::population`]. The
+/// overlap machinery is population-agnostic: determinism across worker
+/// counts holds for any profile list (see
+/// `tests/population_determinism.rs`).
+pub fn run_study_analyzed_with(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    idle: SimDuration,
+    options: &FleetOptions,
+    res: &AnalysisResources,
+    profiles: &[panoptes_browsers::BrowserProfile],
+) -> Result<AnalyzedStudy, FleetError<()>> {
     let _span = panoptes_obs::trace::span("study.overlapped");
-    let profiles = all_profiles();
     let mut units = Vec::with_capacity(profiles.len() * 2);
-    for profile in &profiles {
+    for profile in profiles {
         units.push(FleetUnit::crawl(profile.clone()));
     }
-    for profile in &profiles {
+    for profile in profiles {
         units.push(FleetUnit::idle(profile.clone(), idle));
     }
     let labels: Vec<String> = units.iter().map(FleetUnit::label).collect();

@@ -118,7 +118,7 @@ pub fn find_identifiers(result: &CampaignResult, min_flows: usize) -> Vec<Identi
     for view in facts.views(snap.native()) {
         partial.observe(&view);
     }
-    partial.finish(result.profile.name, min_flows, &steven_black_excerpt())
+    partial.finish(&result.profile.name, min_flows, &steven_black_excerpt())
 }
 
 /// Per-browser roll-up: does any stable identifier reach an ad server?

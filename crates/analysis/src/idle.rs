@@ -152,7 +152,7 @@ fn idle_partial(result: &IdleResult) -> IdlePartial {
 /// Buckets an idle capture into a cumulative timeline. Only flows inside
 /// the idle window count (launch traffic is excluded).
 pub fn timeline(result: &IdleResult, bucket: SimDuration) -> IdleTimeline {
-    idle_partial(result).timeline(result.profile.name, bucket, result.duration)
+    idle_partial(result).timeline(&result.profile.name, bucket, result.duration)
 }
 
 /// One destination's share of a browser's idle natives (§3.5).

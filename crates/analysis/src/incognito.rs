@@ -26,7 +26,7 @@ pub fn compare(normal: &CampaignResult, incognito: &CampaignResult) -> Incognito
         "comparing different browsers"
     );
     compare_leaks(
-        normal.profile.name,
+        &normal.profile.name,
         &detect_history_leaks(normal),
         &detect_history_leaks(incognito),
     )

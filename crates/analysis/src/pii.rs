@@ -173,7 +173,7 @@ pub fn pii_row(result: &CampaignResult, props: &DeviceProperties) -> PiiRow {
     for view in facts.views(snap.native()) {
         partial.observe(&view, &matcher);
     }
-    partial.finish(result.profile.name)
+    partial.finish(&result.profile.name)
 }
 
 /// Table 2 over a set of campaigns (device props shared — one testbed).

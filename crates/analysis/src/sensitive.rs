@@ -85,7 +85,7 @@ pub fn sensitive_row(result: &CampaignResult) -> SensitiveRow {
     for view in facts.views(snap.all()) {
         partial.observe(&view, &ctx);
     }
-    partial.finish(result.profile.name, ctx.sensitive_urls.len())
+    partial.finish(&result.profile.name, ctx.sensitive_urls.len())
 }
 
 #[cfg(test)]

@@ -20,16 +20,26 @@ use panoptes_simnet::clock::SimDuration;
 use panoptes_web::site::SiteSpec;
 use panoptes_web::World;
 
+use panoptes_browsers::BrowserProfile;
+
 /// Crawls every browser in Table 1 over `sites`, sequentially.
 pub fn run_full_crawl(
     world: &World,
     sites: &[SiteSpec],
     config: &CampaignConfig,
 ) -> Vec<CampaignResult> {
-    all_profiles()
-        .iter()
-        .map(|profile| run_crawl(world, profile, sites, config))
-        .collect()
+    run_crawl_with(world, sites, config, &all_profiles())
+}
+
+/// [`run_full_crawl`] over an explicit browser population (e.g. from
+/// [`panoptes_browsers::registry::population`]).
+pub fn run_crawl_with(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    profiles: &[BrowserProfile],
+) -> Vec<CampaignResult> {
+    profiles.iter().map(|profile| run_crawl(world, profile, sites, config)).collect()
 }
 
 /// Runs the §3.5 idle experiment for every browser, sequentially.
@@ -38,10 +48,17 @@ pub fn run_full_idle(
     duration: SimDuration,
     config: &CampaignConfig,
 ) -> Vec<IdleResult> {
-    all_profiles()
-        .iter()
-        .map(|profile| run_idle(world, profile, duration, config))
-        .collect()
+    run_idle_with(world, duration, config, &all_profiles())
+}
+
+/// [`run_full_idle`] over an explicit browser population.
+pub fn run_idle_with(
+    world: &World,
+    duration: SimDuration,
+    config: &CampaignConfig,
+    profiles: &[BrowserProfile],
+) -> Vec<IdleResult> {
+    profiles.iter().map(|profile| run_idle(world, profile, duration, config)).collect()
 }
 
 /// Crawls every browser across the fleet's worker pool. Results come
@@ -53,7 +70,18 @@ pub fn run_full_crawl_jobs(
     config: &CampaignConfig,
     options: &FleetOptions,
 ) -> Result<Vec<CampaignResult>, FleetError<UnitOutput>> {
-    let units: Vec<_> = all_profiles().into_iter().map(fleet::FleetUnit::crawl).collect();
+    run_crawl_jobs_with(world, sites, config, options, &all_profiles())
+}
+
+/// [`run_full_crawl_jobs`] over an explicit browser population.
+pub fn run_crawl_jobs_with(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    options: &FleetOptions,
+    profiles: &[BrowserProfile],
+) -> Result<Vec<CampaignResult>, FleetError<UnitOutput>> {
+    let units: Vec<_> = profiles.iter().cloned().map(fleet::FleetUnit::crawl).collect();
     let outputs = fleet::run_units(world, sites, config, &units, options)?;
     Ok(outputs.into_iter().filter_map(UnitOutput::into_crawl).collect())
 }
@@ -65,8 +93,20 @@ pub fn run_full_idle_jobs(
     config: &CampaignConfig,
     options: &FleetOptions,
 ) -> Result<Vec<IdleResult>, FleetError<UnitOutput>> {
-    let units: Vec<_> = all_profiles()
-        .into_iter()
+    run_idle_jobs_with(world, duration, config, options, &all_profiles())
+}
+
+/// [`run_full_idle_jobs`] over an explicit browser population.
+pub fn run_idle_jobs_with(
+    world: &World,
+    duration: SimDuration,
+    config: &CampaignConfig,
+    options: &FleetOptions,
+    profiles: &[BrowserProfile],
+) -> Result<Vec<IdleResult>, FleetError<UnitOutput>> {
+    let units: Vec<_> = profiles
+        .iter()
+        .cloned()
         .map(|profile| fleet::FleetUnit::idle(profile, duration))
         .collect();
     let outputs = fleet::run_units(world, &world.sites, config, &units, options)?;
@@ -83,7 +123,22 @@ pub fn run_full_study_jobs(
     idle: SimDuration,
     options: &FleetOptions,
 ) -> Result<StudyOutput, FleetError<UnitOutput>> {
-    fleet::run_study(world, sites, config, &all_profiles(), idle, options)
+    run_study_jobs_with(world, sites, config, idle, options, &all_profiles())
+}
+
+/// [`run_full_study_jobs`] over an explicit browser population — the
+/// entry point `--population N` drivers use: pass
+/// [`panoptes_browsers::registry::population`]`(seed, n)` and the fleet
+/// schedules `2n` units over the same worker pool.
+pub fn run_study_jobs_with(
+    world: &World,
+    sites: &[SiteSpec],
+    config: &CampaignConfig,
+    idle: SimDuration,
+    options: &FleetOptions,
+    profiles: &[BrowserProfile],
+) -> Result<StudyOutput, FleetError<UnitOutput>> {
+    fleet::run_study(world, sites, config, profiles, idle, options)
 }
 
 #[cfg(test)]

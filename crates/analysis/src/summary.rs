@@ -367,7 +367,7 @@ pub fn study_json_multipass(results: &[CampaignResult], idles: &[IdleResult]) ->
         .map(|r| {
             let tl = timeline(r, IDLE_BUCKET);
             Value::object(vec![
-                ("browser", Value::str(r.profile.name)),
+                ("browser", Value::str(&r.profile.name)),
                 ("idle_sent", Value::from(r.idle_sent)),
                 ("first_minute_share", Value::Number(tl.first_minute_share())),
                 (

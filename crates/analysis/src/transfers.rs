@@ -94,7 +94,7 @@ pub fn transfer_row(result: &CampaignResult, geo: &GeoDb) -> Option<TransferRow>
     for flow in result.store.snapshot().iter() { // multipass-ok: legacy standalone detector
         partial.observe(flow);
     }
-    partial.finish(result.profile.name, &leaks, geo)
+    partial.finish(&result.profile.name, &leaks, geo)
 }
 
 /// §3.4 over a full study: rows for every browser that leaks history.

@@ -192,7 +192,7 @@ fn ablation_pinning(c: &mut Criterion) {
     let world = world();
     let config = CampaignConfig::default();
     let samsung = profile_by_name("Samsung").unwrap();
-    let unpinned = BrowserProfile { pinned_domains: &[], ..samsung.clone() };
+    let unpinned = BrowserProfile { pinned_domains: Vec::new(), ..samsung.clone() };
 
     let pinned_run = run_crawl(&world, &samsung, &world.sites, &config);
     let open_run = run_crawl(&world, &unpinned, &world.sites, &config);

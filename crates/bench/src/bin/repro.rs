@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N]
-//!       [--overlap] [--only SECTION]
+//!       [--overlap] [--population N] [--only SECTION]
 //! ```
 //!
 //! Sections: `table1 fig2 fig3 fig4 table2 fig5 leaks dns incognito
@@ -18,6 +18,12 @@
 //! crawl, idle and analysis on one worker pool. Output is byte-identical
 //! for every N, with and without `--overlap` — results always come back
 //! in profile order before rendering.
+//!
+//! `--population N` runs the study over an N-browser population: the
+//! paper's 15 pinned browsers first, then deterministically sampled
+//! variants from the behaviour-model space (seeded by `--seed`). The
+//! default, `--population 15`, is exactly the paper set — output stays
+//! byte-identical to a run without the flag.
 //!
 //! `--har DIR` additionally writes one HAR 1.2 file per browser campaign
 //! into DIR, for inspection with off-the-shelf HAR tooling. `--json FILE`
@@ -38,7 +44,8 @@ use panoptes_analysis::engine::{
 };
 use panoptes_analysis::summary::study_report_from;
 use panoptes_bench::experiments::{
-    crawl_all, crawl_all_jobs, idle_all, idle_all_jobs, study_all_overlapped, Scale,
+    crawl_population, crawl_population_jobs, idle_population, idle_population_jobs,
+    study_population_overlapped, Scale,
 };
 use panoptes_bench::render;
 use panoptes_browsers::registry::profile_by_name;
@@ -52,6 +59,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut overlap = false;
+    let mut population: usize = 15;
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
     let mut i = 0;
@@ -68,6 +76,10 @@ fn main() {
                 jobs = Some(args[i].parse().expect("--jobs N"));
             }
             "--overlap" => overlap = true,
+            "--population" => {
+                i += 1;
+                population = args[i].parse().expect("--population N");
+            }
             "--popular" => {
                 i += 1;
                 scale.popular = args[i].parse().expect("--popular N");
@@ -98,7 +110,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR] [--metrics] [--trace-out FILE]"
+                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--population N] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR] [--metrics] [--trace-out FILE]"
                 );
                 return;
             }
@@ -133,7 +145,7 @@ fn main() {
         Some(n) => FleetOptions::with_progress(n),
         None => FleetOptions::default().verbose(),
     };
-    let effective = fleet_options.effective_jobs(15);
+    let effective = fleet_options.effective_jobs(population);
     let res = AnalysisResources::standard();
 
     // In --overlap mode the idle campaigns run (and everything gets
@@ -142,8 +154,10 @@ fn main() {
     let mut overlapped_idles: Option<Vec<IdleAnalysis>> = None;
 
     let (world, results, crawl_analyses) = if overlap {
-        eprintln!("overlapped study: crawl + idle + analysis, 15 browsers, {effective} worker(s)...");
-        match study_all_overlapped(&scale, &fleet_options, &res) {
+        eprintln!(
+            "overlapped study: crawl + idle + analysis, {population} browsers, {effective} worker(s)..."
+        );
+        match study_population_overlapped(&scale, &fleet_options, &res, population) {
             Ok((world, study)) => {
                 overlapped_idles = Some(study.analyses.idles);
                 (world, study.results.crawls, study.analyses.crawls)
@@ -154,12 +168,12 @@ fn main() {
             }
         }
     } else {
-        eprintln!("crawling 15 browsers ({effective} worker(s))...");
+        eprintln!("crawling {population} browsers ({effective} worker(s))...");
         let (world, results) = if jobs == Some(1) {
             // The legacy sequential path, kept reachable for A/B runs.
-            crawl_all(&scale)
+            crawl_population(&scale, population)
         } else {
-            match crawl_all_jobs(&scale, &fleet_options) {
+            match crawl_population_jobs(&scale, &fleet_options, population) {
                 Ok(out) => out,
                 Err(e) => {
                     eprintln!("crawl fleet failed: {e}");
@@ -297,13 +311,13 @@ fn main() {
             Some(analyses) => analyses, // already captured and analysed
             None => {
                 eprintln!(
-                    "idle experiment (15 browsers x {}s, {effective} worker(s))...",
+                    "idle experiment ({population} browsers x {}s, {effective} worker(s))...",
                     scale.idle.as_secs()
                 );
                 let idle = if jobs == Some(1) {
-                    idle_all(&scale)
+                    idle_population(&scale, population)
                 } else {
-                    match idle_all_jobs(&scale, &fleet_options) {
+                    match idle_population_jobs(&scale, &fleet_options, population) {
                         Ok(out) => out,
                         Err(e) => {
                             eprintln!("idle fleet failed: {e}");

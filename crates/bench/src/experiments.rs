@@ -10,10 +10,15 @@ use panoptes::campaign::CampaignResult;
 use panoptes::config::CampaignConfig;
 use panoptes::fleet::{FleetError, FleetOptions, UnitOutput};
 use panoptes::idle::IdleResult;
-use panoptes_analysis::engine::{run_full_study_analyzed, AnalysisResources, AnalyzedStudy};
-use panoptes_analysis::study::{
-    run_full_crawl, run_full_crawl_jobs, run_full_idle, run_full_idle_jobs,
+use panoptes_analysis::engine::{
+    run_full_study_analyzed, run_study_analyzed_with, AnalysisResources, AnalyzedStudy,
 };
+use panoptes_analysis::study::{
+    run_crawl_jobs_with, run_crawl_with, run_full_crawl, run_full_crawl_jobs, run_full_idle,
+    run_full_idle_jobs, run_idle_jobs_with, run_idle_with,
+};
+use panoptes_browsers::registry::population;
+use panoptes_browsers::BrowserProfile;
 use panoptes_simnet::clock::SimDuration;
 use panoptes_web::generator::GeneratorConfig;
 use panoptes_web::World;
@@ -119,5 +124,72 @@ pub fn study_all_overlapped(
     let world = scale.world();
     let study =
         run_full_study_analyzed(&world, &world.sites, &scale.config(), scale.idle, options, res)?;
+    Ok((world, study))
+}
+
+/// The browser population for a `--population N` run: the paper's 15
+/// pinned browsers first, then variants sampled deterministically from
+/// the scale's seed. `population_for(scale, 15)` is exactly the paper
+/// set, so the default reproduction stays byte-identical.
+pub fn population_for(scale: &Scale, n: usize) -> Vec<BrowserProfile> {
+    population(scale.seed, n)
+}
+
+/// [`crawl_all`] over an `n`-browser population, sequentially.
+pub fn crawl_population(scale: &Scale, n: usize) -> (Arc<World>, Vec<CampaignResult>) {
+    let world = scale.world();
+    let config = scale.config();
+    let results = run_crawl_with(&world, &world.sites, &config, &population_for(scale, n));
+    (world, results)
+}
+
+/// [`idle_all`] over an `n`-browser population, sequentially.
+pub fn idle_population(scale: &Scale, n: usize) -> Vec<IdleResult> {
+    let world = scale.world();
+    run_idle_with(&world, scale.idle, &scale.config(), &population_for(scale, n))
+}
+
+/// [`crawl_all_jobs`] over an `n`-browser population.
+pub fn crawl_population_jobs(
+    scale: &Scale,
+    options: &FleetOptions,
+    n: usize,
+) -> Result<(Arc<World>, Vec<CampaignResult>), FleetError<UnitOutput>> {
+    let world = scale.world();
+    let config = scale.config();
+    let results =
+        run_crawl_jobs_with(&world, &world.sites, &config, options, &population_for(scale, n))?;
+    Ok((world, results))
+}
+
+/// [`idle_all_jobs`] over an `n`-browser population.
+pub fn idle_population_jobs(
+    scale: &Scale,
+    options: &FleetOptions,
+    n: usize,
+) -> Result<Vec<IdleResult>, FleetError<UnitOutput>> {
+    let world = scale.world();
+    run_idle_jobs_with(&world, scale.idle, &scale.config(), options, &population_for(scale, n))
+}
+
+/// [`study_all_overlapped`] over an `n`-browser population: `2n` fleet
+/// units (crawl + idle per browser) with the capture→analysis barrier
+/// removed.
+pub fn study_population_overlapped(
+    scale: &Scale,
+    options: &FleetOptions,
+    res: &AnalysisResources,
+    n: usize,
+) -> Result<(Arc<World>, AnalyzedStudy), FleetError<()>> {
+    let world = scale.world();
+    let study = run_study_analyzed_with(
+        &world,
+        &world.sites,
+        &scale.config(),
+        scale.idle,
+        options,
+        res,
+        &population_for(scale, n),
+    )?;
     Ok((world, study))
 }

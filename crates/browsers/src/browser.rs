@@ -81,18 +81,19 @@ impl Browser {
         );
         let mut trust = TrustStore::system();
         trust.install(CaId::mitm());
+        let pinned: Vec<&str> = profile.pinned_domains.iter().map(String::as_str).collect();
         let client = ClientTemplate {
             uid,
-            package: profile.package.into(),
+            package: profile.package.as_str().into(),
             trust,
-            pins: PinPolicy::pin(profile.pinned_domains),
+            pins: PinPolicy::pin(&pinned),
         };
         let session = EngineSession::new(
             profile.resolver,
             profile.adblock,
             profile.attempts_h3,
-            profile.name,
-            profile.version,
+            &profile.name,
+            &profile.version,
         );
         let rng = StdRng::seed_from_u64(seed ^ uid as u64);
         Browser { profile, mode, client, session, seed, rng }
@@ -135,7 +136,7 @@ impl Browser {
             // browser's stack uses — but without the taint tap.
             let mut stats = EngineStats::default();
             self.session
-                .ensure_resolved(env.net, &self.client, env.clock, call.host, &mut stats);
+                .ensure_resolved(env.net, &self.client, env.clock, &call.host, &mut stats);
             match env.net.send_http(&self.client.ctx(env.clock.now()), req) {
                 Ok((_, report)) => {
                     env.clock.advance(SimDuration(report.latency.0 / 4));
@@ -154,10 +155,10 @@ impl Browser {
     /// App launch: fires the startup catalogue (update checks, config
     /// fetches). Returns the number of native requests sent.
     pub fn startup(&mut self, env: &mut Env<'_>) -> u32 {
-        let calls = self.profile.startup;
+        let calls = self.profile.startup.clone();
         let mut sent = 0;
-        for call in calls {
-            sent += self.send_native(env, &call.clone(), None);
+        for call in &calls {
+            sent += self.send_native(env, call, None);
         }
         sent
     }
@@ -175,15 +176,16 @@ impl Browser {
             self.mode == BrowsingMode::Incognito,
             site,
             env.props,
-            self.profile.injects_js_collector,
+            self.profile.injects_js_collector.as_deref(),
         );
         env.data.cookies = persistent_jar;
 
         let visit_url = Url::parse(&site.url_string()).expect("valid site url");
         // DoH lookups triggered by the page load are native traffic too.
         let mut native_sent = engine.doh_lookups;
-        for call in self.profile.per_visit {
-            native_sent += self.send_native(env, &call.clone(), Some(&visit_url));
+        let calls = self.profile.per_visit.clone();
+        for call in &calls {
+            native_sent += self.send_native(env, call, Some(&visit_url));
         }
 
         VisitOutcome {
@@ -210,20 +212,20 @@ impl Browser {
         // the first minute.
         let mut offset = SimDuration::ZERO;
         let mut gap_us = 500_000u64;
-        for call in self.profile.idle.burst {
+        for call in &self.profile.idle.burst {
             offset += SimDuration(gap_us);
             gap_us = (gap_us as f64 * 1.7) as u64;
             if offset > SimDuration::from_secs(60) || offset > total {
                 break;
             }
-            queue.push(start.plus(offset), *call);
+            queue.push(start.plus(offset), call.clone());
         }
         // Periodic schedule.
-        for (interval_secs, call) in self.profile.idle.periodic {
+        for (interval_secs, call) in &self.profile.idle.periodic {
             let interval = SimDuration::from_secs(*interval_secs);
             let mut at = interval;
             while at <= total {
-                queue.push(start.plus(at), *call);
+                queue.push(start.plus(at), call.clone());
                 at += interval;
             }
         }

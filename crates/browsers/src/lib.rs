@@ -22,6 +22,13 @@
 //! servers each contacts (Figure 3), and how chatty each browser is
 //! (Figures 2, 4, 5). The measurement pipeline then *rediscovers* those
 //! findings from the wire.
+//!
+//! Both halves are generated from one **behaviour-model space**
+//! ([`model::BehaviorModel`]): the 15 paper browsers are pinned points
+//! in that space ([`registry::pinned_models`]), and the deterministic
+//! sampler ([`space::BrowserSpace`]) mints arbitrarily many more
+//! coherent variants for population-scale studies
+//! ([`registry::population`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,11 +36,15 @@
 pub mod browser;
 pub mod engine;
 pub mod identifiers;
+pub mod model;
 pub mod payload;
 pub mod profile;
 pub mod profiles;
 pub mod registry;
+pub mod space;
 
 pub use browser::{Browser, BrowsingMode, VisitOutcome};
+pub use model::{BehaviorModel, ConsentAxis, IdentifierAxis, IncognitoAxis};
 pub use profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
-pub use registry::{all_profiles, profile_by_name};
+pub use registry::{all_profiles, pinned_models, population, profile_by_name};
+pub use space::BrowserSpace;

@@ -44,11 +44,11 @@ pub fn build_native_request(
     visit: Option<&Url>,
     copy: u32,
 ) -> Request {
-    let mut url = Url::https(call.host).with_path(call.path);
+    let mut url = Url::https(&call.host).with_path(&call.path);
     let mut method = call.method;
     let mut body: Option<Bytes> = None;
 
-    match call.payload {
+    match &call.payload {
         Payload::None => {}
         Payload::FullUrlBase64 { param } => {
             let visited = visit.expect("per-visit payload without a visit");
@@ -56,7 +56,7 @@ pub fn build_native_request(
         }
         Payload::HostnamePlusId { host_param, id_param } => {
             let visited = visit.expect("per-visit payload without a visit");
-            let key = ctx.profile.persistent_id_key.unwrap_or("install-id");
+            let key = ctx.profile.persistent_id_key.as_deref().unwrap_or("install-id");
             let id = persistent_id(ctx.data, key, ctx.seed);
             url = url
                 .with_query_param(host_param, visited.host())
@@ -75,7 +75,7 @@ pub fn build_native_request(
             body = Some(Bytes::from(ad_sdk_body(ctx)));
         }
         Payload::Telemetry => {
-            for (key, value) in pii_query_params(ctx.profile.pii_fields, ctx.props) {
+            for (key, value) in pii_query_params(&ctx.profile.pii_fields, ctx.props) {
                 url = url.with_query_param(key, &value);
             }
             url = url.with_query_param("ts", &ctx.now.0.to_string());
@@ -93,7 +93,7 @@ pub fn build_native_request(
         body = Some(Bytes::from(padded));
     }
 
-    let ua = UserAgent::for_browser(ctx.profile.name, ctx.profile.version).render();
+    let ua = UserAgent::for_browser(&ctx.profile.name, &ctx.profile.version).render();
     let mut req = match method {
         Method::Post => Request::post(url, body.unwrap_or_default()),
         _ => Request::get(url),
@@ -137,8 +137,8 @@ fn ad_sdk_body(ctx: &mut PayloadCtx<'_>) -> String {
     let profile = ctx.profile;
     let mut fields: Vec<(&str, Value)> = vec![
         ("channelId", Value::str(format!("adxsdk_for_{}", profile.name.to_ascii_lowercase()))),
-        ("appPackageName", Value::str(profile.package)),
-        ("appVersion", Value::str(profile.version)),
+        ("appPackageName", Value::str(&profile.package)),
+        ("appVersion", Value::str(&profile.version)),
         ("sdkVersion", Value::str("1.12.2")),
         ("osType", Value::str("ANDROID")),
         ("osVersion", Value::str(&props.android_version)),
@@ -148,7 +148,7 @@ fn ad_sdk_body(ctx: &mut PayloadCtx<'_>) -> String {
         ("supportedAdTypes", Value::Array(vec![Value::str("SINGLE")])),
         ("userConsent", Value::str("false")),
     ];
-    for field in profile.pii_fields {
+    for field in &profile.pii_fields {
         match field {
             PiiField::DeviceType => fields.push(("deviceType", Value::str(&props.device_type))),
             PiiField::DeviceManufacturer => {
@@ -177,7 +177,7 @@ fn ad_sdk_body(ctx: &mut PayloadCtx<'_>) -> String {
             }
         }
     }
-    if let Some(key) = profile.persistent_id_key {
+    if let Some(key) = profile.persistent_id_key.as_deref() {
         let id = persistent_id(ctx.data, key, ctx.seed);
         fields.push((key, Value::str(id)));
     }
@@ -189,29 +189,15 @@ fn ad_sdk_body(ctx: &mut PayloadCtx<'_>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::IdleProfile;
-    use panoptes_instrument::tap::Instrumentation;
-    use panoptes_simnet::dns::ResolverKind;
+    use crate::model::BehaviorModel;
 
-    fn profile(pii: &'static [PiiField], id_key: Option<&'static str>) -> BrowserProfile {
-        BrowserProfile {
-            name: "Opera",
-            version: "75.1.3978.72329",
-            package: "com.opera.browser",
-            instrumentation: Instrumentation::Cdp,
-            supports_incognito: true,
-            resolver: ResolverKind::LocalStub,
-            adblock: false,
-            attempts_h3: false,
-            pinned_domains: &[],
-            pii_fields: pii,
-            persistent_id_key: id_key,
-            injects_js_collector: None,
-            honors_telemetry_consent: false,
-            startup: &[],
-            per_visit: &[],
-            idle: IdleProfile::QUIET,
+    fn profile(pii: &[PiiField], id_key: Option<&str>) -> BrowserProfile {
+        let mut model = BehaviorModel::new("Opera", "75.1.3978.72329", "com.opera.browser")
+            .leaks(pii);
+        if let Some(key) = id_key {
+            model = model.persistent_id(key);
         }
+        model.materialize()
     }
 
     fn ctx<'a>(
@@ -227,15 +213,8 @@ mod tests {
         let props = DeviceProperties::testbed_tablet();
         let mut data = AppDataStore::new();
         let p = profile(&[], None);
-        let call = NativeCall {
-            host: "sba.yandex.net",
-            path: "/report",
-            method: Method::Get,
-            payload: Payload::FullUrlBase64 { param: "url" },
-            body_pad: 0,
-            count: 1,
-            respects_incognito: false,
-        };
+        let call = NativeCall::ping("sba.yandex.net", "/report")
+            .carrying(Payload::full_url_base64("url"));
         let visit = Url::parse("https://www.youtube.com/watch?v=abc").unwrap();
         let req = build_native_request(&call, &mut ctx(&props, &mut data, &p), Some(&visit), 0);
         let encoded = req.url.query_param("url").unwrap();
@@ -251,15 +230,8 @@ mod tests {
         let props = DeviceProperties::testbed_tablet();
         let mut data = AppDataStore::new();
         let p = profile(&[], Some("yuid"));
-        let call = NativeCall {
-            host: "api.browser.yandex.ru",
-            path: "/check",
-            method: Method::Get,
-            payload: Payload::HostnamePlusId { host_param: "h", id_param: "uid" },
-            body_pad: 0,
-            count: 1,
-            respects_incognito: false,
-        };
+        let call = NativeCall::ping("api.browser.yandex.ru", "/check")
+            .carrying(Payload::hostname_plus_id("h", "uid"));
         let v1 = Url::parse("https://a.com/x").unwrap();
         let v2 = Url::parse("https://b.com/y").unwrap();
         let r1 = build_native_request(&call, &mut ctx(&props, &mut data, &p), Some(&v1), 0);
@@ -276,15 +248,8 @@ mod tests {
         let props = DeviceProperties::testbed_tablet();
         let mut data = AppDataStore::new();
         let p = profile(&[], None);
-        let call = NativeCall {
-            host: "api.bing.com",
-            path: "/report",
-            method: Method::Get,
-            payload: Payload::DomainOnly { param: "d" },
-            body_pad: 0,
-            count: 1,
-            respects_incognito: false,
-        };
+        let call = NativeCall::ping("api.bing.com", "/report")
+            .carrying(Payload::domain_only("d"));
         let visit = Url::parse("https://www.health-support001.org/health/depression-support").unwrap();
         let req = build_native_request(&call, &mut ctx(&props, &mut data, &p), Some(&visit), 0);
         assert_eq!(req.url.query_param("d"), Some("health-support001.org"));
@@ -305,15 +270,9 @@ mod tests {
             ],
             Some("operaId"),
         );
-        let call = NativeCall {
-            host: "s-odx.oleads.com",
-            path: "/api/v1/sdk_fetch",
-            method: Method::Post,
-            payload: Payload::AdSdkJson,
-            body_pad: 0,
-            count: 1,
-            respects_incognito: false,
-        };
+        let call = NativeCall::ping("s-odx.oleads.com", "/api/v1/sdk_fetch")
+            .via_post()
+            .carrying(Payload::AdSdkJson);
         let req = build_native_request(&call, &mut ctx(&props, &mut data, &p), None, 0);
         assert_eq!(req.method, Method::Post);
         let body = json::parse(std::str::from_utf8(&req.body).unwrap()).unwrap();
@@ -331,15 +290,8 @@ mod tests {
         let props = DeviceProperties::testbed_tablet();
         let mut data = AppDataStore::new();
         let p = profile(&[PiiField::Resolution, PiiField::NetworkType], None);
-        let call = NativeCall {
-            host: "vortex.data.microsoft.com",
-            path: "/collect",
-            method: Method::Get,
-            payload: Payload::Telemetry,
-            body_pad: 0,
-            count: 1,
-            respects_incognito: false,
-        };
+        let call = NativeCall::ping("vortex.data.microsoft.com", "/collect")
+            .carrying(Payload::Telemetry);
         let req = build_native_request(&call, &mut ctx(&props, &mut data, &p), None, 0);
         assert_eq!(req.url.query_param("screen"), Some("1200x1920"));
         assert_eq!(req.url.query_param("networkType"), Some("WIFI"));
@@ -352,15 +304,7 @@ mod tests {
         let props = DeviceProperties::testbed_tablet();
         let mut data = AppDataStore::new();
         let p = profile(&[], None);
-        let call = NativeCall {
-            host: "mtt.browser.qq.com",
-            path: "/stat",
-            method: Method::Get,
-            payload: Payload::None,
-            body_pad: 3000,
-            count: 1,
-            respects_incognito: false,
-        };
+        let call = NativeCall::ping("mtt.browser.qq.com", "/stat").padded(3000);
         let req = build_native_request(&call, &mut ctx(&props, &mut data, &p), None, 0);
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.body.len(), 3000);

@@ -5,6 +5,12 @@
 //! configured, and — the core of the reproduction — the catalogue of
 //! native requests it sends at startup, per page visit, and while idle.
 //! `payload.rs` turns the catalogue into concrete [`panoptes_http::Request`]s.
+//!
+//! Profiles are *materialized* from the composable behaviour-model
+//! space ([`crate::model::BehaviorModel`]): the paper's 15 browsers are
+//! pinned points in that space, and the sampler
+//! ([`crate::space::BrowserSpace`]) mints arbitrarily many more. All
+//! profile data is therefore owned (`String`/`Vec`), not `'static`.
 
 use panoptes_http::method::Method;
 use panoptes_instrument::tap::Instrumentation;
@@ -74,10 +80,33 @@ impl PiiField {
             PiiField::NetworkType => "Network Type",
         }
     }
+
+    /// Stable kebab-case identifier used in fixtures and archives.
+    pub fn slug(self) -> &'static str {
+        match self {
+            PiiField::DeviceType => "device-type",
+            PiiField::DeviceManufacturer => "device-manufacturer",
+            PiiField::Timezone => "timezone",
+            PiiField::Resolution => "resolution",
+            PiiField::LocalIp => "local-ip",
+            PiiField::Dpi => "dpi",
+            PiiField::RootedStatus => "rooted-status",
+            PiiField::Locale => "locale",
+            PiiField::Country => "country",
+            PiiField::Location => "location",
+            PiiField::ConnectionType => "connection-type",
+            PiiField::NetworkType => "network-type",
+        }
+    }
+
+    /// Inverse of [`PiiField::slug`].
+    pub fn from_slug(slug: &str) -> Option<PiiField> {
+        PiiField::ALL.iter().copied().find(|f| f.slug() == slug)
+    }
 }
 
 /// What a native request carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
     /// Nothing interesting — plain ping / content fetch.
     None,
@@ -85,26 +114,26 @@ pub enum Payload {
     /// Yandex `sba.yandex.net` pattern (§3.2).
     FullUrlBase64 {
         /// Query parameter name carrying the encoded URL.
-        param: &'static str,
+        param: String,
     },
     /// The visited hostname plus a persistent per-install identifier —
     /// the Yandex `api.browser.yandex.ru` pattern (§3.2).
     HostnamePlusId {
         /// Query parameter carrying the hostname.
-        host_param: &'static str,
+        host_param: String,
         /// Query parameter carrying the persistent identifier.
-        id_param: &'static str,
+        id_param: String,
     },
     /// The full visited URL in the clear — the QQ pattern (§3.2).
     FullUrlPlain {
         /// Query parameter carrying the URL.
-        param: &'static str,
+        param: String,
     },
     /// Only the visited registrable domain — the Edge→Bing and
     /// Opera→Sitecheck pattern (§3.2).
     DomainOnly {
         /// Query parameter carrying the domain.
-        param: &'static str,
+        param: String,
     },
     /// A JSON ad-SDK body carrying PII fields (Listing 1's
     /// `s-odx.oleads.com` shape). Fields come from the profile's
@@ -114,13 +143,50 @@ pub enum Payload {
     Telemetry,
 }
 
+impl Payload {
+    /// The Yandex full-URL-in-Base64 channel.
+    pub fn full_url_base64(param: &str) -> Payload {
+        Payload::FullUrlBase64 { param: param.to_string() }
+    }
+
+    /// The hostname-plus-persistent-identifier channel.
+    pub fn hostname_plus_id(host_param: &str, id_param: &str) -> Payload {
+        Payload::HostnamePlusId {
+            host_param: host_param.to_string(),
+            id_param: id_param.to_string(),
+        }
+    }
+
+    /// The QQ clear-text full-URL channel.
+    pub fn full_url_plain(param: &str) -> Payload {
+        Payload::FullUrlPlain { param: param.to_string() }
+    }
+
+    /// The Edge/Opera domain-only channel.
+    pub fn domain_only(param: &str) -> Payload {
+        Payload::DomainOnly { param: param.to_string() }
+    }
+
+    /// True for the payloads that report the visited page at any
+    /// granularity.
+    pub fn reports_history(&self) -> bool {
+        matches!(
+            self,
+            Payload::FullUrlBase64 { .. }
+                | Payload::FullUrlPlain { .. }
+                | Payload::HostnamePlusId { .. }
+                | Payload::DomainOnly { .. }
+        )
+    }
+}
+
 /// One native request in a browser's catalogue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NativeCall {
     /// Destination host.
-    pub host: &'static str,
+    pub host: String,
     /// Destination path.
-    pub path: &'static str,
+    pub path: String,
     /// HTTP method.
     pub method: Method,
     /// What the request carries.
@@ -139,11 +205,12 @@ pub struct NativeCall {
 }
 
 impl NativeCall {
-    /// A simple GET ping.
-    pub const fn ping(host: &'static str, path: &'static str) -> NativeCall {
+    /// A simple GET ping. The other catalogue shapes compose onto this
+    /// with the builder methods below.
+    pub fn ping(host: &str, path: &str) -> NativeCall {
         NativeCall {
-            host,
-            path,
+            host: host.to_string(),
+            path: path.to_string(),
             method: Method::Get,
             payload: Payload::None,
             body_pad: 0,
@@ -151,35 +218,65 @@ impl NativeCall {
             respects_incognito: false,
         }
     }
+
+    /// Attaches a payload to the call.
+    pub fn carrying(mut self, payload: Payload) -> NativeCall {
+        self.payload = payload;
+        self
+    }
+
+    /// Sends the call as a POST.
+    pub fn via_post(mut self) -> NativeCall {
+        self.method = Method::Post;
+        self
+    }
+
+    /// Pads the body by `bytes` (forces a POST on the wire).
+    pub fn padded(mut self, bytes: u32) -> NativeCall {
+        self.body_pad = bytes;
+        self
+    }
+
+    /// Sends `n` copies per trigger.
+    pub fn times(mut self, n: u32) -> NativeCall {
+        self.count = n;
+        self
+    }
+
+    /// Suppresses the call in incognito mode.
+    pub fn respecting_incognito(mut self) -> NativeCall {
+        self.respects_incognito = true;
+        self
+    }
 }
 
 /// Shape of a browser's idle-time chatter (Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdleProfile {
     /// Start-page refresh burst fired with exponentially increasing gaps
     /// over the first minute (favicons, thumbnails, DNS warmup — the
     /// paper's explanation for the early exponential growth).
-    pub burst: &'static [NativeCall],
+    pub burst: Vec<NativeCall>,
     /// Steady-state pings: `(interval_seconds, call)` — the plateau. A
     /// dense interval (Opera's news feed) produces the linear curve the
     /// paper singles out.
-    pub periodic: &'static [(u64, NativeCall)],
+    pub periodic: Vec<(u64, NativeCall)>,
 }
 
 impl IdleProfile {
     /// A silent browser.
-    pub const QUIET: IdleProfile = IdleProfile { burst: &[], periodic: &[] };
+    pub const QUIET: IdleProfile = IdleProfile { burst: Vec::new(), periodic: Vec::new() };
 }
 
-/// A complete browser model.
-#[derive(Debug, Clone)]
+/// A complete browser model, materialized and ready to launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BrowserProfile {
     /// Display name (Table 1).
-    pub name: &'static str,
+    pub name: String,
     /// Version measured by the paper (Table 1).
-    pub version: &'static str,
+    pub version: String,
     /// Android package name.
-    pub package: &'static str,
+    pub package: String,
     /// How Panoptes instruments it (§2.1/§2.3).
     pub instrumentation: Instrumentation,
     /// Whether the browser offers an incognito mode (Yandex and QQ do
@@ -193,24 +290,24 @@ pub struct BrowserProfile {
     pub attempts_h3: bool,
     /// Domains the app pins certificates for (these flows escape the
     /// MITM — footnote 3).
-    pub pinned_domains: &'static [&'static str],
+    pub pinned_domains: Vec<String>,
     /// PII fields this vendor transmits (Table 2 row).
-    pub pii_fields: &'static [PiiField],
+    pub pii_fields: Vec<PiiField>,
     /// Key under which the vendor stores its persistent identifier, if
     /// it uses one (Yandex).
-    pub persistent_id_key: Option<&'static str>,
+    pub persistent_id_key: Option<String>,
     /// Whether the browser injects a JavaScript snippet into every page
     /// that exfiltrates via *engine* traffic (UC International, §3.2).
-    pub injects_js_collector: Option<&'static str>,
+    pub injects_js_collector: Option<String>,
     /// Whether declining the setup wizard's telemetry prompt actually
     /// silences the vendor's [`Payload::Telemetry`] calls. The paper's
     /// Listing 1 shows the other case: Opera's ad SDK fires with
     /// `"userConsent":"false"` — consent recorded, not honoured.
     pub honors_telemetry_consent: bool,
     /// Native requests at app launch.
-    pub startup: &'static [NativeCall],
+    pub startup: Vec<NativeCall>,
     /// Native requests on every page visit.
-    pub per_visit: &'static [NativeCall],
+    pub per_visit: Vec<NativeCall>,
     /// Idle-time behaviour.
     pub idle: IdleProfile,
 }
@@ -219,15 +316,8 @@ impl BrowserProfile {
     /// True when this browser reports the page the user visits (any
     /// granularity) to a remote server.
     pub fn reports_history(&self) -> bool {
-        self.per_visit.iter().any(|c| {
-            matches!(
-                c.payload,
-                Payload::FullUrlBase64 { .. }
-                    | Payload::FullUrlPlain { .. }
-                    | Payload::HostnamePlusId { .. }
-                    | Payload::DomainOnly { .. }
-            )
-        }) || self.injects_js_collector.is_some()
+        self.per_visit.iter().any(|c| c.payload.reports_history())
+            || self.injects_js_collector.is_some()
     }
 
     /// True when the browser leaks the *full URL* (path + query), the
@@ -259,6 +349,14 @@ mod tests {
     }
 
     #[test]
+    fn pii_slugs_roundtrip() {
+        for field in PiiField::ALL {
+            assert_eq!(PiiField::from_slug(field.slug()), Some(field));
+        }
+        assert_eq!(PiiField::from_slug("nonesuch"), None);
+    }
+
+    #[test]
     fn ping_constructor_defaults() {
         let call = NativeCall::ping("h.com", "/p");
         assert_eq!(call.method, Method::Get);
@@ -268,37 +366,45 @@ mod tests {
     }
 
     #[test]
+    fn builder_methods_compose() {
+        let call = NativeCall::ping("mc.example.com", "/watch")
+            .via_post()
+            .carrying(Payload::Telemetry)
+            .padded(100)
+            .times(2)
+            .respecting_incognito();
+        assert_eq!(call.method, Method::Post);
+        assert_eq!(call.payload, Payload::Telemetry);
+        assert_eq!(call.body_pad, 100);
+        assert_eq!(call.count, 2);
+        assert!(call.respects_incognito);
+    }
+
+    #[test]
     fn history_classification() {
-        const LEAKY: &[NativeCall] = &[NativeCall {
-            host: "sba.yandex.net",
-            path: "/r",
-            method: Method::Get,
-            payload: Payload::FullUrlBase64 { param: "url" },
-            body_pad: 0,
-            count: 1,
-            respects_incognito: false,
-        }];
+        let leaky = vec![NativeCall::ping("sba.yandex.net", "/r")
+            .carrying(Payload::full_url_base64("url"))];
         let profile = BrowserProfile {
-            name: "Test",
-            version: "1",
-            package: "t",
+            name: "Test".to_string(),
+            version: "1".to_string(),
+            package: "t".to_string(),
             instrumentation: Instrumentation::Cdp,
             supports_incognito: true,
             resolver: ResolverKind::LocalStub,
             adblock: false,
             attempts_h3: false,
-            pinned_domains: &[],
-            pii_fields: &[],
+            pinned_domains: Vec::new(),
+            pii_fields: Vec::new(),
             persistent_id_key: None,
             injects_js_collector: None,
             honors_telemetry_consent: false,
-            startup: &[],
-            per_visit: LEAKY,
+            startup: Vec::new(),
+            per_visit: leaky,
             idle: IdleProfile::QUIET,
         };
         assert!(profile.reports_history());
         assert!(profile.reports_full_url());
-        let quiet = BrowserProfile { per_visit: &[], ..profile };
+        let quiet = BrowserProfile { per_visit: Vec::new(), ..profile };
         assert!(!quiet.reports_history());
     }
 }

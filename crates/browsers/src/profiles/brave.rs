@@ -2,49 +2,25 @@
 //! no per-visit phone-homes, no Table 2 PII, only update checks and the
 //! privacy-preserving P3A ping.
 
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
+use crate::model::BehaviorModel;
+use crate::profile::NativeCall;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, PiiField};
-
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("updates.brave.com", "/extensions"),
-    NativeCall::ping("static1.brave.com", "/components"),
-    NativeCall::ping("p3a.brave.com", "/p3a"),
-];
-
-const PER_VISIT: &[NativeCall] = &[];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("static1.brave.com", "/components"),
-    NativeCall::ping("updates.brave.com", "/extensions"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (180, NativeCall::ping("p3a.brave.com", "/p3a")),
-    (300, NativeCall::ping("updates.brave.com", "/extensions")),
-];
-
-const PII: &[PiiField] = &[];
-
-/// Builds the Brave profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Brave",
-        version: "1.51.114",
-        package: "com.brave.browser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: true,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Brave pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Brave", "1.51.114", "com.brave.browser")
+        .h3()
+        .honors_consent()
+        .startup(vec![
+            NativeCall::ping("updates.brave.com", "/extensions"),
+            NativeCall::ping("static1.brave.com", "/components"),
+            NativeCall::ping("p3a.brave.com", "/p3a"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("static1.brave.com", "/components"),
+            NativeCall::ping("updates.brave.com", "/extensions"),
+        ])
+        .idle_periodic(vec![
+            (180, NativeCall::ping("p3a.brave.com", "/p3a")),
+            (300, NativeCall::ping("updates.brave.com", "/extensions")),
+        ])
 }

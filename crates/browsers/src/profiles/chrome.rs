@@ -1,59 +1,30 @@
 //! Chrome 113.0.5672.77 — the baseline: CDP-instrumented, quiet natively,
 //! no PII beyond the UA defaults (Table 2: all "No").
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
+use crate::model::BehaviorModel;
+use crate::profile::NativeCall;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
-
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("update.googleapis.com", "/service/update2/json"),
-    NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch"),
-];
-
-/// Safe Browsing hash-prefix check: a real network touch per visit that
-/// leaks nothing (k-anonymous prefixes), unlike the full-URL reporters.
-const PER_VISIT: &[NativeCall] = &[NativeCall {
-    host: "safebrowsing.googleapis.com",
-    path: "/v4/fullHashes:find",
-    method: Method::Post,
-    payload: Payload::None,
-    body_pad: 32,
-    count: 1,
-    respects_incognito: false,
-}];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("update.googleapis.com", "/service/update2/json"),
-    NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (180, NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch")),
-    (300, NativeCall::ping("update.googleapis.com", "/service/update2/json")),
-];
-
-const PII: &[PiiField] = &[];
-
-/// Builds the Chrome profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Chrome",
-        version: "113.0.5672.77",
-        package: "com.android.chrome",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: true,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Chrome pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Chrome", "113.0.5672.77", "com.android.chrome")
+        .h3()
+        .honors_consent()
+        .startup(vec![
+            NativeCall::ping("update.googleapis.com", "/service/update2/json"),
+            NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch"),
+        ])
+        // Safe Browsing hash-prefix check: a real network touch per visit
+        // that leaks nothing (k-anonymous prefixes), unlike the full-URL
+        // reporters.
+        .per_visit(vec![NativeCall::ping("safebrowsing.googleapis.com", "/v4/fullHashes:find")
+            .via_post()
+            .padded(32)])
+        .idle_burst(vec![
+            NativeCall::ping("update.googleapis.com", "/service/update2/json"),
+            NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch"),
+        ])
+        .idle_periodic(vec![
+            (180, NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch")),
+            (300, NativeCall::ping("update.googleapis.com", "/service/update2/json")),
+        ])
 }

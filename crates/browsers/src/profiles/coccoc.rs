@@ -4,76 +4,52 @@
 //! ships telemetry to `adjust.com`. Table 2: device type, manufacturer,
 //! resolution, locale, country. Vietnamese vendor.
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("update.coccoc.com", "/check"),
-    NativeCall::ping("static.coccoc.com", "/newtab/assets"),
-    NativeCall::ping("suggest.coccoc.com", "/v1/suggest"),
-    NativeCall::ping("spell.coccoc.com", "/v1/dict"),
-    NativeCall::ping("app.adjust.com", "/attribution"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    NativeCall {
-        host: "log.coccoc.com",
-        path: "/v1/log",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 100,
-        count: 2,
-        respects_incognito: false,
-    },
-    NativeCall::ping("newtab.coccoc.com", "/v1/tiles"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("newtab.coccoc.com", "/v1/tiles"),
-    NativeCall::ping("static.coccoc.com", "/newtab/assets"),
-    NativeCall::ping("suggest.coccoc.com", "/v1/suggest"),
-    NativeCall::ping("newtab.coccoc.com", "/v1/news"),
-    NativeCall::ping("spell.coccoc.com", "/v1/dict"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (60, NativeCall::ping("log.coccoc.com", "/v1/heartbeat")),
-    (100, NativeCall::ping("newtab.coccoc.com", "/v1/news")),
-    (120, NativeCall::ping("spell.coccoc.com", "/v1/sync")),
-    // 6.7% of CocCoc's idle natives go to adjust.com (§3.5).
-    (290, NativeCall::ping("app.adjust.com", "/session")),
-    (300, NativeCall::ping("update.coccoc.com", "/check")),
-];
-
-const PII: &[PiiField] = &[
-    PiiField::DeviceType,
-    PiiField::DeviceManufacturer,
-    PiiField::Resolution,
-    PiiField::Locale,
-    PiiField::Country,
-];
-
-/// Builds the CocCoc profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "CocCoc",
-        version: "117.0.177",
-        package: "com.coccoc.trinhduyet",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::Doh(DohProvider::Google),
-        adblock: true,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The CocCoc pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("CocCoc", "117.0.177", "com.coccoc.trinhduyet")
+        .doh(DohProvider::Google)
+        .adblocking()
+        .h3()
+        .leaks(&[
+            PiiField::DeviceType,
+            PiiField::DeviceManufacturer,
+            PiiField::Resolution,
+            PiiField::Locale,
+            PiiField::Country,
+        ])
+        .startup(vec![
+            NativeCall::ping("update.coccoc.com", "/check"),
+            NativeCall::ping("static.coccoc.com", "/newtab/assets"),
+            NativeCall::ping("suggest.coccoc.com", "/v1/suggest"),
+            NativeCall::ping("spell.coccoc.com", "/v1/dict"),
+            NativeCall::ping("app.adjust.com", "/attribution"),
+        ])
+        .per_visit(vec![
+            NativeCall::ping("log.coccoc.com", "/v1/log")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(100)
+                .times(2),
+            NativeCall::ping("newtab.coccoc.com", "/v1/tiles"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("newtab.coccoc.com", "/v1/tiles"),
+            NativeCall::ping("static.coccoc.com", "/newtab/assets"),
+            NativeCall::ping("suggest.coccoc.com", "/v1/suggest"),
+            NativeCall::ping("newtab.coccoc.com", "/v1/news"),
+            NativeCall::ping("spell.coccoc.com", "/v1/dict"),
+        ])
+        .idle_periodic(vec![
+            (60, NativeCall::ping("log.coccoc.com", "/v1/heartbeat")),
+            (100, NativeCall::ping("newtab.coccoc.com", "/v1/news")),
+            (120, NativeCall::ping("spell.coccoc.com", "/v1/sync")),
+            // 6.7% of CocCoc's idle natives go to adjust.com (§3.5).
+            (290, NativeCall::ping("app.adjust.com", "/session")),
+            (300, NativeCall::ping("update.coccoc.com", "/check")),
+        ])
 }

@@ -3,62 +3,40 @@
 //! (§3.5). No Table 2 PII.
 
 use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::NativeCall;
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("api.dolphin-browser.com", "/v1/config"),
-    NativeCall::ping("en.dolphin-browser.com", "/speeddial"),
-    NativeCall::ping("push.dolphin-browser.com", "/v1/register"),
-    NativeCall::ping("opsen.dolphin-browser.com", "/v1/ops"),
-    NativeCall::ping("tuna.dolphin-browser.com", "/v1/stat"),
-    NativeCall::ping("update.dolphin-browser.com", "/check"),
-    // Facebook SDK init at app start.
-    NativeCall::ping("graph.facebook.com", "/v12.0/app_events"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    NativeCall::ping("api.dolphin-browser.com", "/v1/event"),
-    NativeCall::ping("tuna.dolphin-browser.com", "/v1/stat"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("en.dolphin-browser.com", "/speeddial"),
-    NativeCall::ping("api.dolphin-browser.com", "/v1/config"),
-    NativeCall::ping("en.dolphin-browser.com", "/speeddial/icons"),
-    NativeCall::ping("update.dolphin-browser.com", "/check"),
-    NativeCall::ping("en.dolphin-browser.com", "/speeddial/news"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    // The Graph API heartbeat: 46% of Dolphin's idle natives.
-    (30, NativeCall::ping("graph.facebook.com", "/v12.0/app_events")),
-    (60, NativeCall::ping("api.dolphin-browser.com", "/v1/heartbeat")),
-    (120, NativeCall::ping("push.dolphin-browser.com", "/v1/poll")),
-    (200, NativeCall::ping("opsen.dolphin-browser.com", "/v1/ops")),
-];
-
-const PII: &[PiiField] = &[];
-
-/// Builds the Dolphin profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Dolphin",
-        version: "12.2.9",
-        package: "mobi.mgeek.TunnyBrowser",
-        instrumentation: Instrumentation::FridaWebView,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: false,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Dolphin pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Dolphin", "12.2.9", "mobi.mgeek.TunnyBrowser")
+        .instrument(Instrumentation::FridaWebView)
+        .startup(vec![
+            NativeCall::ping("api.dolphin-browser.com", "/v1/config"),
+            NativeCall::ping("en.dolphin-browser.com", "/speeddial"),
+            NativeCall::ping("push.dolphin-browser.com", "/v1/register"),
+            NativeCall::ping("opsen.dolphin-browser.com", "/v1/ops"),
+            NativeCall::ping("tuna.dolphin-browser.com", "/v1/stat"),
+            NativeCall::ping("update.dolphin-browser.com", "/check"),
+            // Facebook SDK init at app start.
+            NativeCall::ping("graph.facebook.com", "/v12.0/app_events"),
+        ])
+        .per_visit(vec![
+            NativeCall::ping("api.dolphin-browser.com", "/v1/event"),
+            NativeCall::ping("tuna.dolphin-browser.com", "/v1/stat"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("en.dolphin-browser.com", "/speeddial"),
+            NativeCall::ping("api.dolphin-browser.com", "/v1/config"),
+            NativeCall::ping("en.dolphin-browser.com", "/speeddial/icons"),
+            NativeCall::ping("update.dolphin-browser.com", "/check"),
+            NativeCall::ping("en.dolphin-browser.com", "/speeddial/news"),
+        ])
+        .idle_periodic(vec![
+            // The Graph API heartbeat: 46% of Dolphin's idle natives.
+            (30, NativeCall::ping("graph.facebook.com", "/v12.0/app_events")),
+            (60, NativeCall::ping("api.dolphin-browser.com", "/v1/heartbeat")),
+            (120, NativeCall::ping("push.dolphin-browser.com", "/v1/poll")),
+            (200, NativeCall::ping("opsen.dolphin-browser.com", "/v1/ops")),
+        ])
 }

@@ -2,47 +2,25 @@
 //! §2.1) with a minimal native footprint and no Table 2 PII.
 
 use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::NativeCall;
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("staticcdn.duckduckgo.com", "/trackerblocking/tds.json"),
-    NativeCall::ping("improving.duckduckgo.com", "/t/app_launch"),
-];
-
-const PER_VISIT: &[NativeCall] =
-    &[NativeCall::ping("improving.duckduckgo.com", "/t/page_visit_anon")];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("staticcdn.duckduckgo.com", "/trackerblocking/tds.json"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (240, NativeCall::ping("improving.duckduckgo.com", "/t/heartbeat")),
-    (300, NativeCall::ping("staticcdn.duckduckgo.com", "/trackerblocking/tds.json")),
-];
-
-const PII: &[PiiField] = &[];
-
-/// Builds the DuckDuckGo profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "DuckDuckGo",
-        version: "5.158.0",
-        package: "com.duckduckgo.mobile.android",
-        instrumentation: Instrumentation::FridaWebView,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: false,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: true,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The DuckDuckGo pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("DuckDuckGo", "5.158.0", "com.duckduckgo.mobile.android")
+        .instrument(Instrumentation::FridaWebView)
+        .honors_consent()
+        .startup(vec![
+            NativeCall::ping("staticcdn.duckduckgo.com", "/trackerblocking/tds.json"),
+            NativeCall::ping("improving.duckduckgo.com", "/t/app_launch"),
+        ])
+        .per_visit(vec![NativeCall::ping("improving.duckduckgo.com", "/t/page_visit_anon")])
+        .idle_burst(vec![
+            NativeCall::ping("staticcdn.duckduckgo.com", "/trackerblocking/tds.json"),
+        ])
+        .idle_periodic(vec![
+            (240, NativeCall::ping("improving.duckduckgo.com", "/t/heartbeat")),
+            (300, NativeCall::ping("staticcdn.duckduckgo.com", "/trackerblocking/tds.json")),
+        ])
 }

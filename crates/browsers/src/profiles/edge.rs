@@ -4,117 +4,80 @@
 //! (§3.5). Table 2: manufacturer, timezone, resolution, locale,
 //! connection type, network type.
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("edge.microsoft.com", "/config/v1"),
-    NativeCall::ping("config.edge.skype.com", "/config/v1/Edge"),
-    NativeCall::ping("www.bing.com", "/client/config"),
-    NativeCall::ping("arc.msn.com", "/v3/Delivery/Placement"),
-    NativeCall::ping("ntp.msn.com", "/edge/ntp"),
-    NativeCall::ping("assets.msn.com", "/resolver/api"),
-    NativeCall::ping("c.msn.com", "/c.gif"),
-    NativeCall::ping("cdn.msn.com", "/staticsb"),
-    NativeCall::ping("smartscreen.microsoft.com", "/api/browser"),
-    NativeCall::ping("nav.smartscreen.microsoft.com", "/windows/browser"),
-    NativeCall::ping("checkappexec.microsoft.com", "/windows/browser"),
-    NativeCall::ping("msedge.api.cdp.microsoft.com", "/api/v1.1/contents"),
-    NativeCall::ping("browser.events.data.msn.com", "/OneCollector/1.0"),
-    NativeCall::ping("fd.api.iris.microsoft.com", "/v4/api/selection"),
-    NativeCall::ping("ris.api.iris.microsoft.com", "/v1/a"),
-    NativeCall::ping("mobile.events.data.microsoft.com", "/OneCollector/1.0"),
-    NativeCall::ping("edgeservices.bing.com", "/edgesvc/config"),
-    NativeCall::ping("static.edge.microsoft.com", "/wallpapers"),
-    NativeCall::ping("app.adjust.com", "/attribution"),
-    NativeCall::ping("widgets.outbrain.com", "/outbrain.js"),
-    NativeCall::ping("b1h.zemanta.com", "/usersync"),
-    NativeCall::ping("sb.scorecardresearch.com", "/beacon.js"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    // The §3.2 finding: every visited domain goes to the Bing API, in
-    // incognito too.
-    NativeCall {
-        host: "api.bing.com",
-        path: "/browser/report",
-        method: Method::Get,
-        payload: Payload::DomainOnly { param: "domain" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-    NativeCall {
-        host: "vortex.data.microsoft.com",
-        path: "/collect/v1",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 80,
-        count: 3,
-        respects_incognito: false,
-    },
-    NativeCall::ping("www.msn.com", "/content/tile"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("ntp.msn.com", "/edge/ntp"),
-    NativeCall::ping("assets.msn.com", "/resolver/api"),
-    NativeCall::ping("www.msn.com", "/content/tile"),
-    NativeCall::ping("arc.msn.com", "/v3/Delivery/Placement"),
-    NativeCall::ping("cdn.msn.com", "/staticsb"),
-    NativeCall::ping("fd.api.iris.microsoft.com", "/v4/api/selection"),
-    NativeCall::ping("edgeservices.bing.com", "/edgesvc/config"),
-    NativeCall::ping("c.msn.com", "/c.gif"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (60, NativeCall {
-        host: "vortex.data.microsoft.com",
-        path: "/collect/v1",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 80,
-        count: 1,
-        respects_incognito: false,
-    }),
-    (90, NativeCall::ping("www.msn.com", "/content/tile")),
-    (120, NativeCall::ping("api.bing.com", "/suggestions")),
-    (180, NativeCall::ping("app.adjust.com", "/session")),
-    (200, NativeCall::ping("widgets.outbrain.com", "/outbrain.js")),
-    (240, NativeCall::ping("b1h.zemanta.com", "/usersync")),
-    (300, NativeCall::ping("sb.scorecardresearch.com", "/beacon.js")),
-];
-
-const PII: &[PiiField] = &[
-    PiiField::DeviceManufacturer,
-    PiiField::Timezone,
-    PiiField::Resolution,
-    PiiField::Locale,
-    PiiField::ConnectionType,
-    PiiField::NetworkType,
-];
-
-/// Builds the Edge profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Edge",
-        version: "113.0.1774.38",
-        package: "com.microsoft.emmx",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::Doh(DohProvider::Cloudflare),
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Edge pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Edge", "113.0.1774.38", "com.microsoft.emmx")
+        .doh(DohProvider::Cloudflare)
+        .h3()
+        .leaks(&[
+            PiiField::DeviceManufacturer,
+            PiiField::Timezone,
+            PiiField::Resolution,
+            PiiField::Locale,
+            PiiField::ConnectionType,
+            PiiField::NetworkType,
+        ])
+        .startup(vec![
+            NativeCall::ping("edge.microsoft.com", "/config/v1"),
+            NativeCall::ping("config.edge.skype.com", "/config/v1/Edge"),
+            NativeCall::ping("www.bing.com", "/client/config"),
+            NativeCall::ping("arc.msn.com", "/v3/Delivery/Placement"),
+            NativeCall::ping("ntp.msn.com", "/edge/ntp"),
+            NativeCall::ping("assets.msn.com", "/resolver/api"),
+            NativeCall::ping("c.msn.com", "/c.gif"),
+            NativeCall::ping("cdn.msn.com", "/staticsb"),
+            NativeCall::ping("smartscreen.microsoft.com", "/api/browser"),
+            NativeCall::ping("nav.smartscreen.microsoft.com", "/windows/browser"),
+            NativeCall::ping("checkappexec.microsoft.com", "/windows/browser"),
+            NativeCall::ping("msedge.api.cdp.microsoft.com", "/api/v1.1/contents"),
+            NativeCall::ping("browser.events.data.msn.com", "/OneCollector/1.0"),
+            NativeCall::ping("fd.api.iris.microsoft.com", "/v4/api/selection"),
+            NativeCall::ping("ris.api.iris.microsoft.com", "/v1/a"),
+            NativeCall::ping("mobile.events.data.microsoft.com", "/OneCollector/1.0"),
+            NativeCall::ping("edgeservices.bing.com", "/edgesvc/config"),
+            NativeCall::ping("static.edge.microsoft.com", "/wallpapers"),
+            NativeCall::ping("app.adjust.com", "/attribution"),
+            NativeCall::ping("widgets.outbrain.com", "/outbrain.js"),
+            NativeCall::ping("b1h.zemanta.com", "/usersync"),
+            NativeCall::ping("sb.scorecardresearch.com", "/beacon.js"),
+        ])
+        .per_visit(vec![
+            // The §3.2 finding: every visited domain goes to the Bing
+            // API, in incognito too.
+            NativeCall::ping("api.bing.com", "/browser/report")
+                .carrying(Payload::domain_only("domain")),
+            NativeCall::ping("vortex.data.microsoft.com", "/collect/v1")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(80)
+                .times(3),
+            NativeCall::ping("www.msn.com", "/content/tile"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("ntp.msn.com", "/edge/ntp"),
+            NativeCall::ping("assets.msn.com", "/resolver/api"),
+            NativeCall::ping("www.msn.com", "/content/tile"),
+            NativeCall::ping("arc.msn.com", "/v3/Delivery/Placement"),
+            NativeCall::ping("cdn.msn.com", "/staticsb"),
+            NativeCall::ping("fd.api.iris.microsoft.com", "/v4/api/selection"),
+            NativeCall::ping("edgeservices.bing.com", "/edgesvc/config"),
+            NativeCall::ping("c.msn.com", "/c.gif"),
+        ])
+        .idle_periodic(vec![
+            (60, NativeCall::ping("vortex.data.microsoft.com", "/collect/v1")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(80)),
+            (90, NativeCall::ping("www.msn.com", "/content/tile")),
+            (120, NativeCall::ping("api.bing.com", "/suggestions")),
+            (180, NativeCall::ping("app.adjust.com", "/session")),
+            (200, NativeCall::ping("widgets.outbrain.com", "/outbrain.js")),
+            (240, NativeCall::ping("b1h.zemanta.com", "/usersync")),
+            (300, NativeCall::ping("sb.scorecardresearch.com", "/beacon.js")),
+        ])
 }

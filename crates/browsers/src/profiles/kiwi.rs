@@ -3,62 +3,40 @@
 //! analytics related (§3.1 names rubiconproject, adnxs, openx, pubmatic,
 //! bidswitch and demdex). No Table 2 PII.
 
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::NativeCall;
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("update.kiwibrowser.com", "/check"),
-    NativeCall::ping("static.kiwibrowser.com", "/assets"),
-    NativeCall::ping("crash.kiwibrowser.com", "/submit"),
-    NativeCall::ping("suggest.kiwibrowser.com", "/v1/suggest"),
-    NativeCall::ping("sync.kiwibrowser.com", "/v1/status"),
-    NativeCall::ping("translate.kiwibrowser.com", "/v1/langs"),
-    NativeCall::ping("update.googleapis.com", "/service/update2/json"),
-    NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch"),
-    // The six exchanges of §3.1: the ad stack warms up its bidders.
-    NativeCall::ping("fastlane.rubiconproject.com", "/a/api/fastlane.json"),
-    NativeCall::ping("ib.adnxs.com", "/ut/v3/prebid"),
-    NativeCall::ping("rtb.openx.net", "/openrtb2/auction"),
-    NativeCall::ping("hbopenbid.pubmatic.com", "/translator"),
-    NativeCall::ping("x.bidswitch.net", "/rtb/auction"),
-    NativeCall::ping("dpm.demdex.net", "/id"),
-];
-
-const PER_VISIT: &[NativeCall] = &[];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("static.kiwibrowser.com", "/assets"),
-    NativeCall::ping("suggest.kiwibrowser.com", "/v1/suggest"),
-    NativeCall::ping("update.kiwibrowser.com", "/check"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (200, NativeCall::ping("ib.adnxs.com", "/ut/v3/prebid")),
-    (300, NativeCall::ping("update.googleapis.com", "/service/update2/json")),
-];
-
-const PII: &[PiiField] = &[];
-
-/// Builds the Kiwi profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Kiwi",
-        version: "112.0.5615.137",
-        package: "com.kiwibrowser.browser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::Doh(DohProvider::Google),
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Kiwi pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Kiwi", "112.0.5615.137", "com.kiwibrowser.browser")
+        .doh(DohProvider::Google)
+        .h3()
+        .startup(vec![
+            NativeCall::ping("update.kiwibrowser.com", "/check"),
+            NativeCall::ping("static.kiwibrowser.com", "/assets"),
+            NativeCall::ping("crash.kiwibrowser.com", "/submit"),
+            NativeCall::ping("suggest.kiwibrowser.com", "/v1/suggest"),
+            NativeCall::ping("sync.kiwibrowser.com", "/v1/status"),
+            NativeCall::ping("translate.kiwibrowser.com", "/v1/langs"),
+            NativeCall::ping("update.googleapis.com", "/service/update2/json"),
+            NativeCall::ping("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch"),
+            // The six exchanges of §3.1: the ad stack warms up its bidders.
+            NativeCall::ping("fastlane.rubiconproject.com", "/a/api/fastlane.json"),
+            NativeCall::ping("ib.adnxs.com", "/ut/v3/prebid"),
+            NativeCall::ping("rtb.openx.net", "/openrtb2/auction"),
+            NativeCall::ping("hbopenbid.pubmatic.com", "/translator"),
+            NativeCall::ping("x.bidswitch.net", "/rtb/auction"),
+            NativeCall::ping("dpm.demdex.net", "/id"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("static.kiwibrowser.com", "/assets"),
+            NativeCall::ping("suggest.kiwibrowser.com", "/v1/suggest"),
+            NativeCall::ping("update.kiwibrowser.com", "/check"),
+        ])
+        .idle_periodic(vec![
+            (200, NativeCall::ping("ib.adnxs.com", "/ut/v3/prebid")),
+            (300, NativeCall::ping("update.googleapis.com", "/service/update2/json")),
+        ])
 }

@@ -2,72 +2,45 @@
 //! Facebook's Graph API (§3.5); Table 2: timezone, resolution, locale,
 //! country.
 
-use panoptes_http::method::Method;
 use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("update.mintbrowser.mi.com", "/check"),
-    NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed"),
-    NativeCall::ping("cdn.mintbrowser.mi.com", "/assets"),
-    NativeCall::ping("suggest.mintbrowser.mi.com", "/v1/suggest"),
-    NativeCall::ping("data.mistat.mi.com", "/v2/launch"),
-    NativeCall::ping("static.mintbrowser.mi.com", "/speeddial"),
-    NativeCall::ping("graph.facebook.com", "/v12.0/app_events"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    NativeCall {
-        host: "api.mintbrowser.mi.com",
-        path: "/v1/track",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 80,
-        count: 2,
-        respects_incognito: false,
-    },
-    NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed"),
-    NativeCall::ping("cdn.mintbrowser.mi.com", "/assets"),
-    NativeCall::ping("static.mintbrowser.mi.com", "/speeddial"),
-    NativeCall::ping("suggest.mintbrowser.mi.com", "/v1/suggest"),
-    NativeCall::ping("update.mintbrowser.mi.com", "/check"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (60, NativeCall::ping("api.mintbrowser.mi.com", "/v1/heartbeat")),
-    (120, NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed")),
-    // 8% of Mint's idle natives (§3.5).
-    (300, NativeCall::ping("graph.facebook.com", "/v12.0/app_events")),
-    (290, NativeCall::ping("update.mintbrowser.mi.com", "/check")),
-];
-
-const PII: &[PiiField] =
-    &[PiiField::Timezone, PiiField::Resolution, PiiField::Locale, PiiField::Country];
-
-/// Builds the Mint profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Mint",
-        version: "3.9.3",
-        package: "com.mi.globalbrowser.mini",
-        instrumentation: Instrumentation::FridaWebView,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: false,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Mint pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Mint", "3.9.3", "com.mi.globalbrowser.mini")
+        .instrument(Instrumentation::FridaWebView)
+        .leaks(&[PiiField::Timezone, PiiField::Resolution, PiiField::Locale, PiiField::Country])
+        .startup(vec![
+            NativeCall::ping("update.mintbrowser.mi.com", "/check"),
+            NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed"),
+            NativeCall::ping("cdn.mintbrowser.mi.com", "/assets"),
+            NativeCall::ping("suggest.mintbrowser.mi.com", "/v1/suggest"),
+            NativeCall::ping("data.mistat.mi.com", "/v2/launch"),
+            NativeCall::ping("static.mintbrowser.mi.com", "/speeddial"),
+            NativeCall::ping("graph.facebook.com", "/v12.0/app_events"),
+        ])
+        .per_visit(vec![
+            NativeCall::ping("api.mintbrowser.mi.com", "/v1/track")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(80)
+                .times(2),
+            NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed"),
+            NativeCall::ping("cdn.mintbrowser.mi.com", "/assets"),
+            NativeCall::ping("static.mintbrowser.mi.com", "/speeddial"),
+            NativeCall::ping("suggest.mintbrowser.mi.com", "/v1/suggest"),
+            NativeCall::ping("update.mintbrowser.mi.com", "/check"),
+        ])
+        .idle_periodic(vec![
+            (60, NativeCall::ping("api.mintbrowser.mi.com", "/v1/heartbeat")),
+            (120, NativeCall::ping("news.mintbrowser.mi.com", "/v1/feed")),
+            // 8% of Mint's idle natives (§3.5).
+            (300, NativeCall::ping("graph.facebook.com", "/v12.0/app_events")),
+            (290, NativeCall::ping("update.mintbrowser.mi.com", "/check")),
+        ])
 }

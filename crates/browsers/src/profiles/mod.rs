@@ -1,4 +1,8 @@
-//! The 15 browser models of Table 1, one module each.
+//! The 15 browser models of Table 1, one module each — the *pinned
+//! points* of the behaviour-model space ([`crate::model`]). Each module
+//! exports `model() -> BehaviorModel`; the golden fixtures under
+//! `tests/profiles/` are the canonical renderings of exactly these
+//! models.
 //!
 //! Every profile is calibrated against the paper's findings:
 //!

@@ -5,110 +5,75 @@
 //! shows the *linear* idle curve of Figure 5 thanks to its News feed
 //! (plus 21.9% of idle natives to doubleclick and 1.7% to appsflyer).
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("autoupdate.geo.opera.com", "/v1/update"),
-    NativeCall::ping("news.opera-api.com", "/v1/feed"),
-    NativeCall::ping("crashstats.opera.com", "/collect"),
-    NativeCall::ping("download.opera.com", "/assets"),
-    NativeCall::ping("sync.opera.com", "/v1/sync"),
-    NativeCall::ping("push.opera.com", "/v1/register"),
-    NativeCall::ping("features.opera.com", "/v2/flags"),
-    NativeCall::ping("abtest.opera.com", "/v1/assign"),
-    NativeCall::ping("cdn.opera-api.com", "/startpage"),
-    NativeCall::ping("thumbs.opera-api.com", "/v1/thumbs"),
-    NativeCall::ping("favicons.opera-api.com", "/v1/favicons"),
-    NativeCall::ping("suggest.opera.com", "/v1/suggest"),
-    NativeCall::ping("weather.opera-api.com", "/v1/now"),
-    NativeCall::ping("metrics.opera.com", "/v1/batch"),
-    NativeCall::ping("flags.opera.com", "/v1/active"),
-    NativeCall::ping("googleads.g.doubleclick.net", "/pagead/id"),
-    NativeCall::ping("t.appsflyer.com", "/api/v1/android"),
-    NativeCall::ping("events.appsflyersdk.com", "/api/v1/event"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    // §3.2: every visited domain goes to Opera's anti-phishing service,
-    // incognito included.
-    NativeCall {
-        host: "sitecheck2.opera.com",
-        path: "/check",
-        method: Method::Get,
-        payload: Payload::DomainOnly { param: "host" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-    // Listing 1: the oleads ad-SDK fetch with the full PII body.
-    NativeCall {
-        host: "s-odx.oleads.com",
-        path: "/api/v1/sdk_fetch",
-        method: Method::Post,
-        payload: Payload::AdSdkJson,
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-];
-
-const NEWS_TICK: NativeCall = NativeCall::ping("news.opera-api.com", "/v1/feed/refresh");
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("favicons.opera-api.com", "/v1/favicons"),
-    NativeCall::ping("thumbs.opera-api.com", "/v1/thumbs"),
-    NativeCall::ping("cdn.opera-api.com", "/startpage"),
-    NativeCall::ping("suggest.opera.com", "/v1/suggest"),
-    NativeCall::ping("weather.opera-api.com", "/v1/now"),
-    NativeCall::ping("news.opera-api.com", "/v1/feed"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    // The News feed refresh: dense and constant — the linear curve.
-    (12, NEWS_TICK),
-    // The ad fill for the feed (21.9% of Opera's idle natives).
-    (23, NativeCall::ping("googleads.g.doubleclick.net", "/gampad/ads")),
-    (300, NativeCall::ping("t.appsflyer.com", "/api/v1/android")),
-    (120, NativeCall::ping("sync.opera.com", "/v1/sync")),
-    (100, NativeCall::ping("push.opera.com", "/v1/poll")),
-    (75, NativeCall::ping("metrics.opera.com", "/v1/batch")),
-    (60, NativeCall::ping("weather.opera-api.com", "/v1/now")),
-    (150, NativeCall::ping("abtest.opera.com", "/v1/assign")),
-    (290, NativeCall::ping("features.opera.com", "/v2/flags")),
-];
-
-const PII: &[PiiField] = &[
-    PiiField::DeviceManufacturer,
-    PiiField::Timezone,
-    PiiField::Resolution,
-    PiiField::Locale,
-    PiiField::Country,
-    PiiField::Location,
-    PiiField::NetworkType,
-];
-
-/// Builds the Opera profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Opera",
-        version: "75.1.3978.72329",
-        package: "com.opera.browser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::Doh(DohProvider::Google),
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: Some("operaId"),
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Opera pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Opera", "75.1.3978.72329", "com.opera.browser")
+        .doh(DohProvider::Google)
+        .h3()
+        .persistent_id("operaId")
+        .leaks(&[
+            PiiField::DeviceManufacturer,
+            PiiField::Timezone,
+            PiiField::Resolution,
+            PiiField::Locale,
+            PiiField::Country,
+            PiiField::Location,
+            PiiField::NetworkType,
+        ])
+        .startup(vec![
+            NativeCall::ping("autoupdate.geo.opera.com", "/v1/update"),
+            NativeCall::ping("news.opera-api.com", "/v1/feed"),
+            NativeCall::ping("crashstats.opera.com", "/collect"),
+            NativeCall::ping("download.opera.com", "/assets"),
+            NativeCall::ping("sync.opera.com", "/v1/sync"),
+            NativeCall::ping("push.opera.com", "/v1/register"),
+            NativeCall::ping("features.opera.com", "/v2/flags"),
+            NativeCall::ping("abtest.opera.com", "/v1/assign"),
+            NativeCall::ping("cdn.opera-api.com", "/startpage"),
+            NativeCall::ping("thumbs.opera-api.com", "/v1/thumbs"),
+            NativeCall::ping("favicons.opera-api.com", "/v1/favicons"),
+            NativeCall::ping("suggest.opera.com", "/v1/suggest"),
+            NativeCall::ping("weather.opera-api.com", "/v1/now"),
+            NativeCall::ping("metrics.opera.com", "/v1/batch"),
+            NativeCall::ping("flags.opera.com", "/v1/active"),
+            NativeCall::ping("googleads.g.doubleclick.net", "/pagead/id"),
+            NativeCall::ping("t.appsflyer.com", "/api/v1/android"),
+            NativeCall::ping("events.appsflyersdk.com", "/api/v1/event"),
+        ])
+        .per_visit(vec![
+            // §3.2: every visited domain goes to Opera's anti-phishing
+            // service, incognito included.
+            NativeCall::ping("sitecheck2.opera.com", "/check")
+                .carrying(Payload::domain_only("host")),
+            // Listing 1: the oleads ad-SDK fetch with the full PII body.
+            NativeCall::ping("s-odx.oleads.com", "/api/v1/sdk_fetch")
+                .via_post()
+                .carrying(Payload::AdSdkJson),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("favicons.opera-api.com", "/v1/favicons"),
+            NativeCall::ping("thumbs.opera-api.com", "/v1/thumbs"),
+            NativeCall::ping("cdn.opera-api.com", "/startpage"),
+            NativeCall::ping("suggest.opera.com", "/v1/suggest"),
+            NativeCall::ping("weather.opera-api.com", "/v1/now"),
+            NativeCall::ping("news.opera-api.com", "/v1/feed"),
+        ])
+        .idle_periodic(vec![
+            // The News feed refresh: dense and constant — the linear curve.
+            (12, NativeCall::ping("news.opera-api.com", "/v1/feed/refresh")),
+            // The ad fill for the feed (21.9% of Opera's idle natives).
+            (23, NativeCall::ping("googleads.g.doubleclick.net", "/gampad/ads")),
+            (300, NativeCall::ping("t.appsflyer.com", "/api/v1/android")),
+            (120, NativeCall::ping("sync.opera.com", "/v1/sync")),
+            (100, NativeCall::ping("push.opera.com", "/v1/poll")),
+            (75, NativeCall::ping("metrics.opera.com", "/v1/batch")),
+            (60, NativeCall::ping("weather.opera-api.com", "/v1/now")),
+            (150, NativeCall::ping("abtest.opera.com", "/v1/assign")),
+            (290, NativeCall::ping("features.opera.com", "/v2/flags")),
+        ])
 }

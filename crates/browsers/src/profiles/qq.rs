@@ -4,95 +4,52 @@
 //! vendor (§3.3), and pads its telemetry so heavily that native traffic
 //! adds 42% extra outgoing volume (Figure 4).
 
-use panoptes_http::method::Method;
 use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("cloud.browser.qq.com", "/config"),
-    NativeCall::ping("pms.mb.qq.com", "/v1/params"),
-    NativeCall::ping("cdn.browser.qq.com", "/assets"),
-    NativeCall::ping("news.browser.qq.com", "/v1/feed"),
-    NativeCall::ping("push.browser.qq.com", "/v1/register"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    // §3.2: the full URL — path and query parameters — in the clear.
-    NativeCall {
-        host: "wup.browser.qq.com",
-        path: "/report/visit",
-        method: Method::Get,
-        payload: Payload::FullUrlPlain { param: "url" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-    // The padded telemetry that drives the 42% volume figure.
-    NativeCall {
-        host: "mtt.browser.qq.com",
-        path: "/stat/batch",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 1600,
-        count: 1,
-        respects_incognito: false,
-    },
-    // §3.3: device info to an ad server, not the vendor.
-    NativeCall {
-        host: "gdt-adnet.com",
-        path: "/bid/sdk",
-        method: Method::Post,
-        payload: Payload::AdSdkJson,
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("news.browser.qq.com", "/v1/feed"),
-    NativeCall::ping("cdn.browser.qq.com", "/assets"),
-    NativeCall::ping("cloud.browser.qq.com", "/config"),
-    NativeCall::ping("news.browser.qq.com", "/v1/hotlist"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (60, NativeCall {
-        host: "mtt.browser.qq.com",
-        path: "/stat/batch",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 1600,
-        count: 1,
-        respects_incognito: false,
-    }),
-    (120, NativeCall::ping("news.browser.qq.com", "/v1/feed")),
-    (180, NativeCall::ping("push.browser.qq.com", "/v1/poll")),
-];
-
-const PII: &[PiiField] =
-    &[PiiField::DeviceType, PiiField::DeviceManufacturer, PiiField::Resolution];
-
-/// Builds the QQ profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "QQ",
-        version: "13.7.6.6042",
-        package: "com.tencent.mtt",
-        instrumentation: Instrumentation::FridaWebView,
-        supports_incognito: false,
-        resolver: ResolverKind::Doh(DohProvider::Cloudflare),
-        adblock: false,
-        attempts_h3: false,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The QQ pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("QQ", "13.7.6.6042", "com.tencent.mtt")
+        .instrument(Instrumentation::FridaWebView)
+        .no_incognito()
+        .doh(DohProvider::Cloudflare)
+        .leaks(&[PiiField::DeviceType, PiiField::DeviceManufacturer, PiiField::Resolution])
+        .startup(vec![
+            NativeCall::ping("cloud.browser.qq.com", "/config"),
+            NativeCall::ping("pms.mb.qq.com", "/v1/params"),
+            NativeCall::ping("cdn.browser.qq.com", "/assets"),
+            NativeCall::ping("news.browser.qq.com", "/v1/feed"),
+            NativeCall::ping("push.browser.qq.com", "/v1/register"),
+        ])
+        .per_visit(vec![
+            // §3.2: the full URL — path and query parameters — in the clear.
+            NativeCall::ping("wup.browser.qq.com", "/report/visit")
+                .carrying(Payload::full_url_plain("url")),
+            // The padded telemetry that drives the 42% volume figure.
+            NativeCall::ping("mtt.browser.qq.com", "/stat/batch")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(1600),
+            // §3.3: device info to an ad server, not the vendor.
+            NativeCall::ping("gdt-adnet.com", "/bid/sdk")
+                .via_post()
+                .carrying(Payload::AdSdkJson),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("news.browser.qq.com", "/v1/feed"),
+            NativeCall::ping("cdn.browser.qq.com", "/assets"),
+            NativeCall::ping("cloud.browser.qq.com", "/config"),
+            NativeCall::ping("news.browser.qq.com", "/v1/hotlist"),
+        ])
+        .idle_periodic(vec![
+            (60, NativeCall::ping("mtt.browser.qq.com", "/stat/batch")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(1600)),
+            (120, NativeCall::ping("news.browser.qq.com", "/v1/feed")),
+            (180, NativeCall::ping("push.browser.qq.com", "/v1/poll")),
+        ])
 }

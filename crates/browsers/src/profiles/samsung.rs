@@ -3,58 +3,30 @@
 //! flows reach the capture only as opaque pinned connections — the
 //! lower-bound caveat of the paper's footnote 3, reproduced.
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
-
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("browser-api.samsung.com", "/v1/features"),
-    // Pinned: the proxy will only see an aborted TLS handshake.
-    NativeCall::ping("su.samsungdm.com", "/update/check"),
-];
-
-const PER_VISIT: &[NativeCall] = &[NativeCall {
-    host: "browser-api.samsung.com",
-    path: "/v1/config",
-    method: Method::Get,
-    payload: Payload::Telemetry,
-    body_pad: 0,
-    count: 1,
-    respects_incognito: true,
-}];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("browser-api.samsung.com", "/v1/quickaccess"),
-    NativeCall::ping("browser-api.samsung.com", "/v1/features"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (240, NativeCall::ping("browser-api.samsung.com", "/v1/quickaccess")),
-    (300, NativeCall::ping("su.samsungdm.com", "/update/check")),
-];
-
-const PII: &[PiiField] = &[PiiField::Locale];
-
-/// Builds the Samsung Internet profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Samsung",
-        version: "20.0.6.5",
-        package: "com.sec.android.app.sbrowser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &["samsungdm.com"],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: true,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Samsung Internet pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Samsung", "20.0.6.5", "com.sec.android.app.sbrowser")
+        .h3()
+        .honors_consent()
+        .pins("samsungdm.com")
+        .leaks(&[PiiField::Locale])
+        .startup(vec![
+            NativeCall::ping("browser-api.samsung.com", "/v1/features"),
+            // Pinned: the proxy will only see an aborted TLS handshake.
+            NativeCall::ping("su.samsungdm.com", "/update/check"),
+        ])
+        .per_visit(vec![NativeCall::ping("browser-api.samsung.com", "/v1/config")
+            .carrying(Payload::Telemetry)
+            .respecting_incognito()])
+        .idle_burst(vec![
+            NativeCall::ping("browser-api.samsung.com", "/v1/quickaccess"),
+            NativeCall::ping("browser-api.samsung.com", "/v1/features"),
+        ])
+        .idle_periodic(vec![
+            (240, NativeCall::ping("browser-api.samsung.com", "/v1/quickaccess")),
+            (300, NativeCall::ping("su.samsungdm.com", "/update/check")),
+        ])
 }

@@ -6,61 +6,36 @@
 //! telemetry carries only locale and network type (Table 2). Panoptes
 //! instruments it by hooking an internal API with Frida (§2.3).
 
-use panoptes_http::method::Method;
 use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::ResolverKind;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("puds.ucweb.com", "/upgrade/check"),
-    NativeCall::ping("api.ucweb.com", "/v1/config"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    NativeCall {
-        host: "track.ucweb.com",
-        path: "/v1/stat",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 120,
-        count: 2,
-        respects_incognito: false,
-    },
-    NativeCall::ping("api.ucweb.com", "/v1/config"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("api.ucweb.com", "/v1/newtab"),
-    NativeCall::ping("api.ucweb.com", "/v1/config"),
-    NativeCall::ping("puds.ucweb.com", "/upgrade/check"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (90, NativeCall::ping("track.ucweb.com", "/v1/heartbeat")),
-    (300, NativeCall::ping("puds.ucweb.com", "/upgrade/check")),
-];
-
-const PII: &[PiiField] = &[PiiField::Locale, PiiField::NetworkType];
-
-/// Builds the UC International profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "UC International",
-        version: "13.4.2.1307",
-        package: "com.UCMobile.intl",
-        instrumentation: Instrumentation::FridaInternalApi,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: false,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: Some("collect.ucweb.com"),
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The UC International pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("UC International", "13.4.2.1307", "com.UCMobile.intl")
+        .instrument(Instrumentation::FridaInternalApi)
+        .injects_js("collect.ucweb.com")
+        .leaks(&[PiiField::Locale, PiiField::NetworkType])
+        .startup(vec![
+            NativeCall::ping("puds.ucweb.com", "/upgrade/check"),
+            NativeCall::ping("api.ucweb.com", "/v1/config"),
+        ])
+        .per_visit(vec![
+            NativeCall::ping("track.ucweb.com", "/v1/stat")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(120)
+                .times(2),
+            NativeCall::ping("api.ucweb.com", "/v1/config"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("api.ucweb.com", "/v1/newtab"),
+            NativeCall::ping("api.ucweb.com", "/v1/config"),
+            NativeCall::ping("puds.ucweb.com", "/upgrade/check"),
+        ])
+        .idle_periodic(vec![
+            (90, NativeCall::ping("track.ucweb.com", "/v1/heartbeat")),
+            (300, NativeCall::ping("puds.ucweb.com", "/upgrade/check")),
+        ])
 }

@@ -4,71 +4,42 @@
 //! size thumbnails). Norwegian vendor; its thumbnail/sync calls pause in
 //! incognito.
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("update.vivaldi.com", "/update/check"),
-    NativeCall::ping("downloads.vivaldi.com", "/themes/manifest"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    NativeCall {
-        host: "thumbnails.vivaldi.com",
-        path: "/speeddial/render",
-        method: Method::Get,
-        payload: Payload::Telemetry,
-        body_pad: 0,
-        count: 3,
-        respects_incognito: true,
-    },
-    NativeCall {
-        host: "sync.vivaldi.com",
-        path: "/v1/commit",
-        method: Method::Post,
-        payload: Payload::None,
-        body_pad: 100,
-        count: 2,
-        respects_incognito: true,
-    },
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render"),
-    NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render"),
-    NativeCall::ping("downloads.vivaldi.com", "/themes/manifest"),
-    NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render"),
-    NativeCall::ping("update.vivaldi.com", "/update/check"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (90, NativeCall::ping("sync.vivaldi.com", "/v1/poll")),
-    (300, NativeCall::ping("update.vivaldi.com", "/update/check")),
-];
-
-const PII: &[PiiField] = &[PiiField::Resolution];
-
-/// Builds the Vivaldi profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Vivaldi",
-        version: "6.0.2980.33",
-        package: "com.vivaldi.browser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::Doh(DohProvider::Cloudflare),
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: true,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Vivaldi pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Vivaldi", "6.0.2980.33", "com.vivaldi.browser")
+        .doh(DohProvider::Cloudflare)
+        .h3()
+        .honors_consent()
+        .leaks(&[PiiField::Resolution])
+        .startup(vec![
+            NativeCall::ping("update.vivaldi.com", "/update/check"),
+            NativeCall::ping("downloads.vivaldi.com", "/themes/manifest"),
+        ])
+        .per_visit(vec![
+            NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render")
+                .carrying(Payload::Telemetry)
+                .times(3)
+                .respecting_incognito(),
+            NativeCall::ping("sync.vivaldi.com", "/v1/commit")
+                .via_post()
+                .padded(100)
+                .times(2)
+                .respecting_incognito(),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render"),
+            NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render"),
+            NativeCall::ping("downloads.vivaldi.com", "/themes/manifest"),
+            NativeCall::ping("thumbnails.vivaldi.com", "/speeddial/render"),
+            NativeCall::ping("update.vivaldi.com", "/update/check"),
+        ])
+        .idle_periodic(vec![
+            (90, NativeCall::ping("sync.vivaldi.com", "/v1/poll")),
+            (300, NativeCall::ping("update.vivaldi.com", "/update/check")),
+        ])
 }

@@ -3,80 +3,50 @@
 //! status**, locale, country and network type all ride its vendor
 //! telemetry.
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("whale-update.naver.com", "/update/check"),
-    NativeCall::ping("static.whale.naver.com", "/newtab/assets"),
-    NativeCall::ping("favicon.whale.naver.com", "/api/favicons"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    NativeCall {
-        host: "api-whale.naver.com",
-        path: "/v2/stats",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 100,
-        count: 4,
-        respects_incognito: false,
-    },
-    NativeCall::ping("static.whale.naver.com", "/newtab/assets"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("static.whale.naver.com", "/newtab/assets"),
-    NativeCall::ping("favicon.whale.naver.com", "/api/favicons"),
-    NativeCall::ping("static.whale.naver.com", "/newtab/weather"),
-    NativeCall::ping("static.whale.naver.com", "/newtab/news"),
-    NativeCall::ping("whale-update.naver.com", "/update/check"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (60, NativeCall {
-        host: "api-whale.naver.com",
-        path: "/v2/stats",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 100,
-        count: 1,
-        respects_incognito: false,
-    }),
-    (150, NativeCall::ping("static.whale.naver.com", "/newtab/news")),
-    (300, NativeCall::ping("whale-update.naver.com", "/update/check")),
-];
-
-const PII: &[PiiField] = &[
-    PiiField::Resolution,
-    PiiField::LocalIp,
-    PiiField::RootedStatus,
-    PiiField::Locale,
-    PiiField::Country,
-    PiiField::NetworkType,
-];
-
-/// Builds the Whale profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Whale",
-        version: "2.10.2.2",
-        package: "com.naver.whale",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::Doh(DohProvider::Cloudflare),
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: None,
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Whale pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Whale", "2.10.2.2", "com.naver.whale")
+        .doh(DohProvider::Cloudflare)
+        .h3()
+        .leaks(&[
+            PiiField::Resolution,
+            PiiField::LocalIp,
+            PiiField::RootedStatus,
+            PiiField::Locale,
+            PiiField::Country,
+            PiiField::NetworkType,
+        ])
+        .startup(vec![
+            NativeCall::ping("whale-update.naver.com", "/update/check"),
+            NativeCall::ping("static.whale.naver.com", "/newtab/assets"),
+            NativeCall::ping("favicon.whale.naver.com", "/api/favicons"),
+        ])
+        .per_visit(vec![
+            NativeCall::ping("api-whale.naver.com", "/v2/stats")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(100)
+                .times(4),
+            NativeCall::ping("static.whale.naver.com", "/newtab/assets"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("static.whale.naver.com", "/newtab/assets"),
+            NativeCall::ping("favicon.whale.naver.com", "/api/favicons"),
+            NativeCall::ping("static.whale.naver.com", "/newtab/weather"),
+            NativeCall::ping("static.whale.naver.com", "/newtab/news"),
+            NativeCall::ping("whale-update.naver.com", "/update/check"),
+        ])
+        .idle_periodic(vec![
+            (60, NativeCall::ping("api-whale.naver.com", "/v2/stats")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(100)),
+            (150, NativeCall::ping("static.whale.naver.com", "/newtab/news")),
+            (300, NativeCall::ping("whale-update.naver.com", "/update/check")),
+        ])
 }

@@ -6,120 +6,78 @@
 //! exists (footnote 5). Fig 2 ratio ≈ 0.39; Fig 3 ≈ 16% ad domains;
 //! servers in Russia (§3.4).
 
-use panoptes_http::method::Method;
-use panoptes_instrument::tap::Instrumentation;
-use panoptes_simnet::dns::{DohProvider, ResolverKind};
+use panoptes_simnet::dns::DohProvider;
 
-use crate::profile::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
 
-const STARTUP: &[NativeCall] = &[
-    NativeCall::ping("browser-updates.yandex.net", "/check"),
-    NativeCall::ping("zen.yandex.ru", "/api/v3/launcher/export"),
-    NativeCall::ping("favicon.yandex.net", "/favicon"),
-    NativeCall::ping("suggest.yandex.net", "/suggest-ff.cgi"),
-    NativeCall::ping("translate.yandex.net", "/api/v1/langs"),
-    NativeCall::ping("sync.yandex.net", "/v1/sync"),
-    NativeCall::ping("push.yandex.ru", "/v2/register"),
-    NativeCall::ping("clck.yandex.ru", "/click"),
-    NativeCall::ping("alice.yandex.net", "/v1/config"),
-    NativeCall::ping("weather.yandex.ru", "/v2/informer"),
-    NativeCall::ping("afisha.yandex.ru", "/api/events"),
-    NativeCall::ping("market.yandex.ru", "/api/teaser"),
-    NativeCall::ping("disk.yandex.net", "/v1/status"),
-    NativeCall::ping("maps.yandex.ru", "/api/tiles"),
-    NativeCall::ping("news.yandex.ru", "/api/v2/rubric"),
-    NativeCall::ping("music.yandex.ru", "/api/landing"),
-    NativeCall::ping("taxi.yandex.ru", "/api/promo"),
-    NativeCall::ping("an.yandex.ru", "/meta"),
-    NativeCall::ping("googleads.g.doubleclick.net", "/pagead/id"),
-    NativeCall::ping("t.appsflyer.com", "/api/v1/android"),
-];
-
-const PER_VISIT: &[NativeCall] = &[
-    // The Base64-encoded full URL — path, query parameters and all.
-    NativeCall {
-        host: "sba.yandex.net",
-        path: "/safety/check",
-        method: Method::Get,
-        payload: Payload::FullUrlBase64 { param: "url" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-    // The hostname + persistent identifier pair.
-    NativeCall {
-        host: "api.browser.yandex.ru",
-        path: "/v1/history",
-        method: Method::Get,
-        payload: Payload::HostnamePlusId { host_param: "host", id_param: "yandexuid" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-    // Metrica telemetry with the Table 2 fields.
-    NativeCall {
-        host: "mc.yandex.ru",
-        path: "/watch/browser",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 100,
-        count: 2,
-        respects_incognito: false,
-    },
-    NativeCall::ping("zen.yandex.ru", "/api/v3/next"),
-];
-
-const IDLE_BURST: &[NativeCall] = &[
-    NativeCall::ping("zen.yandex.ru", "/api/v3/launcher/export"),
-    NativeCall::ping("favicon.yandex.net", "/favicon"),
-    NativeCall::ping("suggest.yandex.net", "/suggest-ff.cgi"),
-    NativeCall::ping("weather.yandex.ru", "/v2/informer"),
-    NativeCall::ping("news.yandex.ru", "/api/v2/rubric"),
-    NativeCall::ping("market.yandex.ru", "/api/teaser"),
-];
-
-const IDLE_PERIODIC: &[(u64, NativeCall)] = &[
-    (45, NativeCall {
-        host: "mc.yandex.ru",
-        path: "/watch/browser",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 100,
-        count: 1,
-        respects_incognito: false,
-    }),
-    (60, NativeCall::ping("zen.yandex.ru", "/api/v3/next")),
-    (240, NativeCall::ping("browser-updates.yandex.net", "/check")),
-    (180, NativeCall::ping("an.yandex.ru", "/meta")),
-];
-
-const PII: &[PiiField] = &[
-    PiiField::DeviceType,
-    PiiField::DeviceManufacturer,
-    PiiField::Resolution,
-    PiiField::Dpi,
-    PiiField::Locale,
-    PiiField::NetworkType,
-];
-
-/// Builds the Yandex profile.
-pub fn profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Yandex",
-        version: "23.3.7.24",
-        package: "com.yandex.browser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: false,
-        resolver: ResolverKind::Doh(DohProvider::Google),
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: PII,
-        persistent_id_key: Some("yandexuid"),
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: STARTUP,
-        per_visit: PER_VISIT,
-        idle: IdleProfile { burst: IDLE_BURST, periodic: IDLE_PERIODIC },
-    }
+/// The Yandex pinned point.
+pub fn model() -> BehaviorModel {
+    BehaviorModel::new("Yandex", "23.3.7.24", "com.yandex.browser")
+        .no_incognito()
+        .doh(DohProvider::Google)
+        .h3()
+        .persistent_id("yandexuid")
+        .leaks(&[
+            PiiField::DeviceType,
+            PiiField::DeviceManufacturer,
+            PiiField::Resolution,
+            PiiField::Dpi,
+            PiiField::Locale,
+            PiiField::NetworkType,
+        ])
+        .startup(vec![
+            NativeCall::ping("browser-updates.yandex.net", "/check"),
+            NativeCall::ping("zen.yandex.ru", "/api/v3/launcher/export"),
+            NativeCall::ping("favicon.yandex.net", "/favicon"),
+            NativeCall::ping("suggest.yandex.net", "/suggest-ff.cgi"),
+            NativeCall::ping("translate.yandex.net", "/api/v1/langs"),
+            NativeCall::ping("sync.yandex.net", "/v1/sync"),
+            NativeCall::ping("push.yandex.ru", "/v2/register"),
+            NativeCall::ping("clck.yandex.ru", "/click"),
+            NativeCall::ping("alice.yandex.net", "/v1/config"),
+            NativeCall::ping("weather.yandex.ru", "/v2/informer"),
+            NativeCall::ping("afisha.yandex.ru", "/api/events"),
+            NativeCall::ping("market.yandex.ru", "/api/teaser"),
+            NativeCall::ping("disk.yandex.net", "/v1/status"),
+            NativeCall::ping("maps.yandex.ru", "/api/tiles"),
+            NativeCall::ping("news.yandex.ru", "/api/v2/rubric"),
+            NativeCall::ping("music.yandex.ru", "/api/landing"),
+            NativeCall::ping("taxi.yandex.ru", "/api/promo"),
+            NativeCall::ping("an.yandex.ru", "/meta"),
+            NativeCall::ping("googleads.g.doubleclick.net", "/pagead/id"),
+            NativeCall::ping("t.appsflyer.com", "/api/v1/android"),
+        ])
+        .per_visit(vec![
+            // The Base64-encoded full URL — path, query parameters and all.
+            NativeCall::ping("sba.yandex.net", "/safety/check")
+                .carrying(Payload::full_url_base64("url")),
+            // The hostname + persistent identifier pair.
+            NativeCall::ping("api.browser.yandex.ru", "/v1/history")
+                .carrying(Payload::hostname_plus_id("host", "yandexuid")),
+            // Metrica telemetry with the Table 2 fields.
+            NativeCall::ping("mc.yandex.ru", "/watch/browser")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(100)
+                .times(2),
+            NativeCall::ping("zen.yandex.ru", "/api/v3/next"),
+        ])
+        .idle_burst(vec![
+            NativeCall::ping("zen.yandex.ru", "/api/v3/launcher/export"),
+            NativeCall::ping("favicon.yandex.net", "/favicon"),
+            NativeCall::ping("suggest.yandex.net", "/suggest-ff.cgi"),
+            NativeCall::ping("weather.yandex.ru", "/v2/informer"),
+            NativeCall::ping("news.yandex.ru", "/api/v2/rubric"),
+            NativeCall::ping("market.yandex.ru", "/api/teaser"),
+        ])
+        .idle_periodic(vec![
+            (45, NativeCall::ping("mc.yandex.ru", "/watch/browser")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(100)),
+            (60, NativeCall::ping("zen.yandex.ru", "/api/v3/next")),
+            (240, NativeCall::ping("browser-updates.yandex.net", "/check")),
+            (180, NativeCall::ping("an.yandex.ru", "/meta")),
+        ])
 }

@@ -1,27 +1,57 @@
-//! The browser registry — the paper's Table 1.
+//! The browser registry — the paper's Table 1 plus the sampled
+//! population.
+//!
+//! The 15 paper browsers are *pinned points* in the behaviour-model
+//! space ([`pinned_models`]); [`population`] extends them with
+//! deterministically sampled variants for population-scale studies.
 
+use crate::model::BehaviorModel;
 use crate::profile::BrowserProfile;
 use crate::profiles;
+use crate::space::BrowserSpace;
 
-/// All 15 browsers, in the order of Table 1 (left column then right).
-pub fn all_profiles() -> Vec<BrowserProfile> {
+/// The models of all 15 paper browsers, in the order of Table 1 (left
+/// column then right). These are the conformance-tested pinned points:
+/// the golden fixtures under `tests/profiles/` are their canonical
+/// renderings.
+pub fn pinned_models() -> Vec<BehaviorModel> {
     vec![
-        profiles::chrome::profile(),
-        profiles::edge::profile(),
-        profiles::opera::profile(),
-        profiles::vivaldi::profile(),
-        profiles::yandex::profile(),
-        profiles::brave::profile(),
-        profiles::samsung::profile(),
-        profiles::qq::profile(),
-        profiles::duckduckgo::profile(),
-        profiles::dolphin::profile(),
-        profiles::whale::profile(),
-        profiles::mint::profile(),
-        profiles::kiwi::profile(),
-        profiles::coccoc::profile(),
-        profiles::uc::profile(),
+        profiles::chrome::model(),
+        profiles::edge::model(),
+        profiles::opera::model(),
+        profiles::vivaldi::model(),
+        profiles::yandex::model(),
+        profiles::brave::model(),
+        profiles::samsung::model(),
+        profiles::qq::model(),
+        profiles::duckduckgo::model(),
+        profiles::dolphin::model(),
+        profiles::whale::model(),
+        profiles::mint::model(),
+        profiles::kiwi::model(),
+        profiles::coccoc::model(),
+        profiles::uc::model(),
     ]
+}
+
+/// All 15 paper browsers as runtime profiles, in Table 1 order.
+pub fn all_profiles() -> Vec<BrowserProfile> {
+    pinned_models().iter().map(BehaviorModel::materialize).collect()
+}
+
+/// A browser population of size `n`: the pinned paper browsers first
+/// (all 15 when `n >= 15`, a Table 1 prefix otherwise), then sampled
+/// variants from [`BrowserSpace`]. `population(seed, 15)` is exactly
+/// [`all_profiles`] for every seed, which is what keeps the paper
+/// reproduction byte-identical while `--population` scales past it.
+pub fn population(seed: u64, n: usize) -> Vec<BrowserProfile> {
+    let mut profiles = all_profiles();
+    profiles.truncate(n);
+    if n > profiles.len() {
+        let sampled = BrowserSpace::sample(seed, n - profiles.len());
+        profiles.extend(sampled.iter().map(BehaviorModel::materialize));
+    }
+    profiles
 }
 
 /// Looks a profile up by its display name (case-insensitive).
@@ -66,7 +96,7 @@ mod tests {
     #[test]
     fn package_names_are_unique() {
         let profiles = all_profiles();
-        let mut packages: Vec<&str> = profiles.iter().map(|p| p.package).collect();
+        let mut packages: Vec<&str> = profiles.iter().map(|p| p.package.as_str()).collect();
         packages.sort_unstable();
         let n = packages.len();
         packages.dedup();
@@ -113,7 +143,7 @@ mod tests {
     #[test]
     fn yandex_uses_persistent_identifier() {
         let yandex = profile_by_name("Yandex").unwrap();
-        assert_eq!(yandex.persistent_id_key, Some("yandexuid"));
+        assert_eq!(yandex.persistent_id_key.as_deref(), Some("yandexuid"));
         assert!(yandex.per_visit.iter().any(|c| matches!(
             c.payload,
             Payload::HostnamePlusId { .. }
@@ -153,14 +183,14 @@ mod tests {
     fn coccoc_is_the_adblocking_browser() {
         let profiles = all_profiles();
         let blockers: Vec<&str> =
-            profiles.iter().filter(|p| p.adblock).map(|p| p.name).collect();
+            profiles.iter().filter(|p| p.adblock).map(|p| p.name.as_str()).collect();
         assert_eq!(blockers, vec!["CocCoc"]);
     }
 
     #[test]
     fn uc_injects_js_instead_of_native_history() {
         let uc = profile_by_name("UC International").unwrap();
-        assert_eq!(uc.injects_js_collector, Some("collect.ucweb.com"));
+        assert_eq!(uc.injects_js_collector.as_deref(), Some("collect.ucweb.com"));
         assert!(uc.per_visit.iter().all(|c| matches!(
             c.payload,
             Payload::Telemetry | Payload::None
@@ -169,14 +199,50 @@ mod tests {
 
     #[test]
     fn stub_users_match_expected_set() {
-        let stub: Vec<&'static str> = all_profiles()
+        let profiles = all_profiles();
+        let stub: Vec<&str> = profiles
             .iter()
             .filter(|p| p.resolver == ResolverKind::LocalStub)
-            .map(|p| p.name)
+            .map(|p| p.name.as_str())
             .collect();
         assert_eq!(
             stub,
             vec!["Chrome", "Brave", "Samsung", "DuckDuckGo", "Dolphin", "Mint", "UC International"]
         );
+    }
+
+    #[test]
+    fn pinned_models_are_coherent() {
+        for model in pinned_models() {
+            assert_eq!(model.coherence_errors(), Vec::<String>::new(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn population_default_is_exactly_the_paper_set() {
+        for seed in [0, 1, 42] {
+            let pop = population(seed, 15);
+            assert_eq!(pop, all_profiles(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn population_scales_past_the_paper_set() {
+        let pop = population(42, 100);
+        assert_eq!(pop.len(), 100);
+        assert_eq!(pop[..15], all_profiles()[..]);
+        // Sampled names never collide with each other or the pinned set.
+        let mut names: Vec<&str> = pop.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn population_truncates_below_fifteen() {
+        let pop = population(7, 4);
+        assert_eq!(pop.len(), 4);
+        assert_eq!(pop[..], all_profiles()[..4]);
     }
 }

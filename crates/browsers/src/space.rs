@@ -1,0 +1,276 @@
+//! Deterministic sampling of the behaviour-model space.
+//!
+//! [`BrowserSpace::sample`] mints `n` coherent browser variants from a
+//! 64-bit seed. The contract (DESIGN.md §9):
+//!
+//! - **Deterministic**: `sample(seed, n)` is a pure function — same seed
+//!   and count produce the byte-identical variant list on every run,
+//!   platform, and worker count.
+//! - **Prefix-stable**: each variant is generated from its own
+//!   SplitMix64-derived stream (`mix(seed, index)`), so
+//!   `sample(seed, n)` is a prefix of `sample(seed, m)` for `n ≤ m` —
+//!   growing a population never reshuffles the browsers already in it.
+//! - **Collision-free naming**: sampled names always end in a
+//!   `-NNN` index suffix; no pinned paper browser is ever shadowed, for
+//!   any seed.
+//! - **Coherent by construction**: every sampled model satisfies
+//!   [`BehaviorModel::coherence_errors`] — the property tests assert it
+//!   over the whole seed space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::BehaviorModel;
+use crate::profile::{NativeCall, Payload, PiiField};
+use panoptes_instrument::tap::Instrumentation;
+use panoptes_simnet::dns::DohProvider;
+
+/// Vendor-name word pool. Two independent draws (vendor, product) give
+/// 576 stems; the index suffix makes every sampled name unique anyway.
+const VENDORS: [&str; 24] = [
+    "auriga", "borealis", "cinder", "dorado", "ember", "fennec", "gossamer", "halcyon",
+    "indigo", "juniper", "kestrel", "lumen", "meridian", "nimbus", "oriole", "pavo",
+    "quasar", "rowan", "saffron", "talon", "umbra", "vela", "wisteria", "zephyr",
+];
+
+/// Product-name word pool (the capitalized half of the display name).
+const PRODUCTS: [&str; 24] = [
+    "Arc", "Beam", "Comet", "Dart", "Echo", "Flare", "Glide", "Haze",
+    "Ion", "Jet", "Karo", "Lark", "Mist", "Nova", "Orbit", "Pike",
+    "Quill", "Ray", "Spark", "Trail", "Vector", "Wave", "Yonder", "Zoom",
+];
+
+/// Third-party ad/analytics SDK hosts sampled browsers may embed —
+/// drawn from the paper's §3.1 contact tables (the same hosts the 15
+/// pinned browsers talk to, so blocklist classification stays busy).
+const AD_HOSTS: [&str; 8] = [
+    "app.adjust.com",
+    "graph.facebook.com",
+    "googleads.g.doubleclick.net",
+    "t.appsflyer.com",
+    "sb.scorecardresearch.com",
+    "dpm.demdex.net",
+    "ib.adnxs.com",
+    "widgets.outbrain.com",
+];
+
+/// The sampled half of the browser population.
+pub struct BrowserSpace;
+
+impl BrowserSpace {
+    /// Samples `n` coherent browser variants from `seed`.
+    pub fn sample(seed: u64, n: usize) -> Vec<BehaviorModel> {
+        (0..n).map(|index| BrowserSpace::variant(seed, index)).collect()
+    }
+
+    /// Generates the variant at `index` of the stream rooted at `seed`.
+    /// Pure: every call with equal arguments yields an equal model.
+    pub fn variant(seed: u64, index: usize) -> BehaviorModel {
+        let mut rng = StdRng::seed_from_u64(mix(seed, index as u64));
+
+        // ---- identity --------------------------------------------------
+        let vendor = VENDORS[rng.gen_range(0..VENDORS.len())];
+        let product = PRODUCTS[rng.gen_range(0..PRODUCTS.len())];
+        let name = format!("{product} {}-{index:03}", capitalize(vendor));
+        let version = format!(
+            "{}.{}.{}.{}",
+            rng.gen_range(60..=120u32),
+            rng.gen_range(0..=9u32),
+            rng.gen_range(1000..=6000u32),
+            rng.gen_range(10..=99u32)
+        );
+        let package = format!("com.{vendor}.{}{index:03}", product.to_lowercase());
+        let tld = ["com", "net", "io"][rng.gen_range(0..3usize)];
+        let domain = format!("{vendor}browser.{tld}");
+
+        // ---- axes ------------------------------------------------------
+        let instrumentation = match rng.gen_range(0..10u32) {
+            0..=5 => Instrumentation::Cdp,
+            6..=8 => Instrumentation::FridaWebView,
+            _ => Instrumentation::FridaInternalApi,
+        };
+        let incognito_offered = !rng.gen_bool(0.12);
+        let doh = match rng.gen_range(0..10u32) {
+            0..=4 => None,
+            5..=7 => Some(DohProvider::Cloudflare),
+            _ => Some(DohProvider::Google),
+        };
+        let adblock = rng.gen_bool(0.08);
+        let h3 = rng.gen_bool(0.6);
+        let honors_consent = rng.gen_bool(0.3);
+        let persistent = rng.gen_bool(0.35);
+        let id_key = format!("{vendor}uid");
+        let pins_vendor = rng.gen_bool(0.15);
+        let js_collector = rng.gen_bool(0.05);
+
+        // PII set: draw a target count, then walk Table 2's columns in
+        // order — an ordered subset, no shuffling needed.
+        let pii_count = rng.gen_range(0..=6usize);
+        let mut pii = Vec::new();
+        for field in PiiField::ALL {
+            if pii.len() == pii_count {
+                break;
+            }
+            if rng.gen_bool(0.5) {
+                pii.push(field);
+            }
+        }
+
+        // ---- call catalogues -------------------------------------------
+        // Startup: the vendor update check (always present — it anchors
+        // any pinned domain) plus a few ad-SDK registrations.
+        let mut startup = vec![NativeCall::ping(&format!("update.{domain}"), "/v1/check")];
+        for _ in 0..rng.gen_range(0..=3u32) {
+            let host = AD_HOSTS[rng.gen_range(0..AD_HOSTS.len())];
+            startup.push(NativeCall::ping(host, "/app/register").via_post().padded(64));
+        }
+
+        // Per-visit: optional history channel, telemetry beacon, ad-SDK
+        // event. `respects_incognito` only where a private mode exists.
+        let mut per_visit = Vec::new();
+        let respects = |rng: &mut StdRng, p: f64| incognito_offered && rng.gen_bool(p);
+        if rng.gen_bool(0.4) {
+            // A history-reporting channel in one of the paper's shapes.
+            let payload = if persistent && rng.gen_bool(0.3) {
+                Payload::hostname_plus_id("host", &id_key)
+            } else {
+                match rng.gen_range(0..4u32) {
+                    0 => Payload::full_url_base64("url"),
+                    1 => Payload::full_url_plain("u"),
+                    _ => Payload::domain_only("domain"),
+                }
+            };
+            let call = NativeCall::ping(&format!("api.{domain}"), "/v1/visit").carrying(payload);
+            per_visit.push(if respects(&mut rng, 0.25) { call.respecting_incognito() } else { call });
+        }
+        if rng.gen_bool(0.7) {
+            let call = NativeCall::ping(&format!("mc.{domain}"), "/collect")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(rng.gen_range(40..=160u32))
+                .times(rng.gen_range(1..=3u32));
+            per_visit.push(if respects(&mut rng, 0.3) { call.respecting_incognito() } else { call });
+        }
+        if rng.gen_bool(0.3) {
+            let host = AD_HOSTS[rng.gen_range(0..AD_HOSTS.len())];
+            per_visit.push(NativeCall::ping(host, "/sdk/event").via_post().carrying(Payload::AdSdkJson));
+        }
+
+        // Idle: a slow vendor heartbeat for some variants.
+        let mut periodic = Vec::new();
+        if rng.gen_bool(0.4) {
+            let interval = rng.gen_range(30..=300u64);
+            periodic.push((
+                interval,
+                NativeCall::ping(&format!("mc.{domain}"), "/heartbeat")
+                    .via_post()
+                    .carrying(Payload::Telemetry)
+                    .padded(48),
+            ));
+        }
+
+        // ---- assemble --------------------------------------------------
+        let mut model = BehaviorModel::new(&name, &version, &package)
+            .instrument(instrumentation)
+            .leaks(&pii)
+            .startup(startup)
+            .per_visit(per_visit)
+            .idle_periodic(periodic);
+        if !incognito_offered {
+            model = model.no_incognito();
+        }
+        if let Some(provider) = doh {
+            model = model.doh(provider);
+        }
+        if adblock {
+            model = model.adblocking();
+        }
+        if h3 {
+            model = model.h3();
+        }
+        if honors_consent {
+            model = model.honors_consent();
+        }
+        if persistent {
+            model = model.persistent_id(&id_key);
+        }
+        if pins_vendor {
+            // The startup update check always contacts `update.{domain}`,
+            // so pinning the vendor's registrable domain is coherent.
+            model = model.pins(&domain);
+        }
+        if js_collector {
+            model = model.injects_js(&format!("collect.{domain}"));
+        }
+
+        // Persistent identifiers require a channel that survives
+        // incognito; the update ping never respects incognito, so the
+        // strict-privacy invariant holds by construction. Debug-assert
+        // the whole contract anyway.
+        debug_assert!(
+            model.coherence_errors().is_empty(),
+            "sampled variant {index} incoherent: {:?}",
+            model.coherence_errors()
+        );
+        model
+    }
+}
+
+/// SplitMix64-style finalizer combining the space seed with a variant
+/// index into an independent per-variant stream seed.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = BrowserSpace::sample(7, 32);
+        let b = BrowserSpace::sample(7, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_is_prefix_stable() {
+        let short = BrowserSpace::sample(7, 10);
+        let long = BrowserSpace::sample(7, 100);
+        assert_eq!(&long[..10], &short[..]);
+    }
+
+    #[test]
+    fn sampled_names_carry_index_suffix() {
+        for (index, model) in BrowserSpace::sample(3, 20).iter().enumerate() {
+            assert!(
+                model.name.ends_with(&format!("-{index:03}")),
+                "{} lacks its index suffix",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_models_are_coherent() {
+        for model in BrowserSpace::sample(11, 64) {
+            assert_eq!(model.coherence_errors(), Vec::<String>::new(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        assert_ne!(BrowserSpace::sample(1, 8), BrowserSpace::sample(2, 8));
+    }
+}

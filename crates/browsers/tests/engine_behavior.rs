@@ -40,7 +40,7 @@ fn rig() -> Rig {
 
 fn browser(rig: &mut Rig, name: &str, mode: BrowsingMode) -> Browser {
     let profile = profile_by_name(name).unwrap();
-    let uid = rig.device.packages.install(profile.package);
+    let uid = rig.device.packages.install(&profile.package);
     rig.net.with_filter(|f| f.install_panoptes_rules(uid, 8080));
     Browser::launch(profile, uid, 7, mode)
 }

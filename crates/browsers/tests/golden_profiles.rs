@@ -1,0 +1,101 @@
+//! Golden conformance suite for the 15 pinned paper browsers.
+//!
+//! Each fixture under `tests/profiles/` is the canonical text rendering
+//! ([`BehaviorModel::canonical_text`]) of one Table 1 browser. The test
+//! re-derives every model from the behaviour-model space and requires
+//! byte identity with the checked-in fixture — any drift in a profile
+//! definition, the model axes, or the renderer shows up as a readable
+//! line diff.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! PANOPTES_REGEN_FIXTURES=1 cargo test -p panoptes-browsers --test golden_profiles
+//! ```
+
+use panoptes_browsers::registry::pinned_models;
+
+/// Fixture file name for a pinned browser ("UC International" →
+/// `uc_international.txt`).
+fn fixture_name(browser: &str) -> String {
+    format!("{}.txt", browser.to_lowercase().replace(' ', "_"))
+}
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/profiles")
+}
+
+/// A readable line diff: every differing line with its number, plus
+/// one line of context on each side of the first divergence.
+fn line_diff(expected: &str, actual: &str) -> String {
+    let expected: Vec<&str> = expected.lines().collect();
+    let actual: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let lines = expected.len().max(actual.len());
+    for i in 0..lines {
+        let e = expected.get(i).copied();
+        let a = actual.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                out.push_str(&format!("  line {:>3} - {}\n", i + 1, e));
+            }
+            if let Some(a) = a {
+                out.push_str(&format!("  line {:>3} + {}\n", i + 1, a));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn pinned_models_match_golden_fixtures() {
+    let regen = std::env::var_os("PANOPTES_REGEN_FIXTURES").is_some();
+    let dir = fixture_dir();
+    let mut failures = String::new();
+
+    for model in pinned_models() {
+        let path = dir.join(fixture_name(&model.name));
+        let rendered = model.canonical_text();
+        if regen {
+            std::fs::create_dir_all(&dir).expect("create fixture dir");
+            std::fs::write(&path, &rendered).expect("write fixture");
+            continue;
+        }
+        let golden = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                failures.push_str(&format!("{}: fixture {} unreadable: {e}\n", model.name, path.display()));
+                continue;
+            }
+        };
+        if golden != rendered {
+            failures.push_str(&format!(
+                "{}: model drifted from {} —\n{}",
+                model.name,
+                path.display(),
+                line_diff(&golden, &rendered)
+            ));
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "pinned browser models no longer match their golden fixtures \
+         (regenerate with PANOPTES_REGEN_FIXTURES=1 only if the change is intentional):\n{failures}"
+    );
+}
+
+#[test]
+fn every_fixture_belongs_to_a_pinned_browser() {
+    // No stale fixtures: the directory holds exactly the 15 renderings.
+    let expected: Vec<String> =
+        pinned_models().iter().map(|m| fixture_name(&m.name)).collect();
+    let mut on_disk: Vec<String> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut expected_sorted = expected.clone();
+    expected_sorted.sort();
+    assert_eq!(on_disk, expected_sorted);
+}

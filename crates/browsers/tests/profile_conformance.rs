@@ -33,7 +33,7 @@ fn crawl(profile: &BrowserProfile, sites: usize) -> (Arc<FlowStore>, World) {
     proxy.install_addon(Box::new(TaintAddon::new(TOKEN)));
     net.register_proxy(8080, Arc::new(proxy), TransparentProxy::certificate_authority());
 
-    let uid = device.packages.install(profile.package);
+    let uid = device.packages.install(&profile.package);
     net.with_filter(|f| f.install_panoptes_rules(uid, 8080));
     let mut browser = Browser::launch(profile.clone(), uid, 11, BrowsingMode::Normal);
     let mut clock = SimClock::new();
@@ -42,7 +42,7 @@ fn crawl(profile: &BrowserProfile, sites: usize) -> (Arc<FlowStore>, World) {
             net: &net,
             clock: &mut clock,
             props: &device.props,
-            data: device.packages.data_mut(profile.package).unwrap(),
+            data: device.packages.data_mut(&profile.package).unwrap(),
             tap: Some(Arc::new(TaintInjector::new(TAINT_HEADER, TOKEN))),
         };
         browser.startup(&mut env);
@@ -60,7 +60,7 @@ fn expected_hosts(profile: &BrowserProfile) -> BTreeSet<String> {
     let mut hosts: BTreeSet<String> = profile
         .startup
         .iter()
-        .chain(profile.per_visit)
+        .chain(profile.per_visit.iter())
         .map(|c| c.host.to_string())
         .collect();
     if let ResolverKind::Doh(p) = profile.resolver {

@@ -1,0 +1,139 @@
+//! Property tests for the behaviour-model sampler (DESIGN.md §9):
+//! determinism across runs and worker counts, collision-free naming
+//! against the pinned paper set for arbitrary seeds, and the coherence
+//! invariants every sampled model must satisfy — including the two the
+//! issue calls out by name (incognito browsers never persist IDs
+//! through a strictly-private channel set; pinned browsers never accept
+//! MITM leaf certificates).
+
+use proptest::prelude::*;
+
+use panoptes_browsers::registry::pinned_models;
+use panoptes_browsers::{BrowserSpace, IncognitoAxis};
+use panoptes_simnet::tls::{
+    handshake, CaId, CertificateAuthority, PinPolicy, TlsOutcome, TrustStore,
+};
+
+proptest! {
+    /// Same seed ⇒ the byte-identical variant list, whether sampled in
+    /// one pass or assembled from per-index chunks across 1..8 worker
+    /// threads (the fleet's unit-parallel access pattern).
+    #[test]
+    fn same_seed_same_variants_across_jobs(seed in any::<u64>(), n in 1usize..48) {
+        let sequential = BrowserSpace::sample(seed, n);
+        prop_assert_eq!(&sequential, &BrowserSpace::sample(seed, n));
+        for jobs in 1..=8usize {
+            let chunked: Vec<_> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            (w..n)
+                                .step_by(jobs)
+                                .map(|i| (i, BrowserSpace::variant(seed, i)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut indexed: Vec<_> =
+                    workers.into_iter().flat_map(|w| w.join().expect("worker")).collect();
+                indexed.sort_by_key(|(i, _)| *i);
+                indexed.into_iter().map(|(_, m)| m).collect()
+            });
+            prop_assert_eq!(&sequential, &chunked, "jobs={}", jobs);
+        }
+    }
+
+    /// For any seed, sampled names never collide with each other or
+    /// with a pinned paper browser (pinned names never carry the -NNN
+    /// index suffix sampled names always end in).
+    #[test]
+    fn no_pinned_name_collisions(seed in any::<u64>()) {
+        let pinned: Vec<String> = pinned_models().into_iter().map(|m| m.name).collect();
+        let mut names: Vec<String> =
+            BrowserSpace::sample(seed, 64).into_iter().map(|m| m.name).collect();
+        for name in &names {
+            prop_assert!(!pinned.contains(name), "sampled {} shadows a paper browser", name);
+        }
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), total);
+    }
+
+    /// Every sampled model satisfies the full coherence contract.
+    #[test]
+    fn sampled_models_are_coherent(seed in any::<u64>(), index in 0usize..4096) {
+        let model = BrowserSpace::variant(seed, index);
+        prop_assert_eq!(model.coherence_errors(), Vec::<String>::new());
+    }
+
+    /// A sampled browser whose native calls all respect incognito can
+    /// never carry a persistent identifier — there would be no channel
+    /// left to persist it through.
+    #[test]
+    fn strictly_private_variants_never_persist_ids(seed in any::<u64>(), index in 0usize..4096) {
+        let model = BrowserSpace::variant(seed, index);
+        let strictly_private = model.incognito == IncognitoAxis::Offered
+            && model.all_calls().all(|c| c.respects_incognito);
+        if strictly_private {
+            prop_assert!(
+                model.persistent_key().is_none(),
+                "{} persists an ID with no incognito-surviving channel",
+                model.name
+            );
+        }
+    }
+
+    /// A sampled browser that pins a domain must reject the MITM
+    /// proxy's substituted leaf for that domain (the §2.2 pinned-opaque
+    /// flows), while still completing direct handshakes.
+    #[test]
+    fn pinned_variants_reject_mitm_leaves(seed in any::<u64>(), index in 0usize..4096) {
+        let model = BrowserSpace::variant(seed, index);
+        let profile = model.materialize();
+        let mut trust = TrustStore::system();
+        trust.install(CaId::mitm());
+        let pinned: Vec<&str> = profile.pinned_domains.iter().map(String::as_str).collect();
+        let pins = PinPolicy::pin(&pinned);
+        let mitm = CertificateAuthority::new(CaId::mitm());
+        let origin = CertificateAuthority::new(CaId::public_web_pki());
+        for domain in &profile.pinned_domains {
+            let host = format!("update.{domain}");
+            prop_assert_eq!(
+                handshake(&trust, &pins, &host, &mitm.issue(&host), true),
+                TlsOutcome::PinnedRejected,
+                "{} accepted a MITM leaf for pinned {}", profile.name, host
+            );
+            prop_assert_eq!(
+                handshake(&trust, &pins, &host, &origin.issue(&host), false),
+                TlsOutcome::DirectOk,
+                "{} broke direct TLS to its own pinned {}", profile.name, host
+            );
+        }
+    }
+}
+
+/// The pinned paper browsers satisfy the same cert-pinning property as
+/// the sampled ones (Samsung is the paper's pinning browser).
+#[test]
+fn pinned_paper_browsers_reject_mitm_leaves() {
+    let mut trust = TrustStore::system();
+    trust.install(CaId::mitm());
+    let mitm = CertificateAuthority::new(CaId::mitm());
+    let mut saw_pinning_browser = false;
+    for model in pinned_models() {
+        let profile = model.materialize();
+        let pinned: Vec<&str> = profile.pinned_domains.iter().map(String::as_str).collect();
+        let pins = PinPolicy::pin(&pinned);
+        for domain in &profile.pinned_domains {
+            saw_pinning_browser = true;
+            assert_eq!(
+                handshake(&trust, &pins, domain, &mitm.issue(domain), true),
+                TlsOutcome::PinnedRejected,
+                "{} accepted a MITM leaf for pinned {domain}",
+                profile.name
+            );
+        }
+    }
+    assert!(saw_pinning_browser, "at least one paper browser pins (Samsung)");
+}

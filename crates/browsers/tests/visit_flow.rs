@@ -45,7 +45,7 @@ fn rig() -> Rig {
 
 fn launch(rig: &mut Rig, name: &str, mode: BrowsingMode) -> Browser {
     let profile = profile_by_name(name).unwrap();
-    let uid = rig.device.packages.install(profile.package);
+    let uid = rig.device.packages.install(&profile.package);
     rig.net.with_filter(|f| f.install_panoptes_rules(uid, PROXY_PORT));
     Browser::launch(profile, uid, 42, mode)
 }

@@ -68,7 +68,7 @@ pub fn save(result: &CampaignResult) -> String {
         result.store.snapshot().iter().map(Flow::to_json).collect();
     json::to_string(&Value::object(vec![
         ("format", Value::str("panoptes-campaign/1")),
-        ("browser", Value::str(result.profile.name)),
+        ("browser", Value::str(&result.profile.name)),
         ("uid", Value::from(result.uid)),
         ("engine_sent", Value::from(result.engine_sent)),
         ("native_sent", Value::from(result.native_sent)),

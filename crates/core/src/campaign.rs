@@ -100,29 +100,29 @@ pub fn run_crawl_with(
     configure_proxy: impl FnOnce(&mut panoptes_mitm::TransparentProxy),
 ) -> CampaignResult {
     let mut bed = Testbed::assemble_with(world, config, configure_proxy);
-    let uid = bed.divert_browser(profile.package, config.proxy_port);
+    let uid = bed.divert_browser(&profile.package, config.proxy_port);
 
     // §2.1: reset to factory settings with Appium, walk the wizard with
     // the configured choices.
     let mut appium = AppiumDriver::new();
-    appium.reset_app(&mut bed.device.packages, profile.package);
+    appium.reset_app(&mut bed.device.packages, &profile.package);
     let wizard = WizardConfig {
         accept_telemetry: !config.decline_telemetry,
         ..WizardConfig::default()
     };
-    appium.complete_wizard(&mut bed.device.packages, profile.package, &wizard);
+    appium.complete_wizard(&mut bed.device.packages, &profile.package, &wizard);
 
     // Instrumentation: CDP where supported, Frida hooks otherwise.
     let tap: Arc<dyn RequestTap> = Arc::new(TaintInjector::new(TAINT_HEADER, &bed.token));
     let mut cdp = match profile.instrumentation {
         Instrumentation::Cdp => Some(CdpSession::open(tap.clone())),
         Instrumentation::FridaWebView => {
-            let mut frida = FridaSession::attach(profile.package, tap.clone());
+            let mut frida = FridaSession::attach(&profile.package, tap.clone());
             frida.hook_webview();
             None
         }
         Instrumentation::FridaInternalApi => {
-            let mut frida = FridaSession::attach(profile.package, tap.clone());
+            let mut frida = FridaSession::attach(&profile.package, tap.clone());
             frida.hook_internal_api();
             None
         }
@@ -137,7 +137,7 @@ pub fn run_crawl_with(
 
     // Launch-time native traffic.
     {
-        let data = bed.device.packages.data_mut(profile.package).expect("installed");
+        let data = bed.device.packages.data_mut(&profile.package).expect("installed");
         let mut env = Env {
             net: &bed.net,
             clock: &mut bed.clock,
@@ -156,7 +156,7 @@ pub fn run_crawl_with(
         }
 
         let outcome = {
-            let data = bed.device.packages.data_mut(profile.package).expect("installed");
+            let data = bed.device.packages.data_mut(&profile.package).expect("installed");
             let mut env = Env {
                 net: &bed.net,
                 clock: &mut bed.clock,

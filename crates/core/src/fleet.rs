@@ -410,7 +410,7 @@ pub fn run_units(
                         "fleet",
                         &format!(
                             "{}: {} flows captured, {} visits, sim {}",
-                            labels_for_progress(unit.profile.name, "crawl"),
+                            labels_for_progress(&unit.profile.name, "crawl"),
                             result.store.len(),
                             result.visits.len(),
                             sim,
@@ -426,7 +426,7 @@ pub fn run_units(
                         "fleet",
                         &format!(
                             "{}: {} flows captured, sim {}",
-                            labels_for_progress(unit.profile.name, "idle"),
+                            labels_for_progress(&unit.profile.name, "idle"),
                             result.store.len(),
                             duration,
                         ),

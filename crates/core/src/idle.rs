@@ -41,11 +41,11 @@ pub fn run_idle(
     config: &CampaignConfig,
 ) -> IdleResult {
     let mut bed = Testbed::assemble(world, config);
-    let uid = bed.divert_browser(profile.package, config.proxy_port);
+    let uid = bed.divert_browser(&profile.package, config.proxy_port);
     let tap: Arc<dyn RequestTap> = Arc::new(TaintInjector::new(TAINT_HEADER, &bed.token));
 
     let mut browser = Browser::launch(profile.clone(), uid, config.seed, BrowsingMode::Normal);
-    let data = bed.device.packages.data_mut(profile.package).expect("installed");
+    let data = bed.device.packages.data_mut(&profile.package).expect("installed");
     let mut env = Env {
         net: &bed.net,
         clock: &mut bed.clock,

@@ -102,9 +102,9 @@ fn ratio(a: u64, b: u64) -> f64 {
 pub fn summary_json(result: &CampaignResult) -> Value {
     let s = summarize(result);
     Value::object(vec![
-        ("browser", Value::str(result.profile.name)),
-        ("version", Value::str(result.profile.version)),
-        ("package", Value::str(result.profile.package)),
+        ("browser", Value::str(&result.profile.name)),
+        ("version", Value::str(&result.profile.version)),
+        ("package", Value::str(&result.profile.package)),
         ("uid", Value::from(result.uid)),
         ("visits", Value::from(result.visits.len() as u64)),
         ("engine_requests", Value::from(s.engine_requests)),

@@ -3,9 +3,10 @@
 //! reports every visited URL percent-encoded to an analytics endpoint —
 //! then shows the pipeline catching it with zero analysis changes.
 //!
-//! This is the workflow for auditing a new browser release: write the
-//! behavioural model (or, against real hardware, point the harness at
-//! the real app) and re-run the standard analyses.
+//! This is the workflow for auditing a new browser release: compose a
+//! [`BehaviorModel`] from the same axes the 15 pinned paper browsers
+//! use (or, against real hardware, point the harness at the real app),
+//! materialize it, and re-run the standard analyses.
 //!
 //! ```text
 //! cargo run --release --example custom_browser
@@ -13,62 +14,38 @@
 
 use panoptes_suite::analysis::history::{detect_history_leaks, LeakEncoding, LeakGranularity};
 use panoptes_suite::analysis::pii::pii_row;
-use panoptes_suite::browsers::{BrowserProfile, IdleProfile, NativeCall, Payload, PiiField};
+use panoptes_suite::browsers::{BehaviorModel, BrowserProfile, NativeCall, Payload, PiiField};
 use panoptes_suite::device::DeviceProperties;
-use panoptes_suite::http::method::Method;
-use panoptes_suite::instrument::tap::Instrumentation;
 use panoptes_suite::panoptes::campaign::run_crawl;
 use panoptes_suite::panoptes::config::CampaignConfig;
-use panoptes_suite::simnet::dns::ResolverKind;
 use panoptes_suite::web::generator::GeneratorConfig;
 use panoptes_suite::web::World;
 
-/// The hypothetical vendor's behaviour catalogue.
-const ACME_STARTUP: &[NativeCall] = &[NativeCall::ping("api.ucweb.com", "/v1/config")];
-
-const ACME_PER_VISIT: &[NativeCall] = &[
-    // The smoking gun: the full URL, percent-encoded, in a "diagnostics"
-    // parameter. (We aim it at an existing world endpoint so this example
-    // needs no world changes.)
-    NativeCall {
-        host: "track.ucweb.com",
-        path: "/v1/diag",
-        method: Method::Get,
-        payload: Payload::FullUrlPlain { param: "page" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-    NativeCall {
-        host: "track.ucweb.com",
-        path: "/v1/stat",
-        method: Method::Post,
-        payload: Payload::Telemetry,
-        body_pad: 64,
-        count: 1,
-        respects_incognito: false,
-    },
-];
+/// The hypothetical vendor's behaviour model: a point in the same
+/// parameter space the paper's browsers are pinned in.
+fn acme_model() -> BehaviorModel {
+    BehaviorModel::new("Acme Browser", "1.0.0", "com.acme.browser")
+        .h3()
+        .leaks(&[PiiField::Resolution, PiiField::Timezone])
+        .persistent_id("acmeDeviceId")
+        .startup(vec![NativeCall::ping("api.ucweb.com", "/v1/config")])
+        .per_visit(vec![
+            // The smoking gun: the full URL, percent-encoded, in a
+            // "diagnostics" parameter. (Aimed at an existing world
+            // endpoint so this example needs no world changes.)
+            NativeCall::ping("track.ucweb.com", "/v1/diag")
+                .carrying(Payload::full_url_plain("page")),
+            NativeCall::ping("track.ucweb.com", "/v1/stat")
+                .via_post()
+                .carrying(Payload::Telemetry)
+                .padded(64),
+        ])
+}
 
 fn acme_profile() -> BrowserProfile {
-    BrowserProfile {
-        name: "Acme Browser",
-        version: "1.0.0",
-        package: "com.acme.browser",
-        instrumentation: Instrumentation::Cdp,
-        supports_incognito: true,
-        resolver: ResolverKind::LocalStub,
-        adblock: false,
-        attempts_h3: true,
-        pinned_domains: &[],
-        pii_fields: &[PiiField::Resolution, PiiField::Timezone],
-        persistent_id_key: Some("acmeDeviceId"),
-        injects_js_collector: None,
-        honors_telemetry_consent: false,
-        startup: ACME_STARTUP,
-        per_visit: ACME_PER_VISIT,
-        idle: IdleProfile::QUIET,
-    }
+    let model = acme_model();
+    assert!(model.coherence_errors().is_empty(), "model must be coherent");
+    model.materialize()
 }
 
 fn main() {

@@ -11,7 +11,6 @@ use panoptes_suite::analysis::compare::compare_campaigns;
 use panoptes_suite::analysis::history::LeakGranularity;
 use panoptes_suite::browsers::registry::profile_by_name;
 use panoptes_suite::browsers::{BrowserProfile, NativeCall, Payload};
-use panoptes_suite::http::method::Method;
 use panoptes_suite::panoptes::campaign::run_crawl;
 use panoptes_suite::panoptes::config::CampaignConfig;
 use panoptes_suite::web::generator::GeneratorConfig;
@@ -19,18 +18,13 @@ use panoptes_suite::web::World;
 
 /// Release 2.0's new per-visit calls: the old catalogue plus the
 /// "suggestions" endpoint that receives the visited domain.
-const V2_PER_VISIT: &[NativeCall] = &[
-    NativeCall::ping("improving.duckduckgo.com", "/t/page_visit_anon"),
-    NativeCall {
-        host: "staticcdn.duckduckgo.com",
-        path: "/suggest",
-        method: Method::Get,
-        payload: Payload::DomainOnly { param: "q" },
-        body_pad: 0,
-        count: 1,
-        respects_incognito: false,
-    },
-];
+fn v2_per_visit() -> Vec<NativeCall> {
+    vec![
+        NativeCall::ping("improving.duckduckgo.com", "/t/page_visit_anon"),
+        NativeCall::ping("staticcdn.duckduckgo.com", "/suggest")
+            .carrying(Payload::domain_only("q")),
+    ]
+}
 
 fn main() {
     let world = World::build(&GeneratorConfig { popular: 20, sensitive: 10, ..Default::default() });
@@ -39,7 +33,11 @@ fn main() {
     // Release 1.0: the shipped (clean) DuckDuckGo model.
     let v1 = profile_by_name("DuckDuckGo").unwrap();
     // Release 2.0: same app, one new feature with a privacy bug.
-    let v2 = BrowserProfile { version: "5.159.0", per_visit: V2_PER_VISIT, ..v1.clone() };
+    let v2 = BrowserProfile {
+        version: "5.159.0".to_string(),
+        per_visit: v2_per_visit(),
+        ..v1.clone()
+    };
 
     println!("crawling {} {} ...", v1.name, v1.version);
     let run_v1 = run_crawl(&world, &v1, &world.sites, &config);

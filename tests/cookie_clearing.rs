@@ -36,7 +36,7 @@ fn yandex_identifier_survives_cookie_wipe_cookies_do_not() {
     net.register_proxy(8080, Arc::new(proxy), TransparentProxy::certificate_authority());
 
     let profile = profile_by_name("Yandex").unwrap();
-    let uid = device.packages.install(profile.package);
+    let uid = device.packages.install(&profile.package);
     net.with_filter(|f| f.install_panoptes_rules(uid, 8080));
     let mut browser = Browser::launch(profile.clone(), uid, 99, BrowsingMode::Normal);
     let mut clock = SimClock::new();
@@ -59,7 +59,7 @@ fn yandex_identifier_survives_cookie_wipe_cookies_do_not() {
             net: &net,
             clock: &mut clock,
             props: &device.props,
-            data: device.packages.data_mut(profile.package).unwrap(),
+            data: device.packages.data_mut(&profile.package).unwrap(),
             tap: Some(Arc::new(TaintInjector::new(TAINT_HEADER, TOKEN))),
         };
         browser.visit(&mut env, &site);
@@ -67,7 +67,7 @@ fn yandex_identifier_survives_cookie_wipe_cookies_do_not() {
     let id_before = uid_param(&store.native_flows());
     let cookies_before = device
         .packages
-        .app(profile.package)
+        .app(&profile.package)
         .unwrap()
         .data
         .cookies
@@ -75,8 +75,8 @@ fn yandex_identifier_survives_cookie_wipe_cookies_do_not() {
     assert!(cookies_before > 0, "the engine collected cookies");
 
     // The user "clears browsing data".
-    device.packages.data_mut(profile.package).unwrap().clear_cookies();
-    assert!(device.packages.app(profile.package).unwrap().data.cookies.is_empty());
+    device.packages.data_mut(&profile.package).unwrap().clear_cookies();
+    assert!(device.packages.app(&profile.package).unwrap().data.cookies.is_empty());
 
     // Visit again.
     store.clear();
@@ -85,7 +85,7 @@ fn yandex_identifier_survives_cookie_wipe_cookies_do_not() {
             net: &net,
             clock: &mut clock,
             props: &device.props,
-            data: device.packages.data_mut(profile.package).unwrap(),
+            data: device.packages.data_mut(&profile.package).unwrap(),
             tap: Some(Arc::new(TaintInjector::new(TAINT_HEADER, TOKEN))),
         };
         browser.visit(&mut env, &site);
@@ -122,7 +122,7 @@ fn factory_reset_is_the_only_way_to_rotate_the_identifier() {
     net.register_proxy(8080, Arc::new(proxy), TransparentProxy::certificate_authority());
 
     let profile = profile_by_name("Yandex").unwrap();
-    let uid = device.packages.install(profile.package);
+    let uid = device.packages.install(&profile.package);
     net.with_filter(|f| f.install_panoptes_rules(uid, 8080));
     let mut clock = SimClock::new();
     let site = world.sites[0].clone();
@@ -133,7 +133,7 @@ fn factory_reset_is_the_only_way_to_rotate_the_identifier() {
             net: &net,
             clock,
             props: &device.props,
-            data: device.packages.data_mut(profile.package).unwrap(),
+            data: device.packages.data_mut(&profile.package).unwrap(),
             tap: Some(Arc::new(TaintInjector::new(TAINT_HEADER, TOKEN))),
         };
         browser.visit(&mut env, &site);
@@ -153,7 +153,7 @@ fn factory_reset_is_the_only_way_to_rotate_the_identifier() {
     assert_eq!(first, second);
 
     // Factory reset + fresh install state: a new identifier is minted.
-    device.packages.factory_reset(profile.package);
+    device.packages.factory_reset(&profile.package);
     let third = run(&mut device, &mut clock, 2);
     assert_ne!(first, third, "reset rotates the identifier");
 }

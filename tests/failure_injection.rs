@@ -41,7 +41,7 @@ fn rig() -> Rig {
 
 fn run_visits(rig: &mut Rig, name: &str) -> (u32, u32) {
     let profile = profile_by_name(name).unwrap();
-    let uid = rig.device.packages.install(profile.package);
+    let uid = rig.device.packages.install(&profile.package);
     rig.net.with_filter(|f| f.install_panoptes_rules(uid, 8080));
     let mut browser = Browser::launch(profile.clone(), uid, 3, BrowsingMode::Normal);
     let mut sent = 0;
@@ -52,7 +52,7 @@ fn run_visits(rig: &mut Rig, name: &str) -> (u32, u32) {
             net: &rig.net,
             clock: &mut rig.clock,
             props: &rig.device.props,
-            data: rig.device.packages.data_mut(profile.package).unwrap(),
+            data: rig.device.packages.data_mut(&profile.package).unwrap(),
             tap: Some(Arc::new(TaintInjector::new(TAINT_HEADER, TOKEN))),
         };
         let outcome = browser.visit(&mut env, site);

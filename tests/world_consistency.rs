@@ -13,7 +13,7 @@ use panoptes_suite::web::World;
 fn profile_hosts() -> BTreeSet<String> {
     let mut hosts = BTreeSet::new();
     for p in all_profiles() {
-        for call in p.startup.iter().chain(p.per_visit) {
+        for call in p.startup.iter().chain(p.per_visit.iter()) {
             hosts.insert(call.host.to_string());
         }
         for call in p.idle.burst {
