@@ -350,7 +350,7 @@ pub fn analyze_crawl_sharded(
         .collect();
     let shards = fleet::execute(&labels, options, |i| {
         let mut partials = CrawlPartials::default();
-        for view in facts.views(&flows[ranges[i].clone()]) {
+        for view in facts.views(flows.slice(ranges[i].clone())) {
             partials.observe(&view, &ctx, &matcher);
         }
         partials
@@ -442,7 +442,7 @@ pub fn analyze_idle_sharded(result: &IdleResult, options: &FleetOptions) -> Idle
         .collect();
     let shards = fleet::execute(&labels, options, |i| {
         let mut partial = IdlePartial::default();
-        for flow in &flows[ranges[i].clone()] {
+        for flow in flows.slice(ranges[i].clone()) {
             partial.observe(flow, start);
         }
         partial

@@ -14,8 +14,12 @@
 //! seals a fresh snapshot and therefore a fresh, empty facts layer —
 //! stale derived data is impossible by construction.
 //!
-//! Passes consume flows through [`FlowView`], which pairs an
-//! [`Arc<Flow>`] with its facts slot:
+//! Facts slots are resolved **arithmetically**: the snapshot keeps its
+//! flows in one contiguous arena, so a `&Flow` maps to its slot by
+//! address offset — no hash lookup per flow, no per-record `Arc`.
+//!
+//! Passes consume flows through [`FlowView`], which pairs an arena
+//! `&Flow` with its facts slot:
 //!
 //! ```ignore
 //! let snap = result.store.snapshot();
@@ -25,11 +29,10 @@
 //! }
 //! ```
 
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use panoptes_http::url::Url;
-use panoptes_mitm::{Flow, FlowSnapshot};
+use panoptes_mitm::{Flow, FlowSnapshot, Flows};
 
 use crate::scan::{decodings, observations_with_url, Observation};
 
@@ -91,7 +94,7 @@ impl FlowFacts {
 /// One flow plus its facts slot — what an analysis pass iterates.
 #[derive(Clone, Copy)]
 pub struct FlowView<'a> {
-    flow: &'a Arc<Flow>,
+    flow: &'a Flow,
     facts: &'a FlowFacts,
 }
 
@@ -131,23 +134,32 @@ impl std::ops::Deref for FlowView<'_> {
 
 /// Per-capture facts: one [`FlowFacts`] slot per snapshot flow.
 pub struct CaptureFacts {
-    /// Parallel to the snapshot's capture-order flow list.
+    /// The snapshot's flow arena, pinned so slot addresses stay valid
+    /// for this layer's whole lifetime.
+    slab: Arc<[Flow]>,
+    /// Parallel to the arena's capture-order flows.
     slots: Vec<FlowFacts>,
-    /// `Arc::as_ptr` of each flow → its slot index, so class/package
-    /// views (which reorder flows) still find the right slot.
-    index: HashMap<usize, usize>,
 }
 
 impl CaptureFacts {
     fn build(snapshot: &FlowSnapshot) -> CaptureFacts {
-        let flows = snapshot.all();
-        let mut slots = Vec::with_capacity(flows.len());
-        let mut index = HashMap::with_capacity(flows.len());
-        for (i, flow) in flows.iter().enumerate() {
-            slots.push(FlowFacts::default());
-            index.insert(Arc::as_ptr(flow) as usize, i);
-        }
-        CaptureFacts { slots, index }
+        let slab = snapshot.arena().clone();
+        let slots = (0..slab.len()).map(|_| FlowFacts::default()).collect();
+        CaptureFacts { slab, slots }
+    }
+
+    /// The arena slot of one snapshot flow, by address arithmetic: the
+    /// arena is contiguous, so `(addr - base) / size_of::<Flow>()` is
+    /// the capture-order index.
+    fn slot_of(&self, flow: &Flow) -> usize {
+        let base = self.slab.as_ptr() as usize;
+        let offset = (flow as *const Flow as usize).wrapping_sub(base);
+        let idx = offset / std::mem::size_of::<Flow>();
+        assert!(
+            idx < self.slots.len() && offset.is_multiple_of(std::mem::size_of::<Flow>()),
+            "flow does not belong to this capture's snapshot"
+        );
+        idx
     }
 
     /// The facts slot of one snapshot flow.
@@ -155,21 +167,14 @@ impl CaptureFacts {
     /// # Panics
     /// When `flow` is not a record of the snapshot these facts were
     /// built from (a cross-capture mix-up is a programming error).
-    pub fn of<'a>(&'a self, flow: &'a Arc<Flow>) -> FlowView<'a> {
-        let slot = self
-            .index
-            .get(&(Arc::as_ptr(flow) as usize))
-            .expect("flow does not belong to this capture's snapshot");
-        FlowView { flow, facts: &self.slots[*slot] }
+    pub fn of<'a>(&'a self, flow: &'a Flow) -> FlowView<'a> {
+        FlowView { flow, facts: &self.slots[self.slot_of(flow)] }
     }
 
-    /// Views over any of the snapshot's flow lists (capture order, a
-    /// class view, a package view).
-    pub fn views<'a>(
-        &'a self,
-        flows: &'a [Arc<Flow>],
-    ) -> impl Iterator<Item = FlowView<'a>> {
-        flows.iter().map(|f| self.of(f))
+    /// Views over any of the snapshot's flow windows (capture order, a
+    /// class view, a package view, a shard slice).
+    pub fn views<'a>(&'a self, flows: Flows<'a>) -> impl Iterator<Item = FlowView<'a>> {
+        flows.iter().map(move |f| self.of(f))
     }
 
     /// Number of flows covered.
@@ -255,7 +260,8 @@ mod tests {
         let b = capture_facts(&snap);
         assert!(Arc::ptr_eq(&a, &b), "one facts layer per snapshot");
         // Observation slices are the same allocation on repeated asks.
-        let flow = &snap.all()[0];
+        let all = snap.all();
+        let flow = &all[0];
         let first = a.of(flow).observations().as_ptr();
         let again = b.of(flow).observations().as_ptr();
         assert_eq!(first, again);
@@ -266,8 +272,9 @@ mod tests {
         let store = store();
         let snap = store.snapshot();
         let facts = capture_facts(&snap);
+        let all = snap.all();
         for view in facts.views(snap.native()) {
-            let direct = facts.of(&snap.all()[(view.id - 1) as usize]);
+            let direct = facts.of(&all[(view.id - 1) as usize]);
             assert_eq!(
                 view.observations().as_ptr(),
                 direct.observations().as_ptr(),

@@ -140,7 +140,7 @@ proptest! {
         let mut merged = CrawlPartials::default();
         for range in shard_ranges(all.len(), jobs) {
             let mut shard = CrawlPartials::default();
-            for view in facts.views(&all[range]) {
+            for view in facts.views(all.slice(range)) {
                 shard.observe(&view, &ctx, &matcher);
             }
             merged.merge(shard);

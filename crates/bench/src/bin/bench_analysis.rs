@@ -18,8 +18,11 @@ use panoptes_analysis::scan::{decodings, observations};
 use panoptes_analysis::study::{run_full_crawl, run_full_idle};
 use panoptes_analysis::summary::study_report;
 use panoptes_bench::experiments::Scale;
-use panoptes_bench::perf;
+use panoptes_bench::{mem, perf};
 use panoptes_simnet::clock::SimDuration;
+
+#[global_allocator]
+static ALLOC: mem::CountingAlloc = mem::CountingAlloc;
 
 const PASSES: usize = 10;
 const REPS: usize = 5;
@@ -123,7 +126,8 @@ fn main() {
             "    \"indexed_secs\": {indexed_secs:.6},\n",
             "    \"indexed_matches_per_sec\": {indexed_rate:.0},\n",
             "    \"speedup\": {filter_speedup:.2}\n",
-            "  }}\n",
+            "  }},\n",
+            "{mem}\n",
             "}}\n",
         ),
         capture_flows = total_flows,
@@ -144,6 +148,7 @@ fn main() {
         indexed_secs = indexed_secs,
         indexed_rate = urls.len() as f64 / indexed_secs,
         filter_speedup = linear_secs / indexed_secs,
+        mem = mem::report_json(),
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark record");

@@ -22,7 +22,11 @@ use panoptes_bench::capture::{
     capture_net, flow_signature, generator_config, run_baseline, run_zero_alloc, sweep_old_style,
     sweep_requests, sweep_zero_alloc,
 };
+use panoptes_bench::mem;
 use panoptes_web::World;
+
+#[global_allocator]
+static ALLOC: mem::CountingAlloc = mem::CountingAlloc;
 
 /// Best-of-`reps` wall-clock seconds of `f`.
 fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -110,7 +114,8 @@ fn main() {
             "    \"world_build_secs\": {build_secs:.6},\n",
             "    \"world_shared_secs\": {shared_secs:.6},\n",
             "    \"speedup\": {cache_speedup:.1}\n",
-            "  }}\n",
+            "  }},\n",
+            "{mem}\n",
             "}}\n",
         ),
         scale = if quick { "smoke" } else { "quick" },
@@ -128,6 +133,7 @@ fn main() {
         build_secs = build_secs,
         shared_secs = shared_secs,
         cache_speedup = build_secs / shared_secs,
+        mem = mem::report_json(),
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark record");

@@ -32,7 +32,11 @@ use panoptes_analysis::summary::{study_report_from, study_report_multipass};
 use panoptes_bench::experiments::{
     crawl_all_jobs, idle_all_jobs, study_all_overlapped, Scale,
 };
+use panoptes_bench::mem;
 use panoptes_simnet::clock::SimDuration;
+
+#[global_allocator]
+static ALLOC: mem::CountingAlloc = mem::CountingAlloc;
 
 /// Best-of-`reps` wall-clock seconds of `f`.
 fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -64,9 +68,14 @@ fn time_best_pair<FA: FnMut(), FB: FnMut()>(reps: usize, mut a: FA, mut b: FB) -
 fn main() {
     let mut out_path = "BENCH_study.json".to_string();
     let mut quick = false;
-    for arg in std::env::args().skip(1) {
+    let mut sites: Option<u32> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--sites" => {
+                sites = Some(args.next().and_then(|v| v.parse().ok()).expect("--sites N"));
+            }
             other => out_path = other.to_string(),
         }
     }
@@ -77,6 +86,12 @@ fn main() {
         (Scale::quick(), 15, 2)
     };
     scale.idle = SimDuration::from_secs(120);
+    if let Some(n) = sites {
+        // Deep-tail sites beyond the head set — the study then runs at
+        // `--sites N` scale through every path below (fleet, sharded,
+        // overlapped), still asserting byte-identical reports.
+        scale = scale.with_sites(n);
+    }
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let res = AnalysisResources::standard();
     let shard_jobs = [1usize, 2, 4, 8];
@@ -277,7 +292,8 @@ fn main() {
             "    \"barrier_secs\": {barrier_secs:.6},\n",
             "    \"overlapped_secs\": {overlap_secs:.6},\n",
             "    \"speedup\": {overlap_speedup:.2}\n",
-            "  }}\n",
+            "  }},\n",
+            "{mem}\n",
             "}}\n",
         ),
         scale = if quick { "smoke" } else { "quick" },
@@ -297,6 +313,7 @@ fn main() {
         barrier_secs = barrier_secs,
         overlap_secs = overlap_secs,
         overlap_speedup = barrier_secs / overlap_secs,
+        mem = mem::report_json(),
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark record");

@@ -1,13 +1,19 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N]
-//!       [--overlap] [--population N] [--only SECTION]
+//! repro [--quick] [--sites N] [--popular N] [--sensitive N] [--seed S]
+//!       [--jobs N] [--overlap] [--population N] [--only SECTION]
 //! ```
 //!
 //! Sections: `table1 fig2 fig3 fig4 table2 fig5 leaks dns incognito
 //! sensitive transfers idle-dest listing1`. Default: everything at paper
 //! scale (500 + 500 sites, 10-minute idle).
+//!
+//! `--sites N` grows the web beyond the paper's head set: sites past
+//! `popular + sensitive` come from the generator's deterministic deep
+//! tail (the head sites stay byte-identical, so `--sites 1000` at paper
+//! scale IS the paper's exact web). Composes with `--jobs`/`--overlap`
+//! like any other scale.
 //!
 //! `--jobs N` runs the browser campaigns across an N-worker fleet
 //! (default: the machine's available parallelism; `--jobs 1` forces the
@@ -62,10 +68,15 @@ fn main() {
     let mut population: usize = 15;
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
+    let mut sites: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => scale = Scale::quick(),
+            "--sites" => {
+                i += 1;
+                sites = Some(args[i].parse().expect("--sites N"));
+            }
             "--metrics" => metrics = true,
             "--trace-out" => {
                 i += 1;
@@ -110,7 +121,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--population N] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR] [--metrics] [--trace-out FILE]"
+                    "repro [--quick] [--sites N] [--popular N] [--sensitive N] [--seed S] [--jobs N] [--overlap] [--population N] [--only SECTION] [--har DIR] [--json FILE] [--csv DIR] [--metrics] [--trace-out FILE]"
                 );
                 return;
             }
@@ -120,6 +131,11 @@ fn main() {
             }
         }
         i += 1;
+    }
+    // Applied after the loop so `--sites` composes with `--quick` /
+    // `--popular` / `--sensitive` regardless of flag order.
+    if let Some(n) = sites {
+        scale = scale.with_sites(n);
     }
     let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
 
@@ -132,13 +148,17 @@ fn main() {
         panoptes_obs::enable(panoptes_obs::TRACE);
     }
 
+    // The tail note appears only when a tail exists, so default runs
+    // keep the byte-identical paper header.
+    let tail_note =
+        if scale.tail > 0 { format!(" + {} tail", scale.tail) } else { String::new() };
     eprintln!(
-        "# Panoptes reproduction — {} popular + {} sensitive sites, seed {:#x}",
-        scale.popular, scale.sensitive, scale.seed
+        "# Panoptes reproduction — {} popular + {} sensitive{} sites, seed {:#x}",
+        scale.popular, scale.sensitive, tail_note, scale.seed
     );
     println!(
-        "# Panoptes reproduction run ({} popular + {} sensitive sites, seed {:#x})\n",
-        scale.popular, scale.sensitive, scale.seed
+        "# Panoptes reproduction run ({} popular + {} sensitive{} sites, seed {:#x})\n",
+        scale.popular, scale.sensitive, tail_note, scale.seed
     );
 
     let fleet_options = match jobs {

@@ -30,6 +30,9 @@ pub struct Scale {
     pub popular: u32,
     /// Sensitive (Curlie-like) sites.
     pub sensitive: u32,
+    /// Deep-tail sites appended after the head set (`--sites N` beyond
+    /// `popular + sensitive`); 0 is the paper's exact web.
+    pub tail: u32,
     /// Idle-window length.
     pub idle: SimDuration,
     /// Campaign seed.
@@ -42,6 +45,7 @@ impl Scale {
         Scale {
             popular: 500,
             sensitive: 500,
+            tail: 0,
             idle: SimDuration::from_secs(600),
             seed: CampaignConfig::default().seed,
         }
@@ -52,9 +56,18 @@ impl Scale {
         Scale {
             popular: 30,
             sensitive: 20,
+            tail: 0,
             idle: SimDuration::from_secs(600),
             seed: CampaignConfig::default().seed,
         }
+    }
+
+    /// Sets the total site count: `n` beyond `popular + sensitive`
+    /// becomes deep tail (`--sites N`); `n` at or below the head leaves
+    /// the scale untouched, so `--sites 1000` at paper scale is exact.
+    pub fn with_sites(mut self, n: u32) -> Scale {
+        self.tail = n.saturating_sub(self.popular + self.sensitive);
+        self
     }
 
     /// The (cached, shared) world for this scale: the plan cache builds
@@ -65,6 +78,7 @@ impl Scale {
             seed: self.seed,
             popular: self.popular,
             sensitive: self.sensitive,
+            tail: self.tail,
         })
     }
 

@@ -11,31 +11,39 @@
 //! "is an ad-blocking browser that enforces the easylist filterlist in
 //! its web engine").
 //!
-//! # Matching engine
+//! # Matching engines
 //!
-//! [`FilterList::should_block`] is indexed, not a linear rule scan:
+//! [`FilterList::should_block`] runs the **compiled** engine (PR 7):
+//! all substring rules in one dense Aho–Corasick DFA behind a rare-byte
+//! prefilter, domain anchors as interned [`Atom`]s in an FNV set with a
+//! length-mask gate — see [`crate::automaton`]. The hot path allocates
+//! nothing: bytes are lowercased as they feed the DFA.
 //!
-//! * domain-anchor rules live in a hash set consulted once per label
-//!   suffix of the host (`a.b.c.com` costs at most four lookups however
-//!   many anchor rules are loaded);
-//! * substring rules are bucketed by their **rarest byte** (per a
-//!   static URL byte-frequency table); a bucket is scanned only when
-//!   its byte occurs in the URL at all, so almost every rule is skipped
-//!   without ever running `contains`;
-//! * exception rules use the same structures and are consulted only
-//!   after a block rule has actually hit.
+//! Two older engines stay on as measured references:
 //!
-//! [`FilterList::should_block_linear`] keeps the original rule-by-rule
-//! scan as the reference implementation; the proptest equivalence suite
-//! and the filterlist benchmark pin the indexed engine against it.
+//! * [`FilterList::should_block_indexed`] — the PR-2 indexed engine
+//!   (anchor hash-walk, rare-byte substring buckets, 256-bit URL
+//!   bitmap), the baseline `bench_scale` reports speedup against;
+//! * [`FilterList::should_block_linear`] — the original rule-by-rule
+//!   scan, the reference the proptest equivalence suite pins both
+//!   faster engines to.
+//!
+//! All three decide identically on every (rules, host, url).
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashSet};
+
+use panoptes_http::Atom;
+
+use crate::automaton::{bucket_byte_pr2, AnchorSet, ByteSet, SubstringAutomaton};
 
 /// One parsed rule.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Pattern {
-    /// `||domain^` — matches the URL host (and subdomains).
-    DomainAnchor(String),
+    /// `||domain^` — matches the URL host (and subdomains). Interned:
+    /// the same network's anchor in blocks, exceptions and across lists
+    /// shares one allocation.
+    DomainAnchor(Atom),
     /// Bare substring on the serialized URL.
     Substring(String),
 }
@@ -46,49 +54,13 @@ struct Rule {
     exception: bool,
 }
 
-/// 256-bit presence bitmap of the bytes occurring in a URL.
-struct ByteSet([u64; 4]);
-
-impl ByteSet {
-    fn of(text: &str) -> ByteSet {
-        let mut set = [0u64; 4];
-        for &b in text.as_bytes() {
-            set[(b >> 6) as usize] |= 1 << (b & 63);
-        }
-        ByteSet(set)
-    }
-
-    fn contains(&self, b: u8) -> bool {
-        self.0[(b >> 6) as usize] & (1 << (b & 63)) != 0
-    }
-}
-
-/// How rare a byte is in serialized URL text; higher is rarer. Used to
-/// pick each substring rule's bucket byte so the pre-filter skips as
-/// many buckets as possible per URL.
-fn rarity(b: u8) -> u8 {
-    match b {
-        b'/' | b'.' | b':' | b'e' | b'a' | b't' | b'o' | b'i' | b'n' | b's' | b'r' | b'c' => 0,
-        b'a'..=b'z' => 1,
-        b'0'..=b'9' => 2,
-        b'-' | b'_' | b'=' | b'&' | b'?' | b'%' => 3,
-        _ => 4,
-    }
-}
-
-/// The rarest byte of a (non-empty, already lowercased) pattern.
-fn bucket_byte(pattern: &str) -> u8 {
-    pattern
-        .bytes()
-        .max_by_key(|&b| rarity(b))
-        .expect("zero-length substring patterns are rejected at parse")
-}
-
-/// Indexed form of one rule set (blocks or exceptions).
+/// Indexed form of one rule set (blocks or exceptions) — the PR-2
+/// engine, kept as the measured baseline.
 #[derive(Debug, Clone, Default)]
 struct PatternIndex {
-    /// Domain-anchor rules, looked up by host label suffix.
-    anchors: HashSet<String>,
+    /// Domain-anchor rules, looked up by host label suffix (shared
+    /// interned `Atom`s; probes borrow `&str`).
+    anchors: HashSet<Atom>,
     /// Substring rules keyed by their rarest byte; `BTreeMap` keeps the
     /// build deterministic.
     substrings: BTreeMap<u8, Vec<String>>,
@@ -101,7 +73,9 @@ impl PatternIndex {
                 self.anchors.insert(d.clone());
             }
             Pattern::Substring(s) => {
-                self.substrings.entry(bucket_byte(s)).or_default().push(s.clone());
+                // Frozen PR-2 bucket choice: this engine is the pinned
+                // baseline the compiled automaton is measured against.
+                self.substrings.entry(bucket_byte_pr2(s)).or_default().push(s.clone());
             }
         }
     }
@@ -138,6 +112,37 @@ impl PatternIndex {
     }
 }
 
+/// One rule set compiled for the hot path: interned anchors behind a
+/// length mask, substrings as one Aho–Corasick DFA behind the rare-byte
+/// prefilter.
+#[derive(Debug, Clone, Default)]
+struct CompiledRules {
+    anchors: AnchorSet,
+    substrings: SubstringAutomaton,
+}
+
+impl CompiledRules {
+    fn compile(patterns: &[Pattern]) -> CompiledRules {
+        let mut anchors = AnchorSet::default();
+        for p in patterns {
+            if let Pattern::DomainAnchor(d) = p {
+                anchors.insert(d);
+            }
+        }
+        let substrings = SubstringAutomaton::compile(patterns.iter().filter_map(|p| match p {
+            Pattern::Substring(s) => Some(s.as_str()),
+            Pattern::DomainAnchor(_) => None,
+        }));
+        CompiledRules { anchors, substrings }
+    }
+
+    /// "Any pattern matches (host, url)". The host must be lowercased;
+    /// the URL is matched as-is (the DFA lowercases while scanning).
+    fn matches(&self, host_lower: &str, url_text: &str) -> bool {
+        self.anchors.matches_host(host_lower) || self.substrings.matches_anycase(url_text)
+    }
+}
+
 /// A parsed filterlist.
 #[derive(Debug, Clone, Default)]
 pub struct FilterList {
@@ -145,6 +150,8 @@ pub struct FilterList {
     exceptions: Vec<Pattern>,
     block_index: PatternIndex,
     exception_index: PatternIndex,
+    compiled_blocks: CompiledRules,
+    compiled_exceptions: CompiledRules,
 }
 
 impl FilterList {
@@ -177,17 +184,43 @@ impl FilterList {
                 }
             }
         }
+        list.compiled_blocks = CompiledRules::compile(&list.blocks);
+        list.compiled_exceptions = CompiledRules::compile(&list.exceptions);
         list
     }
 
     /// True when a request for `url_text` (to `host`) should be blocked.
+    ///
+    /// Runs the compiled engine: anchor set with length gate, then the
+    /// substring DFA behind its rare-byte prefilter; exceptions are
+    /// consulted only after a block rule hit. Allocation-free unless the
+    /// caller passes an upper-case host (hosts arrive lowercased from
+    /// the URL layer).
     pub fn should_block(&self, host: &str, url_text: &str) -> bool {
         panoptes_obs::count!("blocklist.probes", Deterministic);
         if self.blocks.is_empty() {
             return false;
         }
-        let host_lower = host.to_ascii_lowercase();
-        let url_lower = url_text.to_ascii_lowercase();
+        let host_lower: Cow<'_, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(host.to_ascii_lowercase()) // alloc-ok: uppercase-host slow path
+        } else {
+            Cow::Borrowed(host)
+        };
+        if !self.compiled_blocks.matches(&host_lower, url_text) {
+            return false;
+        }
+        !self.compiled_exceptions.matches(&host_lower, url_text)
+    }
+
+    /// The PR-2 indexed engine (anchor hash-walk + rare-byte substring
+    /// buckets + URL byte bitmap), kept as the measured baseline the
+    /// compiled engine is benchmarked against.
+    pub fn should_block_indexed(&self, host: &str, url_text: &str) -> bool {
+        if self.blocks.is_empty() {
+            return false;
+        }
+        let host_lower = host.to_ascii_lowercase(); // alloc-ok: frozen PR-2 baseline
+        let url_lower = url_text.to_ascii_lowercase(); // alloc-ok: frozen PR-2 baseline
         let seen = ByteSet::of(&url_lower);
         if !self.block_index.matches(&host_lower, &url_lower, &seen) {
             return false;
@@ -231,12 +264,14 @@ fn parse_rule(line: &str) -> Option<Rule> {
         if domain.is_empty() {
             return None;
         }
-        Pattern::DomainAnchor(domain.to_ascii_lowercase())
+        // Interning dedupes storage across blocks/exceptions/lists: the
+        // same network's anchor is one shared allocation everywhere.
+        Pattern::DomainAnchor(Atom::from(domain.to_ascii_lowercase())) // alloc-ok: parse time
     } else {
         if body.chars().all(|c| c == '^') {
             return None; // separator-only token: would match nothing useful
         }
-        Pattern::Substring(body.to_ascii_lowercase())
+        Pattern::Substring(body.to_ascii_lowercase()) // alloc-ok: parse time
     };
     Some(Rule { pattern, exception })
 }
@@ -244,12 +279,15 @@ fn parse_rule(line: &str) -> Option<Rule> {
 fn pattern_matches(pattern: &Pattern, host: &str, url_text: &str) -> bool {
     match pattern {
         Pattern::DomainAnchor(domain) => {
-            let host = host.to_ascii_lowercase();
-            host == *domain
+            let host = host.to_ascii_lowercase(); // alloc-ok: linear reference engine
+            let domain = domain.as_str();
+            host == domain
                 || (host.ends_with(domain)
                     && host.as_bytes().get(host.len() - domain.len() - 1) == Some(&b'.'))
         }
-        Pattern::Substring(s) => url_text.to_ascii_lowercase().contains(s.as_str()),
+        Pattern::Substring(s) => {
+            url_text.to_ascii_lowercase().contains(s.as_str()) // alloc-ok: linear reference
+        }
     }
 }
 
@@ -355,11 +393,22 @@ mod tests {
             ("a.b.c.rubiconproject.com", "https://a.b.c.rubiconproject.com/"),
         ];
         for (host, url) in cases {
-            assert_eq!(
-                list.should_block(host, url),
-                list.should_block_linear(host, url),
-                "{host} {url}"
-            );
+            let reference = list.should_block_linear(host, url);
+            assert_eq!(list.should_block(host, url), reference, "compiled: {host} {url}");
+            assert_eq!(list.should_block_indexed(host, url), reference, "indexed: {host} {url}");
+        }
+    }
+
+    #[test]
+    fn cloned_list_decides_identically() {
+        let list = easylist_excerpt();
+        let clone = list.clone();
+        for (host, url) in [
+            ("doubleclick.net", "https://doubleclick.net/pixel"),
+            ("site.com", "https://site.com/ads/banner.js"),
+            ("site.com", "https://site.com/news"),
+        ] {
+            assert_eq!(clone.should_block(host, url), list.should_block(host, url));
         }
     }
 

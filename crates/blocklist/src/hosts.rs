@@ -45,7 +45,7 @@ impl HostsList {
 
     /// Adds a single entry.
     pub fn add(&mut self, host: &str) {
-        self.entries.insert(host.to_ascii_lowercase());
+        self.entries.insert(host.to_ascii_lowercase()); // alloc-ok: list build time
     }
 
     /// Merges another list into this one.
@@ -55,8 +55,12 @@ impl HostsList {
 
     /// True when `host` or any of its parent domains is listed.
     pub fn contains(&self, host: &str) -> bool {
-        let host = host.to_ascii_lowercase();
-        let mut suffix: &str = &host;
+        // Hosts arrive lowercased from the URL layer; only an
+        // upper-case caller pays for a folded copy.
+        if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            return self.contains(&host.to_ascii_lowercase()); // alloc-ok: uppercase slow path
+        }
+        let mut suffix: &str = host;
         loop {
             if self.entries.contains(suffix) {
                 return true;

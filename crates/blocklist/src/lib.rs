@@ -24,6 +24,7 @@
 //! assert!(!list.contains("wikipedia.org"));
 //! ```
 
+pub mod automaton;
 pub mod data;
 pub mod filterlist;
 pub mod hosts;

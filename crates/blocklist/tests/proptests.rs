@@ -114,12 +114,47 @@ proptest! {
         }
 
         for (h, u) in &probes {
+            let reference = list.should_block_linear(h, u);
             prop_assert_eq!(
                 list.should_block(h, u),
-                list.should_block_linear(h, u),
-                "diverged on host={} url={} rules={:?}", h, u, lines
+                reference,
+                "compiled engine diverged on host={} url={} rules={:?}", h, u, lines
+            );
+            prop_assert_eq!(
+                list.should_block_indexed(h, u),
+                reference,
+                "indexed engine diverged on host={} url={} rules={:?}", h, u, lines
             );
         }
+    }
+
+    /// Hostile-input equivalence: arbitrary rule sets against URLs with
+    /// mixed case, separators, percent-escapes, repeated fragments and
+    /// non-ASCII — the compiled DFA (which lowercases on the fly and
+    /// walks raw bytes) must still decide exactly like the reference
+    /// scan, and so must the PR-2 indexed engine.
+    #[test]
+    fn engines_agree_on_hostile_urls(
+        lines in proptest::collection::vec(arb_rule_line(), 0..40),
+        host in "[a-zA-Z0-9.-]{1,24}",
+        url in "[ -~éß°\u{2603}]{0,60}",
+        stutter in "[a-z^/.]{0,6}",
+    ) {
+        let list = FilterList::parse(&lines.join("\n"));
+        // Repeat a fragment so partial-match resets inside the DFA are
+        // exercised (aaab-style prefixes that almost match).
+        let url = format!("https://{host}/{url}{stutter}{stutter}{url}");
+        let reference = list.should_block_linear(&host, &url);
+        prop_assert_eq!(
+            list.should_block(&host, &url),
+            reference,
+            "compiled engine diverged on host={} url={} rules={:?}", host, url, lines
+        );
+        prop_assert_eq!(
+            list.should_block_indexed(&host, &url),
+            reference,
+            "indexed engine diverged on host={} url={} rules={:?}", host, url, lines
+        );
     }
 
     /// Dedupe is pure: a list parsed from duplicated text decides

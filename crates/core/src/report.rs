@@ -148,7 +148,7 @@ mod tests {
             let mut merged = SummaryPartial::default();
             for range in crate::fleet::shard_ranges(flows.len(), shards) {
                 let mut partial = SummaryPartial::default();
-                for flow in &flows[range] {
+                for flow in flows.slice(range) {
                     partial.observe(flow);
                 }
                 merged.merge(partial);

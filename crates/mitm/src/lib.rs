@@ -31,5 +31,5 @@ pub mod taint;
 pub use addon::{Addon, InterceptedRequest, Verdict};
 pub use flow::{Flow, FlowClass};
 pub use proxy::TransparentProxy;
-pub use store::{FlowSnapshot, FlowStore};
+pub use store::{FlowSnapshot, FlowStore, Flows};
 pub use taint::{TaintAddon, TAINT_HEADER};

@@ -5,15 +5,20 @@
 //! exposes the two categories as views, plus JSONL persistence so
 //! campaigns can be archived and re-analysed offline.
 //!
-//! # Zero-copy analysis path
+//! # Columnar capture arena
 //!
-//! Flows are held as [`Arc<Flow>`] and consumed through a sealed
-//! [`FlowSnapshot`]: an immutable view built **once** per capture that
-//! carries precomputed per-class and per-package indices. The ~10
-//! analysis passes of a study all iterate the same snapshot — no
-//! per-pass deep clone of URLs, headers and bodies, no mutex traffic.
+//! A crawl's flows live in **one allocation region**: sealing a
+//! [`FlowSnapshot`] moves the appended flows into a contiguous
+//! `Arc<[Flow]>` slab, and every view — capture order, per-class,
+//! per-package — is a [`Flows`] window over that slab described by
+//! `u32` indices. No per-flow `Arc`, no pointer chasing between
+//! records: the ~10 analysis passes of a study walk one cache-friendly
+//! array, and the only refcount in the system is the slab's own.
+//!
 //! Appending or clearing flows invalidates the memoised snapshot; the
-//! next [`FlowStore::snapshot`] call seals a fresh one.
+//! next [`FlowStore::snapshot`] call seals a fresh slab (re-using the
+//! already-sealed prefix). Snapshots are immutable, so a stale snapshot
+//! still describes exactly the capture it sealed.
 //!
 //! The pre-snapshot cloning accessors ([`FlowStore::all`],
 //! [`FlowStore::native_flows`], …) remain as thin compatibility shims
@@ -23,6 +28,7 @@
 
 use std::any::Any;
 use std::fmt;
+use std::ops::{Index, Range};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -35,17 +41,114 @@ use panoptes_http::Atom;
 
 use crate::flow::{Flow, FlowClass};
 
-/// A sealed, immutable view of a capture: every flow in capture order
-/// plus per-class and per-package indices, all sharing the same
-/// [`Arc<Flow>`] records (building a snapshot never deep-copies a flow).
-#[derive(Default)]
+/// A window over a snapshot's flow arena: either a contiguous
+/// capture-order span or an index-selected view (a class or package).
+///
+/// `Flows` is `Copy` — two words of span plus the slab pointer — so it
+/// passes by value everywhere a `&[Arc<Flow>]` used to. Iteration
+/// yields plain `&Flow` references into the shared slab.
+#[derive(Clone, Copy)]
+pub struct Flows<'a> {
+    slab: &'a [Flow],
+    sel: Selection<'a>,
+}
+
+#[derive(Clone, Copy)]
+enum Selection<'a> {
+    /// Contiguous capture-order range `[start, end)` of the slab.
+    Span(usize, usize),
+    /// Arena indices, in view order.
+    Indices(&'a [u32]),
+}
+
+impl<'a> Flows<'a> {
+    /// Number of flows in the view.
+    pub fn len(&self) -> usize {
+        match self.sel {
+            Selection::Span(a, b) => b - a,
+            Selection::Indices(ix) => ix.len(),
+        }
+    }
+
+    /// True when the view selects no flows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th flow of the view, if any. The returned reference
+    /// borrows the arena, not this (copyable) view value.
+    pub fn get(self, i: usize) -> Option<&'a Flow> {
+        match self.sel {
+            Selection::Span(a, b) => {
+                if i < b - a {
+                    self.slab.get(a + i)
+                } else {
+                    None
+                }
+            }
+            Selection::Indices(ix) => ix.get(i).map(|&j| &self.slab[j as usize]),
+        }
+    }
+
+    /// Iterates the view's flows in view order.
+    pub fn iter(self) -> impl Iterator<Item = &'a Flow> + 'a {
+        let slab = self.slab;
+        let (span, indices) = match self.sel {
+            Selection::Span(a, b) => (Some(&slab[a..b]), None),
+            Selection::Indices(ix) => (None, Some(ix)),
+        };
+        span.into_iter()
+            .flatten()
+            .chain(indices.into_iter().flatten().map(move |&i| &slab[i as usize]))
+    }
+
+    /// A sub-view over `range` of this view (shard ranges for the
+    /// fleet's contiguous analysis splits).
+    pub fn slice(self, range: Range<usize>) -> Flows<'a> {
+        match self.sel {
+            Selection::Span(a, b) => {
+                assert!(range.end <= b - a, "slice out of bounds");
+                Flows { slab: self.slab, sel: Selection::Span(a + range.start, a + range.end) }
+            }
+            Selection::Indices(ix) => {
+                Flows { slab: self.slab, sel: Selection::Indices(&ix[range]) }
+            }
+        }
+    }
+}
+
+impl Index<usize> for Flows<'_> {
+    type Output = Flow;
+    fn index(&self, i: usize) -> &Flow {
+        self.get(i).expect("flow view index out of bounds")
+    }
+}
+
+impl fmt::Debug for Flows<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Flows").field("len", &self.len()).finish()
+    }
+}
+
+impl<'a> IntoIterator for Flows<'a> {
+    type Item = &'a Flow;
+    type IntoIter = Box<dyn Iterator<Item = &'a Flow> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// A sealed, immutable view of a capture: one contiguous flow arena
+/// plus per-class and per-package index vectors. Building a snapshot
+/// never deep-copies an already-sealed flow, and every view is a
+/// [`Flows`] window over the same slab.
 pub struct FlowSnapshot {
-    flows: Vec<Arc<Flow>>,
-    engine: Vec<Arc<Flow>>,
-    native: Vec<Arc<Flow>>,
-    pinned: Vec<Arc<Flow>>,
-    blocked: Vec<Arc<Flow>>,
-    by_package: HashMap<Atom, Vec<Arc<Flow>>>,
+    slab: Arc<[Flow]>,
+    engine: Vec<u32>,
+    native: Vec<u32>,
+    pinned: Vec<u32>,
+    blocked: Vec<u32>,
+    by_package: HashMap<Atom, Vec<u32>>,
     /// Slot for a derived-data cache layered on top of the snapshot by a
     /// downstream crate (the analysis crate parks its parse-once
     /// `CaptureFacts` here). Lives and dies with the snapshot, so the
@@ -53,10 +156,16 @@ pub struct FlowSnapshot {
     extension: OnceLock<Box<dyn Any + Send + Sync>>,
 }
 
+impl Default for FlowSnapshot {
+    fn default() -> FlowSnapshot {
+        FlowSnapshot::build(Arc::from(Vec::new()))
+    }
+}
+
 impl fmt::Debug for FlowSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FlowSnapshot")
-            .field("flows", &self.flows.len())
+            .field("flows", &self.slab.len())
             .field("engine", &self.engine.len())
             .field("native", &self.native.len())
             .field("packages", &self.by_package.len())
@@ -65,56 +174,73 @@ impl fmt::Debug for FlowSnapshot {
 }
 
 impl FlowSnapshot {
-    fn build(flows: Vec<Arc<Flow>>) -> FlowSnapshot {
-        let mut snap = FlowSnapshot { flows, ..FlowSnapshot::default() };
-        for flow in &snap.flows {
+    fn build(slab: Arc<[Flow]>) -> FlowSnapshot {
+        let mut snap = FlowSnapshot {
+            slab,
+            engine: Vec::new(),
+            native: Vec::new(),
+            pinned: Vec::new(),
+            blocked: Vec::new(),
+            by_package: HashMap::new(),
+            extension: OnceLock::new(),
+        };
+        for (i, flow) in snap.slab.iter().enumerate() {
+            let i = i as u32;
             match flow.class {
-                FlowClass::Engine => snap.engine.push(flow.clone()),
-                FlowClass::Native => snap.native.push(flow.clone()),
-                FlowClass::PinnedOpaque => snap.pinned.push(flow.clone()),
-                FlowClass::Blocked => snap.blocked.push(flow.clone()),
+                FlowClass::Engine => snap.engine.push(i),
+                FlowClass::Native => snap.native.push(i),
+                FlowClass::PinnedOpaque => snap.pinned.push(i),
+                FlowClass::Blocked => snap.blocked.push(i),
             }
-            snap.by_package
-                .entry(flow.package.clone())
-                .or_default()
-                .push(flow.clone());
+            snap.by_package.entry(flow.package.clone()).or_default().push(i);
         }
         snap
     }
 
+    /// The underlying flow arena: every captured flow, capture order,
+    /// one allocation. Derived caches (the analysis facts layer) clone
+    /// this `Arc` to pin the slab and index it arithmetically.
+    pub fn arena(&self) -> &Arc<[Flow]> {
+        &self.slab
+    }
+
     /// Every captured flow in capture order.
-    pub fn all(&self) -> &[Arc<Flow>] {
-        &self.flows
+    pub fn all(&self) -> Flows<'_> {
+        Flows { slab: &self.slab, sel: Selection::Span(0, self.slab.len()) }
     }
 
     /// Iterates every flow in capture order.
     pub fn iter(&self) -> impl Iterator<Item = &Flow> {
-        self.flows.iter().map(|f| f.as_ref())
+        self.slab.iter()
+    }
+
+    fn view<'a>(&'a self, indices: &'a [u32]) -> Flows<'a> {
+        Flows { slab: &self.slab, sel: Selection::Indices(indices) }
     }
 
     /// The engine-traffic database view.
-    pub fn engine(&self) -> &[Arc<Flow>] {
-        &self.engine
+    pub fn engine(&self) -> Flows<'_> {
+        self.view(&self.engine)
     }
 
     /// The native-traffic database view.
-    pub fn native(&self) -> &[Arc<Flow>] {
-        &self.native
+    pub fn native(&self) -> Flows<'_> {
+        self.view(&self.native)
     }
 
     /// Flows of one classification.
-    pub fn by_class(&self, class: FlowClass) -> &[Arc<Flow>] {
+    pub fn by_class(&self, class: FlowClass) -> Flows<'_> {
         match class {
-            FlowClass::Engine => &self.engine,
-            FlowClass::Native => &self.native,
-            FlowClass::PinnedOpaque => &self.pinned,
-            FlowClass::Blocked => &self.blocked,
+            FlowClass::Engine => self.engine(),
+            FlowClass::Native => self.native(),
+            FlowClass::PinnedOpaque => self.view(&self.pinned),
+            FlowClass::Blocked => self.view(&self.blocked),
         }
     }
 
     /// Flows sent by one app package (empty for unknown packages).
-    pub fn by_package(&self, package: &str) -> &[Arc<Flow>] {
-        self.by_package.get(package).map(Vec::as_slice).unwrap_or(&[])
+    pub fn by_package(&self, package: &str) -> Flows<'_> {
+        self.view(self.by_package.get(package).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// The packages observed in this capture, in arbitrary order.
@@ -124,12 +250,12 @@ impl FlowSnapshot {
 
     /// Total number of flows in the snapshot.
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.slab.len()
     }
 
     /// True when the snapshot holds no flows.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.slab.is_empty()
     }
 
     /// Returns the snapshot's extension cache, initialising it with
@@ -148,10 +274,30 @@ impl FlowSnapshot {
     }
 }
 
+/// Flows not yet sealed plus the last sealed arena. Appends go to the
+/// open list; sealing moves them into a fresh contiguous slab (cloning
+/// only the already-sealed prefix, which is rare: captures are built
+/// up, sealed once, then analysed).
+#[derive(Default)]
+struct StoreState {
+    sealed: Option<Arc<[Flow]>>,
+    open: Vec<Flow>,
+}
+
+impl StoreState {
+    fn len(&self) -> usize {
+        self.sealed.as_ref().map_or(0, |s| s.len()) + self.open.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Flow> {
+        self.sealed.iter().flat_map(|s| s.iter()).chain(self.open.iter())
+    }
+}
+
 /// Thread-safe, append-only capture database.
 #[derive(Default)]
 pub struct FlowStore {
-    flows: Mutex<Vec<Arc<Flow>>>,
+    state: Mutex<StoreState>,
     /// Bumped on every mutation; lets [`Self::snapshot`] detect that a
     /// freshly built snapshot is already stale without nesting locks.
     generation: AtomicU64,
@@ -167,9 +313,29 @@ impl FlowStore {
 
     /// Appends a flow. Invalidates the memoised snapshot.
     pub fn push(&self, flow: Flow) {
-        self.flows.lock().push(Arc::new(flow));
+        self.state.lock().open.push(flow);
         self.generation.fetch_add(1, Ordering::Release);
         *self.snapshot.lock() = None;
+    }
+
+    /// Moves any open flows into a contiguous arena and returns it.
+    /// When nothing was appended since the last seal the existing slab
+    /// is returned as-is — re-snapshotting is allocation-free.
+    fn seal(&self) -> Arc<[Flow]> {
+        let mut state = self.state.lock();
+        if state.open.is_empty() {
+            if let Some(sealed) = &state.sealed {
+                return sealed.clone();
+            }
+        }
+        let mut flows: Vec<Flow> = Vec::with_capacity(state.len());
+        if let Some(sealed) = &state.sealed {
+            flows.extend(sealed.iter().cloned());
+        }
+        flows.append(&mut state.open);
+        let slab: Arc<[Flow]> = Arc::from(flows);
+        state.sealed = Some(slab.clone());
+        slab
     }
 
     /// The sealed snapshot of the capture: built once, then shared by
@@ -180,11 +346,10 @@ impl FlowStore {
                 return snap.clone();
             }
         }
-        // Build outside both locks: cloning the Arc vec is cheap and the
-        // builder never touches the store again.
+        // Seal under the state lock, index outside it: the builder only
+        // touches the immutable slab.
         let gen = self.generation.load(Ordering::Acquire);
-        let flows = self.flows.lock().clone();
-        let snap = Arc::new(FlowSnapshot::build(flows));
+        let snap = Arc::new(FlowSnapshot::build(self.seal()));
         // Memoise only if no mutation raced the build; the returned
         // snapshot is still a correct view of the flows it was built on.
         if gen == self.generation.load(Ordering::Acquire) {
@@ -198,7 +363,7 @@ impl FlowStore {
     /// Compatibility shim: deep-copies every flow. Analysis code must
     /// use [`Self::snapshot`] instead.
     pub fn all(&self) -> Vec<Flow> {
-        self.flows.lock().iter().map(|f| (**f).clone()).collect()
+        self.state.lock().iter().cloned().collect()
     }
 
     /// The engine-traffic database (cloning shim; see [`Self::snapshot`]).
@@ -213,37 +378,30 @@ impl FlowStore {
 
     /// Flows of one classification (cloning shim; see [`Self::snapshot`]).
     pub fn by_class(&self, class: FlowClass) -> Vec<Flow> {
-        self.flows
-            .lock()
-            .iter()
-            .filter(|f| f.class == class)
-            .map(|f| (**f).clone())
-            .collect()
+        self.state.lock().iter().filter(|f| f.class == class).cloned().collect()
     }
 
     /// Flows sent by one app package (cloning shim; see [`Self::snapshot`]).
     pub fn by_package(&self, package: &str) -> Vec<Flow> {
-        self.flows
-            .lock()
-            .iter()
-            .filter(|f| f.package == package)
-            .map(|f| (**f).clone())
-            .collect()
+        self.state.lock().iter().filter(|f| f.package == package).cloned().collect()
     }
 
     /// Total number of captured flows.
     pub fn len(&self) -> usize {
-        self.flows.lock().len()
+        self.state.lock().len()
     }
 
     /// True when nothing has been captured.
     pub fn is_empty(&self) -> bool {
-        self.flows.lock().is_empty()
+        self.len() == 0
     }
 
     /// Removes every flow (start of a fresh campaign).
     pub fn clear(&self) {
-        self.flows.lock().clear();
+        let mut state = self.state.lock();
+        state.sealed = None;
+        state.open.clear();
+        drop(state);
         self.generation.fetch_add(1, Ordering::Release);
         *self.snapshot.lock() = None;
     }
@@ -252,11 +410,10 @@ impl FlowStore {
     /// pre-reserved from per-flow line estimates, and the store lock is
     /// taken exactly once.
     pub fn export_jsonl(&self) -> String {
-        let flows = self.flows.lock();
-        let mut out = String::with_capacity(
-            flows.iter().map(|f| f.jsonl_len_estimate()).sum(),
-        );
-        for flow in flows.iter() {
+        let state = self.state.lock();
+        let mut out =
+            String::with_capacity(state.iter().map(Flow::jsonl_len_estimate).sum());
+        for flow in state.iter() {
             out.push_str(&flow.to_jsonl());
             out.push('\n');
         }
@@ -266,8 +423,8 @@ impl FlowStore {
     /// Streams the capture as JSONL into `out`, one line at a time, so
     /// archive writers don't double-buffer the whole export.
     pub fn write_jsonl(&self, out: &mut impl fmt::Write) -> fmt::Result {
-        let flows = self.flows.lock();
-        for flow in flows.iter() {
+        let state = self.state.lock();
+        for flow in state.iter() {
             out.write_str(&flow.to_jsonl())?;
             out.write_char('\n')?;
         }
@@ -351,15 +508,13 @@ mod tests {
             FlowClass::PinnedOpaque,
             FlowClass::Blocked,
         ] {
-            let view: Vec<Flow> =
-                snap.by_class(class).iter().map(|f| (**f).clone()).collect();
+            let view: Vec<Flow> = snap.by_class(class).iter().cloned().collect();
             assert_eq!(view, store.by_class(class), "{class:?}");
         }
         assert_eq!(snap.engine().len(), 1);
         assert_eq!(snap.native().len(), 2);
         for pkg in ["a", "b"] {
-            let view: Vec<Flow> =
-                snap.by_package(pkg).iter().map(|f| (**f).clone()).collect();
+            let view: Vec<Flow> = snap.by_package(pkg).iter().cloned().collect();
             assert_eq!(view, store.by_package(pkg), "{pkg}");
         }
         assert!(snap.by_package("unknown").is_empty());
@@ -386,13 +541,73 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_shares_records_with_the_store() {
+    fn snapshot_views_share_one_arena() {
         let store = FlowStore::new();
         store.push(flow(1, FlowClass::Native, "p"));
+        store.push(flow(2, FlowClass::Engine, "p"));
         let snap = store.snapshot();
-        // The class view and the capture-order view are the same record.
-        assert!(Arc::ptr_eq(&snap.all()[0], &snap.native()[0]));
-        assert!(Arc::ptr_eq(&snap.all()[0], &snap.by_package("p")[0]));
+        // Class and package views resolve to the very same records in
+        // the capture-order arena — identical addresses, no copies.
+        let all = snap.all();
+        assert!(std::ptr::eq(&all[0], &snap.native()[0]));
+        assert!(std::ptr::eq(&all[0], &snap.by_package("p")[0]));
+        assert!(std::ptr::eq(&all[1], &snap.engine()[0]));
+        // The arena is exactly the capture-order flows.
+        assert_eq!(snap.arena().len(), 2);
+        assert!(std::ptr::eq(&snap.arena()[0], &all[0]));
+    }
+
+    #[test]
+    fn flows_windows_slice_and_index() {
+        let store = FlowStore::new();
+        for i in 1..=6 {
+            let class = if i % 2 == 0 { FlowClass::Engine } else { FlowClass::Native };
+            store.push(flow(i, class, "p"));
+        }
+        let snap = store.snapshot();
+        let all = snap.all();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[3].id, 4);
+        assert_eq!(all.get(6).map(|f| f.id), None);
+        // Span slicing composes.
+        let mid = all.slice(1..5);
+        assert_eq!(mid.len(), 4);
+        assert_eq!(mid[0].id, 2);
+        let inner = mid.slice(1..3);
+        assert_eq!(inner.iter().map(|f| f.id).collect::<Vec<_>>(), vec![3, 4]);
+        // Index-view slicing selects within the class view.
+        let native = snap.native();
+        assert_eq!(native.iter().map(|f| f.id).collect::<Vec<_>>(), vec![1, 3, 5]);
+        let tail = native.slice(1..3);
+        assert_eq!(tail.iter().map(|f| f.id).collect::<Vec<_>>(), vec![3, 5]);
+        // IntoIterator lets views drive `for` loops directly.
+        let mut seen = 0;
+        for f in snap.engine() {
+            assert_eq!(f.class, FlowClass::Engine);
+            seen += 1;
+        }
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn reseal_preserves_order_and_reuses_nothing_stale() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Native, "p"));
+        let first = store.snapshot();
+        store.push(flow(2, FlowClass::Engine, "p"));
+        store.push(flow(3, FlowClass::Native, "q"));
+        let second = store.snapshot();
+        assert_eq!(
+            second.iter().map(|f| f.id).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "re-seal keeps capture order"
+        );
+        // The first snapshot's arena is untouched by the re-seal.
+        assert_eq!(first.len(), 1);
+        assert_eq!(first.all()[0].id, 1);
+        // Snapshotting again without mutation reuses the sealed arena.
+        let third = store.snapshot();
+        assert!(Arc::ptr_eq(&second, &third));
     }
 
     #[test]
@@ -416,6 +631,18 @@ mod tests {
         let mut streamed = String::new();
         store.write_jsonl(&mut streamed).unwrap();
         assert_eq!(streamed, store.export_jsonl());
+    }
+
+    #[test]
+    fn export_covers_sealed_and_open_flows() {
+        let store = FlowStore::new();
+        store.push(flow(1, FlowClass::Native, "p"));
+        let _ = store.snapshot(); // seal the first flow
+        store.push(flow(2, FlowClass::Native, "p"));
+        let text = store.export_jsonl();
+        assert_eq!(text.lines().count(), 2, "sealed prefix and open tail both export");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.all().len(), 2);
     }
 
     #[test]

@@ -156,7 +156,7 @@ proptest! {
             FlowClass::Blocked,
         ] {
             let view: Vec<Flow> =
-                snap.by_class(class).iter().map(|f| (**f).clone()).collect();
+                snap.by_class(class).iter().cloned().collect();
             let naive: Vec<Flow> =
                 flows.iter().filter(|f| f.class == class).cloned().collect();
             prop_assert_eq!(view, naive, "class {:?}", class);
@@ -166,7 +166,7 @@ proptest! {
             flows.iter().map(|f| f.package.as_str()).collect();
         for pkg in packages {
             let view: Vec<Flow> =
-                snap.by_package(pkg).iter().map(|f| (**f).clone()).collect();
+                snap.by_package(pkg).iter().cloned().collect();
             let naive: Vec<Flow> =
                 flows.iter().filter(|f| f.package == pkg).cloned().collect();
             prop_assert_eq!(view, naive, "package {}", pkg);

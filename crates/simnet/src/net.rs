@@ -15,7 +15,8 @@
 //!    for bytes and virtual latency.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -208,10 +209,17 @@ struct ProxyRegistration {
 /// swap. Dynamic [`Network::register_host`]/[`Network::register_endpoint`]
 /// entries overlay it, so tests and setup code keep their incremental
 /// API while a campaign install stops being O(hosts).
+///
+/// On first lookup the table compiles a host → [`Route`] map — interned
+/// name, address and handler resolved together. The compiled map lives
+/// in the table's own `OnceLock`, so it is built **once per world plan**
+/// and shared by every campaign the plan is installed on; lookups
+/// against it are plain immutable-map probes, no lock anywhere.
 #[derive(Clone, Default)]
 pub struct RouteTable {
     hosts: HashMap<Atom, IpAddr>,
     endpoints: HashMap<IpAddr, Arc<dyn HttpHandler>>,
+    compiled: OnceLock<HashMap<Atom, Route>>,
 }
 
 impl RouteTable {
@@ -236,6 +244,29 @@ impl RouteTable {
     pub fn host_count(&self) -> usize {
         self.hosts.len()
     }
+
+    /// The compiled host → route map, built on first use and shared by
+    /// every network the (immutable, `Arc`-held) table is installed on.
+    fn compiled(&self) -> &HashMap<Atom, Route> {
+        self.compiled.get_or_init(|| {
+            self.hosts
+                .iter()
+                .map(|(host, &ip)| {
+                    let route = Route {
+                        host: host.clone(),
+                        ip,
+                        handler: self.endpoints.get(&ip).cloned(),
+                    };
+                    (host.clone(), route)
+                })
+                .collect()
+        })
+    }
+
+    /// Lock-free route lookup against the compiled map.
+    fn route(&self, host: &str) -> Option<&Route> {
+        self.compiled().get(host)
+    }
 }
 
 /// A resolved destination: the interned host name, its address, and the
@@ -248,19 +279,69 @@ struct Route {
     handler: Option<Arc<dyn HttpHandler>>,
 }
 
+/// Aggregate counters kept as per-field atomics: the request path
+/// accounts for delivered flows and bytes with `fetch_add`s, never a
+/// lock ([`Network::stats`] reassembles a [`NetStats`] on demand).
+#[derive(Default)]
+struct AtomicNetStats {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    pinned_bypasses: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+impl AtomicNetStats {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            pinned_bypasses: self.pinned_bypasses.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The simulated network path between the device and the Internet.
+///
+/// # Lock-free request path
+///
+/// A campaign network is configured once — the world plan's
+/// [`RouteTable`] installed, the proxy registered, the filter rules
+/// written — and then only *read* by the crawl. The hot path exploits
+/// that: DNS, route and certificate lookups resolve against immutable
+/// `Arc` snapshots built once per world plan, and statistics are
+/// per-field atomics. The `dynamic` flag flips only when test code uses
+/// the incremental registration APIs (or injects faults); campaigns
+/// never set it, so their request path takes no lock at all beyond the
+/// (setup-mutated, read-mostly) filter table.
 pub struct Network {
     zone: RwLock<DnsZone>,
     filter: RwLock<FilterTable>,
     endpoints: RwLock<HashMap<IpAddr, Arc<dyn HttpHandler>>>,
-    base: RwLock<Option<Arc<RouteTable>>>,
+    /// The world plan, installed once — lock-free lookups forever after.
+    base: OnceLock<Arc<RouteTable>>,
+    /// A re-installed plan (tests replace tables); forces the slow path.
+    base_overlay: RwLock<Option<Arc<RouteTable>>>,
+    /// True as soon as any dynamic registration overlays the base plan.
+    dynamic: AtomicBool,
     route_cache: RwLock<HashMap<Atom, Route>>,
-    proxies: RwLock<HashMap<u16, ProxyRegistration>>,
+    proxies: RwLock<HashMap<u16, Arc<ProxyRegistration>>>,
+    /// The first registered proxy — the campaign's MITM — resolved
+    /// without touching the registry lock.
+    primary_proxy: OnceLock<(u16, Arc<ProxyRegistration>)>,
+    /// True when the primary's port was re-registered with a different
+    /// handler; sends lookups back to the registry.
+    primary_proxy_stale: AtomicBool,
     origin_ca: CertificateAuthority,
     latency: LatencyModel,
     device_ip: IpAddr,
-    stats: Mutex<NetStats>,
+    stats: AtomicNetStats,
     dns_log: DnsLog,
+    /// True once any fault was injected; gates the per-request fault
+    /// probe so fault-free runs never touch the fault maps.
+    has_faults: AtomicBool,
     faults: RwLock<HashMap<String, FaultMode>>,
     fault_counters: Mutex<HashMap<String, u32>>,
 }
@@ -273,14 +354,19 @@ impl Network {
             zone: RwLock::new(DnsZone::new()),
             filter: RwLock::new(FilterTable::new()),
             endpoints: RwLock::new(HashMap::new()),
-            base: RwLock::new(None),
+            base: OnceLock::new(),
+            base_overlay: RwLock::new(None),
+            dynamic: AtomicBool::new(false),
             route_cache: RwLock::new(HashMap::new()),
             proxies: RwLock::new(HashMap::new()),
+            primary_proxy: OnceLock::new(),
+            primary_proxy_stale: AtomicBool::new(false),
             origin_ca,
             latency: LatencyModel::default(),
             device_ip,
-            stats: Mutex::new(NetStats::default()),
+            stats: AtomicNetStats::default(),
             dns_log: DnsLog::new(),
+            has_faults: AtomicBool::new(false),
             faults: RwLock::new(HashMap::new()),
             fault_counters: Mutex::new(HashMap::new()),
         }
@@ -289,6 +375,7 @@ impl Network {
     /// Injects a fault for `host` (failure-injection testing).
     pub fn inject_fault(&self, host: &str, mode: FaultMode) {
         self.faults.write().insert(host.to_ascii_lowercase(), mode);
+        self.has_faults.store(true, Ordering::Release);
     }
 
     /// Removes an injected fault.
@@ -301,6 +388,9 @@ impl Network {
     /// page; `Some(Err)` is expressed by the caller mapping
     /// [`NetError::ConnectionRefused`].
     fn fault_for(&self, host: &str) -> Option<Result<Response, ()>> {
+        if !self.has_faults.load(Ordering::Acquire) {
+            return None;
+        }
         let mode = *self.faults.read().get(&host.to_ascii_lowercase())?;
         match mode {
             FaultMode::Unreachable => Some(Err(())),
@@ -329,6 +419,7 @@ impl Network {
     /// [`RouteTable`]).
     pub fn register_host(&self, host: &str, addr: IpAddr) {
         self.zone.write().insert(host, addr);
+        self.dynamic.store(true, Ordering::Release);
         self.route_cache.write().clear();
     }
 
@@ -336,20 +427,48 @@ impl Network {
     /// [`RouteTable`]).
     pub fn register_endpoint(&self, addr: IpAddr, handler: Arc<dyn HttpHandler>) {
         self.endpoints.write().insert(addr, handler);
+        self.dynamic.store(true, Ordering::Release);
         self.route_cache.write().clear();
     }
 
     /// Installs a prebuilt routing layer in O(1). Dynamic registrations
     /// (before or after) take precedence over it.
+    ///
+    /// The first install lands in a `OnceLock` read lock-free by every
+    /// request; a re-install (tests swapping worlds) falls back to an
+    /// overlay slot behind the slow path.
     pub fn install_routes(&self, table: Arc<RouteTable>) {
-        *self.base.write() = Some(table);
+        if self.base.set(table.clone()).is_err() {
+            *self.base_overlay.write() = Some(table);
+            self.dynamic.store(true, Ordering::Release);
+        }
         self.route_cache.write().clear();
     }
 
     /// Registers a transparent proxy listening on local `port`, forging
-    /// certificates with `ca`.
+    /// certificates with `ca`. The first registration — the campaign's
+    /// MITM proxy — is additionally pinned for lock-free lookup.
     pub fn register_proxy(&self, port: u16, handler: Arc<dyn HttpHandler>, ca: CertificateAuthority) {
-        self.proxies.write().insert(port, ProxyRegistration { handler, ca });
+        let reg = Arc::new(ProxyRegistration { handler, ca });
+        if self.primary_proxy.set((port, reg.clone())).is_err()
+            && self.primary_proxy.get().is_some_and(|(p, _)| *p == port)
+        {
+            self.primary_proxy_stale.store(true, Ordering::Release);
+        }
+        self.proxies.write().insert(port, reg);
+    }
+
+    /// The registration listening on `port`: the pinned primary when it
+    /// matches (no lock), the registry otherwise.
+    fn proxy_for(&self, port: u16) -> Option<Arc<ProxyRegistration>> {
+        if !self.primary_proxy_stale.load(Ordering::Acquire) {
+            if let Some((p, reg)) = self.primary_proxy.get() {
+                if *p == port {
+                    return Some(reg.clone());
+                }
+            }
+        }
+        self.proxies.read().get(&port).cloned()
     }
 
     /// Mutates the filter table (installing/flushing Panoptes rules).
@@ -373,11 +492,19 @@ impl Network {
     /// Zone lookup with no stub-query logging (used for transport-level
     /// routing and after a DoH exchange). Dynamic zone entries overlay
     /// the installed route table.
+    ///
+    /// With no dynamic entries — every campaign — this is one probe of
+    /// the immutable world plan, no lock.
     pub fn resolve_silent(&self, host: &str) -> Option<IpAddr> {
-        if let Some(ip) = self.zone.read().lookup(host) {
-            return Some(ip);
+        if self.dynamic.load(Ordering::Acquire) {
+            if let Some(ip) = self.zone.read().lookup(host) {
+                return Some(ip);
+            }
+            if let Some(table) = self.base_overlay.read().as_ref() {
+                return table.hosts.get(host).copied();
+            }
         }
-        self.base.read().as_ref().and_then(|t| t.hosts.get(host).copied())
+        self.base.get().and_then(|t| t.hosts.get(host).copied())
     }
 
     /// Records that `uid` resolved `name` over DoH (the HTTPS flow itself
@@ -396,18 +523,29 @@ impl Network {
         self.dns_log.snapshot()
     }
 
-    /// Resolves `host` to its cached [`Route`]: interned name, address,
-    /// and endpoint handler. The first request to a host pays the zone
-    /// and endpoint lookups; every subsequent request is one shared-lock
-    /// map probe, with no allocation and no re-hashing of intermediate
-    /// keys.
+    /// Resolves `host` to its [`Route`]: interned name, address, and
+    /// endpoint handler.
+    ///
+    /// The campaign path (no dynamic registrations) is **lock-free**:
+    /// one probe of the world plan's compiled route map — built once
+    /// per plan, shared by every campaign — cloning out two `Arc`s.
+    /// With dynamic overlays present the prior cached slow path runs:
+    /// first request to a host pays the zone and endpoint lookups under
+    /// locks, later ones are one shared-lock cache probe.
     fn route_for(&self, host: &str) -> Option<Route> {
+        if !self.dynamic.load(Ordering::Acquire) {
+            return self.base.get()?.route(host).cloned();
+        }
         if let Some(route) = self.route_cache.read().get(host) {
             return Some(route.clone());
         }
         let ip = self.resolve_silent(host)?;
         let handler = self.endpoints.read().get(&ip).cloned().or_else(|| {
-            self.base.read().as_ref().and_then(|t| t.endpoints.get(&ip).cloned())
+            if let Some(table) = self.base_overlay.read().as_ref() {
+                table.endpoints.get(&ip).cloned()
+            } else {
+                self.base.get().and_then(|t| t.endpoints.get(&ip).cloned())
+            }
         });
         let route = Route { host: Atom::intern(host), ip, handler };
         self.route_cache.write().insert(route.host.clone(), route.clone());
@@ -416,7 +554,7 @@ impl Network {
 
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> NetStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// The device's source address.
@@ -444,7 +582,7 @@ impl Network {
         let verdict = self.filter.read().evaluate(client.uid, proto, dst_port);
         match verdict {
             Verdict::Drop => {
-                self.stats.lock().dropped += 1;
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
                 Err(NetError::Dropped)
             }
             Verdict::Accept => self.deliver_direct(client, req, &route, dst_port),
@@ -506,11 +644,10 @@ impl Network {
     ) -> Result<(Response, TransportReport), NetError> {
         let host = &route.host;
         let (handler, forged) = {
-            let proxies = self.proxies.read();
-            let reg = proxies
-                .get(&proxy_port)
+            let reg = self
+                .proxy_for(proxy_port)
                 .ok_or(NetError::ConnectionRefused(self.device_ip))?;
-            (reg.handler.clone(), reg.ca.issue(host))
+            (reg.handler.clone(), reg.ca.issue_for(host))
         };
         let ctx = self.make_ctx(client, route, dst_port, req.version, true);
         if req.url.scheme() == Scheme::Https {
@@ -518,7 +655,7 @@ impl Network {
             match outcome {
                 TlsOutcome::InterceptedOk => {}
                 TlsOutcome::PinnedRejected => {
-                    self.stats.lock().pinned_bypasses += 1;
+                    self.stats.pinned_bypasses.fetch_add(1, Ordering::Relaxed);
                     handler.on_tls_rejected(self, &ctx);
                     return Err(NetError::PinnedBypass);
                 }
@@ -546,11 +683,7 @@ impl Network {
                 Some(Ok(error_page)) => {
                     let bytes_in = error_page.wire_size();
                     let latency = self.latency.latency(host, bytes_out, bytes_in);
-                    let mut stats = self.stats.lock();
-                    stats.delivered += 1;
-                    stats.bytes_out += bytes_out;
-                    stats.bytes_in += bytes_in;
-                    drop(stats);
+                    self.account(bytes_out, bytes_in);
                     return Ok((error_page, TransportReport { bytes_out, bytes_in, latency }));
                 }
                 None => {}
@@ -559,12 +692,15 @@ impl Network {
         let response = handler.handle(self, &ctx, req)?;
         let bytes_in = response.wire_size();
         let latency = self.latency.latency(host, bytes_out, bytes_in);
-        let mut stats = self.stats.lock();
-        stats.delivered += 1;
-        stats.bytes_out += bytes_out;
-        stats.bytes_in += bytes_in;
-        drop(stats);
+        self.account(bytes_out, bytes_in);
         Ok((response, TransportReport { bytes_out, bytes_in, latency }))
+    }
+
+    /// Accounts one delivered exchange — three relaxed `fetch_add`s.
+    fn account(&self, bytes_out: u64, bytes_in: u64) {
+        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
     }
 
     /// Used by the MITM proxy to reach the upstream origin after
@@ -590,8 +726,8 @@ impl Network {
         handler.handle(self, &upstream_ctx, req)
     }
 
-    fn origin_cert_for(&self, host: &str) -> Certificate {
-        self.origin_ca.issue(host)
+    fn origin_cert_for(&self, host: &Atom) -> Certificate {
+        self.origin_ca.issue_for(host)
     }
 }
 

@@ -26,11 +26,18 @@ pub struct GeneratorConfig {
     pub popular: u32,
     /// Number of sensitive-directory sites (paper: 500).
     pub sensitive: u32,
+    /// Number of deep-tail sites appended after the head set (Tranco-100k
+    /// scaling; 0 reproduces the paper's 1,000-site web exactly).
+    ///
+    /// Prefix-stability contract: for any `tail`, the first
+    /// `popular + sensitive` generated sites are byte-identical to a
+    /// `tail: 0` run — the tail only ever *appends*.
+    pub tail: u32,
 }
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { seed: 0x50_41_4e_4f, popular: 500, sensitive: 500 }
+        GeneratorConfig { seed: 0x50_41_4e_4f, popular: 500, sensitive: 500, tail: 0 }
     }
 }
 
@@ -71,15 +78,22 @@ const SEXUALITY_TOPICS: &[&str] =
 const HEALTH_TOPICS: &[&str] =
     &["depression-support", "hiv-treatment", "addiction-recovery", "anxiety-therapy"];
 
-/// Generates the crawl population: `popular` ranked sites followed by
-/// `sensitive` directory sites.
+/// Generates the crawl population: `popular` ranked sites, then
+/// `sensitive` directory sites, then the deep tail. The head set
+/// (`popular + sensitive`) is byte-identical for every `tail` value —
+/// the prefix-stability contract `repro_output.md` depends on.
 pub fn generate(config: &GeneratorConfig) -> Vec<SiteSpec> {
-    let mut sites = Vec::with_capacity((config.popular + config.sensitive) as usize);
+    let mut sites =
+        Vec::with_capacity((config.popular + config.sensitive + config.tail) as usize);
     for rank in 1..=config.popular {
         sites.push(popular_site(config.seed, rank));
     }
     for index in 1..=config.sensitive {
         sites.push(sensitive_site(config.seed, index));
+    }
+    let head = config.popular + config.sensitive;
+    for index in 1..=config.tail {
+        sites.push(tail_site(config.seed, head, index));
     }
     sites
 }
@@ -120,7 +134,102 @@ fn popular_site(seed: u64, rank: u32) -> SiteSpec {
     // every 9th site models that dance so the engine's redirect-following
     // is exercised at scale.
     let apex_redirect = rank.is_multiple_of(9);
-    SiteSpec { rank, domain, host, landing_path, category: SiteCategory::Popular, page, apex_redirect }
+    SiteSpec {
+        rank,
+        domain,
+        host,
+        landing_path,
+        category: SiteCategory::Popular,
+        page,
+        apex_redirect,
+        tail: false,
+    }
+}
+
+/// SplitMix64 finalizer: the tail generator's whole entropy source.
+/// Cheaper than seeding a `StdRng` per site and — unlike `StdRng` — a
+/// pure function the origin server can re-derive at request time, so a
+/// 100k-site world needs no per-resource state.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The `stream`-th draw for a tail site, in `lo..hi`.
+fn tail_draw(site_key: u64, stream: u64, lo: u32, hi: u32) -> u32 {
+    lo + (mix(site_key ^ stream.wrapping_mul(0x2545_f491_4f6c_dd1d)) % (hi - lo) as u64) as u32
+}
+
+/// One deep-tail site: a light, self-hosted page (`www.` host only — no
+/// per-site CDN subdomains, which would double the world's host count)
+/// whose static resources carry their byte size in the path
+/// (`/s/{size}/...`), letting the origin answer them formulaically.
+/// Third-party ads/trackers still come from the shared networks so
+/// blocklist and tracking analyses see realistic tail traffic.
+fn tail_site(seed: u64, head: u32, index: u32) -> SiteSpec {
+    let rank = head + index;
+    let theme = THEMES[(index as usize) % THEMES.len()];
+    let tld = TLDS[(index as usize / THEMES.len()) % TLDS.len()];
+    // 6-digit slot keeps tail domains disjoint from the 3-digit head
+    // naming (`news042.com` vs `news100042.com`) for any head < 100_000.
+    let domain = format!("{theme}{}.{tld}", 100_000 + index);
+    let host = format!("www.{domain}");
+    let key = seed ^ fnv1a(&domain);
+
+    // Zipf-flavoured thinning: deeper ranks carry fewer resources.
+    let depth = 1 + (64 - (rank as u64).leading_zeros()) / 4; // ~1..9
+    let n_static = 3 + tail_draw(key, 1, 0, 5).saturating_sub(depth.min(2)); // 3..=7
+    let n_ads = tail_draw(key, 2, 0, 4);
+    let n_trackers = tail_draw(key, 3, 0, 3);
+    let document_size = tail_draw(key, 4, 8_000, 48_000);
+
+    let mut resources = Vec::with_capacity((n_static + n_ads + n_trackers) as usize);
+    for i in 0..n_static {
+        let size = tail_draw(key, 16 + i as u64, 500, 60_000);
+        let (kind, path) = match i % 4 {
+            0 => (ResourceKind::Script, format!("/s/{size}/app{i}.js")),
+            1 => (ResourceKind::Style, format!("/s/{size}/style{i}.css")),
+            2 => (ResourceKind::Image, format!("/s/{size}/media{i}.jpg")),
+            _ => (ResourceKind::Xhr, format!("/s/{size}/feed{i}")),
+        };
+        resources.push(ResourceSpec { host: host.clone(), path, size, kind });
+    }
+    for i in 0..n_ads {
+        let network = AD_NETWORKS[tail_draw(key, 64 + i as u64, 0, AD_NETWORKS.len() as u32) as usize];
+        resources.push(ResourceSpec {
+            host: network.to_string(),
+            path: format!("/bid?slot={i}&site={domain}"),
+            size: tail_draw(key, 96 + i as u64, 800, 6_000),
+            kind: ResourceKind::Ad,
+        });
+    }
+    for i in 0..n_trackers {
+        let tracker = TRACKERS[tail_draw(key, 128 + i as u64, 0, TRACKERS.len() as u32) as usize];
+        resources.push(ResourceSpec {
+            host: tracker.to_string(),
+            path: format!("/collect?v=1&cid={i}&dl=https%3A%2F%2F{host}%2F"),
+            size: tail_draw(key, 160 + i as u64, 35, 600),
+            kind: ResourceKind::Tracker,
+        });
+    }
+
+    let dom_content_loaded_ms =
+        if rank.is_multiple_of(167) { 70_000 } else { tail_draw(key, 5, 300, 2_500) };
+
+    SiteSpec {
+        rank,
+        domain,
+        host,
+        landing_path: "/".to_string(),
+        category: SiteCategory::Popular,
+        page: PageSpec { document_size, resources, dom_content_loaded_ms },
+        apex_redirect: false,
+        tail: true,
+    }
 }
 
 fn sensitive_site(seed: u64, index: u32) -> SiteSpec {
@@ -151,6 +260,7 @@ fn sensitive_site(seed: u64, index: u32) -> SiteSpec {
         category: SiteCategory::Sensitive(category),
         page,
         apex_redirect: false,
+        tail: false,
     }
 }
 
@@ -284,6 +394,57 @@ mod tests {
             .filter(|s| s.page.resources.iter().any(|r| r.kind == ResourceKind::Ad))
             .count();
         assert!(with_ads == 500, "all popular sites embed ads, got {with_ads}");
+    }
+
+    #[test]
+    fn tail_appends_without_touching_the_head() {
+        let head = generate(&GeneratorConfig::default());
+        let grown = generate(&GeneratorConfig { tail: 2_000, ..Default::default() });
+        assert_eq!(grown.len(), 3_000);
+        // Prefix-stability contract: the paper's 1,000 sites are a
+        // byte-identical prefix of every larger world.
+        assert_eq!(&grown[..1_000], &head[..]);
+        for (i, s) in grown[1_000..].iter().enumerate() {
+            assert!(s.tail, "{} not marked tail", s.domain);
+            assert_eq!(s.rank, 1_001 + i as u32);
+            assert!(!s.category.is_sensitive());
+            assert!(!s.apex_redirect);
+        }
+    }
+
+    #[test]
+    fn tail_domains_do_not_collide() {
+        let sites = generate(&GeneratorConfig { tail: 5_000, ..Default::default() });
+        let mut domains: Vec<&str> = sites.iter().map(|s| s.domain.as_str()).collect();
+        domains.sort_unstable();
+        let n = domains.len();
+        domains.dedup();
+        assert_eq!(domains.len(), n);
+    }
+
+    #[test]
+    fn tail_resources_are_self_hosted_or_shared() {
+        let sites = generate(&GeneratorConfig { tail: 300, ..Default::default() });
+        for s in sites.iter().filter(|s| s.tail) {
+            for r in &s.page.resources {
+                let own = r.host == s.host;
+                let shared = AD_NETWORKS.contains(&r.host.as_str())
+                    || TRACKERS.contains(&r.host.as_str());
+                assert!(own || shared, "{} serves from {}", s.domain, r.host);
+                if own {
+                    // Size-addressed path: the origin re-derives the
+                    // response size from the path alone.
+                    let encoded: u32 = r
+                        .path
+                        .strip_prefix("/s/")
+                        .and_then(|rest| rest.split('/').next())
+                        .and_then(|n| n.parse().ok())
+                        .expect("size-addressed path");
+                    assert_eq!(encoded, r.size, "{}{}", s.domain, r.path);
+                }
+            }
+            assert!(s.page.request_count() >= 4);
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub struct Directory {
     resources: HashMap<String, HashMap<String, PreparedResource>>,
     redirects: HashMap<String, HashMap<String, String>>,
     resource_count: usize,
+    /// Deep-tail landing hosts → document size. Tail sites are served
+    /// formulaically — their static resources carry the byte size in the
+    /// path (`/s/{size}/...`) — so a 100k-site world stores one `u32`
+    /// per tail site here instead of ~10 pre-rendered templates each.
+    tail_documents: HashMap<String, u32>,
 }
 
 /// One indexed resource: its declared size and the response template
@@ -42,6 +47,10 @@ impl Directory {
     pub fn from_sites(sites: &[SiteSpec]) -> Directory {
         let mut dir = Directory::default();
         for site in sites {
+            if site.tail {
+                dir.tail_documents.insert(site.host.clone(), site.page.document_size);
+                continue;
+            }
             dir.insert_resource(&site.host, site.landing_path.clone(), site.page.document_size);
             if site.apex_redirect {
                 dir.redirects
@@ -78,6 +87,21 @@ impl Directory {
     /// The pre-rendered response for `path` on `host`, if indexed.
     pub fn response_for(&self, host: &str, path: &str) -> Option<&Response> {
         Some(&self.resources.get(host)?.get(path)?.response)
+    }
+
+    /// Serves `path` on `host`: a clone of the pre-rendered template for
+    /// head sites, or a formulaically rendered response for deep-tail
+    /// hosts (document size from the one-`u32` tail index, resource
+    /// sizes decoded from their size-addressed `/s/{size}/...` paths).
+    pub fn serve(&self, host: &str, path: &str) -> Option<Response> {
+        if let Some(resp) = self.response_for(host, path) {
+            return Some(resp.clone());
+        }
+        let document = *self.tail_documents.get(host)?;
+        if path == "/" {
+            return Some(render_content(path, document));
+        }
+        Some(render_content(path, tail_path_size(path)?))
     }
 
     /// Number of indexed resources.
@@ -170,10 +194,10 @@ impl HttpHandler for OriginServer {
                 .with_header("location", location));
         }
 
-        // Site / CDN content from the index: clone of the template
-        // rendered at build time.
-        if let Some(resp) = self.directory.response_for(host, path) {
-            return Ok(resp.clone());
+        // Site / CDN content: template clone for head sites, formulaic
+        // rendering for deep-tail hosts.
+        if let Some(resp) = self.directory.serve(host, path) {
+            return Ok(resp);
         }
 
         // Ad exchanges and trackers accept any path (bid endpoints are
@@ -201,6 +225,12 @@ fn render_content(path: &str, size: u32) -> Response {
         resp.headers.append("set-cookie", "session=sim; Path=/");
     }
     resp
+}
+
+/// Decodes the byte size a tail resource path advertises
+/// (`/s/18234/app3.js` → `18234`).
+fn tail_path_size(path: &str) -> Option<u32> {
+    path.strip_prefix("/s/")?.split('/').next()?.parse().ok()
 }
 
 fn content_type_for(path: &str) -> &'static str {

@@ -151,6 +151,11 @@ pub struct SiteSpec {
     /// answers `301` to the `www.` host — the redirect dance most real
     /// top sites perform.
     pub apex_redirect: bool,
+    /// True for deep-tail sites (ranks beyond the paper's head set):
+    /// self-hosted, size-addressed resources served formulaically by the
+    /// origin instead of from the pre-rendered directory, so a 100k-site
+    /// world does not pre-render ~2M response templates.
+    pub tail: bool,
 }
 
 impl SiteSpec {
@@ -230,6 +235,7 @@ mod tests {
             category: SiteCategory::Popular,
             page: page(),
             apex_redirect: false,
+            tail: false,
         };
         assert_eq!(site.url_string(), "https://www.example.org/");
         let redirecting = SiteSpec { apex_redirect: true, ..site };

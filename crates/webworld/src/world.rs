@@ -28,12 +28,12 @@ pub struct World {
     routes: Arc<RouteTable>,
 }
 
-/// Site-plan cache: one built [`World`] per (seed, popular, sensitive)
-/// generator configuration, shared immutably by every browser session
-/// and fleet worker of a study. Generation is deterministic in the
-/// config, so sharing is transparent; the handful of configurations a
-/// process ever uses makes this a bounded cache, not a leak.
-type PlanCache = Mutex<HashMap<(u64, u32, u32), Arc<World>>>;
+/// Site-plan cache: one built [`World`] per (seed, popular, sensitive,
+/// tail) generator configuration, shared immutably by every browser
+/// session and fleet worker of a study. Generation is deterministic in
+/// the config, so sharing is transparent; the handful of configurations
+/// a process ever uses makes this a bounded cache, not a leak.
+type PlanCache = Mutex<HashMap<(u64, u32, u32, u32), Arc<World>>>;
 
 fn plan_cache() -> &'static PlanCache {
     static CACHE: OnceLock<PlanCache> = OnceLock::new();
@@ -80,7 +80,7 @@ impl World {
     /// sessions, fleet workers, benches). Use this instead of
     /// [`World::build`] whenever the world is read-only.
     pub fn shared(config: &GeneratorConfig) -> Arc<World> {
-        let key = (config.seed, config.popular, config.sensitive);
+        let key = (config.seed, config.popular, config.sensitive, config.tail);
         let mut cache = plan_cache().lock().expect("plan cache poisoned");
         cache.entry(key).or_insert_with(|| Arc::new(World::build(config))).clone()
     }

@@ -27,8 +27,8 @@ proptest! {
     /// The generator is a pure function of its configuration: two cold
     /// builds from the same seed produce the identical world.
     #[test]
-    fn build_is_deterministic(seed in 0u64..1000, popular in 1u32..12, sensitive in 0u32..8) {
-        let config = GeneratorConfig { seed, popular, sensitive };
+    fn build_is_deterministic(seed in 0u64..1000, popular in 1u32..12, sensitive in 0u32..8, tail in 0u32..6) {
+        let config = GeneratorConfig { seed, popular, sensitive, tail };
         prop_assert_eq!(fingerprint(&World::build(&config)), fingerprint(&World::build(&config)));
     }
 
@@ -36,8 +36,8 @@ proptest! {
     /// indistinguishable from a cold build, and repeat lookups hand back
     /// the same shared plan instead of regenerating.
     #[test]
-    fn plan_cache_matches_cold_build(seed in 0u64..1000, popular in 1u32..12, sensitive in 0u32..8) {
-        let config = GeneratorConfig { seed, popular, sensitive };
+    fn plan_cache_matches_cold_build(seed in 0u64..1000, popular in 1u32..12, sensitive in 0u32..8, tail in 0u32..6) {
+        let config = GeneratorConfig { seed, popular, sensitive, tail };
         let cold = World::build(&config);
         let warm = World::shared(&config);
         prop_assert_eq!(fingerprint(&cold), fingerprint(&warm));

@@ -126,9 +126,9 @@ fn study_report_is_byte_identical_across_snapshot_rebuilds() {
         let snap = c.store.snapshot();
         let all: Vec<_> = snap.iter().cloned().collect();
         assert_eq!(all, c.store.all(), "{}", c.profile.name);
-        let native: Vec<_> = snap.native().iter().map(|f| (**f).clone()).collect();
+        let native: Vec<_> = snap.native().iter().cloned().collect();
         assert_eq!(native, c.store.native_flows(), "{}", c.profile.name);
-        let engine: Vec<_> = snap.engine().iter().map(|f| (**f).clone()).collect();
+        let engine: Vec<_> = snap.engine().iter().cloned().collect();
         assert_eq!(engine, c.store.engine_flows(), "{}", c.profile.name);
     }
 }

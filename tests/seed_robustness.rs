@@ -14,7 +14,7 @@ use panoptes_suite::web::generator::GeneratorConfig;
 use panoptes_suite::web::World;
 
 fn study(seed: u64) -> Vec<CampaignResult> {
-    let world = World::build(&GeneratorConfig { popular: 6, sensitive: 4, seed });
+    let world = World::build(&GeneratorConfig { popular: 6, sensitive: 4, seed, tail: 0 });
     let config = CampaignConfig { seed, ..Default::default() };
     run_full_crawl(&world, &world.sites, &config)
 }

@@ -110,3 +110,31 @@ if [ -n "$print_offenders" ]; then
 fi
 
 echo "ok: no bare prints in library crates"
+
+# Fifth gate: filterlist anchor/allocation discipline. The compiled
+# match path (`should_block` → anchor Atom set → substring DFA) is
+# allocation-free: anchors stay interned `Atom`s end to end, hosts and
+# URLs are matched without re-materialising lowercase copies (case
+# folding is compiled into the DFA). Allocating conversions in
+# `crates/blocklist/src` are confined to parse time, the documented
+# uppercase-host slow path, and the reference/baseline engines — each
+# marked `alloc-ok`. Test modules (below `#[cfg(test)]`) and comment
+# lines are exempt.
+
+alloc_pattern='\.to_string\(\)|\.to_owned\(\)|String::from\(|format!\(|to_ascii_lowercase\(\)'
+alloc_offenders=$(for f in crates/blocklist/src/*.rs; do
+    awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f"
+done | grep -E "$alloc_pattern" | grep -vE ':[0-9]+: *//' | grep -v 'alloc-ok' || true)
+
+if [ -n "$alloc_offenders" ]; then
+    echo "error: allocating conversion in the blocklist match path:" >&2
+    echo "$alloc_offenders" >&2
+    echo >&2
+    echo "Keep anchors as interned Atoms and match without lowercased" >&2
+    echo "copies (the DFA is case-folded; AnchorSet compares Atom" >&2
+    echo "pointers). Parse-time, slow-path, and reference-engine" >&2
+    echo "allocations opt out with an 'alloc-ok' comment." >&2
+    exit 1
+fi
+
+echo "ok: no allocating conversions in the blocklist match path"
