@@ -635,22 +635,7 @@ pub fn run_study_analyzed_with(
         }
 
         let runner = |index: usize| {
-            let unit = &units[index];
-            let unit_config = unit.config.as_ref().unwrap_or(config);
-            let output = match unit.kind {
-                fleet::UnitKind::Crawl => UnitOutput::Crawl(panoptes::campaign::run_crawl(
-                    world,
-                    &unit.profile,
-                    sites,
-                    unit_config,
-                )),
-                fleet::UnitKind::Idle(duration) => UnitOutput::Idle(panoptes::idle::run_idle(
-                    world,
-                    &unit.profile,
-                    duration,
-                    unit_config,
-                )),
-            };
+            let output = fleet::run_unit(world, sites, config, &units[index]);
             // The occupancy gauge tracks sealed captures sitting in the
             // hand-off queue; its high-water mark shows how often the
             // analysis side was the bottleneck.

@@ -1,0 +1,249 @@
+//! A/B measurement isolation for the bench binaries.
+//!
+//! Two systematic biases haunt naive two-arm comparisons on this
+//! pipeline:
+//!
+//! * **shared warm state** — campaign captures memoise per-flow facts
+//!   on first analysis, so whichever arm runs first pays the parse
+//!   cost and warms the cache for the second. An A/B over the *same*
+//!   capture set therefore flatters the arm that runs later unless
+//!   both arms are warmed (or each arm gets fresh state);
+//! * **host drift** — on a small shared container a frequency dip or
+//!   noisy neighbour can hit one arm's entire measurement window.
+//!
+//! The helpers here make the protocol explicit: warmup iterations run
+//! both arms and are excluded from every statistic, timed reps
+//! interleave arm-by-arm so drift lands on both sides, and
+//! [`isolated`] gives each arm freshly built state per rep for
+//! comparisons where shared warm state would lie.
+
+use std::time::Instant;
+
+/// The A/B protocol knobs: `warmups` untimed iterations per arm, then
+/// `reps` timed ones.
+#[derive(Debug, Clone, Copy)]
+pub struct AbConfig {
+    /// Untimed iterations per arm before measurement (cache/branch
+    /// warm-up; excluded from all statistics).
+    pub warmups: usize,
+    /// Timed iterations per arm.
+    pub reps: usize,
+}
+
+impl AbConfig {
+    /// A protocol with `warmups` excluded iterations and `reps` timed.
+    pub fn new(warmups: usize, reps: usize) -> AbConfig {
+        AbConfig { warmups, reps: reps.max(1) }
+    }
+}
+
+/// One arm's timed samples (warmups already excluded).
+#[derive(Debug, Clone)]
+pub struct ArmStats {
+    /// Arm label for reports.
+    pub label: String,
+    /// Per-rep wall-clock seconds, in execution order.
+    pub secs: Vec<f64>,
+}
+
+impl ArmStats {
+    /// An arm from pre-collected samples (e.g. per-request latencies).
+    pub fn from_samples(label: &str, secs: Vec<f64>) -> ArmStats {
+        ArmStats { label: label.to_string(), secs }
+    }
+
+    /// Best (minimum) sample — the low-noise wall-clock estimator.
+    pub fn best(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.secs.is_empty() {
+            return 0.0;
+        }
+        self.secs.iter().sum::<f64>() / self.secs.len() as f64
+    }
+
+    /// The `p`-th percentile (0..=100, nearest-rank on a sorted copy).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile(&self.secs, p)
+    }
+}
+
+/// Both arms of a comparison.
+#[derive(Debug, Clone)]
+pub struct AbOutcome {
+    /// The first (usually baseline) arm.
+    pub a: ArmStats,
+    /// The second (usually candidate) arm.
+    pub b: ArmStats,
+}
+
+impl AbOutcome {
+    /// best(a) / best(b): >1 means arm B is faster.
+    pub fn speedup_best(&self) -> f64 {
+        self.a.best() / self.b.best()
+    }
+}
+
+/// The `p`-th percentile of `samples` (nearest-rank; sorts a copy, so
+/// callers keep their data in arrival order).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Best-of-`reps` wall-clock seconds of `f`, after `warmups` excluded
+/// runs.
+pub fn best_of<F: FnMut()>(config: AbConfig, mut f: F) -> f64 {
+    for _ in 0..config.warmups {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..config.reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times two arms over shared state: both arms run `warmups` untimed
+/// iterations first (so neither inherits the other's cold-cache
+/// penalty — the shared-warm-state bias), then `reps` timed
+/// iterations interleaved rep-by-rep (so host drift hits both arms).
+pub fn interleaved<FA, FB>(
+    config: AbConfig,
+    label_a: &str,
+    mut a: FA,
+    label_b: &str,
+    mut b: FB,
+) -> AbOutcome
+where
+    FA: FnMut(),
+    FB: FnMut(),
+{
+    for _ in 0..config.warmups {
+        a();
+        b();
+    }
+    let mut secs_a = Vec::with_capacity(config.reps);
+    let mut secs_b = Vec::with_capacity(config.reps);
+    for _ in 0..config.reps {
+        let start = Instant::now();
+        a();
+        secs_a.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        b();
+        secs_b.push(start.elapsed().as_secs_f64());
+    }
+    AbOutcome {
+        a: ArmStats { label: label_a.to_string(), secs: secs_a },
+        b: ArmStats { label: label_b.to_string(), secs: secs_b },
+    }
+}
+
+/// Times two arms with *fresh state per arm per rep*: each rep builds
+/// arm A's input (untimed), times A, drops it, then does the same for
+/// arm B. Use when shared state would let one arm warm caches for the
+/// other — e.g. capture fact memos, or a server-side artifact cache.
+pub fn isolated<T, U, MA, FA, MB, FB>(
+    config: AbConfig,
+    label_a: &str,
+    mut make_a: MA,
+    mut run_a: FA,
+    label_b: &str,
+    mut make_b: MB,
+    mut run_b: FB,
+) -> AbOutcome
+where
+    MA: FnMut() -> T,
+    FA: FnMut(T),
+    MB: FnMut() -> U,
+    FB: FnMut(U),
+{
+    for _ in 0..config.warmups {
+        run_a(make_a());
+        run_b(make_b());
+    }
+    let mut secs_a = Vec::with_capacity(config.reps);
+    let mut secs_b = Vec::with_capacity(config.reps);
+    for _ in 0..config.reps {
+        let input = make_a();
+        let start = Instant::now();
+        run_a(input);
+        secs_a.push(start.elapsed().as_secs_f64());
+        let input = make_b();
+        let start = Instant::now();
+        run_b(input);
+        secs_b.push(start.elapsed().as_secs_f64());
+    }
+    AbOutcome {
+        a: ArmStats { label: label_a.to_string(), secs: secs_a },
+        b: ArmStats { label: label_b.to_string(), secs: secs_b },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn warmups_are_excluded_from_samples() {
+        let calls = AtomicUsize::new(0);
+        let outcome = interleaved(
+            AbConfig::new(2, 3),
+            "a",
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+            },
+            "b",
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 10, "2 warmups + 3 reps per arm");
+        assert_eq!(outcome.a.secs.len(), 3);
+        assert_eq!(outcome.b.secs.len(), 3);
+    }
+
+    #[test]
+    fn isolated_builds_fresh_state_per_rep() {
+        let built = AtomicUsize::new(0);
+        let outcome = isolated(
+            AbConfig::new(1, 2),
+            "a",
+            || built.fetch_add(1, Ordering::SeqCst),
+            |_| {},
+            "b",
+            || built.fetch_add(1, Ordering::SeqCst),
+            |_| {},
+        );
+        assert_eq!(built.load(Ordering::SeqCst), 6, "each warmup and rep built anew");
+        assert_eq!(outcome.a.secs.len(), 2);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 50.0), 3.0);
+        assert_eq!(percentile(&samples, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn best_and_mean_summarise_samples() {
+        let arm = ArmStats::from_samples("x", vec![2.0, 4.0]);
+        assert_eq!(arm.best(), 2.0);
+        assert_eq!(arm.mean(), 3.0);
+        assert_eq!(arm.percentile(100.0), 4.0);
+    }
+}

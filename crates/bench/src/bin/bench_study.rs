@@ -22,13 +22,12 @@
 //! Usage: `bench_study [--quick] [output.json]`
 //! (default `BENCH_study.json`; `--quick` is the CI smoke scale).
 
-use std::time::Instant;
-
 use panoptes::fleet::FleetOptions;
 use panoptes_analysis::engine::{
     analyze_crawl_sharded, analyze_idle_sharded, analyze_study, AnalysisResources, StudyAnalyses,
 };
 use panoptes_analysis::summary::{study_report_from, study_report_multipass};
+use panoptes_bench::ab::{self, AbConfig};
 use panoptes_bench::experiments::{
     crawl_all_jobs, idle_all_jobs, study_all_overlapped, Scale,
 };
@@ -38,31 +37,13 @@ use panoptes_simnet::clock::SimDuration;
 #[global_allocator]
 static ALLOC: mem::CountingAlloc = mem::CountingAlloc;
 
-/// Best-of-`reps` wall-clock seconds of `f`.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
-/// Best-of-`reps` for two alternatives, interleaved rep-by-rep so a
-/// slow phase of the host (shared container, frequency dip) hits both
-/// sides equally instead of skewing whichever ran second.
-fn time_best_pair<FA: FnMut(), FB: FnMut()>(reps: usize, mut a: FA, mut b: FB) -> (f64, f64) {
-    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..reps {
-        let start = Instant::now();
-        a();
-        best_a = best_a.min(start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        b();
-        best_b = best_b.min(start.elapsed().as_secs_f64());
-    }
-    (best_a, best_b)
+/// Best-of-`reps` for two alternatives over the shared warm captures:
+/// `ab::interleaved` with one excluded warmup per arm, so neither arm
+/// pays the fact-memo warm-up the other then benefits from, and host
+/// drift hits both sides equally.
+fn time_best_pair<FA: FnMut(), FB: FnMut()>(reps: usize, a: FA, b: FB) -> (f64, f64) {
+    let outcome = ab::interleaved(AbConfig::new(1, reps), "a", a, "b", b);
+    (outcome.a.best(), outcome.b.best())
 }
 
 fn main() {
@@ -227,7 +208,7 @@ fn main() {
     for jobs in shard_jobs {
         eprintln!("sharded fused pass, {jobs} worker(s)…");
         let options = FleetOptions::with_jobs(jobs);
-        shard_secs.push(time_best(reps, || {
+        shard_secs.push(ab::best_of(AbConfig::new(1, reps), || {
             for r in &results {
                 std::hint::black_box(&analyze_crawl_sharded(r, &res, &options).volume);
             }
@@ -236,13 +217,15 @@ fn main() {
 
     eprintln!("end-to-end: capture barrier then analyse…");
     let options = FleetOptions::with_jobs(4);
-    let barrier_secs = time_best(e2e_reps, || {
+    // End-to-end arms capture fresh fleets per rep (no shared warm
+    // state to exclude), so no warmup is burned on these long runs.
+    let barrier_secs = ab::best_of(AbConfig::new(0, e2e_reps), || {
         let (_, crawls) = crawl_all_jobs(&scale, &options).expect("crawl fleet");
         let idle_runs = idle_all_jobs(&scale, &options).expect("idle fleet");
         std::hint::black_box(analyze_study(&crawls, &idle_runs, &res).crawls.len());
     });
     eprintln!("end-to-end: capture→analysis overlapped…");
-    let overlap_secs = time_best(e2e_reps, || {
+    let overlap_secs = ab::best_of(AbConfig::new(0, e2e_reps), || {
         let (_, study) = study_all_overlapped(&scale, &options, &res).expect("overlap");
         std::hint::black_box(study.analyses.crawls.len());
     });

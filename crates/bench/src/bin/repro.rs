@@ -156,10 +156,7 @@ fn main() {
         "# Panoptes reproduction — {} popular + {} sensitive{} sites, seed {:#x}",
         scale.popular, scale.sensitive, tail_note, scale.seed
     );
-    println!(
-        "# Panoptes reproduction run ({} popular + {} sensitive{} sites, seed {:#x})\n",
-        scale.popular, scale.sensitive, tail_note, scale.seed
-    );
+    print!("{}", render::header_md(&scale));
 
     let fleet_options = match jobs {
         Some(n) => FleetOptions::with_progress(n),
@@ -225,42 +222,12 @@ fn main() {
         }
     }
 
-    if want("table1") {
-        println!("{}", render::table1(&crawl_analyses));
-    }
-    if want("fig2") {
-        println!("{}", render::fig2(&crawl_analyses));
-    }
-    if want("fig3") {
-        println!("{}", render::fig3(&crawl_analyses));
-    }
-    if want("fig4") {
-        println!("{}", render::fig4(&crawl_analyses));
-    }
-    if want("table2") {
-        println!("{}", render::table2_md(&crawl_analyses));
-    }
-    if want("leaks") {
-        println!("{}", render::leaks_md(&crawl_analyses));
-        println!("{}", render::leak_summary_md(&crawl_analyses));
-    }
-    if want("dns") {
-        println!("{}", render::dns_md(&crawl_analyses));
-    }
-    if want("sensitive") {
-        println!("{}", render::sensitive_md(&crawl_analyses));
-    }
-    if want("transfers") {
-        println!("{}", render::transfers_md(&crawl_analyses));
-    }
-    if want("listing1") {
-        println!("{}", render::listing1(&results));
-    }
-    if want("identifiers") {
-        println!("{}", render::identifiers_md(&crawl_analyses));
-    }
-    if want("cost") {
-        println!("{}", render::cost_md(&crawl_analyses));
+    // Sections print through the shared document builders (also used
+    // by the study server) so the two output paths cannot drift.
+    for (name, text) in render::crawl_sections(&results, &crawl_analyses) {
+        if want(name) {
+            print!("{text}");
+        }
     }
 
     if want("incognito") {
@@ -314,7 +281,7 @@ fn main() {
             .iter()
             .map(|(n, i)| (analyze_crawl(n, &res), analyze_crawl(i, &res)))
             .collect();
-        println!("{}", render::incognito_md(&pairs));
+        print!("{}", render::incognito_section(&pairs).1);
     }
 
     if let Some(dir) = &csv_dir {
@@ -358,11 +325,10 @@ fn main() {
                 }
             }
         };
-        if want("fig5") {
-            println!("{}", render::fig5(&idle_analyses));
-        }
-        if want("idle-dest") {
-            println!("{}", render::idle_dest_md(&idle_analyses));
+        for (name, text) in render::idle_sections(&idle_analyses) {
+            if want(name) {
+                print!("{text}");
+            }
         }
         if let Some(dir) = &csv_dir {
             std::fs::write(

@@ -10,6 +10,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ab;
 pub mod capture;
 pub mod capture_baseline;
 pub mod experiments;

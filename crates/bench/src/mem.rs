@@ -19,10 +19,11 @@
 #![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
 
 /// A counting wrapper around the system allocator. Install as the
 /// `#[global_allocator]` of a bench binary to make
@@ -35,10 +36,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
@@ -46,6 +49,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES
             .fetch_add(new_size.saturating_sub(layout.size()) as u64, Ordering::Relaxed);
+        LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -60,6 +64,16 @@ pub fn allocations() -> u64 {
 /// when the counting allocator is not installed).
 pub fn allocated_bytes() -> u64 {
     ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Bytes currently allocated and not yet freed (0 when the counting
+/// allocator is not installed). The delta across a computation is its
+/// *net* retention — what it built and kept — which is what a cache
+/// should charge an artifact, as opposed to the gross churn of
+/// [`allocated_bytes`]. Concurrent threads' allocations bleed into a
+/// delta, so callers floor it with a known minimum.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed).max(0) as u64
 }
 
 /// The process's peak resident set size in KiB (`VmHWM` from

@@ -365,3 +365,89 @@ pub fn leak_summary_md(analyses: &[CampaignAnalysis]) -> String {
     }
     out
 }
+
+// ---------------------------------------------------------------------
+// The full study document, as `repro` prints it.
+//
+// `repro` writes each section with `println!` (section string + one
+// extra newline); these builders reproduce those exact bytes so the
+// study server can stream sections over HTTP and still be
+// byte-identical to the offline binary — identity by construction, not
+// by parallel maintenance of two formatting paths.
+//
+// The document comes in three dependency groups, matching what a
+// streaming producer has ready when: [`header_md`] (world parameters
+// only), [`crawl_sections`] (crawl analyses), [`incognito_section`]
+// (the three §3.2 re-crawl pairs), [`idle_sections`] (idle analyses).
+
+use crate::experiments::Scale;
+
+/// The document header line, exactly as `repro` emits it (including
+/// the blank separator line).
+pub fn header_md(scale: &Scale) -> String {
+    let tail_note =
+        if scale.tail > 0 { format!(" + {} tail", scale.tail) } else { String::new() };
+    format!(
+        "# Panoptes reproduction run ({} popular + {} sensitive{} sites, seed {:#x})\n\n",
+        scale.popular, scale.sensitive, tail_note, scale.seed
+    )
+}
+
+/// The crawl-derived sections in `repro` order, as `(section, bytes)`
+/// pairs. Each entry's bytes are exactly what `repro` writes for that
+/// `--only` section (the section string plus `println!`'s newline);
+/// `leaks` covers both of its printed tables.
+pub fn crawl_sections(
+    results: &[CampaignResult],
+    analyses: &[CampaignAnalysis],
+) -> Vec<(&'static str, String)> {
+    vec![
+        ("table1", format!("{}\n", table1(analyses))),
+        ("fig2", format!("{}\n", fig2(analyses))),
+        ("fig3", format!("{}\n", fig3(analyses))),
+        ("fig4", format!("{}\n", fig4(analyses))),
+        ("table2", format!("{}\n", table2_md(analyses))),
+        ("leaks", format!("{}\n{}\n", leaks_md(analyses), leak_summary_md(analyses))),
+        ("dns", format!("{}\n", dns_md(analyses))),
+        ("sensitive", format!("{}\n", sensitive_md(analyses))),
+        ("transfers", format!("{}\n", transfers_md(analyses))),
+        ("listing1", format!("{}\n", listing1(results))),
+        ("identifiers", format!("{}\n", identifiers_md(analyses))),
+        ("cost", format!("{}\n", cost_md(analyses))),
+    ]
+}
+
+/// The §3.2 incognito section from the three re-crawl pairs.
+pub fn incognito_section(
+    pairs: &[(CampaignAnalysis, CampaignAnalysis)],
+) -> (&'static str, String) {
+    ("incognito", format!("{}\n", incognito_md(pairs)))
+}
+
+/// The idle-derived sections (`fig5`, `idle-dest`) in `repro` order.
+pub fn idle_sections(analyses: &[IdleAnalysis]) -> Vec<(&'static str, String)> {
+    vec![
+        ("fig5", format!("{}\n", fig5(analyses))),
+        ("idle-dest", format!("{}\n", idle_dest_md(analyses))),
+    ]
+}
+
+/// The complete study document: header + every section in `repro`
+/// order — the byte-identity reference for served studies.
+pub fn full_doc(
+    scale: &Scale,
+    results: &[CampaignResult],
+    crawls: &[CampaignAnalysis],
+    incognito_pairs: &[(CampaignAnalysis, CampaignAnalysis)],
+    idles: &[IdleAnalysis],
+) -> String {
+    let mut out = header_md(scale);
+    for (_, text) in crawl_sections(results, crawls) {
+        out.push_str(&text);
+    }
+    out.push_str(&incognito_section(incognito_pairs).1);
+    for (_, text) in idle_sections(idles) {
+        out.push_str(&text);
+    }
+    out
+}

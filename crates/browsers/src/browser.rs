@@ -5,6 +5,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use panoptes_blocklist::filterlist::easylist_excerpt;
+use panoptes_blocklist::FilterList;
 use panoptes_device::{AppDataStore, DeviceProperties};
 use panoptes_http::url::Url;
 use panoptes_instrument::tap::RequestTap;
@@ -74,6 +76,23 @@ impl Browser {
     /// store contains the system roots plus the Panoptes MITM CA (§2.2
     /// installs it on the device).
     pub fn launch(profile: BrowserProfile, uid: u32, seed: u64, mode: BrowsingMode) -> Browser {
+        Browser::launch_with(profile, uid, seed, mode, None)
+    }
+
+    /// [`Browser::launch`] with an optional pre-compiled filterlist.
+    ///
+    /// When `shared_filter` is `Some` and the profile adblocks, the
+    /// session reuses that compiled list instead of compiling its own —
+    /// the serving layer's cross-request artifact share. Profiles
+    /// without adblock ignore it; `None` preserves the per-session
+    /// compile exactly.
+    pub fn launch_with(
+        profile: BrowserProfile,
+        uid: u32,
+        seed: u64,
+        mode: BrowsingMode,
+        shared_filter: Option<Arc<FilterList>>,
+    ) -> Browser {
         assert!(
             mode == BrowsingMode::Normal || profile.supports_incognito,
             "{} does not provide an incognito mode (paper footnote 5)",
@@ -88,9 +107,14 @@ impl Browser {
             trust,
             pins: PinPolicy::pin(&pinned),
         };
-        let session = EngineSession::new(
+        let filter = if profile.adblock {
+            Some(shared_filter.unwrap_or_else(|| Arc::new(easylist_excerpt())))
+        } else {
+            None
+        };
+        let session = EngineSession::with_filter(
             profile.resolver,
-            profile.adblock,
+            filter,
             profile.attempts_h3,
             &profile.name,
             &profile.version,

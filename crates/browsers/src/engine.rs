@@ -73,7 +73,7 @@ pub struct EngineStats {
 /// Per-session engine state: DNS cache, QUIC memory, incognito cookies.
 pub struct EngineSession {
     resolver: ResolverKind,
-    filter: Option<FilterList>,
+    filter: Option<Arc<FilterList>>,
     attempts_h3: bool,
     dns_cache: HashSet<String>,
     h3_blocked: HashSet<Atom>,
@@ -91,9 +91,33 @@ impl EngineSession {
         browser: &str,
         version: &str,
     ) -> EngineSession {
+        EngineSession::with_filter(
+            resolver,
+            adblock.then(|| Arc::new(easylist_excerpt())),
+            attempts_h3,
+            browser,
+            version,
+        )
+    }
+
+    /// A fresh engine session over an already-compiled filterlist.
+    ///
+    /// Compiling the easylist excerpt (rule parse + Aho–Corasick DFA
+    /// build) is per-session work that the serving layer dedupes across
+    /// concurrent studies: every adblocking browser in every request
+    /// shares one immutable compiled list via the `Arc`. Behaviour is
+    /// identical to [`EngineSession::new`] — the list is read-only after
+    /// compilation, so sharing cannot change what a session observes.
+    pub fn with_filter(
+        resolver: ResolverKind,
+        filter: Option<Arc<FilterList>>,
+        attempts_h3: bool,
+        browser: &str,
+        version: &str,
+    ) -> EngineSession {
         EngineSession {
             resolver,
-            filter: adblock.then(easylist_excerpt),
+            filter,
             attempts_h3,
             dns_cache: HashSet::new(),
             h3_blocked: HashSet::new(),

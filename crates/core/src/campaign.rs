@@ -128,7 +128,13 @@ pub fn run_crawl_with(
         }
     };
 
-    let mut browser = Browser::launch(profile.clone(), uid, config.seed, config.mode);
+    let mut browser = Browser::launch_with(
+        profile.clone(),
+        uid,
+        config.seed,
+        config.mode,
+        config.shared_filterlist.clone(),
+    );
 
     let mut visits = Vec::with_capacity(sites.len());
     let mut engine_sent = 0u64;

@@ -1,5 +1,8 @@
 //! Campaign configuration.
 
+use std::sync::Arc;
+
+use panoptes_blocklist::FilterList;
 use panoptes_browsers::BrowsingMode;
 use panoptes_simnet::SimDuration;
 
@@ -23,6 +26,12 @@ pub struct CampaignConfig {
     /// configurations"; §3.2's finding is that declining changes little
     /// for the browsers that matter).
     pub decline_telemetry: bool,
+    /// Pre-compiled filterlist shared across campaigns. `None` compiles
+    /// per browser session (the offline default); the study server sets
+    /// it so every adblocking browser in every concurrent request reuses
+    /// one immutable DFA. Read-only after compilation — sharing cannot
+    /// change what a campaign observes.
+    pub shared_filterlist: Option<Arc<FilterList>>,
 }
 
 impl Default for CampaignConfig {
@@ -34,6 +43,7 @@ impl Default for CampaignConfig {
             settle: SimDuration::from_secs(5),
             proxy_port: 8080,
             decline_telemetry: false,
+            shared_filterlist: None,
         }
     }
 }
@@ -54,6 +64,13 @@ impl CampaignConfig {
     /// A variant that declines the wizard's telemetry prompt.
     pub fn telemetry_declined(mut self) -> CampaignConfig {
         self.decline_telemetry = true;
+        self
+    }
+
+    /// A variant reusing an already-compiled filterlist (the serving
+    /// layer's shared artifact).
+    pub fn with_shared_filterlist(mut self, list: Arc<FilterList>) -> CampaignConfig {
+        self.shared_filterlist = Some(list);
         self
     }
 }

@@ -44,7 +44,13 @@ pub fn run_idle(
     let uid = bed.divert_browser(&profile.package, config.proxy_port);
     let tap: Arc<dyn RequestTap> = Arc::new(TaintInjector::new(TAINT_HEADER, &bed.token));
 
-    let mut browser = Browser::launch(profile.clone(), uid, config.seed, BrowsingMode::Normal);
+    let mut browser = Browser::launch_with(
+        profile.clone(),
+        uid,
+        config.seed,
+        BrowsingMode::Normal,
+        config.shared_filterlist.clone(),
+    );
     let data = bed.device.packages.data_mut(&profile.package).expect("installed");
     let mut env = Env {
         net: &bed.net,

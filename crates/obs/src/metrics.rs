@@ -467,6 +467,19 @@ macro_rules! gauge_add {
     };
 }
 
+/// Sets a gauge to an absolute level (gauges are always
+/// runtime-class). Same disabled cost as [`count!`].
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $level:expr) => {
+        if $crate::metrics_enabled() {
+            static __OBS_HANDLE: std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+                std::sync::OnceLock::new();
+            __OBS_HANDLE.get_or_init(|| $crate::metrics::gauge($name)).set($level);
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

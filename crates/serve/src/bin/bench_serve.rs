@@ -1,0 +1,319 @@
+//! Records the study-server perf trajectory as `BENCH_serve.json`.
+//!
+//! Drives a real in-process server over TCP with a wave of concurrent
+//! study requests — many distinct seeds, several repeats per seed, all
+//! clients connecting at once — twice: once with the shared-artifact
+//! cache disabled (every request builds its world, population,
+//! filterlist and document from scratch) and once with the cache
+//! enabled. Per the `panoptes_bench::ab` protocol the arms are
+//! isolated (fresh server, fresh pool, fresh cache per arm) and the
+//! warmup requests use a sentinel seed outside the measured set, so
+//! the cached arm's hit ratio reflects the measured load only.
+//!
+//! Reported per arm: request throughput, time-to-first-event and
+//! completion-latency percentiles, cache hit/miss/eviction counts, and
+//! peak RSS. The run asserts every response is byte-identical across
+//! repeats *and* across arms, and (the perf gate) that the shared
+//! cache clears a throughput floor over the cache-disabled baseline.
+//!
+//! Usage: `bench_serve [--validate] [output.json]`
+//! (`--validate` is the CI smoke mode: a smaller wave and a relaxed
+//! speedup floor for noisy shared hosts).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use panoptes_bench::ab::{percentile, ArmStats};
+use panoptes_bench::mem;
+use panoptes_serve::client::{self, StudyCapture};
+use panoptes_serve::server::{self, ServerConfig};
+use panoptes_serve::study::StudyParams;
+
+#[global_allocator]
+static ALLOC: mem::CountingAlloc = mem::CountingAlloc;
+
+/// The measured load shape.
+struct Load {
+    params: StudyParams,
+    seeds: Vec<u64>,
+    repeats: usize,
+    warmups: usize,
+}
+
+impl Load {
+    fn requests(&self) -> usize {
+        self.seeds.len() * self.repeats
+    }
+
+    fn query(&self, seed: u64) -> String {
+        format!(
+            "/study?seed={seed}&popular={}&sensitive={}&population={}&idle={}",
+            self.params.popular, self.params.sensitive, self.params.population,
+            self.params.idle_secs
+        )
+    }
+}
+
+/// One arm's aggregated measurements.
+struct ArmReport {
+    label: &'static str,
+    wall_secs: f64,
+    ttfe: ArmStats,
+    total: ArmStats,
+    replays: usize,
+    cache: Option<panoptes_serve::cache::CacheStats>,
+    peak_rss_kib_after: u64,
+}
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut validate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--validate" => validate = true,
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let params = StudyParams {
+        popular: 8,
+        sensitive: 5,
+        tail: 0,
+        population: 6,
+        idle_secs: 60,
+        ..StudyParams::default()
+    };
+    let load = if validate {
+        Load { params, seeds: (0..4).map(|i| 0x5EED + i).collect(), repeats: 3, warmups: 2 }
+    } else {
+        Load { params, seeds: (0..20).map(|i| 0x5EED + i).collect(), repeats: 5, warmups: 3 }
+    };
+    // The honest floor: document replays are near-free, so with R
+    // repeats per seed the cached arm does 1/R of the unit work. 2x is
+    // the full-run gate; --validate keeps a margin for noisy CI hosts.
+    let speedup_floor = if validate { 1.2 } else { 2.0 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (workers, max_active, max_waiting) = (4, 8, 512);
+
+    // Reference documents per seed, filled by the first arm, checked by
+    // the second: byte-identity across arms is part of the bench.
+    let mut reference_docs: HashMap<u64, String> = HashMap::new();
+
+    let mut arms = Vec::new();
+    for (label, budget) in [("no_cache", None), ("shared_cache", Some(256u64 << 20))] {
+        eprintln!(
+            "arm {label}: {} requests ({} seeds x {} repeats), {} warmup…",
+            load.requests(),
+            load.seeds.len(),
+            load.repeats,
+            load.warmups
+        );
+        let config = ServerConfig {
+            workers,
+            cache_budget: budget,
+            max_active,
+            max_waiting,
+            narrate: false,
+        };
+        arms.push(run_arm(label, config, &load, &mut reference_docs));
+    }
+
+    let base = &arms[0];
+    let cached = &arms[1];
+    let base_rps = load.requests() as f64 / base.wall_secs;
+    let cached_rps = load.requests() as f64 / cached.wall_secs;
+    let speedup = cached_rps / base_rps;
+    eprintln!(
+        "throughput: {base_rps:.2} req/s uncached vs {cached_rps:.2} req/s cached ({speedup:.2}x)"
+    );
+    if speedup < speedup_floor {
+        eprintln!(
+            "bench_serve: FAIL: shared-cache speedup {speedup:.2}x below the {speedup_floor}x floor"
+        );
+        std::process::exit(1);
+    }
+
+    let arm_rows: String = arms
+        .iter()
+        .map(|arm| {
+            let cache_json = match &arm.cache {
+                Some(stats) => {
+                    let lookups = stats.hits + stats.misses;
+                    format!(
+                        "{{\n      \"hits\": {},\n      \"misses\": {},\n      \"evictions\": {},\n      \"hit_ratio\": {:.3},\n      \"doc_replays\": {}\n    }}",
+                        stats.hits,
+                        stats.misses,
+                        stats.evictions,
+                        if lookups == 0 { 0.0 } else { stats.hits as f64 / lookups as f64 },
+                        arm.replays
+                    )
+                }
+                None => "null".to_string(),
+            };
+            format!(
+                concat!(
+                    "  \"{label}\": {{\n",
+                    "    \"wall_secs\": {wall:.6},\n",
+                    "    \"req_per_sec\": {rps:.3},\n",
+                    "    \"ttfe_ms\": {{ \"p50\": {tp50:.3}, \"p99\": {tp99:.3} }},\n",
+                    "    \"completion_ms\": {{ \"p50\": {cp50:.3}, \"p99\": {cp99:.3} }},\n",
+                    "    \"peak_rss_kib_after\": {rss},\n",
+                    "    \"cache\": {cache}\n",
+                    "  }},\n",
+                ),
+                label = arm.label,
+                wall = arm.wall_secs,
+                rps = load.requests() as f64 / arm.wall_secs,
+                tp50 = 1e3 * percentile(&arm.ttfe.secs, 50.0),
+                tp99 = 1e3 * percentile(&arm.ttfe.secs, 99.0),
+                cp50 = 1e3 * percentile(&arm.total.secs, 50.0),
+                cp99 = 1e3 * percentile(&arm.total.secs, 99.0),
+                rss = arm.peak_rss_kib_after,
+                cache = cache_json,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"host_cpus\": {host_cpus},\n",
+            "  \"server\": {{ \"workers\": {workers}, \"max_active\": {max_active}, \"max_waiting\": {max_waiting} }},\n",
+            "  \"study\": {{ \"popular\": {popular}, \"sensitive\": {sensitive}, \"population\": {population}, \"idle_secs\": {idle} }},\n",
+            "  \"load\": {{ \"seeds\": {seeds}, \"repeats\": {repeats}, \"requests\": {requests}, \"warmup_requests\": {warmups}, \"concurrent\": true }},\n",
+            "{arm_rows}",
+            "  \"throughput_speedup\": {speedup:.2},\n",
+            "  \"speedup_floor\": {floor},\n",
+            "  \"byte_identical\": {{ \"across_repeats\": true, \"across_arms\": true }},\n",
+            "{mem}\n",
+            "}}\n",
+        ),
+        mode = if validate { "validate" } else { "full" },
+        host_cpus = host_cpus,
+        workers = workers,
+        max_active = max_active,
+        max_waiting = max_waiting,
+        popular = load.params.popular,
+        sensitive = load.params.sensitive,
+        population = load.params.population,
+        idle = load.params.idle_secs,
+        seeds = load.seeds.len(),
+        repeats = load.repeats,
+        requests = load.requests(),
+        warmups = load.warmups,
+        arm_rows = arm_rows,
+        speedup = speedup,
+        floor = speedup_floor,
+        mem = mem::report_json(),
+    );
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_serve: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+/// Spins up a fresh server, runs the warmup + measured wave, tears the
+/// server down, and checks byte-identity against `reference_docs`
+/// (filling it on the first arm).
+fn run_arm(
+    label: &'static str,
+    config: ServerConfig,
+    load: &Load,
+    reference_docs: &mut HashMap<u64, String>,
+) -> ArmReport {
+    let handle = match server::spawn(0, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bench_serve: server spawn failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr;
+
+    // Warmup requests on a sentinel seed outside the measured set:
+    // warms thread stacks, allocator arenas and the process-wide
+    // artifact paths without pre-populating the measured seeds' cache
+    // entries. Excluded from all statistics.
+    for i in 0..load.warmups {
+        let query = load.query(0xDEAD_0000 + i as u64);
+        if let Err(e) = client::collect_study(addr, &query) {
+            eprintln!("bench_serve: warmup request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The measured wave: every request in flight at once, seeds
+    // round-robined so identical seeds land spread across the wave.
+    let mut queries: Vec<(u64, String)> = Vec::with_capacity(load.requests());
+    for _ in 0..load.repeats {
+        for &seed in &load.seeds {
+            queries.push((seed, load.query(seed)));
+        }
+    }
+    let wave_start = Instant::now();
+    let threads: Vec<_> = queries
+        .iter()
+        .map(|(seed, query)| {
+            let (seed, query) = (*seed, query.clone());
+            std::thread::spawn(move || (seed, client::collect_study(addr, &query)))
+        })
+        .collect();
+    let mut captures: Vec<(u64, StudyCapture)> = Vec::with_capacity(threads.len());
+    for thread in threads {
+        match thread.join() {
+            Ok((seed, Ok(capture))) => captures.push((seed, capture)),
+            Ok((_, Err(e))) => {
+                eprintln!("bench_serve: study request failed on arm {label}: {e}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("bench_serve: client thread panicked on arm {label}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let wall_secs = wave_start.elapsed().as_secs_f64();
+
+    // Byte-identity: within this arm every repeat of a seed must match,
+    // and across arms the first arm's documents are the reference.
+    for (seed, capture) in &captures {
+        match reference_docs.get(seed) {
+            Some(reference) if reference != &capture.doc => {
+                eprintln!("bench_serve: seed {seed:#x} diverged on arm {label}");
+                std::process::exit(1);
+            }
+            Some(_) => {}
+            None => {
+                reference_docs.insert(*seed, capture.doc.clone());
+            }
+        }
+    }
+
+    let ttfe: Vec<f64> = captures.iter().map(|(_, c)| c.ttfe.as_secs_f64()).collect();
+    let total: Vec<f64> = captures.iter().map(|(_, c)| c.total.as_secs_f64()).collect();
+    let replays = captures.iter().filter(|(_, c)| c.cached).count();
+    let cache = handle.engine().cache().map(|c| c.stats());
+    handle.shutdown();
+    match &cache {
+        Some(stats) => eprintln!(
+            "arm {label}: wall {wall_secs:.2}s, {replays} doc replays, \
+             {} hits / {} misses / {} evictions",
+            stats.hits, stats.misses, stats.evictions
+        ),
+        None => eprintln!("arm {label}: wall {wall_secs:.2}s"),
+    }
+    ArmReport {
+        label,
+        wall_secs,
+        ttfe: ArmStats::from_samples("ttfe", ttfe),
+        total: ArmStats::from_samples("completion", total),
+        replays,
+        cache,
+        peak_rss_kib_after: mem::peak_rss_kib().unwrap_or(0),
+    }
+}

@@ -1,0 +1,333 @@
+//! The shared-artifact cache: keyed, single-flight, LRU under a byte
+//! budget.
+//!
+//! Concurrent studies overwhelmingly share setup work — the world plan
+//! for a given `(seed, sites)`, the compiled filterlist DFA, the
+//! sampled browser population, the analysis resources, and (for
+//! identical parameters) the entire rendered study document. This
+//! cache dedupes all of them across in-flight requests:
+//!
+//! * **single-flight** — the first request for a key builds; every
+//!   concurrent request for the same key blocks on a condvar and gets
+//!   the same `Arc` when construction lands. A builder that dies
+//!   (client disconnect, panic) *abandons* the slot: waiters wake and
+//!   race to rebuild, so a failed build never poisons the key;
+//! * **byte budget** — every artifact is charged the *net* bytes its
+//!   build retained (the `panoptes_bench::mem` live-bytes delta when
+//!   the binary installs the counting allocator, floored by a
+//!   caller-supplied minimum for when it doesn't — or when concurrent
+//!   frees on other threads deflate the delta), and least-recently-used
+//!   entries are evicted when the total exceeds the budget. In-flight
+//!   builds are never evicted.
+//!
+//! Artifacts are stored as `Arc<dyn Any + Send + Sync>` and downcast
+//! by the typed [`ArtifactCache::get_or_build`]; a key is always
+//! associated with one concrete type (the key string embeds the
+//! artifact kind).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+type Artifact = Arc<dyn Any + Send + Sync>;
+
+struct Entry {
+    value: Artifact,
+    cost: u64,
+    /// LRU clock: larger = more recently used.
+    last_used: u64,
+}
+
+struct Inner {
+    ready: HashMap<String, Entry>,
+    /// Keys currently being built by some thread (single-flight
+    /// markers). Never counted against the budget, never evicted.
+    building: HashMap<String, ()>,
+    used: u64,
+    clock: u64,
+}
+
+/// Cumulative cache statistics (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a ready entry (or by waiting on another
+    /// request's in-flight build — shared work either way).
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+}
+
+/// The keyed single-flight LRU cache. One instance is shared by every
+/// connection handler of a server.
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    wakeup: Condvar,
+    budget: u64,
+    stats: Mutex<CacheStats>,
+}
+
+impl ArtifactCache {
+    /// A cache evicting LRU entries beyond `budget_bytes`.
+    pub fn new(budget_bytes: u64) -> ArtifactCache {
+        ArtifactCache {
+            inner: Mutex::new(Inner {
+                ready: HashMap::new(),
+                building: HashMap::new(),
+                used: 0,
+                clock: 0,
+            }),
+            wakeup: Condvar::new(),
+            budget: budget_bytes,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Returns the cached artifact for `key`, building it with `build`
+    /// on a miss. `min_cost` floors the charged size when the counting
+    /// allocator is not installed (its counters then read zero delta).
+    ///
+    /// Concurrent callers for the same key build once: the losers wait
+    /// and share the winner's `Arc`. If the builder panics, the panic
+    /// propagates to its caller and the slot is abandoned — one waiter
+    /// retries the build; the key is never poisoned.
+    pub fn get_or_build<T, F>(&self, key: &str, min_cost: u64, build: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        match self.try_get_or_build::<T, std::convert::Infallible, _>(key, min_cost, || {
+            Ok(build())
+        }) {
+            Ok(value) => value,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`ArtifactCache::get_or_build`] with a fallible builder: on
+    /// `Err` the slot is abandoned (waiters wake and retry) and the
+    /// error propagates to this caller only — the failure path a
+    /// mid-build client disconnect takes.
+    pub fn try_get_or_build<T, E, F>(
+        &self,
+        key: &str,
+        min_cost: u64,
+        build: F,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Result<T, E>,
+    {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            loop {
+                if inner.ready.contains_key(key) {
+                    inner.clock += 1;
+                    let now = inner.clock;
+                    // Presence was checked just above under this lock.
+                    let entry = inner.ready.get_mut(key).expect("just found"); // unwrap-ok
+                    entry.last_used = now;
+                    let value = Arc::clone(&entry.value);
+                    drop(inner);
+                    self.stats.lock().expect("stats lock").hits += 1;
+                    panoptes_obs::count!("serve.cache.hits", Runtime);
+                    // Keys embed the artifact kind, one concrete type each.
+                    return Ok(value
+                        .downcast::<T>()
+                        .unwrap_or_else(|_| unreachable!("one type per key")));
+                }
+                if inner.building.contains_key(key) {
+                    // Someone else is constructing this artifact: wait
+                    // for it to land (or be abandoned — in which case
+                    // this thread takes over the build below).
+                    inner = self.wakeup.wait(inner).expect("cache wait");
+                    continue;
+                }
+                inner.building.insert(key.to_string(), ());
+                break;
+            }
+        }
+        // This thread owns the build. The guard abandons the slot if
+        // the build unwinds or the thread dies before install.
+        let guard = BuildGuard { cache: self, key, installed: false };
+        self.stats.lock().expect("stats lock").misses += 1;
+        panoptes_obs::count!("serve.cache.misses", Runtime);
+        let before = panoptes_bench::mem::live_bytes();
+        let value: Arc<T> = Arc::new(build()?);
+        let measured = panoptes_bench::mem::live_bytes().saturating_sub(before);
+        self.install(key, Arc::clone(&value) as Artifact, measured.max(min_cost));
+        guard.disarm();
+        Ok(value)
+    }
+
+    fn install(&self, key: &str, value: Artifact, cost: u64) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.building.remove(key);
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.used += cost;
+        inner.ready.insert(key.to_string(), Entry { value, cost, last_used: clock });
+        // Evict LRU entries until the budget holds. The entry just
+        // installed is the most recently used, so it goes last — an
+        // over-budget artifact still serves its current requesters.
+        while inner.used > self.budget && inner.ready.len() > 1 {
+            let lru_key = inner
+                .ready
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty ready map"); // unwrap-ok: len > 1 in loop guard
+            let evicted = inner.ready.remove(&lru_key).expect("lru entry"); // unwrap-ok
+            inner.used -= evicted.cost;
+            self.stats.lock().expect("stats lock").evictions += 1;
+            panoptes_obs::count!("serve.cache.evictions", Runtime);
+        }
+        panoptes_obs::gauge_set!("serve.cache.bytes", inner.used as i64);
+        panoptes_obs::gauge_set!("serve.cache.entries", inner.ready.len() as i64);
+        drop(inner);
+        self.wakeup.notify_all();
+    }
+
+    fn abandon(&self, key: &str) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.building.remove(key);
+        drop(inner);
+        self.wakeup.notify_all();
+    }
+
+    /// Cumulative hit/miss/eviction counts.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().expect("cache lock").used
+    }
+
+    /// Ready entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").ready.len()
+    }
+
+    /// True when no ready entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Clears a key's single-flight marker if its build never installed —
+/// the disconnect/panic path that keeps abandoned keys buildable.
+struct BuildGuard<'a> {
+    cache: &'a ArtifactCache,
+    key: &'a str,
+    installed: bool,
+}
+
+impl BuildGuard<'_> {
+    fn disarm(mut self) {
+        self.installed = true;
+    }
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.installed {
+            self.cache.abandon(self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn hit_returns_same_arc() {
+        let cache = ArtifactCache::new(1 << 20);
+        let a = cache.get_or_build("k", 100, || vec![1u8, 2, 3]);
+        let b = cache.get_or_build("k", 100, || vec![9u8]);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn single_flight_builds_once_across_threads() {
+        let cache = Arc::new(ArtifactCache::new(1 << 20));
+        let builds = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                std::thread::spawn(move || {
+                    cache.get_or_build("world:42", 10, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters really wait.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        42u64
+                    })
+                })
+            })
+            .collect();
+        let values: Vec<Arc<u64>> =
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
+        for v in &values {
+            assert!(Arc::ptr_eq(v, &values[0]));
+        }
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+
+    #[test]
+    fn lru_evicts_under_byte_budget() {
+        let cache = ArtifactCache::new(250);
+        cache.get_or_build("a", 100, || 1u8);
+        cache.get_or_build("b", 100, || 2u8);
+        // Touch `a` so `b` is the least recently used.
+        cache.get_or_build("a", 100, || 0u8);
+        cache.get_or_build("c", 100, || 3u8);
+        assert_eq!(cache.stats().evictions, 1);
+        // `b` was evicted; `a` survives as a hit.
+        let before = cache.stats().misses;
+        cache.get_or_build("a", 100, || 9u8);
+        assert_eq!(cache.stats().misses, before, "a still resident");
+        cache.get_or_build("b", 100, || 9u8);
+        assert_eq!(cache.stats().misses, before + 1, "b was evicted");
+    }
+
+    #[test]
+    fn panicking_build_does_not_poison_the_key() {
+        let cache = Arc::new(ArtifactCache::new(1 << 20));
+        let c = Arc::clone(&cache);
+        let result = std::thread::spawn(move || {
+            c.get_or_build("doomed", 10, || -> u64 { panic!("build failed") })
+        })
+        .join();
+        assert!(result.is_err(), "builder panicked");
+        // The key is abandoned, not poisoned: the next caller rebuilds.
+        let v = cache.get_or_build("doomed", 10, || 7u64);
+        assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn waiters_recover_when_builder_abandons() {
+        let cache = Arc::new(ArtifactCache::new(1 << 20));
+        let c1 = Arc::clone(&cache);
+        let doomed = std::thread::spawn(move || {
+            c1.get_or_build("k", 10, || -> u64 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("mid-build disconnect")
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // This caller arrives while the doomed build is in flight,
+        // waits, then takes over the build after the abandon.
+        let v = cache.get_or_build("k", 10, || 5u64);
+        assert_eq!(*v, 5);
+        assert!(doomed.join().is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! A minimal blocking HTTP/1.1 layer: just enough protocol for the
+//! study server and its bench/test clients, hand-rolled on `std::net`
+//! (the workspace is air-gapped — no hyper, no tokio).
+//!
+//! Supported surface: `GET` requests with a query string, response
+//! streaming via `Transfer-Encoding: chunked` (one chunk per event, so
+//! clients observe events as they happen), and `Connection: close`
+//! framing. Request handling never `unwrap()`s on IO — a torn or
+//! malformed request yields an error response or a dropped connection,
+//! not a worker panic.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A parsed request line + query parameters.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method (only `GET` is served).
+    pub method: String,
+    /// The path without the query string, e.g. `/study`.
+    pub path: String,
+    /// Decoded query parameters, last occurrence wins.
+    pub query: HashMap<String, String>,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// Reads and parses one request head (request line + headers) from the
+/// stream. Returns `None` on a malformed or prematurely closed
+/// request.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    // Drain headers; the server doesn't need any of them (no bodies on
+    // GET, no keep-alive).
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header).ok()? == 0 {
+            return None;
+        }
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in query_text.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    Some(Request { method, path: path.to_string(), query })
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes a complete (non-streamed) response and flushes.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A chunked-transfer streaming response: one chunk per event, flushed
+/// eagerly so the client sees events as they are produced.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    finished: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream, finished: false })
+    }
+
+    /// Sends one chunk (an event) and flushes. An `Err` here is the
+    /// client-disconnect signal the study runner reacts to.
+    pub fn write_chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        let framed = format!("{:x}\r\n{data}\r\n", data.len());
+        self.stream.write_all(framed.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.finished = true;
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Reads one chunked-transfer body to completion from `reader`,
+/// returning the de-chunked bytes — the client half of
+/// [`ChunkedWriter`]. Stops at the zero-length chunk.
+pub fn read_chunked(reader: &mut impl BufRead) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            // Stream ended without the terminal chunk: disconnected
+            // mid-stream. Return what arrived.
+            return Ok(out);
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        if size == 0 {
+            let mut trailer = String::new();
+            let _ = reader.read_line(&mut trailer);
+            return Ok(out);
+        }
+        let mut chunk = vec![0u8; size + 2]; // payload + CRLF
+        reader.read_exact(&mut chunk)?;
+        chunk.truncate(size);
+        out.extend_from_slice(&chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_common_escapes() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex passes through");
+        assert_eq!(percent_decode("100%"), "100%", "trailing percent survives");
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        // Frame two chunks by hand and read them back.
+        let wire = b"5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n";
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let body = read_chunked(&mut reader).expect("well-formed chunks");
+        assert_eq!(body, b"hello, world");
+    }
+
+    #[test]
+    fn truncated_chunked_stream_returns_partial_body() {
+        let wire = b"5\r\nhello\r\n"; // no terminal chunk: disconnect
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let body = read_chunked(&mut reader).expect("partial ok");
+        assert_eq!(body, b"hello");
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal JSON string escaping/extraction for the event stream.
+//!
+//! The server emits flat, single-line JSON objects whose values are
+//! strings or integers; this module provides exactly the escape and
+//! field-extraction surface that format needs (the obs trace layer
+//! keeps its escape helpers private, and the workspace is offline — no
+//! serde).
+
+/// Appends `s` to `out` JSON-escaped (quotes, backslash, control
+/// characters; `\n`/`\r`/`\t` get their short forms).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s`, JSON-escaped and quoted.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Extracts and unescapes the string field `name` from a flat JSON
+/// object line, e.g. `field(r#"{"event":"section","data":"x"}"#,
+/// "data")`. Returns `None` when the field is absent. Only supports
+/// the escapes [`escape_into`] produces — which is all the server
+/// emits.
+pub fn field(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None // unterminated string: malformed line
+}
+
+/// Extracts the unsigned-integer field `name` from a flat JSON object
+/// line (`{"seq":17,...}`).
+pub fn uint_field(line: &str, name: &str) -> Option<u64> {
+    let marker = format!("\"{name}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String =
+        line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_and_extract_round_trip() {
+        let nasty = "a \"quoted\" line\nwith\ttabs \\ and \u{1} control";
+        let line = format!("{{\"event\":\"section\",\"data\":{}}}", quoted(nasty));
+        assert_eq!(field(&line, "data").as_deref(), Some(nasty));
+        assert_eq!(field(&line, "event").as_deref(), Some("section"));
+        assert_eq!(field(&line, "missing"), None);
+    }
+
+    #[test]
+    fn uint_field_reads_integers() {
+        let line = r#"{"event":"done","sections":15,"bytes":10003}"#;
+        assert_eq!(uint_field(line, "sections"), Some(15));
+        assert_eq!(uint_field(line, "bytes"), Some(10003));
+        assert_eq!(uint_field(line, "nope"), None);
+    }
+}

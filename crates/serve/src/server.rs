@@ -1,0 +1,307 @@
+//! The HTTP front: accept loop, routing, admission control, and the
+//! event-stream framing (JSONL or SSE) over chunked transfer.
+//!
+//! Endpoints:
+//!
+//! * `GET /study?seed=S&popular=N&sensitive=N&sites=N&population=N&idle=N[&format=sse]`
+//!   — runs (or replays from cache) one study, streaming events as
+//!   JSON lines (default) or SSE frames. The concatenated
+//!   `header`/`section` payloads are byte-identical to offline
+//!   `repro` stdout for the same parameters.
+//! * `GET /healthz` — liveness probe.
+//! * `GET /metrics` — the panoptes-obs run report (Deterministic /
+//!   Runtime split) plus cache counters, as plain text.
+//!
+//! Admission control bounds memory: at most `max_active` studies run
+//! concurrently and at most `max_waiting` sit in the admission queue;
+//! beyond that the server answers `503 Busy` immediately instead of
+//! buffering unbounded work.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::http::{read_request, respond, ChunkedWriter, Request};
+use crate::study::{ev_error, EventSink, StudyEngine, StudyError, StudyParams};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Pool worker threads shared by all studies.
+    pub workers: usize,
+    /// Shared-artifact cache budget; `None` disables the cache (the
+    /// A/B baseline).
+    pub cache_budget: Option<u64>,
+    /// Studies allowed to run concurrently.
+    pub max_active: usize,
+    /// Studies allowed to wait for an active slot; further requests
+    /// get `503`.
+    pub max_waiting: usize,
+    /// Tagged per-unit narration on stderr.
+    pub narrate: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            cache_budget: Some(256 << 20),
+            max_active: 8,
+            max_waiting: 128,
+            narrate: false,
+        }
+    }
+}
+
+/// A running server: accept loop + handler threads. Dropping the
+/// handle leaves the server running (detached); call
+/// [`ServerHandle::shutdown`] to stop accepting.
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    engine: Arc<StudyEngine>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared study engine (cache stats, queue depth).
+    pub fn engine(&self) -> &Arc<StudyEngine> {
+        &self.engine
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    /// In-flight studies run to completion on their handler threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `127.0.0.1:port` (0 = ephemeral) and spawns the accept loop.
+pub fn spawn(port: u16, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let mut engine = StudyEngine::new(config.workers, config.cache_budget);
+    if config.narrate {
+        engine = engine.with_narration();
+    }
+    let engine = Arc::new(engine);
+    let admission = Arc::new(Admission::new(config.max_active, config.max_waiting));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept_engine = Arc::clone(&engine);
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let engine = Arc::clone(&accept_engine);
+            let admission = Arc::clone(&admission);
+            std::thread::spawn(move || handle_connection(stream, &engine, &admission));
+        }
+    });
+
+    Ok(ServerHandle { addr, engine, stop, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, engine: &StudyEngine, admission: &Arc<Admission>) {
+    // All IO failures here mean the client is gone or speaking
+    // something other than HTTP; the connection is simply dropped.
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let Some(request) = read_request(&mut reader) else { return };
+    if request.method != "GET" {
+        let _ = respond(&mut stream, 405, "Method Not Allowed", "text/plain", "GET only\n");
+        return;
+    }
+    match request.path.as_str() {
+        "/healthz" => {
+            let _ = respond(&mut stream, 200, "OK", "text/plain", "ok\n");
+        }
+        "/metrics" => {
+            let report = panoptes_obs::report::render(&panoptes_obs::metrics::snapshot());
+            let _ = respond(&mut stream, 200, "OK", "text/plain", &report);
+        }
+        "/study" => handle_study(&request, stream, engine, admission),
+        _ => {
+            let _ = respond(&mut stream, 404, "Not Found", "text/plain", "not found\n");
+        }
+    }
+}
+
+fn handle_study(
+    request: &Request,
+    mut stream: TcpStream,
+    engine: &StudyEngine,
+    admission: &Arc<Admission>,
+) {
+    let params = match parse_params(request) {
+        Ok(p) => p,
+        Err(msg) => {
+            let _ = respond(&mut stream, 400, "Bad Request", "text/plain", &format!("{msg}\n"));
+            return;
+        }
+    };
+    let sse = request.param("format") == Some("sse");
+    let Some(_permit) = admission.acquire() else {
+        panoptes_obs::count!("serve.requests.rejected", Runtime);
+        let _ = respond(
+            &mut stream,
+            503,
+            "Busy",
+            "text/plain",
+            "study capacity exhausted; retry later\n",
+        );
+        return;
+    };
+    panoptes_obs::count!("serve.requests.accepted", Runtime);
+    let content_type = if sse { "text/event-stream" } else { "application/x-ndjson" };
+    let Ok(writer) = ChunkedWriter::start(&mut stream, content_type) else { return };
+    let mut sink = HttpSink { writer: Some(writer), sse };
+    match engine.run_streaming(&params, &mut sink) {
+        Ok(_) => {
+            if let Some(writer) = sink.writer.take() {
+                let _ = writer.finish();
+            }
+        }
+        Err(StudyError::Disconnected(_)) => {
+            panoptes_obs::count!("serve.requests.disconnected", Runtime);
+            // Lane already cancelled by the runner; nothing to send.
+        }
+        Err(StudyError::Fleet(msg)) => {
+            let _ = sink.event(&ev_error(&msg));
+            if let Some(writer) = sink.writer.take() {
+                let _ = writer.finish();
+            }
+        }
+    }
+}
+
+fn parse_params(request: &Request) -> Result<StudyParams, String> {
+    let mut params = StudyParams::default();
+    if let Some(seed) = request.param("seed") {
+        params.seed = parse_u64(seed).ok_or_else(|| format!("bad seed {seed:?}"))?;
+    }
+    if let Some(popular) = request.param("popular") {
+        params.popular = popular.parse().map_err(|_| format!("bad popular {popular:?}"))?;
+    }
+    if let Some(sensitive) = request.param("sensitive") {
+        params.sensitive =
+            sensitive.parse().map_err(|_| format!("bad sensitive {sensitive:?}"))?;
+    }
+    if let Some(population) = request.param("population") {
+        let n: usize =
+            population.parse().map_err(|_| format!("bad population {population:?}"))?;
+        if n == 0 {
+            return Err("population must be >= 1".to_string());
+        }
+        params.population = n;
+    }
+    if let Some(idle) = request.param("idle") {
+        params.idle_secs = idle.parse().map_err(|_| format!("bad idle {idle:?}"))?;
+    }
+    if let Some(sites) = request.param("sites") {
+        let n: u32 = sites.parse().map_err(|_| format!("bad sites {sites:?}"))?;
+        params.tail = n.saturating_sub(params.popular + params.sensitive);
+    }
+    Ok(params)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// The event sink over the chunked HTTP response: one chunk per event,
+/// JSONL (`{...}\n`) or SSE (`data: {...}\n\n`).
+struct HttpSink<'a> {
+    writer: Option<ChunkedWriter<'a>>,
+    sse: bool,
+}
+
+impl EventSink for HttpSink<'_> {
+    fn event(&mut self, line: &str) -> io::Result<()> {
+        let Some(writer) = self.writer.as_mut() else {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "stream finished"));
+        };
+        if self.sse {
+            writer.write_chunk(&format!("data: {line}\n\n"))
+        } else {
+            writer.write_chunk(&format!("{line}\n"))
+        }
+    }
+}
+
+/// Bounded study admission: `max_active` running, `max_waiting`
+/// queued, the rest turned away with `503`.
+struct Admission {
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+    max_active: usize,
+    max_waiting: usize,
+}
+
+struct AdmissionState {
+    active: usize,
+    waiting: usize,
+}
+
+impl Admission {
+    fn new(max_active: usize, max_waiting: usize) -> Admission {
+        Admission {
+            state: Mutex::new(AdmissionState { active: 0, waiting: 0 }),
+            freed: Condvar::new(),
+            max_active: max_active.max(1),
+            max_waiting,
+        }
+    }
+
+    /// Blocks until an active slot frees (fair-enough condvar order);
+    /// `None` when the waiting room is full.
+    fn acquire(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let mut state = self.state.lock().ok()?;
+        if state.active >= self.max_active {
+            if state.waiting >= self.max_waiting {
+                return None;
+            }
+            state.waiting += 1;
+            panoptes_obs::gauge_add!("serve.admission.waiting", 1);
+            while state.active >= self.max_active {
+                state = self.freed.wait(state).ok()?;
+            }
+            state.waiting -= 1;
+            panoptes_obs::gauge_add!("serve.admission.waiting", -1);
+        }
+        state.active += 1;
+        panoptes_obs::gauge_add!("serve.admission.active", 1);
+        Some(AdmissionPermit { admission: Arc::clone(self) })
+    }
+}
+
+/// RAII active-slot: released (and a waiter woken) on drop, whatever
+/// path the handler exits through.
+struct AdmissionPermit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.admission.state.lock() {
+            state.active -= 1;
+        }
+        panoptes_obs::gauge_add!("serve.admission.active", -1);
+        self.admission.freed.notify_one();
+    }
+}

@@ -1,0 +1,582 @@
+//! The streamed study runner: parameters → shared artifacts → fleet
+//! units on the pool → incremental section events, byte-identical to
+//! `repro`.
+//!
+//! A study at parameters `(seed, sites, population, idle)` is exactly
+//! the offline reproduction document: header, the twelve
+//! crawl-derived sections, the §3.2 incognito section (three re-crawl
+//! pairs), and the two idle sections. The runner schedules every
+//! campaign unit — `population` crawls, six incognito crawls,
+//! `population` idles — as individual jobs on the server's shared
+//! [`WorkPool`] lane for this request, analyses each capture on the
+//! request's own handler thread as it seals, and emits each section
+//! group the moment its inputs are complete. Concatenating the
+//! streamed `header`/`section` payload bytes reproduces `repro`'s
+//! stdout exactly (enforced by `tests/serve_determinism.rs`).
+//!
+//! Backpressure: the lane is opened with a small credit allowance and
+//! a credit is granted back only after the already-received unit has
+//! been analysed *and* every due event has been written to the client
+//! socket. A client that stops reading therefore stalls its own
+//! lane's dispatch — bounded buffered results — while other studies
+//! keep the workers busy (the pool is work-conserving).
+//!
+//! Cancellation: every event write can fail (client went away). The
+//! runner then drops its lane — pending units are discarded, in-flight
+//! units finish and their results are dropped — and, when it was the
+//! single-flight builder of a cached document, abandons the cache slot
+//! so a later request rebuilds cleanly. No slot, thread, or cache key
+//! leaks.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use panoptes::config::CampaignConfig;
+use panoptes::fleet::{self, FleetUnit, UnitOutput, WorkPool};
+use panoptes_analysis::engine::{
+    analyze_crawl, analyze_idle, AnalysisResources, CampaignAnalysis, IdleAnalysis,
+};
+use panoptes_bench::experiments::Scale;
+use panoptes_bench::render;
+use panoptes_blocklist::filterlist::easylist_excerpt;
+use panoptes_browsers::registry::{population, profile_by_name};
+use panoptes_browsers::BrowserProfile;
+use panoptes_simnet::SimDuration;
+use panoptes_web::generator::GeneratorConfig;
+use panoptes_web::World;
+
+use crate::cache::ArtifactCache;
+use crate::json;
+
+/// The §3.2 incognito browsers, re-crawled normal + incognito — same
+/// set and order as `repro`.
+const INCOGNITO_BROWSERS: [&str; 3] = ["Edge", "Opera", "UC International"];
+
+/// One study request's parameters (the query string of `GET /study`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyParams {
+    /// Campaign seed (world, identifiers, jitter).
+    pub seed: u64,
+    /// Popular (Tranco-like) site count.
+    pub popular: u32,
+    /// Sensitive (Curlie-like) site count.
+    pub sensitive: u32,
+    /// Deep-tail sites beyond the head set (`sites` beyond
+    /// `popular + sensitive`).
+    pub tail: u32,
+    /// Browser population size (15 = the paper's pinned set).
+    pub population: usize,
+    /// Idle-experiment window in (simulated) seconds.
+    pub idle_secs: u64,
+}
+
+impl Default for StudyParams {
+    /// Quick-scale defaults, mirroring `repro --quick`.
+    fn default() -> StudyParams {
+        let quick = Scale::quick();
+        StudyParams {
+            seed: quick.seed,
+            popular: quick.popular,
+            sensitive: quick.sensitive,
+            tail: 0,
+            population: 15,
+            idle_secs: quick.idle.as_secs(),
+        }
+    }
+}
+
+impl StudyParams {
+    /// The equivalent offline [`Scale`].
+    pub fn scale(&self) -> Scale {
+        Scale {
+            popular: self.popular,
+            sensitive: self.sensitive,
+            tail: self.tail,
+            idle: SimDuration::from_secs(self.idle_secs),
+            seed: self.seed,
+        }
+    }
+
+    /// The study-document cache key: every parameter that affects the
+    /// output bytes, and nothing else.
+    pub fn doc_key(&self) -> String {
+        format!(
+            "doc:seed={:#x}:popular={}:sensitive={}:tail={}:population={}:idle={}",
+            self.seed, self.popular, self.sensitive, self.tail, self.population, self.idle_secs
+        )
+    }
+
+    /// The equivalent `repro` invocation (docs/bench reporting).
+    pub fn repro_args(&self) -> String {
+        format!(
+            "--seed {} --popular {} --sensitive {} --population {} {}",
+            self.seed,
+            self.popular,
+            self.sensitive,
+            self.population,
+            if self.tail > 0 {
+                format!("--sites {}", self.popular + self.sensitive + self.tail)
+            } else {
+                String::new()
+            }
+        )
+        .trim_end()
+        .to_string()
+    }
+}
+
+/// Where study events go: the server's chunked HTTP stream, or a
+/// buffer in tests. An `Err` from [`EventSink::event`] means the
+/// consumer is gone; the runner cancels the study's lane.
+pub trait EventSink {
+    /// Delivers one event line (without trailing newline).
+    fn event(&mut self, line: &str) -> io::Result<()>;
+}
+
+impl EventSink for Vec<String> {
+    fn event(&mut self, line: &str) -> io::Result<()> {
+        self.push(line.to_string());
+        Ok(())
+    }
+}
+
+/// A finished study document: the exact bytes `repro` would print,
+/// split into streamable units.
+pub struct StudyDoc {
+    /// The header block (`render::header_md`).
+    pub header: String,
+    /// `(section name, section bytes)` in document order.
+    pub sections: Vec<(String, String)>,
+}
+
+impl StudyDoc {
+    /// The full document — byte-identical to offline `repro` stdout.
+    pub fn bytes(&self) -> String {
+        let mut out = self.header.clone();
+        for (_, text) in &self.sections {
+            out.push_str(text);
+        }
+        out
+    }
+}
+
+/// Why a study stopped before completing.
+#[derive(Debug)]
+pub enum StudyError {
+    /// The client went away (event write failed); the lane was
+    /// cancelled.
+    Disconnected(io::Error),
+    /// A campaign unit died (fleet-level failure).
+    Fleet(String),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::Disconnected(e) => write!(f, "client disconnected: {e}"),
+            StudyError::Fleet(msg) => write!(f, "study units failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+/// What a completed streamed study produced (server/bench accounting).
+#[derive(Debug, Clone, Copy)]
+pub struct StudyOutcome {
+    /// Served from the document cache (no units scheduled).
+    pub cached: bool,
+    /// Total document payload bytes streamed.
+    pub bytes: usize,
+    /// Section count (excluding the header).
+    pub sections: usize,
+}
+
+/// The shared study engine: one per server process. Owns the worker
+/// pool every study's units interleave on, and (optionally) the
+/// shared-artifact cache. `cache: None` is the honest A/B baseline —
+/// every request builds its world, population, filterlist and document
+/// from scratch.
+pub struct StudyEngine {
+    pool: WorkPool,
+    cache: Option<Arc<ArtifactCache>>,
+    /// Lane ids are minted per study; also used as the progress tag.
+    next_lane: AtomicU64,
+    /// Initial + steady-state credit allowance per lane: how many of a
+    /// study's units may be queued-or-running ahead of the client's
+    /// read position.
+    credits: usize,
+    /// Per-unit `[study-N]` narration through the obs progress sink.
+    narrate: bool,
+}
+
+impl StudyEngine {
+    /// An engine with `workers` pool workers and, unless
+    /// `cache_budget_bytes` is `None`, a shared cache of that budget.
+    pub fn new(workers: usize, cache_budget_bytes: Option<u64>) -> StudyEngine {
+        StudyEngine {
+            pool: WorkPool::new(workers),
+            cache: cache_budget_bytes.map(|b| Arc::new(ArtifactCache::new(b))),
+            next_lane: AtomicU64::new(1),
+            credits: 4,
+            narrate: false,
+        }
+    }
+
+    /// The shared cache, when enabled.
+    pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Total units currently queued (all studies).
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Pool lanes currently open — one per study being built. Returns
+    /// to zero when every study has completed or been cancelled (the
+    /// no-slot-leak invariant the determinism tests poll).
+    pub fn lanes(&self) -> usize {
+        self.pool.lane_count()
+    }
+
+    /// Enables per-unit narration through the obs progress sink
+    /// (tagged `[study-N]` lines on stderr). Off by default so bench
+    /// runs stay quiet.
+    pub fn with_narration(mut self) -> StudyEngine {
+        self.narrate = true;
+        self
+    }
+
+    /// Runs one study, streaming events into `sink`. Returns how it
+    /// ended; on [`StudyError::Disconnected`] the study's pending units
+    /// have been dropped and its pool lane freed.
+    pub fn run_streaming(
+        &self,
+        params: &StudyParams,
+        sink: &mut dyn EventSink,
+    ) -> Result<StudyOutcome, StudyError> {
+        let started = Instant::now();
+        panoptes_obs::gauge_add!("serve.studies.inflight", 1);
+        let outcome = self.run_streaming_inner(params, sink);
+        panoptes_obs::gauge_add!("serve.studies.inflight", -1);
+        panoptes_obs::record!(
+            "serve.study.wall_us",
+            Runtime,
+            started.elapsed().as_micros() as u64
+        );
+        outcome
+    }
+
+    fn run_streaming_inner(
+        &self,
+        params: &StudyParams,
+        sink: &mut dyn EventSink,
+    ) -> Result<StudyOutcome, StudyError> {
+        let Some(cache) = &self.cache else {
+            let doc = self.build_streaming(params, sink)?;
+            let outcome =
+                StudyOutcome { cached: false, bytes: doc.bytes().len(), sections: doc.sections.len() };
+            sink.event(&ev_done(&outcome)).map_err(StudyError::Disconnected)?;
+            return Ok(outcome);
+        };
+        // Whole-study single-flight: identical concurrent requests run
+        // the study once; the losers wait and replay the finished
+        // document. A mid-build disconnect abandons the slot (waiters
+        // take over) rather than caching a half-built study.
+        let mut built_here = false;
+        let doc = {
+            let built_here = &mut built_here;
+            cache.try_get_or_build::<StudyDoc, StudyError, _>(&params.doc_key(), 1 << 16, || {
+                *built_here = true;
+                self.build_streaming(params, sink)
+            })?
+        };
+        let outcome = StudyOutcome {
+            cached: !built_here,
+            bytes: doc.bytes().len(),
+            sections: doc.sections.len(),
+        };
+        if !built_here {
+            // Replay the cached document: same events, zero units.
+            self.emit_doc(&doc, sink).map_err(StudyError::Disconnected)?;
+        }
+        sink.event(&ev_done(&outcome)).map_err(StudyError::Disconnected)?;
+        Ok(outcome)
+    }
+
+    /// Streams an already-built document (cache-hit replay).
+    fn emit_doc(&self, doc: &StudyDoc, sink: &mut dyn EventSink) -> io::Result<()> {
+        sink.event(&ev_header("cached", &doc.header))?;
+        for (name, text) in &doc.sections {
+            sink.event(&ev_section(name, text))?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the study's shared build artifacts — through the cache
+    /// when enabled, freshly otherwise.
+    fn artifacts(&self, params: &StudyParams) -> Artifacts {
+        let scale = params.scale();
+        let generator = GeneratorConfig {
+            seed: params.seed,
+            popular: params.popular,
+            sensitive: params.sensitive,
+            tail: params.tail,
+        };
+        let sites = u64::from(params.popular + params.sensitive + params.tail);
+        let Some(cache) = &self.cache else {
+            // Cache-disabled baseline: every request pays full price,
+            // including the per-session filterlist compile the offline
+            // path does (`shared_filterlist: None`).
+            return Artifacts {
+                world: Arc::new(World::build(&generator)),
+                profiles: Arc::new(population(params.seed, params.population)),
+                res: Arc::new(AnalysisResources::standard()),
+                config: scale.config(),
+            };
+        };
+        let world_key = format!(
+            "world:seed={:#x}:popular={}:sensitive={}:tail={}",
+            params.seed, params.popular, params.sensitive, params.tail
+        );
+        let world = cache.get_or_build(&world_key, sites * 4096, || World::build(&generator));
+        let pop_key = format!("population:seed={:#x}:n={}", params.seed, params.population);
+        let profiles = cache.get_or_build(&pop_key, 64 << 10, || {
+            population(params.seed, params.population)
+        });
+        let filter =
+            cache.get_or_build("filterlist:easylist-excerpt", 128 << 10, easylist_excerpt);
+        let res =
+            cache.get_or_build("resources:standard", 256 << 10, AnalysisResources::standard);
+        let config = scale.config().with_shared_filterlist(filter);
+        Artifacts { world, profiles, res, config }
+    }
+
+    /// Runs the study's units on the pool and streams sections as their
+    /// groups complete. Returns the finished document for caching.
+    fn build_streaming(
+        &self,
+        params: &StudyParams,
+        sink: &mut dyn EventSink,
+    ) -> Result<StudyDoc, StudyError> {
+        let scale = params.scale();
+        let arts = self.artifacts(params);
+        let lane = self.next_lane.fetch_add(1, Ordering::Relaxed);
+        let tag = format!("study-{lane}");
+        let header = render::header_md(&scale);
+        sink.event(&ev_header(&tag, &header)).map_err(StudyError::Disconnected)?;
+
+        // Unit plan, in submission order: `n` crawls, the three §3.2
+        // browsers re-crawled normal+incognito, `n` idles — exactly
+        // the offline study's unit set.
+        let n = arts.profiles.len();
+        let incog_config = arts.config.clone().incognito();
+        let mut units: Vec<FleetUnit> = Vec::with_capacity(2 * n + 6);
+        for p in arts.profiles.iter() {
+            units.push(FleetUnit::crawl(p.clone()));
+        }
+        for name in INCOGNITO_BROWSERS {
+            let Some(p) = profile_by_name(name) else {
+                return Err(StudyError::Fleet(format!("unknown pinned browser {name}")));
+            };
+            units.push(FleetUnit::crawl(p.clone()));
+            units.push(FleetUnit::crawl(p).with_config(incog_config.clone()));
+        }
+        for p in arts.profiles.iter() {
+            units.push(FleetUnit::idle(p.clone(), scale.idle));
+        }
+        let total = units.len();
+
+        self.pool.open_lane(lane, self.credits);
+        let mut lane_guard = LaneGuard { pool: &self.pool, lane, completed: false };
+        let (tx, rx) = mpsc::channel::<(usize, UnitOutput)>();
+        for (idx, unit) in units.into_iter().enumerate() {
+            let world = Arc::clone(&arts.world);
+            let config = arts.config.clone();
+            let tx = tx.clone();
+            let label = unit.label();
+            let tag_for_job = tag.clone();
+            let narrate = self.narrate;
+            let accepted = self.pool.push(
+                lane,
+                Box::new(move || {
+                    let output = fleet::run_unit(&world, &world.sites, &config, &unit);
+                    if narrate {
+                        panoptes_obs::progress::emit(
+                            "serve",
+                            &format!("[{tag_for_job}] {label}: sealed"),
+                        );
+                    }
+                    // A dropped receiver means the client disconnected
+                    // and the lane is being torn down; the result is
+                    // simply discarded.
+                    let _ = tx.send((idx, output));
+                }),
+            );
+            if !accepted {
+                return Err(StudyError::Fleet("pool rejected study unit".to_string()));
+            }
+        }
+        drop(tx);
+
+        // Collect in completion order; emit section groups in document
+        // order the moment their inputs are complete.
+        let mut crawl_results: Vec<Option<panoptes::campaign::CampaignResult>> =
+            (0..n).map(|_| None).collect();
+        let mut crawl_analyses: Vec<Option<CampaignAnalysis>> = (0..n).map(|_| None).collect();
+        let mut incog_results: Vec<Option<panoptes::campaign::CampaignResult>> =
+            (0..6).map(|_| None).collect();
+        let mut idle_analyses: Vec<Option<IdleAnalysis>> = (0..n).map(|_| None).collect();
+        let (mut crawls_done, mut incogs_done, mut idles_done) = (0usize, 0usize, 0usize);
+        let (mut crawl_emitted, mut incog_emitted, mut idle_emitted) = (false, false, false);
+        let mut sections: Vec<(String, String)> = Vec::new();
+
+        for received in 0..total {
+            let Ok((idx, output)) = rx.recv() else {
+                // A unit panicked (its sender died without sending) —
+                // the lane guard cancels what's left.
+                return Err(StudyError::Fleet(
+                    "a campaign unit failed; study aborted".to_string(),
+                ));
+            };
+            match output {
+                UnitOutput::Crawl(result) if idx < n => {
+                    crawl_analyses[idx] = Some(analyze_crawl(&result, &arts.res));
+                    crawl_results[idx] = Some(result);
+                    crawls_done += 1;
+                }
+                UnitOutput::Crawl(result) => {
+                    incog_results[idx - n] = Some(result);
+                    incogs_done += 1;
+                }
+                UnitOutput::Idle(result) => {
+                    idle_analyses[idx - n - 6] = Some(analyze_idle(&result));
+                    idles_done += 1;
+                }
+            }
+            sink.event(&ev_progress(&tag, received + 1, total))
+                .map_err(StudyError::Disconnected)?;
+
+            if !crawl_emitted && crawls_done == n {
+                let results: Vec<_> = crawl_results.drain(..).flatten().collect();
+                let analyses: Vec<_> = crawl_analyses.drain(..).flatten().collect();
+                for (name, text) in render::crawl_sections(&results, &analyses) {
+                    sink.event(&ev_section(name, &text)).map_err(StudyError::Disconnected)?;
+                    sections.push((name.to_string(), text));
+                }
+                crawl_emitted = true;
+            }
+            if crawl_emitted && !incog_emitted && incogs_done == 6 {
+                let raw: Vec<_> = incog_results.drain(..).flatten().collect();
+                let pairs: Vec<_> = raw
+                    .chunks(2)
+                    .map(|pair| {
+                        (analyze_crawl(&pair[0], &arts.res), analyze_crawl(&pair[1], &arts.res))
+                    })
+                    .collect();
+                let (name, text) = render::incognito_section(&pairs);
+                sink.event(&ev_section(name, &text)).map_err(StudyError::Disconnected)?;
+                sections.push((name.to_string(), text));
+                incog_emitted = true;
+            }
+            if incog_emitted && !idle_emitted && idles_done == n {
+                let analyses: Vec<_> = idle_analyses.drain(..).flatten().collect();
+                for (name, text) in render::idle_sections(&analyses) {
+                    sink.event(&ev_section(name, &text)).map_err(StudyError::Disconnected)?;
+                    sections.push((name.to_string(), text));
+                }
+                idle_emitted = true;
+            }
+
+            // Results held for a not-yet-complete group: the stream's
+            // buffer occupancy.
+            let buffered = (if crawl_emitted { 0 } else { crawls_done })
+                + (if incog_emitted { 0 } else { incogs_done })
+                + (if idle_emitted { 0 } else { idles_done });
+            panoptes_obs::gauge_set!("serve.stream.buffered_units", buffered as i64);
+
+            // The client drained everything due so far: release one
+            // more unit into the pool (backpressure valve).
+            self.pool.grant(lane, 1);
+        }
+
+        if !(crawl_emitted && incog_emitted && idle_emitted) {
+            return Err(StudyError::Fleet("study ended with incomplete groups".to_string()));
+        }
+        lane_guard.completed = true;
+        drop(lane_guard);
+        Ok(StudyDoc { header, sections })
+    }
+}
+
+/// The per-study build inputs, shared across requests when the cache
+/// is enabled.
+struct Artifacts {
+    world: Arc<World>,
+    profiles: Arc<Vec<BrowserProfile>>,
+    res: Arc<AnalysisResources>,
+    /// The campaign config for this study (shared filterlist wired in
+    /// when cached).
+    config: CampaignConfig,
+}
+
+/// Cancels the study's lane unless the study completed — the
+/// no-slot-leak guarantee on disconnect, unit failure, or panic.
+struct LaneGuard<'a> {
+    pool: &'a WorkPool,
+    lane: u64,
+    completed: bool,
+}
+
+impl Drop for LaneGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            self.pool.close_lane(self.lane);
+        } else {
+            self.pool.cancel(self.lane);
+        }
+    }
+}
+
+/// `{"event":"header",...}` — the study's first event (time-to-first-
+/// event is measured to this line).
+fn ev_header(tag: &str, data: &str) -> String {
+    format!(
+        "{{\"event\":\"header\",\"study\":{},\"data\":{}}}",
+        json::quoted(tag),
+        json::quoted(data)
+    )
+}
+
+/// `{"event":"section",...}` — one document section's exact bytes.
+fn ev_section(name: &str, data: &str) -> String {
+    format!(
+        "{{\"event\":\"section\",\"name\":{},\"data\":{}}}",
+        json::quoted(name),
+        json::quoted(data)
+    )
+}
+
+/// `{"event":"progress",...}` — units completed so far.
+fn ev_progress(tag: &str, done: usize, total: usize) -> String {
+    format!(
+        "{{\"event\":\"progress\",\"study\":{},\"done\":{done},\"total\":{total}}}",
+        json::quoted(tag)
+    )
+}
+
+/// `{"event":"done",...}` — the stream's terminal event.
+fn ev_done(outcome: &StudyOutcome) -> String {
+    format!(
+        "{{\"event\":\"done\",\"cached\":{},\"bytes\":{},\"sections\":{}}}",
+        outcome.cached, outcome.bytes, outcome.sections
+    )
+}
+
+/// `{"event":"error",...}` — emitted before closing on a failed study.
+pub fn ev_error(message: &str) -> String {
+    format!("{{\"event\":\"error\",\"message\":{}}}", json::quoted(message))
+}

@@ -138,3 +138,34 @@ if [ -n "$alloc_offenders" ]; then
 fi
 
 echo "ok: no allocating conversions in the blocklist match path"
+
+# Sixth gate: the study server's request path. A malformed request, a
+# mid-stream client hangup, or a failed socket write must never panic
+# a server thread: crates/serve handles every IO `Result` explicitly
+# (drop the connection, cancel the study's lane, abandon the cache
+# slot). `.unwrap()`/`.expect()` are therefore banned in the serve
+# library outside test modules. The only sanctioned expects are on
+# process-level lock invariants (mutex/condvar poisoning — messages
+# naming "lock"/"wait"); a deliberate logic-invariant unwrap opts out
+# with an `unwrap-ok` comment. Binaries under `src/bin/` own their
+# exit behaviour and are exempt.
+
+serve_pattern='\.unwrap\(\)|\.expect\('
+serve_offenders=$(for f in crates/serve/src/*.rs; do
+    awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f"
+done | grep -E "$serve_pattern" | grep -vE ':[0-9]+: *//' \
+    | grep -vE 'expect\("[^"]*(lock|wait)' \
+    | grep -v 'unwrap-ok' || true)
+
+if [ -n "$serve_offenders" ]; then
+    echo "error: unwrap/expect on the serve request path:" >&2
+    echo "$serve_offenders" >&2
+    echo >&2
+    echo "Handle the Result: a client hangup or torn request must drop" >&2
+    echo "the connection (and cancel the study's lane), not panic a" >&2
+    echo "server thread. Lock-poisoning expects name 'lock'/'wait';" >&2
+    echo "other deliberate invariants opt out with 'unwrap-ok'." >&2
+    exit 1
+fi
+
+echo "ok: no unwrap/expect on the serve request path"
