@@ -82,8 +82,7 @@ pub struct CrawlContext<'a> {
 impl<'a> CrawlContext<'a> {
     /// Builds the context from a campaign's ground-truth visit log.
     pub fn of(result: &'a CampaignResult) -> CrawlContext<'a> {
-        let visited_urls: HashSet<&str> =
-            result.visits.iter().map(|v| v.url.as_str()).collect();
+        let visited_urls: HashSet<&str> = result.visits.iter().map(|v| v.url.as_str()).collect();
         let visited_hosts: HashSet<String> = result
             .visits
             .iter()
@@ -189,9 +188,13 @@ impl CrawlPartials {
             let mut flow_leaked = false;
             for (obs, decoded_values) in view.decoded_observations() {
                 if let Some(channel) = channel {
-                    flow_leaked |= self
-                        .history
-                        .scan_observation(&flow.host, channel, obs, decoded_values, ctx);
+                    flow_leaked |= self.history.scan_observation(
+                        &flow.host,
+                        channel,
+                        obs,
+                        decoded_values,
+                        ctx,
+                    );
                 }
                 self.sensitive.scan_values(decoded_values, ctx);
             }
@@ -204,7 +207,8 @@ impl CrawlPartials {
             let mut seen_in_flow: HashMap<(&str, &str), ()> = HashMap::new();
             for obs in view.observations() {
                 self.pii.scan_observation(pii, &flow.host, obs);
-                self.identifiers.scan_observation(&flow.host, obs, &mut seen_in_flow);
+                self.identifiers
+                    .scan_observation(&flow.host, obs, &mut seen_in_flow);
             }
         }
     }
@@ -278,11 +282,15 @@ fn finish_crawl(
         addomains: partials.addomains.finish(browser, &res.ad_list),
         history_leaks,
         pii: partials.pii.finish(browser),
-        identifiers: partials.identifiers.finish(browser, IDENTIFIER_MIN_FLOWS, &res.ad_list),
+        identifiers: partials
+            .identifiers
+            .finish(browser, IDENTIFIER_MIN_FLOWS, &res.ad_list),
         transfers,
         sensitive: partials.sensitive.finish(browser, ctx.sensitive_urls.len()),
         dns: dns.finish(browser),
-        cost: partials.cost.finish(browser, result.visits.len(), &res.energy),
+        cost: partials
+            .cost
+            .finish(browser, result.visits.len(), &res.energy),
     }
 }
 
@@ -298,16 +306,18 @@ fn dns_partial(result: &CampaignResult) -> DnsPartial {
 /// Analyses one crawl campaign with the fused single-pass engine: one
 /// iteration over the snapshot feeds every detector.
 pub fn analyze_crawl(result: &CampaignResult, res: &AnalysisResources) -> CampaignAnalysis {
-    let _span = panoptes_obs::trace::span_at(
-        "study.analyze_crawl",
-        None,
-        Some(result.profile.name.to_string()),
-    );
+    let _span = panoptes_obs::trace::span_with("study.analyze_crawl", None, || {
+        result.profile.name.to_string()
+    });
     let ctx = CrawlContext::of(result);
     let matcher = PiiMatcher::new(&res.props);
     let snap = result.store.snapshot();
     let facts = capture_facts(&snap);
-    panoptes_obs::count!("study.flows.observed", Deterministic, snap.all().len() as u64);
+    panoptes_obs::count!(
+        "study.flows.observed",
+        Deterministic,
+        snap.all().len() as u64
+    );
     let mut partials = CrawlPartials::default();
     for view in facts.views(snap.all()) {
         partials.observe(&view, &ctx, &matcher);
@@ -325,11 +335,9 @@ pub fn analyze_crawl_sharded(
     res: &AnalysisResources,
     options: &FleetOptions,
 ) -> CampaignAnalysis {
-    let _span = panoptes_obs::trace::span_at(
-        "study.analyze_crawl_sharded",
-        None,
-        Some(result.profile.name.to_string()),
-    );
+    let _span = panoptes_obs::trace::span_with("study.analyze_crawl_sharded", None, || {
+        result.profile.name.to_string()
+    });
     let ctx = CrawlContext::of(result);
     let matcher = PiiMatcher::new(&res.props);
     let snap = result.store.snapshot();
@@ -346,7 +354,13 @@ pub fn analyze_crawl_sharded(
     let labels: Vec<String> = ranges
         .iter()
         .enumerate()
-        .map(|(i, r)| format!("{} analysis shard {i} ({} flows)", result.profile.name, r.len()))
+        .map(|(i, r)| {
+            format!(
+                "{} analysis shard {i} ({} flows)",
+                result.profile.name,
+                r.len()
+            )
+        })
         .collect();
     let shards = fleet::execute(&labels, options, |i| {
         let mut partials = CrawlPartials::default();
@@ -396,11 +410,9 @@ impl IdleAnalysis {
 
 /// Analyses one idle campaign (one fused pass over the capture).
 pub fn analyze_idle(result: &IdleResult) -> IdleAnalysis {
-    let _span = panoptes_obs::trace::span_at(
-        "study.analyze_idle",
-        None,
-        Some(result.profile.name.to_string()),
-    );
+    let _span = panoptes_obs::trace::span_with("study.analyze_idle", None, || {
+        result.profile.name.to_string()
+    });
     let mut partial = IdlePartial::default();
     let start = result.idle_start.0;
     panoptes_obs::count!(
@@ -422,15 +434,17 @@ pub fn analyze_idle(result: &IdleResult) -> IdleAnalysis {
 /// Like [`analyze_idle`], sharded across the worker pool with in-order
 /// merge — byte-identical for any worker count.
 pub fn analyze_idle_sharded(result: &IdleResult, options: &FleetOptions) -> IdleAnalysis {
-    let _span = panoptes_obs::trace::span_at(
-        "study.analyze_idle_sharded",
-        None,
-        Some(result.profile.name.to_string()),
-    );
+    let _span = panoptes_obs::trace::span_with("study.analyze_idle_sharded", None, || {
+        result.profile.name.to_string()
+    });
     let snap = result.store.snapshot();
     let flows = snap.all();
     let start = result.idle_start.0;
-    panoptes_obs::count!("study.idle_flows.observed", Deterministic, flows.len() as u64);
+    panoptes_obs::count!(
+        "study.idle_flows.observed",
+        Deterministic,
+        flows.len() as u64
+    );
     let ranges = fleet::shard_ranges(flows.len(), options.effective_jobs(flows.len()));
     for range in &ranges {
         panoptes_obs::record!("study.shard.flows", Runtime, range.len() as u64);
@@ -494,7 +508,11 @@ pub fn analyze_study_jobs(
     let labels: Vec<String> = results
         .iter()
         .map(|r| format!("{} crawl analysis", r.profile.name))
-        .chain(idles.iter().map(|r| format!("{} idle analysis", r.profile.name)))
+        .chain(
+            idles
+                .iter()
+                .map(|r| format!("{} idle analysis", r.profile.name)),
+        )
         .collect();
     let crawl_slots: Mutex<Vec<Option<CampaignAnalysis>>> =
         Mutex::new((0..results.len()).map(|_| None).collect());
@@ -608,29 +626,35 @@ pub fn run_study_analyzed_with(
     // analyses of early-finishing units overlap the remaining captures.
     let analysis_workers = jobs;
 
+    // Hand the caller's request context across the analysis-worker
+    // boundary: overlapped analyses of a served study keep its id.
+    let ctx = panoptes_obs::ctx::current();
     let capture_outcome = std::thread::scope(|scope| {
         for _ in 0..analysis_workers {
-            scope.spawn(|| loop {
-                let message = rx.lock().unwrap().recv();
-                let Ok((index, output)) = message else {
-                    break; // channel closed: capture side is done
-                };
-                panoptes_obs::gauge_add!("study.overlap.occupancy", -1);
-                let outcome = catch_unwind(AssertUnwindSafe(|| match &output {
-                    UnitOutput::Crawl(result) => {
-                        UnitAnalysis::Crawl(Box::new(analyze_crawl(result, res)))
+            scope.spawn(|| {
+                let _ctx = ctx.map(panoptes_obs::ctx::enter);
+                loop {
+                    let message = rx.lock().unwrap().recv();
+                    let Ok((index, output)) = message else {
+                        break; // channel closed: capture side is done
+                    };
+                    panoptes_obs::gauge_add!("study.overlap.occupancy", -1);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| match &output {
+                        UnitOutput::Crawl(result) => {
+                            UnitAnalysis::Crawl(Box::new(analyze_crawl(result, res)))
+                        }
+                        UnitOutput::Idle(result) => UnitAnalysis::Idle(analyze_idle(result)),
+                    }));
+                    match outcome {
+                        Ok(analysis) => analysis_slots.lock().unwrap()[index] = Some(analysis),
+                        Err(payload) => analysis_failures.lock().unwrap().push(FleetFailure {
+                            unit: format!("{} analysis", labels[index]),
+                            index,
+                            message: fleet::panic_message(payload.as_ref()),
+                        }),
                     }
-                    UnitOutput::Idle(result) => UnitAnalysis::Idle(analyze_idle(result)),
-                }));
-                match outcome {
-                    Ok(analysis) => analysis_slots.lock().unwrap()[index] = Some(analysis),
-                    Err(payload) => analysis_failures.lock().unwrap().push(FleetFailure {
-                        unit: format!("{} analysis", labels[index]),
-                        index,
-                        message: fleet::panic_message(payload.as_ref()),
-                    }),
+                    output_slots.lock().unwrap()[index] = Some(output);
                 }
-                output_slots.lock().unwrap()[index] = Some(output);
             });
         }
 
@@ -640,7 +664,8 @@ pub fn run_study_analyzed_with(
             // hand-off queue; its high-water mark shows how often the
             // analysis side was the bottleneck.
             panoptes_obs::gauge_add!("study.overlap.occupancy", 1);
-            tx.send((index, output)).expect("analysis workers outlive the capture fleet");
+            tx.send((index, output))
+                .expect("analysis workers outlive the capture fleet");
         };
         let outcome = fleet::execute(&labels, options, runner);
         drop(tx); // close the queue so analysis workers drain and exit
@@ -654,7 +679,10 @@ pub fn run_study_analyzed_with(
     failures.extend(analysis_failures.into_inner().unwrap());
     if !failures.is_empty() {
         failures.sort_by_key(|f| f.index);
-        return Err(FleetError { failures, completed: (0..n).map(|_| None).collect() });
+        return Err(FleetError {
+            failures,
+            completed: (0..n).map(|_| None).collect(),
+        });
     }
 
     let mut crawls = Vec::with_capacity(profiles.len());
@@ -674,8 +702,14 @@ pub fn run_study_analyzed_with(
         }
     }
     Ok(AnalyzedStudy {
-        results: StudyOutput { crawls, idles: idle_results },
-        analyses: StudyAnalyses { crawls: crawl_analyses, idles: idle_analyses },
+        results: StudyOutput {
+            crawls,
+            idles: idle_results,
+        },
+        analyses: StudyAnalyses {
+            crawls: crawl_analyses,
+            idles: idle_analyses,
+        },
     })
 }
 
@@ -699,7 +733,11 @@ mod tests {
     use crate::volume::volume_row;
 
     fn small_world() -> World {
-        World::build(&GeneratorConfig { popular: 6, sensitive: 4, ..Default::default() })
+        World::build(&GeneratorConfig {
+            popular: 6,
+            sensitive: 4,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -708,14 +746,22 @@ mod tests {
         let config = CampaignConfig::default();
         let res = AnalysisResources::standard();
         for name in ["Yandex", "Opera", "Chrome", "UC International"] {
-            let result =
-                run_crawl(&world, &profile_by_name(name).unwrap(), &world.sites, &config);
+            let result = run_crawl(
+                &world,
+                &profile_by_name(name).unwrap(),
+                &world.sites,
+                &config,
+            );
             let a = analyze_crawl(&result, &res);
             assert_eq!(a.volume, volume_row(&result), "{name}");
             assert_eq!(a.addomains, ad_domain_row(&result), "{name}");
             assert_eq!(a.history_leaks, detect_history_leaks(&result), "{name}");
             assert_eq!(a.pii, pii_row(&result, &res.props), "{name}");
-            assert_eq!(a.identifiers, find_identifiers(&result, IDENTIFIER_MIN_FLOWS), "{name}");
+            assert_eq!(
+                a.identifiers,
+                find_identifiers(&result, IDENTIFIER_MIN_FLOWS),
+                "{name}"
+            );
             assert_eq!(a.transfers, transfer_row(&result, &res.geo), "{name}");
             assert_eq!(a.sensitive, sensitive_row(&result), "{name}");
             assert_eq!(a.dns, dns_row(&result), "{name}");
@@ -728,13 +774,20 @@ mod tests {
         let world = small_world();
         let config = CampaignConfig::default();
         let res = AnalysisResources::standard();
-        let result =
-            run_crawl(&world, &profile_by_name("Yandex").unwrap(), &world.sites, &config);
+        let result = run_crawl(
+            &world,
+            &profile_by_name("Yandex").unwrap(),
+            &world.sites,
+            &config,
+        );
         let sequential = analyze_crawl(&result, &res);
         for jobs in [1usize, 2, 3, 8] {
             let sharded = analyze_crawl_sharded(&result, &res, &FleetOptions::with_jobs(jobs));
             assert_eq!(sharded.volume, sequential.volume, "jobs={jobs}");
-            assert_eq!(sharded.history_leaks, sequential.history_leaks, "jobs={jobs}");
+            assert_eq!(
+                sharded.history_leaks, sequential.history_leaks,
+                "jobs={jobs}"
+            );
             assert_eq!(sharded.pii, sequential.pii, "jobs={jobs}");
             assert_eq!(sharded.identifiers, sequential.identifiers, "jobs={jobs}");
             assert_eq!(sharded.transfers, sequential.transfers, "jobs={jobs}");
@@ -761,7 +814,11 @@ mod tests {
         assert_eq!(sequential.destination_shares(), destination_shares(&result));
         for jobs in [2usize, 5] {
             let sharded = analyze_idle_sharded(&result, &FleetOptions::with_jobs(jobs));
-            assert_eq!(sharded.timeline(bucket), sequential.timeline(bucket), "jobs={jobs}");
+            assert_eq!(
+                sharded.timeline(bucket),
+                sequential.timeline(bucket),
+                "jobs={jobs}"
+            );
             assert_eq!(
                 sharded.destination_shares(),
                 sequential.destination_shares(),
@@ -797,7 +854,12 @@ mod tests {
         let bucket = SimDuration::from_secs(30);
         for (o, b) in overlapped.analyses.idles.iter().zip(&barrier.idles) {
             assert_eq!(o.timeline(bucket), b.timeline(bucket), "{}", o.browser);
-            assert_eq!(o.destination_shares(), b.destination_shares(), "{}", o.browser);
+            assert_eq!(
+                o.destination_shares(),
+                b.destination_shares(),
+                "{}",
+                o.browser
+            );
         }
     }
 }

@@ -114,6 +114,22 @@ pub fn best_of<F: FnMut()>(config: AbConfig, mut f: F) -> f64 {
     best
 }
 
+/// `reps` timed samples of `f` in execution order, after `warmups`
+/// excluded runs — the single-arm version of the protocol, for bench
+/// sections that report spread rather than a comparison.
+pub fn samples<F: FnMut()>(config: AbConfig, mut f: F) -> Vec<f64> {
+    for _ in 0..config.warmups {
+        f();
+    }
+    let mut secs = Vec::with_capacity(config.reps);
+    for _ in 0..config.reps {
+        let start = Instant::now();
+        f();
+        secs.push(start.elapsed().as_secs_f64());
+    }
+    secs
+}
+
 /// Times two arms over shared state: both arms run `warmups` untimed
 /// iterations first (so neither inherits the other's cold-cache
 /// penalty — the shared-warm-state bias), then `reps` timed
@@ -228,6 +244,16 @@ mod tests {
         );
         assert_eq!(built.load(Ordering::SeqCst), 6, "each warmup and rep built anew");
         assert_eq!(outcome.a.secs.len(), 2);
+    }
+
+    #[test]
+    fn samples_exclude_warmups_and_keep_order() {
+        let calls = AtomicUsize::new(0);
+        let secs = samples(AbConfig::new(2, 4), || {
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 6, "2 warmups + 4 reps");
+        assert_eq!(secs.len(), 4);
     }
 
     #[test]

@@ -3,20 +3,34 @@
 //! Measures, with plain wall-clock timing (no Criterion machinery, so
 //! the numbers are trivially reproducible):
 //!
-//! * the ~10-pass extraction workload over a quick-scale capture —
-//!   cloning + reparse baseline vs sealed snapshot + `FlowFacts`;
+//! * the ~10-pass extraction workload — cloning + reparse baseline vs
+//!   sealed snapshot + `FlowFacts`. The two arms run under
+//!   `panoptes_bench::ab::isolated`: each rep builds a **fresh**
+//!   capture (untimed) for each arm, because the facts cache is parked
+//!   in the sealed snapshot — reusing one capture across reps would
+//!   hand the snapshot arm a pre-warmed cache and corrupt the A/B. The
+//!   bench asserts the isolation (every rep seals a distinct
+//!   snapshot) rather than trusting it;
 //! * the full study report (flows/sec through `study_report`);
 //! * `FilterList::should_block` over a 1.5k-rule list — reference
-//!   linear scan vs indexed engine (matches/sec).
+//!   linear scan vs indexed engine, interleaved rep-by-rep
+//!   (matches/sec; the list is immutable shared state, so
+//!   interleaving, not isolation, is the right protocol).
+//!
+//! All sections follow the `ab` protocol: warmup iterations are
+//! excluded from every statistic, and the JSON records the protocol
+//! (warmups/reps) plus per-section spread, not just the best sample.
 //!
 //! Usage: `bench_analysis [output.json]` (default `BENCH_analysis.json`).
 
-use std::time::Instant;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use panoptes_analysis::facts::capture_facts;
 use panoptes_analysis::scan::{decodings, observations};
 use panoptes_analysis::study::{run_full_crawl, run_full_idle};
 use panoptes_analysis::summary::study_report;
+use panoptes_bench::ab::{self, AbConfig, ArmStats};
 use panoptes_bench::experiments::Scale;
 use panoptes_bench::{mem, perf};
 use panoptes_simnet::clock::SimDuration;
@@ -25,22 +39,23 @@ use panoptes_simnet::clock::SimDuration;
 static ALLOC: mem::CountingAlloc = mem::CountingAlloc;
 
 const PASSES: usize = 10;
+const WARMUPS: usize = 1;
 const REPS: usize = 5;
 
-/// Best-of-`REPS` wall-clock seconds of `f`.
-fn time_best<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
-    let mut best = f64::INFINITY;
-    let mut sink = 0usize;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        sink = f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    (best, sink)
+/// `"best": .., "mean": .., "p90": .."` for one sample set.
+fn spread_json(stats: &ArmStats) -> String {
+    format!(
+        "\"best_secs\": {:.6}, \"mean_secs\": {:.6}, \"p90_secs\": {:.6}, \"samples\": {}",
+        stats.best(),
+        stats.mean(),
+        stats.percentile(90.0),
+        stats.secs.len()
+    )
 }
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_analysis.json".into());
+    let protocol = AbConfig::new(WARMUPS, REPS);
 
     eprintln!("building quick-scale study capture…");
     let scale = Scale::quick();
@@ -52,49 +67,82 @@ fn main() {
     let total_flows: u64 =
         crawl_flows + idles.iter().map(|r| r.store.len() as u64).sum::<u64>();
 
-    eprintln!("extraction: cloning baseline…");
-    let (clone_secs, clone_sink) = time_best(|| {
-        let mut sink = 0usize;
-        for r in &crawls {
-            for _ in 0..PASSES {
-                for flow in r.store.all() { // clone-ok: this IS the pre-refactor baseline
-                    for obs in observations(&flow) {
-                        sink += decodings(&obs.value).len();
+    eprintln!(
+        "extraction A/B: isolated arms, fresh capture per rep ({WARMUPS} warmup + {REPS} reps)…"
+    );
+    let mut clone_sinks: Vec<usize> = Vec::new();
+    let mut snap_sinks: Vec<usize> = Vec::new();
+    let mut sealed = Vec::new();
+    let extraction = ab::isolated(
+        protocol,
+        "cloning_reparse",
+        || run_full_crawl(&world, &world.sites, &config),
+        |fresh| {
+            let mut sink = 0usize;
+            for r in &fresh {
+                for _ in 0..PASSES {
+                    for flow in r.store.all() { // clone-ok: this IS the pre-refactor baseline
+                        for obs in observations(&flow) {
+                            sink += decodings(&obs.value).len();
+                        }
                     }
                 }
             }
-        }
-        sink
-    });
-
-    eprintln!("extraction: snapshot + facts…");
-    let (snap_secs, snap_sink) = time_best(|| {
-        let mut sink = 0usize;
-        for r in &crawls {
-            let snap = r.store.snapshot();
-            let facts = capture_facts(&snap);
-            for _ in 0..PASSES {
-                for view in facts.views(snap.all()) {
-                    for (_, decoded) in view.decoded_observations() {
-                        sink += decoded.len();
+            clone_sinks.push(sink);
+        },
+        "snapshot_facts",
+        || run_full_crawl(&world, &world.sites, &config),
+        |fresh| {
+            let mut sink = 0usize;
+            for r in &fresh {
+                let snap = r.store.snapshot();
+                sealed.push(snap.clone());
+                let facts = capture_facts(&snap);
+                for _ in 0..PASSES {
+                    for view in facts.views(snap.all()) {
+                        for (_, decoded) in view.decoded_observations() {
+                            sink += decoded.len();
+                        }
                     }
                 }
             }
-        }
-        sink
-    });
-    assert_eq!(clone_sink, snap_sink, "paths disagreed on the extraction workload");
+            snap_sinks.push(sink);
+        },
+    );
+    // Both arms agree on the workload, on every rep (warmups included).
+    assert!(
+        clone_sinks.iter().chain(&snap_sinks).all(|&s| s == clone_sinks[0]),
+        "paths disagreed on the extraction workload"
+    );
+    // Arm isolation: every rep sealed its own snapshot, so no rep ever
+    // saw another rep's warm facts cache. The Arcs in `sealed` are
+    // still alive here, so distinct addresses mean distinct snapshots.
+    let distinct: HashSet<usize> = sealed.iter().map(|s| Arc::as_ptr(s) as usize).collect();
+    assert_eq!(
+        distinct.len(),
+        sealed.len(),
+        "A/B contamination: a facts cache was shared across reps"
+    );
+    drop(sealed);
 
     eprintln!("full study report…");
-    let (report_secs, report_len) = time_best(|| study_report(&crawls, &idles).len());
+    let mut report_len = 0usize;
+    let report = ArmStats::from_samples(
+        "full_report",
+        ab::samples(protocol, || report_len = study_report(&crawls, &idles).len()),
+    );
 
-    eprintln!("filterlist: 1.5k rules…");
+    eprintln!("filterlist: 1.5k rules, interleaved arms…");
     let list = perf::synthetic_filterlist(1200, 300);
     let urls = perf::filterlist_workload(2000);
-    let (linear_secs, linear_hits) =
-        time_best(|| urls.iter().filter(|(h, u)| list.should_block_linear(h, u)).count());
-    let (indexed_secs, indexed_hits) =
-        time_best(|| urls.iter().filter(|(h, u)| list.should_block(h, u)).count());
+    let (mut linear_hits, mut indexed_hits) = (0usize, 0usize);
+    let filter = ab::interleaved(
+        protocol,
+        "linear",
+        || linear_hits = urls.iter().filter(|(h, u)| list.should_block_linear(h, u)).count(),
+        "indexed",
+        || indexed_hits = urls.iter().filter(|(h, u)| list.should_block(h, u)).count(),
+    );
     assert_eq!(linear_hits, indexed_hits, "filterlist engines diverged");
 
     let extraction_flows = (crawl_flows as usize * PASSES) as f64;
@@ -105,15 +153,17 @@ fn main() {
             "  \"scale\": \"quick\",\n",
             "  \"capture_flows\": {capture_flows},\n",
             "  \"extraction_passes\": {passes},\n",
+            "  \"protocol\": {{ \"warmups\": {warmups}, \"reps\": {reps}, \"estimator\": \"best\" }},\n",
             "  \"extraction\": {{\n",
-            "    \"cloning_reparse_secs\": {clone_secs:.6},\n",
+            "    \"arm_isolated\": true,\n",
+            "    \"cloning_reparse\": {{ {clone_spread} }},\n",
             "    \"cloning_reparse_flows_per_sec\": {clone_rate:.0},\n",
-            "    \"snapshot_facts_secs\": {snap_secs:.6},\n",
+            "    \"snapshot_facts\": {{ {snap_spread} }},\n",
             "    \"snapshot_facts_flows_per_sec\": {snap_rate:.0},\n",
             "    \"speedup\": {extract_speedup:.2}\n",
             "  }},\n",
             "  \"full_report\": {{\n",
-            "    \"secs\": {report_secs:.6},\n",
+            "    {report_spread},\n",
             "    \"flows_per_sec\": {report_rate:.0},\n",
             "    \"report_bytes\": {report_len}\n",
             "  }},\n",
@@ -121,9 +171,9 @@ fn main() {
             "    \"rules\": {rules},\n",
             "    \"urls\": {url_count},\n",
             "    \"hits\": {hits},\n",
-            "    \"linear_secs\": {linear_secs:.6},\n",
+            "    \"linear\": {{ {linear_spread} }},\n",
             "    \"linear_matches_per_sec\": {linear_rate:.0},\n",
-            "    \"indexed_secs\": {indexed_secs:.6},\n",
+            "    \"indexed\": {{ {indexed_spread} }},\n",
             "    \"indexed_matches_per_sec\": {indexed_rate:.0},\n",
             "    \"speedup\": {filter_speedup:.2}\n",
             "  }},\n",
@@ -132,22 +182,24 @@ fn main() {
         ),
         capture_flows = total_flows,
         passes = PASSES,
-        clone_secs = clone_secs,
-        clone_rate = extraction_flows / clone_secs,
-        snap_secs = snap_secs,
-        snap_rate = extraction_flows / snap_secs,
-        extract_speedup = clone_secs / snap_secs,
-        report_secs = report_secs,
-        report_rate = total_flows as f64 / report_secs,
+        warmups = WARMUPS,
+        reps = REPS,
+        clone_spread = spread_json(&extraction.a),
+        clone_rate = extraction_flows / extraction.a.best(),
+        snap_spread = spread_json(&extraction.b),
+        snap_rate = extraction_flows / extraction.b.best(),
+        extract_speedup = extraction.speedup_best(),
+        report_spread = spread_json(&report),
+        report_rate = total_flows as f64 / report.best(),
         report_len = report_len,
         rules = list.len(),
         url_count = urls.len(),
         hits = indexed_hits,
-        linear_secs = linear_secs,
-        linear_rate = urls.len() as f64 / linear_secs,
-        indexed_secs = indexed_secs,
-        indexed_rate = urls.len() as f64 / indexed_secs,
-        filter_speedup = linear_secs / indexed_secs,
+        linear_spread = spread_json(&filter.a),
+        linear_rate = urls.len() as f64 / filter.a.best(),
+        indexed_spread = spread_json(&filter.b),
+        indexed_rate = urls.len() as f64 / filter.b.best(),
+        filter_speedup = filter.speedup_best(),
         mem = mem::report_json(),
     );
 

@@ -28,39 +28,12 @@
 //! Usage: `bench_obs [--quick] [output.json]`
 //!        `bench_obs --validate trace.jsonl` (CI trace-schema check)
 
-use std::time::Instant;
-
 use panoptes::fleet::FleetOptions;
 use panoptes_analysis::engine::{analyze_study, AnalysisResources};
+use panoptes_bench::ab::{self, AbConfig};
 use panoptes_bench::experiments::{crawl_all_jobs, Scale};
 use panoptes_obs::metrics::{MetricValue, MetricsSnapshot};
 use panoptes_obs::{trace, METRICS, TRACE};
-
-/// Best-of-`reps` wall-clock seconds of `f`.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
-/// Best-of-`reps` for two alternatives, interleaved rep-by-rep so host
-/// noise hits both sides equally.
-fn time_best_pair<FA: FnMut(), FB: FnMut()>(reps: usize, mut a: FA, mut b: FB) -> (f64, f64) {
-    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..reps {
-        let start = Instant::now();
-        a();
-        best_a = best_a.min(start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        b();
-        best_b = best_b.min(start.elapsed().as_secs_f64());
-    }
-    (best_a, best_b)
-}
 
 /// One representative instrumentation site of each kind — the exact
 /// macro shapes the pipeline uses. `#[inline(never)]` so the disabled
@@ -133,8 +106,42 @@ fn validate(path: &str) -> ! {
         eprintln!("bench_obs --validate: {path}: {starts} span starts vs {ends} ends");
         std::process::exit(1);
     }
+    // Request-scoping invariants: a span's start and end must agree on
+    // which request they served, and no span may parent on itself.
+    let mut start_req = std::collections::HashMap::new();
+    for e in &events {
+        if e.kind == trace::EventKind::Start {
+            start_req.insert(e.span, e.req);
+        }
+    }
+    let mut scoped = 0usize;
+    for e in &events {
+        if e.req.is_some() {
+            scoped += 1;
+        }
+        if e.kind == trace::EventKind::End {
+            if let Some(req) = start_req.get(&e.span) {
+                if *req != e.req {
+                    eprintln!(
+                        "bench_obs --validate: {path}: span {} ({}) starts in request \
+                         {req:?} but ends in {:?}",
+                        e.span, e.name, e.req
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        if e.parent == Some(e.span) {
+            eprintln!(
+                "bench_obs --validate: {path}: span {} ({}) parents on itself",
+                e.span, e.name
+            );
+            std::process::exit(1);
+        }
+    }
     println!(
-        "{path}: {} events ({starts} spans, {points} points), schema valid, round-trip byte-identical",
+        "{path}: {} events ({starts} spans, {points} points, {scoped} request-scoped), \
+         schema valid, round-trip byte-identical",
         events.len()
     );
     std::process::exit(0);
@@ -181,7 +188,7 @@ fn main() {
     run_path(None);
 
     eprintln!("disabled per-op microbench ({probe_iters} probe calls)…");
-    let probe_secs = time_best(3, || {
+    let probe_secs = ab::best_of(AbConfig::new(1, 3), || {
         for i in 0..probe_iters {
             instrumentation_probe(std::hint::black_box(i));
         }
@@ -209,13 +216,15 @@ fn main() {
 
     let points = instrumentation_points(&delta) + trace_events;
 
-    eprintln!("A/B wall clock: disabled vs enabled, interleaved…");
-    let (disabled_secs, enabled_secs) = time_best_pair(
-        reps,
+    eprintln!("A/B wall clock: disabled vs enabled, interleaved ({reps} reps + 1 warmup)…");
+    let wall = ab::interleaved(
+        AbConfig::new(1, reps),
+        "disabled",
         || {
             panoptes_obs::disable(METRICS | TRACE);
             run_path(None);
         },
+        "enabled",
         || {
             panoptes_obs::enable(METRICS | TRACE);
             run_path(None);
@@ -223,6 +232,7 @@ fn main() {
         },
     );
     panoptes_obs::disable(METRICS | TRACE);
+    let (disabled_secs, enabled_secs) = (wall.a.best(), wall.b.best());
 
     // The asserted claim: crossing every instrumentation point the path
     // has, at the measured disabled cost, is within 2% of the path.
@@ -243,8 +253,11 @@ fn main() {
             "  \"disabled_per_op_ns\": {per_op_ns:.3},\n",
             "  \"instrumentation_points\": {points},\n",
             "  \"trace_events\": {trace_events},\n",
+            "  \"protocol\": {{ \"warmups\": 1, \"reps\": {reps}, \"estimator\": \"best\", \"interleaved\": true }},\n",
             "  \"path_disabled_secs\": {disabled_secs:.6},\n",
+            "  \"path_disabled_mean_secs\": {disabled_mean:.6},\n",
             "  \"path_enabled_secs\": {enabled_secs:.6},\n",
+            "  \"path_enabled_mean_secs\": {enabled_mean:.6},\n",
             "  \"enabled_measured_overhead_pct\": {measured_pct:.3},\n",
             "  \"disabled_overhead_bound_pct\": {bound_pct:.4},\n",
             "  \"asserted\": {{\n",
@@ -261,8 +274,11 @@ fn main() {
         per_op_ns = per_op_ns,
         points = points,
         trace_events = trace_events,
+        reps = reps,
         disabled_secs = disabled_secs,
+        disabled_mean = wall.a.mean(),
         enabled_secs = enabled_secs,
+        enabled_mean = wall.b.mean(),
         measured_pct = measured_pct,
         bound_pct = bound_pct,
     );

@@ -47,8 +47,7 @@ use crate::config::CampaignConfig;
 use crate::idle::{run_idle, IdleResult};
 
 /// How wide the fleet runs, and whether it narrates to stderr.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FleetOptions {
     /// Worker count. `None` uses the machine's available parallelism;
     /// `Some(1)` forces the sequential path (no worker threads at all).
@@ -65,11 +64,14 @@ pub struct FleetOptions {
     pub tag: Option<String>,
 }
 
-
 impl FleetOptions {
     /// An option set running `jobs` workers, silent.
     pub fn with_jobs(jobs: usize) -> FleetOptions {
-        FleetOptions { jobs: Some(jobs), progress: false, tag: None }
+        FleetOptions {
+            jobs: Some(jobs),
+            progress: false,
+            tag: None,
+        }
     }
 
     /// An option set running `jobs` workers with progress reporting on.
@@ -103,7 +105,9 @@ impl FleetOptions {
     /// The effective worker count for `n_units` units.
     pub fn effective_jobs(&self, n_units: usize) -> usize {
         let requested = self.jobs.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         requested.clamp(1, n_units.max(1))
     }
@@ -135,7 +139,11 @@ impl<T> fmt::Display for FleetError<T> {
         let total = self.completed.len();
         write!(f, "{}/{} fleet units failed:", self.failures.len(), total)?;
         for failure in &self.failures {
-            write!(f, " [{}] {} ({});", failure.index, failure.unit, failure.message)?;
+            write!(
+                f,
+                " [{}] {} ({});",
+                failure.index, failure.unit, failure.message
+            )?;
         }
         Ok(())
     }
@@ -145,7 +153,10 @@ impl<T> fmt::Debug for FleetError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FleetError")
             .field("failures", &self.failures)
-            .field("completed_units", &self.completed.iter().filter(|c| c.is_some()).count())
+            .field(
+                "completed_units",
+                &self.completed.iter().filter(|c| c.is_some()).count(),
+            )
             .finish()
     }
 }
@@ -186,20 +197,26 @@ where
     let jobs = options.effective_jobs(n);
     let started_at = Instant::now();
     let _fleet_span =
-        panoptes_obs::trace::span_at("fleet.execute", None, Some(format!("{n} units, {jobs} jobs")));
+        panoptes_obs::trace::span_with("fleet.execute", None, || format!("{n} units, {jobs} jobs"));
     // Runtime-class: which work runs through the fleet (vs the
     // sequential or overlapped paths) is a property of the execution
     // mode, not the workload.
     panoptes_obs::count!("fleet.units.submitted", Runtime, n as u64);
     if options.progress {
-        panoptes_obs::progress::emit("fleet", &options.decorate(&format!("{n} units across {jobs} worker(s)")));
+        panoptes_obs::progress::emit(
+            "fleet",
+            &options.decorate(&format!("{n} units across {jobs} worker(s)")),
+        );
     }
 
     let run_one = |index: usize| -> Result<T, FleetFailure> {
         let _unit_span =
-            panoptes_obs::trace::span_at("fleet.unit", None, Some(labels[index].clone()));
+            panoptes_obs::trace::span_with("fleet.unit", None, || labels[index].clone());
         if options.progress {
-            panoptes_obs::progress::emit("fleet", &options.decorate(&format!("{}: started", labels[index])));
+            panoptes_obs::progress::emit(
+                "fleet",
+                &options.decorate(&format!("{}: started", labels[index])),
+            );
         }
         let unit_start = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| runner(index))) {
@@ -232,10 +249,8 @@ where
                 if options.progress {
                     panoptes_obs::progress::emit(
                         "fleet",
-                        &options.decorate(&format!(
-                            "{}: FAILED ({})",
-                            failure.unit, failure.message
-                        )),
+                        &options
+                            .decorate(&format!("{}: FAILED ({})", failure.unit, failure.message)),
                     );
                 }
                 Err(failure)
@@ -260,10 +275,15 @@ where
         let results: Mutex<Vec<(usize, Result<T, FleetFailure>)>> =
             Mutex::new(Vec::with_capacity(n));
         let next = AtomicUsize::new(0);
+        // Hand the caller's request context (if any) across the worker
+        // thread boundary, so units run for a served study keep carrying
+        // its request id.
+        let ctx = panoptes_obs::ctx::current();
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
                     s.spawn(|_| {
+                        let _ctx = ctx.map(panoptes_obs::ctx::enter);
                         panoptes_obs::gauge_add!("fleet.workers.active", 1);
                         let mut claimed = 0u64;
                         let mut idle_us = 0u64;
@@ -325,9 +345,15 @@ where
     }
 
     if failures.is_empty() {
-        Ok(slots.into_iter().map(|slot| slot.expect("no failure recorded")).collect())
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("no failure recorded"))
+            .collect())
     } else {
-        Err(FleetError { failures, completed: slots })
+        Err(FleetError {
+            failures,
+            completed: slots,
+        })
     }
 }
 
@@ -375,12 +401,20 @@ pub struct FleetUnit {
 impl FleetUnit {
     /// A crawl unit under the fleet-wide config.
     pub fn crawl(profile: BrowserProfile) -> FleetUnit {
-        FleetUnit { profile, kind: UnitKind::Crawl, config: None }
+        FleetUnit {
+            profile,
+            kind: UnitKind::Crawl,
+            config: None,
+        }
     }
 
     /// An idle unit under the fleet-wide config.
     pub fn idle(profile: BrowserProfile, duration: SimDuration) -> FleetUnit {
-        FleetUnit { profile, kind: UnitKind::Idle(duration), config: None }
+        FleetUnit {
+            profile,
+            kind: UnitKind::Idle(duration),
+            config: None,
+        }
     }
 
     /// Overrides this unit's campaign configuration.
@@ -460,8 +494,11 @@ pub fn run_units(
         if options.progress {
             match &output {
                 UnitOutput::Crawl(result) => {
-                    let sim: SimDuration =
-                        result.visits.iter().map(|v| v.dwell).fold(SimDuration::ZERO, |a, b| a + b);
+                    let sim: SimDuration = result
+                        .visits
+                        .iter()
+                        .map(|v| v.dwell)
+                        .fold(SimDuration::ZERO, |a, b| a + b);
                     panoptes_obs::progress::emit(
                         "fleet",
                         &options.decorate(&format!(
@@ -702,7 +739,13 @@ impl WorkPool {
         assert!(!state.lanes.contains_key(&id), "lane {id} already open");
         state.lanes.insert(
             id,
-            Lane { pending: VecDeque::new(), credits, inflight: 0, cancelled: false, closed: false },
+            Lane {
+                pending: VecDeque::new(),
+                credits,
+                inflight: 0,
+                cancelled: false,
+                closed: false,
+            },
         );
         state.rr.push_back(id);
         panoptes_obs::count!("pool.lanes.opened", Runtime);
@@ -717,7 +760,9 @@ impl WorkPool {
         if state.shutdown {
             return false;
         }
-        let Some(lane) = state.lanes.get_mut(&lane_id) else { return false };
+        let Some(lane) = state.lanes.get_mut(&lane_id) else {
+            return false;
+        };
         if lane.cancelled || lane.closed {
             return false;
         }
@@ -745,7 +790,9 @@ impl WorkPool {
     /// pending jobs were dropped.
     pub fn cancel(&self, lane_id: u64) -> usize {
         let mut state = self.locked();
-        let Some(lane) = state.lanes.get_mut(&lane_id) else { return 0 };
+        let Some(lane) = state.lanes.get_mut(&lane_id) else {
+            return 0;
+        };
         let dropped = lane.pending.len();
         lane.pending.clear();
         lane.cancelled = true;
@@ -842,7 +889,11 @@ mod tests {
     use panoptes_web::generator::GeneratorConfig;
 
     fn small_world() -> World {
-        World::build(&GeneratorConfig { popular: 4, sensitive: 2, ..Default::default() })
+        World::build(&GeneratorConfig {
+            popular: 4,
+            sensitive: 2,
+            ..Default::default()
+        })
     }
 
     fn labels(n: usize) -> Vec<String> {
@@ -875,7 +926,11 @@ mod tests {
         for jobs in [1, 2, 5, 16] {
             let out = execute(&labels(17), &FleetOptions::with_jobs(jobs), |i| i * 10)
                 .expect("no failures");
-            assert_eq!(out, (0..17).map(|i| i * 10).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * 10).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
         }
     }
 
@@ -902,11 +957,15 @@ mod tests {
 
     #[test]
     fn fleet_error_display_names_units() {
-        let err = execute(&["Chrome crawl".to_string()], &FleetOptions::with_jobs(1), |_| {
-            panic!("boom");
-            #[allow(unreachable_code)]
-            ()
-        })
+        let err = execute(
+            &["Chrome crawl".to_string()],
+            &FleetOptions::with_jobs(1),
+            |_| {
+                panic!("boom");
+                #[allow(unreachable_code)]
+                ()
+            },
+        )
         .expect_err("panics");
         let text = err.to_string();
         assert!(text.contains("Chrome crawl"), "{text}");
@@ -921,8 +980,14 @@ mod tests {
         let direct = run_crawl(&world, &profile, &world.sites, &config);
 
         let units = vec![FleetUnit::crawl(profile.clone()), FleetUnit::crawl(profile)];
-        let out = run_units(&world, &world.sites, &config, &units, &FleetOptions::with_jobs(2))
-            .expect("no failures");
+        let out = run_units(
+            &world,
+            &world.sites,
+            &config,
+            &units,
+            &FleetOptions::with_jobs(2),
+        )
+        .expect("no failures");
         for output in out {
             let result = output.into_crawl().expect("crawl unit");
             assert_eq!(result.store.export_jsonl(), direct.store.export_jsonl());
@@ -958,23 +1023,38 @@ mod tests {
     fn unit_config_override_is_respected() {
         let world = small_world();
         let config = CampaignConfig::default();
-        let reseeded = CampaignConfig { seed: 999, ..config.clone() };
+        let reseeded = CampaignConfig {
+            seed: 999,
+            ..config.clone()
+        };
         let profile = profile_by_name("Yandex").unwrap();
         let units = vec![
             FleetUnit::crawl(profile.clone()),
             FleetUnit::crawl(profile.clone()).with_config(reseeded.clone()),
         ];
-        let out = run_units(&world, &world.sites, &config, &units, &FleetOptions::with_jobs(2))
-            .expect("no failures");
+        let out = run_units(
+            &world,
+            &world.sites,
+            &config,
+            &units,
+            &FleetOptions::with_jobs(2),
+        )
+        .expect("no failures");
         let [default_unit, reseeded_unit]: [UnitOutput; 2] = out.try_into().ok().expect("two");
         let default_unit = default_unit.into_crawl().expect("crawl");
         let reseeded_unit = reseeded_unit.into_crawl().expect("crawl");
         // The override took effect: a different seed mints different
         // persistent identifiers, so the captures differ...
-        assert_ne!(default_unit.store.export_jsonl(), reseeded_unit.store.export_jsonl());
+        assert_ne!(
+            default_unit.store.export_jsonl(),
+            reseeded_unit.store.export_jsonl()
+        );
         // ...and each unit matches a direct run under its own config.
         let direct = run_crawl(&world, &profile, &world.sites, &reseeded);
-        assert_eq!(reseeded_unit.store.export_jsonl(), direct.store.export_jsonl());
+        assert_eq!(
+            reseeded_unit.store.export_jsonl(),
+            direct.store.export_jsonl()
+        );
         assert_eq!(default_unit.store.export_jsonl(), {
             let d = run_crawl(&world, &profile, &world.sites, &config);
             d.store.export_jsonl()

@@ -21,6 +21,10 @@
 //!   start *and* the virtual sim-clock microseconds, when the caller
 //!   is inside a campaign), recorded into a lock-free ring buffer per
 //!   worker thread and exported as JSONL (`repro --trace-out`).
+//! * **request contexts** ([`ctx`]) — a copyable per-request capsule
+//!   (request id + parent span) handed explicitly across thread
+//!   boundaries so every trace event on the serve path carries the
+//!   request it served. Allocation-free end to end.
 //!
 //! Both layers are **zero-overhead when disabled**: every
 //! instrumentation macro compiles to a single relaxed atomic load and
@@ -39,6 +43,7 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub mod ctx;
 pub mod metrics;
 pub mod progress;
 pub mod report;

@@ -9,15 +9,43 @@
 //! section holds everything else: timings, shard topology, gauges,
 //! process-lifetime cache state.
 //!
-//! All formatting is integer-only (counts, sums, log2 buckets) — no
-//! floats anywhere near the deterministic section, so there is no
-//! rounding to betray the byte-identity guarantee.
+//! All formatting is integer-only (counts, sums, log2 buckets, and the
+//! p50/p99 upper bounds derived from the buckets) — no floats anywhere
+//! near the deterministic section, so there is no rounding to betray
+//! the byte-identity guarantee.
 
 use crate::metrics::{MetricClass, MetricEntry, MetricValue, MetricsSnapshot};
 use std::fmt::Write as _;
 
 /// Width the metric names pad to; long names simply overflow the column.
 const NAME_WIDTH: usize = 44;
+
+/// The largest value bucket `k` can hold: log2 buckets store `v` with
+/// bit length `k`, so bucket 0 holds only zeros and bucket `k` tops out
+/// at `2^k - 1`.
+fn bucket_upper_bound(bucket: u32) -> u64 {
+    match bucket {
+        0 => 0,
+        k if k >= 64 => u64::MAX,
+        k => (1u64 << k) - 1,
+    }
+}
+
+/// Nearest-rank percentile over log2 buckets: the upper bound of the
+/// bucket holding the `ceil(p·count/100)`-th smallest sample. A pure
+/// integer function of the (deterministic) buckets, so it is safe in
+/// the byte-identity section.
+fn bucket_percentile(buckets: &[(u32, u64)], count: u64, p: u64) -> u64 {
+    let rank = (p * count).div_ceil(100).max(1);
+    let mut cumulative = 0u64;
+    for &(bucket, n) in buckets {
+        cumulative += n;
+        if cumulative >= rank {
+            return bucket_upper_bound(bucket);
+        }
+    }
+    buckets.last().map_or(0, |&(bucket, _)| bucket_upper_bound(bucket))
+}
 
 fn render_entry(out: &mut String, e: &MetricEntry) {
     match &e.value {
@@ -28,7 +56,13 @@ fn render_entry(out: &mut String, e: &MetricEntry) {
             let _ = writeln!(out, "  {:<NAME_WIDTH$} level={value} high_water={max}", e.name);
         }
         MetricValue::Histogram { count, sum, buckets } => {
-            let _ = write!(out, "  {:<NAME_WIDTH$} count={count} sum={sum} log2=[", e.name);
+            let _ = write!(out, "  {:<NAME_WIDTH$} count={count} sum={sum}", e.name);
+            if *count > 0 {
+                let p50 = bucket_percentile(buckets, *count, 50);
+                let p99 = bucket_percentile(buckets, *count, 99);
+                let _ = write!(out, " p50<={p50} p99<={p99}");
+            }
+            out.push_str(" log2=[");
             for (i, (bucket, n)) in buckets.iter().enumerate() {
                 if i > 0 {
                     out.push(' ');
@@ -123,9 +157,19 @@ mod tests {
         let runtime_header = report.find("runtime (this execution").expect("runtime header");
         assert!(det_header < runtime_header);
         assert!(report.contains(
-            "simnet.queue.drain_depth                     count=3 sum=12 log2=[2:2 4:1]"
+            "simnet.queue.drain_depth                     count=3 sum=12 p50<=3 p99<=15 log2=[2:2 4:1]"
         ));
         assert!(report.contains("study.overlap.occupancy                      level=0 high_water=2"));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        // 3 samples in bucket 2 (values 2..=3), 1 in bucket 4 (8..=15).
+        let buckets = vec![(2u32, 3u64), (4, 1)];
+        assert_eq!(bucket_percentile(&buckets, 4, 50), 3, "rank 2 lands in bucket 2");
+        assert_eq!(bucket_percentile(&buckets, 4, 99), 15, "rank 4 lands in bucket 4");
+        assert_eq!(bucket_percentile(&[(0, 5)], 5, 99), 0, "bucket 0 holds only zeros");
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
     }
 
     #[test]

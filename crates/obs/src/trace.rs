@@ -25,14 +25,26 @@
 //! says *where in the campaign* something happened, wall time says
 //! *what it cost*.
 //!
+//! # Request scoping
+//!
+//! When a [`crate::ctx::TraceCtx`] is installed on the recording
+//! thread (the serve path hands one across every thread boundary),
+//! each event is stamped with the request id it served (`req`) and —
+//! for events recorded after a hand-off — the parent span on the
+//! spawning side (`parent`). Offline traces (`repro --trace-out`)
+//! carry no context and omit both keys; the schema is backward
+//! compatible in both directions.
+//!
 //! # JSONL schema
 //!
 //! One event per line, keys in fixed order (`ev`, `name`, `span`,
-//! `thread`, `seq`, `wall_ns`, then optional `sim_us`, `detail`):
+//! `thread`, `seq`, `wall_ns`, then optional `sim_us`, `req`,
+//! `parent`, `detail`):
 //!
 //! ```json
 //! {"ev":"start","name":"fleet.unit","span":3,"thread":1,"seq":0,"wall_ns":1200,"detail":"Chrome crawl"}
 //! {"ev":"end","name":"fleet.unit","span":3,"thread":1,"seq":9,"wall_ns":91200,"sim_us":600000000}
+//! {"ev":"start","name":"serve.unit","span":7,"thread":2,"seq":0,"wall_ns":2400,"req":3,"parent":5}
 //! ```
 //!
 //! [`parse_jsonl`] inverts [`export_jsonl`] exactly; the round-trip is
@@ -90,6 +102,13 @@ pub struct TraceEvent {
     pub wall_ns: u64,
     /// Virtual campaign time in microseconds, when known.
     pub sim_us: Option<u64>,
+    /// The request this event served, from the installed
+    /// [`crate::ctx::TraceCtx`]; absent outside the serve path.
+    pub req: Option<u64>,
+    /// The span on the spawning side of the last thread hand-off,
+    /// from the installed context; absent when there was none (or when
+    /// it would point at this event's own span).
+    pub parent: Option<u64>,
     /// Free-form annotation (unit label, shard index, …).
     pub detail: Option<String>,
 }
@@ -138,6 +157,7 @@ impl ThreadRing {
     }
 
     fn push(&mut self, kind: EventKind, name: &str, span: u64, sim_us: Option<u64>, detail: Option<String>) {
+        let ctx = crate::ctx::current();
         let event = TraceEvent {
             kind,
             name: name.to_string(),
@@ -146,6 +166,13 @@ impl ThreadRing {
             seq: self.next_seq,
             wall_ns: wall_ns(),
             sim_us,
+            req: ctx.map(|c| c.request),
+            // A span's own id as its parent would be a self-loop (the
+            // root span ends after ctx::set_parent points at it), so
+            // that case is recorded as parentless.
+            parent: ctx
+                .map(|c| c.parent_span)
+                .filter(|&p| p != 0 && p != span),
             detail,
         };
         self.next_seq += 1;
@@ -202,6 +229,18 @@ pub fn point(name: &str, sim_us: Option<u64>, detail: Option<&str>) {
     });
 }
 
+/// Records a point event whose detail is built lazily: the closure
+/// only runs when the trace layer is enabled, so a formatting/allocating
+/// detail costs nothing on the disabled path.
+#[inline]
+pub fn point_with(name: &str, sim_us: Option<u64>, detail: impl FnOnce() -> String) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let detail = detail();
+    with_ring(|ring| ring.push(EventKind::Point, name, 0, sim_us, Some(detail)));
+}
+
 /// An open span; dropping it records the matching end event. Inert
 /// (`None` inside, nothing recorded) when the layer is disabled.
 pub struct Span {
@@ -223,6 +262,13 @@ impl Span {
             open.end_sim_us = Some(sim_us);
         }
     }
+
+    /// The span's id (`None` when the layer was disabled at open).
+    /// This is what [`crate::ctx::set_parent`] is fed so events on the
+    /// far side of a thread hand-off can point back here.
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|open| open.id)
+    }
 }
 
 impl Drop for Span {
@@ -242,12 +288,31 @@ pub fn span(name: &'static str) -> Span {
 }
 
 /// Opens a span with a sim-clock start stamp and/or a detail string.
+///
+/// The detail is evaluated by the **caller**, enabled or not — library
+/// hot paths must use [`span_with`] instead so the allocation only
+/// happens when the layer is on (enforced by the `check_no_cloning.sh`
+/// trace-hot-path gate).
 pub fn span_at(name: &'static str, sim_us: Option<u64>, detail: Option<String>) -> Span {
     if !crate::trace_enabled() {
         return Span { open: None };
     }
     let id = next_span_id();
     with_ring(|ring| ring.push(EventKind::Start, name, id, sim_us, detail));
+    Span { open: Some(OpenSpan { name, id, end_sim_us: None }) }
+}
+
+/// Opens a span whose detail is built lazily: the closure only runs
+/// when the trace layer is enabled. One relaxed load and a branch when
+/// disabled — no formatting, no allocation.
+#[inline]
+pub fn span_with(name: &'static str, sim_us: Option<u64>, detail: impl FnOnce() -> String) -> Span {
+    if !crate::trace_enabled() {
+        return Span { open: None };
+    }
+    let id = next_span_id();
+    let detail = detail();
+    with_ring(|ring| ring.push(EventKind::Start, name, id, sim_us, Some(detail)));
     Span { open: Some(OpenSpan { name, id, end_sim_us: None }) }
 }
 
@@ -281,6 +346,12 @@ pub fn to_jsonl(events: &[TraceEvent]) -> String {
         );
         if let Some(sim_us) = e.sim_us {
             let _ = write!(out, ",\"sim_us\":{sim_us}");
+        }
+        if let Some(req) = e.req {
+            let _ = write!(out, ",\"req\":{req}");
+        }
+        if let Some(parent) = e.parent {
+            let _ = write!(out, ",\"parent\":{parent}");
         }
         if let Some(detail) = &e.detail {
             out.push_str(",\"detail\":\"");
@@ -369,6 +440,8 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
     let mut seq = None;
     let mut wall_ns = None;
     let mut sim_us = None;
+    let mut req = None;
+    let mut parent = None;
     let mut detail = None;
 
     let mut rest = body;
@@ -393,7 +466,7 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
                 }
                 r
             }
-            "span" | "thread" | "seq" | "wall_ns" | "sim_us" => {
+            "span" | "thread" | "seq" | "wall_ns" | "sim_us" | "req" | "parent" => {
                 let digits_len = after_colon.bytes().take_while(u8::is_ascii_digit).count();
                 if digits_len == 0 {
                     return Err(format!("expected number for {key}"));
@@ -406,7 +479,9 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
                     "thread" => thread = Some(value),
                     "seq" => seq = Some(value),
                     "wall_ns" => wall_ns = Some(value),
-                    _ => sim_us = Some(value),
+                    "sim_us" => sim_us = Some(value),
+                    "req" => req = Some(value),
+                    _ => parent = Some(value),
                 }
                 &after_colon[digits_len..]
             }
@@ -423,6 +498,8 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
         seq: seq.ok_or("missing seq")?,
         wall_ns: wall_ns.ok_or("missing wall_ns")?,
         sim_us,
+        req,
+        parent,
         detail,
     })
 }
@@ -503,6 +580,8 @@ mod tests {
                 seq: 0,
                 wall_ns: 1200,
                 sim_us: None,
+                req: None,
+                parent: None,
                 detail: Some("Chrome crawl \"quoted\" \\ tab\t".into()),
             },
             TraceEvent {
@@ -513,6 +592,8 @@ mod tests {
                 seq: 9,
                 wall_ns: 91_200,
                 sim_us: Some(600_000_000),
+                req: None,
+                parent: None,
                 detail: None,
             },
             TraceEvent {
@@ -523,7 +604,21 @@ mod tests {
                 seq: 42,
                 wall_ns: 7,
                 sim_us: Some(0),
+                req: None,
+                parent: None,
                 detail: Some("newline\nand control\u{1}".into()),
+            },
+            TraceEvent {
+                kind: EventKind::Start,
+                name: "serve.unit".into(),
+                span: 7,
+                thread: 2,
+                seq: 0,
+                wall_ns: 2400,
+                sim_us: None,
+                req: Some(3),
+                parent: Some(5),
+                detail: Some("study-1 crawl".into()),
             },
         ];
         let jsonl = to_jsonl(&events);
@@ -550,6 +645,52 @@ mod tests {
             .is_err(),
             "unknown key"
         );
+    }
+
+    #[test]
+    fn installed_ctx_stamps_request_and_parent_across_threads() {
+        let _guard = serial();
+        crate::enable(crate::TRACE);
+        drop(drain());
+
+        let root_id;
+        {
+            let _ctx = crate::ctx::enter(crate::ctx::TraceCtx { request: 77, parent_span: 0 });
+            let root = span("test.request");
+            root_id = root.id().expect("enabled span has an id");
+            crate::ctx::set_parent(root_id);
+            point("test.annotation", None, None);
+
+            // The explicit hand-off: capture, ship, re-enter.
+            let handed = crate::ctx::current().expect("ctx installed");
+            std::thread::spawn(move || {
+                let _g = crate::ctx::enter(handed);
+                drop(span("test.unit"));
+            })
+            .join()
+            .expect("worker");
+        }
+        let events = drain();
+        crate::disable(crate::TRACE);
+
+        assert!(events.iter().all(|e| e.req == Some(77)), "every event carries the request");
+        let root_start = events
+            .iter()
+            .find(|e| e.name == "test.request" && e.kind == EventKind::Start)
+            .expect("root start");
+        assert_eq!(root_start.parent, None, "root opened before set_parent");
+        let root_end = events
+            .iter()
+            .find(|e| e.name == "test.request" && e.kind == EventKind::End)
+            .expect("root end");
+        assert_eq!(root_end.parent, None, "a span never parents itself");
+        let annotation = events.iter().find(|e| e.name == "test.annotation").expect("point");
+        assert_eq!(annotation.parent, Some(root_id));
+        let unit_start = events
+            .iter()
+            .find(|e| e.name == "test.unit" && e.kind == EventKind::Start)
+            .expect("unit start");
+        assert_eq!(unit_start.parent, Some(root_id), "hand-off preserves the parent span");
     }
 
     #[test]

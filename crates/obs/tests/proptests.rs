@@ -29,17 +29,23 @@ fn event() -> impl Strategy<Value = TraceEvent> {
         any::<u32>(),
         any::<u32>(),
         proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
         proptest::option::of(tricky_string()),
     )
-        .prop_map(|(kind, name, span, thread, seq, wall_ns, sim_us, detail)| TraceEvent {
-            kind,
-            name,
-            span: span as u64,
-            thread: thread as u64,
-            seq: seq as u64,
-            wall_ns: wall_ns as u64,
-            sim_us: sim_us.map(u64::from),
-            detail,
+        .prop_map(|(kind, name, span, thread, seq, wall_ns, sim_us, req, parent, detail)| {
+            TraceEvent {
+                kind,
+                name,
+                span: span as u64,
+                thread: thread as u64,
+                seq: seq as u64,
+                wall_ns: wall_ns as u64,
+                sim_us: sim_us.map(u64::from),
+                req: req.map(u64::from),
+                parent: parent.map(u64::from),
+                detail,
+            }
         })
 }
 

@@ -21,11 +21,13 @@
 //! speedup floor for noisy shared hosts).
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use panoptes_bench::ab::{percentile, ArmStats};
 use panoptes_bench::mem;
+use panoptes_obs::trace;
 use panoptes_serve::client::{self, StudyCapture};
+use panoptes_serve::doctor;
 use panoptes_serve::server::{self, ServerConfig};
 use panoptes_serve::study::StudyParams;
 
@@ -48,7 +50,9 @@ impl Load {
     fn query(&self, seed: u64) -> String {
         format!(
             "/study?seed={seed}&popular={}&sensitive={}&population={}&idle={}",
-            self.params.popular, self.params.sensitive, self.params.population,
+            self.params.popular,
+            self.params.sensitive,
+            self.params.population,
             self.params.idle_secs
         )
     }
@@ -84,9 +88,19 @@ fn main() {
         ..StudyParams::default()
     };
     let load = if validate {
-        Load { params, seeds: (0..4).map(|i| 0x5EED + i).collect(), repeats: 3, warmups: 2 }
+        Load {
+            params,
+            seeds: (0..4).map(|i| 0x5EED + i).collect(),
+            repeats: 3,
+            warmups: 2,
+        }
     } else {
-        Load { params, seeds: (0..20).map(|i| 0x5EED + i).collect(), repeats: 5, warmups: 3 }
+        Load {
+            params,
+            seeds: (0..20).map(|i| 0x5EED + i).collect(),
+            repeats: 5,
+            warmups: 3,
+        }
     };
     // The honest floor: document replays are near-free, so with R
     // repeats per seed the cached arm does 1/R of the unit work. 2x is
@@ -113,7 +127,7 @@ fn main() {
             cache_budget: budget,
             max_active,
             max_waiting,
-            narrate: false,
+            ..ServerConfig::default()
         };
         arms.push(run_arm(label, config, &load, &mut reference_docs));
     }
@@ -132,6 +146,10 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    eprintln!("trace probe: doctor waterfall over a traced wave…");
+    let trace_path = format!("{}_trace.jsonl", out_path.trim_end_matches(".json"));
+    let probe = traced_probe(&load, workers, &trace_path);
 
     let arm_rows: String = arms
         .iter()
@@ -155,8 +173,9 @@ fn main() {
                     "  \"{label}\": {{\n",
                     "    \"wall_secs\": {wall:.6},\n",
                     "    \"req_per_sec\": {rps:.3},\n",
-                    "    \"ttfe_ms\": {{ \"p50\": {tp50:.3}, \"p99\": {tp99:.3} }},\n",
-                    "    \"completion_ms\": {{ \"p50\": {cp50:.3}, \"p99\": {cp99:.3} }},\n",
+                    "    \"samples\": {samples},\n",
+                    "    \"ttfe_ms\": {{ \"p50\": {tp50:.3}, \"p99\": {tp99:.3}, \"mean\": {tmean:.3} }},\n",
+                    "    \"completion_ms\": {{ \"p50\": {cp50:.3}, \"p99\": {cp99:.3}, \"mean\": {cmean:.3} }},\n",
                     "    \"peak_rss_kib_after\": {rss},\n",
                     "    \"cache\": {cache}\n",
                     "  }},\n",
@@ -164,10 +183,13 @@ fn main() {
                 label = arm.label,
                 wall = arm.wall_secs,
                 rps = load.requests() as f64 / arm.wall_secs,
+                samples = arm.ttfe.secs.len(),
                 tp50 = 1e3 * percentile(&arm.ttfe.secs, 50.0),
                 tp99 = 1e3 * percentile(&arm.ttfe.secs, 99.0),
+                tmean = 1e3 * arm.ttfe.mean(),
                 cp50 = 1e3 * percentile(&arm.total.secs, 50.0),
                 cp99 = 1e3 * percentile(&arm.total.secs, 99.0),
+                cmean = 1e3 * arm.total.mean(),
                 rss = arm.peak_rss_kib_after,
                 cache = cache_json,
             )
@@ -187,6 +209,8 @@ fn main() {
             "  \"throughput_speedup\": {speedup:.2},\n",
             "  \"speedup_floor\": {floor},\n",
             "  \"byte_identical\": {{ \"across_repeats\": true, \"across_arms\": true }},\n",
+            "  \"timing_trailers\": {{ \"present\": true, \"reconciled\": true }},\n",
+            "  \"trace_probe\": {{ \"requests\": {probe_requests}, \"trace_events\": {probe_events}, \"doctor_validated\": true, \"trace_file\": \"{trace_path}\" }},\n",
             "{mem}\n",
             "}}\n",
         ),
@@ -206,6 +230,9 @@ fn main() {
         arm_rows = arm_rows,
         speedup = speedup,
         floor = speedup_floor,
+        probe_requests = probe.requests,
+        probe_events = probe.events,
+        trace_path = trace_path,
         mem = mem::report_json(),
     );
 
@@ -215,6 +242,113 @@ fn main() {
     }
     print!("{json}");
     eprintln!("wrote {out_path}");
+}
+
+/// What the post-measurement trace probe saw.
+struct TraceProbe {
+    requests: usize,
+    events: usize,
+}
+
+/// Re-runs a small concurrent wave on a fresh TRACE-enabled server,
+/// drains the trace, and has the doctor reconstruct and validate the
+/// per-request waterfalls (every event request-scoped, every timing
+/// trailer reconciling with its measured completion). Writes the trace
+/// JSONL next to the bench record so CI can run `panoptes-doctor
+/// --check` and `bench_obs --validate` on a real concurrent artifact.
+fn traced_probe(load: &Load, workers: usize, trace_path: &str) -> TraceProbe {
+    drop(trace::drain());
+    let config = ServerConfig {
+        workers,
+        cache_budget: Some(64 << 20),
+        trace: true,
+        ..ServerConfig::default()
+    };
+    let handle = match server::spawn(0, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bench_serve: trace probe: server spawn failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr;
+
+    // Two seeds, two clients each, all concurrent: exercises both the
+    // single-flight build and the waited-hit replay under tracing.
+    let queries: Vec<String> = load
+        .seeds
+        .iter()
+        .take(2)
+        .flat_map(|&seed| [load.query(seed), load.query(seed)])
+        .collect();
+    let want = queries.len();
+    let threads: Vec<_> = queries
+        .into_iter()
+        .map(|query| std::thread::spawn(move || client::collect_study(addr, &query)))
+        .collect();
+    for thread in threads {
+        match thread.join() {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => {
+                eprintln!("bench_serve: trace probe request failed: {e}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("bench_serve: trace probe client panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    handle.shutdown();
+    panoptes_obs::disable(panoptes_obs::TRACE);
+
+    // Handler threads flush their rings on exit and pool workers on
+    // engine drop, both trailing the clients slightly — poll-drain.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut events = Vec::new();
+    loop {
+        events.extend(trace::drain());
+        let roots = events
+            .iter()
+            .filter(|e| e.name == "serve.request" && e.kind == trace::EventKind::End)
+            .count();
+        let trailers = events.iter().filter(|e| e.name == "serve.timing").count();
+        if roots >= want && trailers >= want {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("bench_serve: trace probe: trace incomplete ({roots}/{want} requests)");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    for e in events.iter().filter(|e| e.name.starts_with("serve.")) {
+        if e.req.is_none() {
+            eprintln!("bench_serve: trace probe: unscoped serve event {}", e.name);
+            std::process::exit(1);
+        }
+    }
+    let report = doctor::analyze(&events);
+    if report.requests.len() != want {
+        eprintln!(
+            "bench_serve: trace probe: doctor saw {} requests, expected {want}",
+            report.requests.len()
+        );
+        std::process::exit(1);
+    }
+    if let Err(e) = report.validate(2_000) {
+        eprintln!("bench_serve: trace probe: waterfall does not reconcile: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(trace_path, trace::to_jsonl(&events)) {
+        eprintln!("bench_serve: trace probe: cannot write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "trace probe: {want} requests, {} events, doctor waterfall validated; wrote {trace_path}",
+        events.len()
+    );
+    TraceProbe { requests: want, events: events.len() }
 }
 
 /// Spins up a fresh server, runs the warmup + measured wave, tears the
@@ -234,6 +368,25 @@ fn run_arm(
         }
     };
     let addr = handle.addr;
+
+    // Arm isolation, asserted rather than assumed: a fresh server means
+    // a cold cache (no hits, misses, bytes) and an idle engine. Without
+    // this, a shared cache would let the first arm warm artifacts for
+    // the second and corrupt the A/B.
+    let engine = handle.engine();
+    if let Some(stats) = engine.cache().map(|c| c.stats()) {
+        if stats.hits != 0 || stats.misses != 0 || stats.evictions != 0 {
+            eprintln!("bench_serve: arm {label} started with a warm cache: {stats:?}");
+            std::process::exit(1);
+        }
+    }
+    if engine.cache().map(|c| c.used_bytes()).unwrap_or(0) != 0
+        || engine.lanes() != 0
+        || engine.queue_depth() != 0
+    {
+        eprintln!("bench_serve: arm {label} started on a non-idle engine");
+        std::process::exit(1);
+    }
 
     // Warmup requests on a sentinel seed outside the measured set:
     // warms thread stacks, allocator arenas and the process-wide
@@ -279,6 +432,29 @@ fn run_arm(
     }
     let wall_secs = wave_start.elapsed().as_secs_f64();
 
+    // Every response carries a timing trailer whose phase attribution
+    // reconciles with the server-measured completion (other_us absorbs
+    // the remainder, so overshoot can only be clock granularity).
+    for (seed, capture) in &captures {
+        let Some(t) = capture.timing else {
+            eprintln!("bench_serve: seed {seed:#x} on arm {label}: no timing trailer");
+            std::process::exit(1);
+        };
+        let sum = t.phase_sum();
+        if !(sum == t.total_us || (t.other_us == 0 && sum - t.total_us <= 2_000)) {
+            eprintln!(
+                "bench_serve: seed {seed:#x} on arm {label}: phases sum {sum}us \
+                 vs total {}us",
+                t.total_us
+            );
+            std::process::exit(1);
+        }
+        if t.ttfe_us > t.total_us || t.cached != capture.cached {
+            eprintln!("bench_serve: seed {seed:#x} on arm {label}: inconsistent trailer");
+            std::process::exit(1);
+        }
+    }
+
     // Byte-identity: within this arm every repeat of a seed must match,
     // and across arms the first arm's documents are the reference.
     for (seed, capture) in &captures {
@@ -295,7 +471,10 @@ fn run_arm(
     }
 
     let ttfe: Vec<f64> = captures.iter().map(|(_, c)| c.ttfe.as_secs_f64()).collect();
-    let total: Vec<f64> = captures.iter().map(|(_, c)| c.total.as_secs_f64()).collect();
+    let total: Vec<f64> = captures
+        .iter()
+        .map(|(_, c)| c.total.as_secs_f64())
+        .collect();
     let replays = captures.iter().filter(|(_, c)| c.cached).count();
     let cache = handle.engine().cache().map(|c| c.stats());
     handle.shutdown();

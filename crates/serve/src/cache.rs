@@ -28,8 +28,37 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 type Artifact = Arc<dyn Any + Send + Sync>;
+
+/// How a [`ArtifactCache::try_resolve`] lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveKind {
+    /// Served from a ready entry, no waiting.
+    Hit,
+    /// Built by this caller (possibly after waiting out an abandoned
+    /// in-flight build — `wait_us` is then non-zero).
+    Built,
+    /// Waited on another request's in-flight build, then shared its
+    /// `Arc` — the single-flight "loser" path.
+    WaitedHit,
+}
+
+/// A resolved artifact plus the latency attribution of getting it:
+/// how long this caller blocked on someone else's build (`wait_us`)
+/// versus built itself (`build_us`). Feeds the per-request `timing`
+/// trailer's cache-wait-vs-build split.
+pub struct Resolved<T> {
+    /// The shared artifact.
+    pub value: Arc<T>,
+    /// Hit, built here, or waited out another request's build.
+    pub kind: ResolveKind,
+    /// Microseconds blocked on the single-flight condvar.
+    pub wait_us: u64,
+    /// Microseconds spent running `build` on this thread.
+    pub build_us: u64,
+}
 
 struct Entry {
     value: Artifact,
@@ -97,10 +126,18 @@ impl ArtifactCache {
         T: Any + Send + Sync,
         F: FnOnce() -> T,
     {
-        match self.try_get_or_build::<T, std::convert::Infallible, _>(key, min_cost, || {
-            Ok(build())
-        }) {
-            Ok(value) => value,
+        self.resolve(key, min_cost, build).value
+    }
+
+    /// [`ArtifactCache::get_or_build`] that also reports *how* the
+    /// lookup was satisfied and what it cost (wait vs build time).
+    pub fn resolve<T, F>(&self, key: &str, min_cost: u64, build: F) -> Resolved<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        match self.try_resolve::<T, std::convert::Infallible, _>(key, min_cost, || Ok(build())) {
+            Ok(resolved) => resolved,
             Err(never) => match never {},
         }
     }
@@ -109,16 +146,29 @@ impl ArtifactCache {
     /// `Err` the slot is abandoned (waiters wake and retry) and the
     /// error propagates to this caller only — the failure path a
     /// mid-build client disconnect takes.
-    pub fn try_get_or_build<T, E, F>(
-        &self,
-        key: &str,
-        min_cost: u64,
-        build: F,
-    ) -> Result<Arc<T>, E>
+    pub fn try_get_or_build<T, E, F>(&self, key: &str, min_cost: u64, build: F) -> Result<Arc<T>, E>
     where
         T: Any + Send + Sync,
         F: FnOnce() -> Result<T, E>,
     {
+        self.try_resolve(key, min_cost, build)
+            .map(|resolved| resolved.value)
+    }
+
+    /// [`ArtifactCache::try_get_or_build`] that also reports *how* the
+    /// lookup was satisfied (hit / built here / waited on another
+    /// request's build) and the wait-vs-build time split. Also the
+    /// cache-causality trace anchor: builds record a
+    /// `serve.cache.build` span and waited-out hits a
+    /// `serve.cache.waited` point, both keyed, so a trace reader can
+    /// reconstruct who built a key and who replayed it.
+    pub fn try_resolve<T, E, F>(&self, key: &str, min_cost: u64, build: F) -> Result<Resolved<T>, E>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Result<T, E>,
+    {
+        let mut wait_us = 0u64;
+        let mut waited = false;
         {
             let mut inner = self.inner.lock().expect("cache lock");
             loop {
@@ -132,16 +182,39 @@ impl ArtifactCache {
                     drop(inner);
                     self.stats.lock().expect("stats lock").hits += 1;
                     panoptes_obs::count!("serve.cache.hits", Runtime);
+                    if waited {
+                        panoptes_obs::trace::point_with("serve.cache.waited", None, || {
+                            key.to_string()
+                        });
+                    } else {
+                        panoptes_obs::trace::point_with("serve.cache.hit", None, || {
+                            key.to_string()
+                        });
+                    }
                     // Keys embed the artifact kind, one concrete type each.
-                    return Ok(value
+                    let value = value
                         .downcast::<T>()
-                        .unwrap_or_else(|_| unreachable!("one type per key")));
+                        .unwrap_or_else(|_| unreachable!("one type per key"));
+                    let kind = if waited {
+                        ResolveKind::WaitedHit
+                    } else {
+                        ResolveKind::Hit
+                    };
+                    return Ok(Resolved {
+                        value,
+                        kind,
+                        wait_us,
+                        build_us: 0,
+                    });
                 }
                 if inner.building.contains_key(key) {
                     // Someone else is constructing this artifact: wait
                     // for it to land (or be abandoned — in which case
                     // this thread takes over the build below).
+                    waited = true;
+                    let wait_start = Instant::now();
                     inner = self.wakeup.wait(inner).expect("cache wait");
+                    wait_us += wait_start.elapsed().as_micros() as u64;
                     continue;
                 }
                 inner.building.insert(key.to_string(), ());
@@ -150,15 +223,28 @@ impl ArtifactCache {
         }
         // This thread owns the build. The guard abandons the slot if
         // the build unwinds or the thread dies before install.
-        let guard = BuildGuard { cache: self, key, installed: false };
+        let guard = BuildGuard {
+            cache: self,
+            key,
+            installed: false,
+        };
         self.stats.lock().expect("stats lock").misses += 1;
         panoptes_obs::count!("serve.cache.misses", Runtime);
+        let _build_span =
+            panoptes_obs::trace::span_with("serve.cache.build", None, || key.to_string());
+        let build_start = Instant::now();
         let before = panoptes_bench::mem::live_bytes();
         let value: Arc<T> = Arc::new(build()?);
         let measured = panoptes_bench::mem::live_bytes().saturating_sub(before);
+        let build_us = build_start.elapsed().as_micros() as u64;
         self.install(key, Arc::clone(&value) as Artifact, measured.max(min_cost));
         guard.disarm();
-        Ok(value)
+        Ok(Resolved {
+            value,
+            kind: ResolveKind::Built,
+            wait_us,
+            build_us,
+        })
     }
 
     fn install(&self, key: &str, value: Artifact, cost: u64) {
@@ -167,7 +253,14 @@ impl ArtifactCache {
         inner.clock += 1;
         let clock = inner.clock;
         inner.used += cost;
-        inner.ready.insert(key.to_string(), Entry { value, cost, last_used: clock });
+        inner.ready.insert(
+            key.to_string(),
+            Entry {
+                value,
+                cost,
+                last_used: clock,
+            },
+        );
         // Evict LRU entries until the budget holds. The entry just
         // installed is the most recently used, so it goes last — an
         // over-budget artifact still serves its current requesters.
@@ -272,8 +365,10 @@ mod tests {
                 })
             })
             .collect();
-        let values: Vec<Arc<u64>> =
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+        let values: Vec<Arc<u64>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
         assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
         for v in &values {
             assert!(Arc::ptr_eq(v, &values[0]));
@@ -311,6 +406,41 @@ mod tests {
         // The key is abandoned, not poisoned: the next caller rebuilds.
         let v = cache.get_or_build("doomed", 10, || 7u64);
         assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn resolve_reports_kind_and_wait_vs_build_split() {
+        let cache = Arc::new(ArtifactCache::new(1 << 20));
+        let built = cache.resolve("k", 10, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            1u64
+        });
+        assert_eq!(built.kind, ResolveKind::Built);
+        assert!(built.build_us > 0, "build time attributed");
+        let hit = cache.resolve("k", 10, || 2u64);
+        assert_eq!(hit.kind, ResolveKind::Hit);
+        assert_eq!((hit.wait_us, hit.build_us), (0, 0));
+
+        // A caller arriving while the build is in flight waits it out
+        // and gets the wait attributed.
+        let started = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&cache);
+        let s = Arc::clone(&started);
+        let builder = std::thread::spawn(move || {
+            c.resolve("w", 10, || {
+                s.store(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                3u64
+            })
+        });
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let waited = cache.resolve("w", 10, || 4u64);
+        assert_eq!(waited.kind, ResolveKind::WaitedHit);
+        assert!(waited.wait_us > 0, "condvar wait attributed");
+        assert_eq!(waited.build_us, 0);
+        assert_eq!(builder.join().expect("builder").kind, ResolveKind::Built);
     }
 
     #[test]

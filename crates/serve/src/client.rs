@@ -6,6 +6,7 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use crate::doctor::Timing;
 use crate::json;
 
 /// An open event stream: the response head has been parsed and each
@@ -43,7 +44,9 @@ impl EventStream {
         let text = String::from_utf8(chunk)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 event"))?;
         let line = if self.sse {
-            text.strip_prefix("data: ").unwrap_or(&text).trim_end_matches('\n')
+            text.strip_prefix("data: ")
+                .unwrap_or(&text)
+                .trim_end_matches('\n')
         } else {
             text.trim_end_matches('\n')
         };
@@ -62,10 +65,15 @@ pub fn open_stream(addr: SocketAddr, path_query: &str) -> io::Result<EventStream
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let (status, headers) = read_head(&mut reader)?;
-    let sse = headers
-        .iter()
-        .any(|h| h.to_ascii_lowercase().contains("content-type: text/event-stream"));
-    Ok(EventStream { reader, status, sse })
+    let sse = headers.iter().any(|h| {
+        h.to_ascii_lowercase()
+            .contains("content-type: text/event-stream")
+    });
+    Ok(EventStream {
+        reader,
+        status,
+        sse,
+    })
 }
 
 /// Sends `GET path_query` and reads the whole response body
@@ -79,9 +87,10 @@ pub fn get(addr: SocketAddr, path_query: &str) -> io::Result<(u16, String)> {
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let (status, headers) = read_head(&mut reader)?;
-    let chunked = headers
-        .iter()
-        .any(|h| h.to_ascii_lowercase().contains("transfer-encoding: chunked"));
+    let chunked = headers.iter().any(|h| {
+        h.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+    });
     let body = if chunked {
         crate::http::read_chunked(&mut reader)?
     } else {
@@ -114,7 +123,10 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<String>)
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated head",
+            ));
         }
         if line == "\r\n" || line == "\n" {
             break;
@@ -138,6 +150,9 @@ pub struct StudyCapture {
     pub ttfe: Duration,
     /// Connect → stream end.
     pub total: Duration,
+    /// The server's latency-attribution trailer, when it sent one
+    /// (absent only on very old servers — the trailer precedes `done`).
+    pub timing: Option<Timing>,
 }
 
 /// Runs one study request to completion, reassembling the document
@@ -158,6 +173,7 @@ pub fn collect_study(addr: SocketAddr, path_query: &str) -> io::Result<StudyCapt
         cached: false,
         ttfe: Duration::ZERO,
         total: Duration::ZERO,
+        timing: None,
     };
     let mut done = false;
     while let Some(line) = stream.next_event()? {
@@ -170,6 +186,9 @@ pub fn collect_study(addr: SocketAddr, path_query: &str) -> io::Result<StudyCapt
                     capture.doc.push_str(&data);
                 }
             }
+            Some("timing") => {
+                capture.timing = Timing::parse(&line);
+            }
             Some("done") => {
                 capture.cached = line.contains("\"cached\":true");
                 done = true;
@@ -177,7 +196,9 @@ pub fn collect_study(addr: SocketAddr, path_query: &str) -> io::Result<StudyCapt
             Some("error") => {
                 let message =
                     json::field(&line, "message").unwrap_or_else(|| "unknown".to_string());
-                return Err(io::Error::other(format!("study failed server-side: {message}")));
+                return Err(io::Error::other(format!(
+                    "study failed server-side: {message}"
+                )));
             }
             _ => {}
         }

@@ -68,8 +68,10 @@ pub fn field(line: &str, name: &str) -> Option<String> {
 pub fn uint_field(line: &str, name: &str) -> Option<u64> {
     let marker = format!("\"{name}\":");
     let start = line.find(&marker)? + marker.len();
-    let digits: String =
-        line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
     if digits.is_empty() {
         return None;
     }

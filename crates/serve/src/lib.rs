@@ -31,12 +31,22 @@
 //! workspace is air-gapped (compat shims only), and the study units
 //! are CPU-bound simulation work, so an async reactor would buy
 //! nothing a thread per connection doesn't already provide.
+//!
+//! Operating the server is its own concern, served by three newer
+//! modules: request-scoped tracing and per-request latency attribution
+//! (the `timing` trailer, wired through [`study`] on top of
+//! `panoptes_obs::ctx`), the always-on [`flightrec`] flight recorder
+//! with its stall watchdog and panic hook, and the offline [`doctor`]
+//! analyzer behind the `panoptes-doctor` bin that turns trace JSONL or
+//! flight dumps into per-request waterfalls and cache causality.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod doctor;
+pub mod flightrec;
 pub mod http;
 pub mod json;
 pub mod server;

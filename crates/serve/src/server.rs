@@ -19,12 +19,19 @@
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use crate::flightrec::{install_panic_hook, Watchdog};
 use crate::http::{read_request, respond, ChunkedWriter, Request};
-use crate::study::{ev_error, EventSink, StudyEngine, StudyError, StudyParams};
+use crate::study::{ev_error, EventSink, RequestInfo, StudyEngine, StudyError, StudyParams};
+
+/// The stall deadline used when flight recording is on but no explicit
+/// deadline was configured.
+pub const DEFAULT_WATCHDOG_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -41,16 +48,32 @@ pub struct ServerConfig {
     pub max_waiting: usize,
     /// Tagged per-unit narration on stderr.
     pub narrate: bool,
+    /// Record request-scoped trace events (`panoptes_obs::TRACE`).
+    /// The served bytes are identical either way; tracing only adds
+    /// out-of-band events.
+    pub trace: bool,
+    /// Directory for flight-recorder post-mortems. When set, the stall
+    /// watchdog runs and the panic hook dumps here; the in-memory ring
+    /// itself is always on.
+    pub flightrec_dir: Option<PathBuf>,
+    /// How long a study may go without progress before the watchdog
+    /// declares it stalled ([`DEFAULT_WATCHDOG_DEADLINE`] when unset).
+    pub watchdog_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             cache_budget: Some(256 << 20),
             max_active: 8,
             max_waiting: 128,
             narrate: false,
+            trace: false,
+            flightrec_dir: None,
+            watchdog_deadline: None,
         }
     }
 }
@@ -64,6 +87,7 @@ pub struct ServerHandle {
     engine: Arc<StudyEngine>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    watchdog: Option<Watchdog>,
 }
 
 impl ServerHandle {
@@ -81,6 +105,37 @@ impl ServerHandle {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        if let Some(watchdog) = self.watchdog.take() {
+            watchdog.stop();
+        }
+    }
+}
+
+/// One line of lane/queue/cache state for flight-recorder dumps. Weak
+/// so the watchdog never keeps a stopped server's engine alive.
+fn engine_snapshot(engine: &std::sync::Weak<StudyEngine>) -> String {
+    match engine.upgrade() {
+        Some(engine) => {
+            let cache = match engine.cache() {
+                Some(cache) => {
+                    let stats = cache.stats();
+                    format!(
+                        "cache_hits={} cache_misses={} cache_evictions={} cache_bytes={}",
+                        stats.hits,
+                        stats.misses,
+                        stats.evictions,
+                        cache.used_bytes()
+                    )
+                }
+                None => "cache=off".to_string(),
+            };
+            format!(
+                "lanes={} queued={} {cache}",
+                engine.lanes(),
+                engine.queue_depth()
+            )
+        }
+        None => "engine=gone".to_string(),
     }
 }
 
@@ -88,11 +143,27 @@ impl ServerHandle {
 pub fn spawn(port: u16, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
+    panoptes_obs::enable(panoptes_obs::METRICS);
+    if config.trace {
+        panoptes_obs::enable(panoptes_obs::TRACE);
+    }
     let mut engine = StudyEngine::new(config.workers, config.cache_budget);
     if config.narrate {
         engine = engine.with_narration();
     }
     let engine = Arc::new(engine);
+    let watchdog = config.flightrec_dir.as_ref().map(|dir| {
+        install_panic_hook(engine.recorder(), dir.clone());
+        let snapshot_engine = Arc::downgrade(&engine);
+        Watchdog::spawn(
+            Arc::clone(engine.recorder()),
+            config
+                .watchdog_deadline
+                .unwrap_or(DEFAULT_WATCHDOG_DEADLINE),
+            dir.clone(),
+            Box::new(move || engine_snapshot(&snapshot_engine)),
+        )
+    });
     let admission = Arc::new(Admission::new(config.max_active, config.max_waiting));
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -110,18 +181,34 @@ pub fn spawn(port: u16, config: ServerConfig) -> io::Result<ServerHandle> {
         }
     });
 
-    Ok(ServerHandle { addr, engine, stop, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle {
+        addr,
+        engine,
+        stop,
+        accept_thread: Some(accept_thread),
+        watchdog,
+    })
 }
 
 fn handle_connection(stream: TcpStream, engine: &StudyEngine, admission: &Arc<Admission>) {
     // All IO failures here mean the client is gone or speaking
     // something other than HTTP; the connection is simply dropped.
-    let Ok(read_half) = stream.try_clone() else { return };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
-    let Some(request) = read_request(&mut reader) else { return };
+    let Some(request) = read_request(&mut reader) else {
+        return;
+    };
     if request.method != "GET" {
-        let _ = respond(&mut stream, 405, "Method Not Allowed", "text/plain", "GET only\n");
+        let _ = respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
         return;
     }
     match request.path.as_str() {
@@ -130,7 +217,7 @@ fn handle_connection(stream: TcpStream, engine: &StudyEngine, admission: &Arc<Ad
         }
         "/metrics" => {
             let report = panoptes_obs::report::render(&panoptes_obs::metrics::snapshot());
-            let _ = respond(&mut stream, 200, "OK", "text/plain", &report);
+            let _ = respond(&mut stream, 200, "OK", "text/plain; charset=utf-8", &report);
         }
         "/study" => handle_study(&request, stream, engine, admission),
         _ => {
@@ -148,13 +235,41 @@ fn handle_study(
     let params = match parse_params(request) {
         Ok(p) => p,
         Err(msg) => {
-            let _ = respond(&mut stream, 400, "Bad Request", "text/plain", &format!("{msg}\n"));
+            let _ = respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                &format!("{msg}\n"),
+            );
             return;
         }
     };
     let sse = request.param("format") == Some("sse");
-    let Some(_permit) = admission.acquire() else {
+
+    // Request identity: minted before admission so even a rejected
+    // request has an id in the flight-recorder ring, and the root
+    // `serve.request` span covers the admission wait.
+    let req_started = Instant::now();
+    let req_id = panoptes_obs::ctx::next_request_id();
+    let _ctx = panoptes_obs::ctx::enter(panoptes_obs::ctx::TraceCtx {
+        request: req_id,
+        parent_span: 0,
+    });
+    let root = panoptes_obs::trace::span_with("serve.request", None, || params.repro_args());
+    panoptes_obs::ctx::set_parent(root.id().unwrap_or(0));
+
+    let admission_started = Instant::now();
+    let permit = {
+        let _wait = panoptes_obs::trace::span("serve.admission.wait");
+        admission.acquire()
+    };
+    let admission_us = admission_started.elapsed().as_micros() as u64;
+    let Some(_permit) = permit else {
         panoptes_obs::count!("serve.requests.rejected", Runtime);
+        engine
+            .recorder()
+            .record(req_id, "request.rejected", params.repro_args());
         let _ = respond(
             &mut stream,
             503,
@@ -165,10 +280,27 @@ fn handle_study(
         return;
     };
     panoptes_obs::count!("serve.requests.accepted", Runtime);
-    let content_type = if sse { "text/event-stream" } else { "application/x-ndjson" };
-    let Ok(writer) = ChunkedWriter::start(&mut stream, content_type) else { return };
-    let mut sink = HttpSink { writer: Some(writer), sse };
-    match engine.run_streaming(&params, &mut sink) {
+    engine
+        .recorder()
+        .record(req_id, "request.accepted", params.repro_args());
+    let req = RequestInfo {
+        id: req_id,
+        admission_us,
+        started: req_started,
+    };
+    let content_type = if sse {
+        "text/event-stream"
+    } else {
+        "application/x-ndjson"
+    };
+    let Ok(writer) = ChunkedWriter::start(&mut stream, content_type) else {
+        return;
+    };
+    let mut sink = HttpSink {
+        writer: Some(writer),
+        sse,
+    };
+    match engine.run_streaming(&params, &mut sink, req) {
         Ok(_) => {
             if let Some(writer) = sink.writer.take() {
                 let _ = writer.finish();
@@ -193,15 +325,19 @@ fn parse_params(request: &Request) -> Result<StudyParams, String> {
         params.seed = parse_u64(seed).ok_or_else(|| format!("bad seed {seed:?}"))?;
     }
     if let Some(popular) = request.param("popular") {
-        params.popular = popular.parse().map_err(|_| format!("bad popular {popular:?}"))?;
+        params.popular = popular
+            .parse()
+            .map_err(|_| format!("bad popular {popular:?}"))?;
     }
     if let Some(sensitive) = request.param("sensitive") {
-        params.sensitive =
-            sensitive.parse().map_err(|_| format!("bad sensitive {sensitive:?}"))?;
+        params.sensitive = sensitive
+            .parse()
+            .map_err(|_| format!("bad sensitive {sensitive:?}"))?;
     }
     if let Some(population) = request.param("population") {
-        let n: usize =
-            population.parse().map_err(|_| format!("bad population {population:?}"))?;
+        let n: usize = population
+            .parse()
+            .map_err(|_| format!("bad population {population:?}"))?;
         if n == 0 {
             return Err("population must be >= 1".to_string());
         }
@@ -234,7 +370,10 @@ struct HttpSink<'a> {
 impl EventSink for HttpSink<'_> {
     fn event(&mut self, line: &str) -> io::Result<()> {
         let Some(writer) = self.writer.as_mut() else {
-            return Err(io::Error::new(io::ErrorKind::NotConnected, "stream finished"));
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "stream finished",
+            ));
         };
         if self.sse {
             writer.write_chunk(&format!("data: {line}\n\n"))
@@ -261,7 +400,10 @@ struct AdmissionState {
 impl Admission {
     fn new(max_active: usize, max_waiting: usize) -> Admission {
         Admission {
-            state: Mutex::new(AdmissionState { active: 0, waiting: 0 }),
+            state: Mutex::new(AdmissionState {
+                active: 0,
+                waiting: 0,
+            }),
             freed: Condvar::new(),
             max_active: max_active.max(1),
             max_waiting,
@@ -286,7 +428,9 @@ impl Admission {
         }
         state.active += 1;
         panoptes_obs::gauge_add!("serve.admission.active", 1);
-        Some(AdmissionPermit { admission: Arc::clone(self) })
+        Some(AdmissionPermit {
+            admission: Arc::clone(self),
+        })
     }
 }
 

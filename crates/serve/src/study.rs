@@ -48,6 +48,7 @@ use panoptes_web::generator::GeneratorConfig;
 use panoptes_web::World;
 
 use crate::cache::ArtifactCache;
+use crate::flightrec::FlightRecorder;
 use crate::json;
 
 /// The §3.2 incognito browsers, re-crawled normal + incognito — same
@@ -142,6 +143,107 @@ impl EventSink for Vec<String> {
     }
 }
 
+/// Server-side identity of one request: its process-unique id, the
+/// instant it was read off the socket (TTFE and completion are measured
+/// from here), and the admission wait it already paid before reaching
+/// the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestInfo {
+    /// Process-unique request id (also the trace context's id).
+    pub id: u64,
+    /// Microseconds spent blocked in the admission queue.
+    pub admission_us: u64,
+    /// When the server finished parsing the request line.
+    pub started: Instant,
+}
+
+impl RequestInfo {
+    /// A request minted on the spot — for callers driving the engine
+    /// without a front-end server (tests, benches).
+    pub fn local() -> RequestInfo {
+        RequestInfo {
+            id: panoptes_obs::ctx::next_request_id(),
+            admission_us: 0,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Where one request's latency went, in microseconds. The phases are
+/// disjoint segments of the handler thread's timeline, so they sum to
+/// at most the request's wall time; the `timing` trailer adds an
+/// explicit `other_us` remainder so the total reconciles exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Phases {
+    /// Blocked in the admission queue before the study started.
+    pub admission_us: u64,
+    /// Blocked on another request's in-flight cache build (document or
+    /// artifact level).
+    pub cache_wait_us: u64,
+    /// Building shared artifacts here: world, population, filterlist,
+    /// analysis resources.
+    pub build_us: u64,
+    /// Waiting for campaign units to seal (the capture side of the
+    /// pipeline, overlapped across the pool).
+    pub capture_us: u64,
+    /// Analysing sealed captures on the handler thread.
+    pub analysis_us: u64,
+    /// Rendering document sections.
+    pub render_us: u64,
+    /// Writing events to the client socket — includes backpressure
+    /// stalls when the client reads slowly.
+    pub write_us: u64,
+}
+
+impl Phases {
+    /// Sum of every attributed phase.
+    pub fn sum(&self) -> u64 {
+        self.admission_us
+            + self.cache_wait_us
+            + self.build_us
+            + self.capture_us
+            + self.analysis_us
+            + self.render_us
+            + self.write_us
+    }
+}
+
+/// Wraps the caller's sink to observe every write: accumulates socket
+/// time (the `write_us` phase, backpressure included), pins
+/// time-to-first-event, and bumps the flight recorder's progress clock
+/// so a slowly-draining study is not mistaken for a wedged one.
+struct TimedSink<'a> {
+    inner: &'a mut dyn EventSink,
+    recorder: &'a FlightRecorder,
+    request: u64,
+    started: Instant,
+    write_us: u64,
+    first_event_us: Option<u64>,
+}
+
+impl EventSink for TimedSink<'_> {
+    fn event(&mut self, line: &str) -> io::Result<()> {
+        let write_start = Instant::now();
+        let result = self.inner.event(line);
+        self.write_us += write_start.elapsed().as_micros() as u64;
+        if self.first_event_us.is_none() {
+            self.first_event_us = Some(self.started.elapsed().as_micros() as u64);
+        }
+        if result.is_ok() {
+            self.recorder.touch(self.request);
+        }
+        result
+    }
+}
+
+/// Times one closure into a phase slot.
+fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let phase_start = Instant::now();
+    let value = f();
+    *slot += phase_start.elapsed().as_micros() as u64;
+    value
+}
+
 /// A finished study document: the exact bytes `repro` would print,
 /// split into streamable units.
 pub struct StudyDoc {
@@ -202,6 +304,9 @@ pub struct StudyOutcome {
 pub struct StudyEngine {
     pool: WorkPool,
     cache: Option<Arc<ArtifactCache>>,
+    /// Always-on flight recorder: request lifecycle ring + the
+    /// active-study registry the watchdog polls.
+    recorder: Arc<FlightRecorder>,
     /// Lane ids are minted per study; also used as the progress tag.
     next_lane: AtomicU64,
     /// Initial + steady-state credit allowance per lane: how many of a
@@ -219,6 +324,7 @@ impl StudyEngine {
         StudyEngine {
             pool: WorkPool::new(workers),
             cache: cache_budget_bytes.map(|b| Arc::new(ArtifactCache::new(b))),
+            recorder: Arc::new(FlightRecorder::default()),
             next_lane: AtomicU64::new(1),
             credits: 4,
             narrate: false,
@@ -228,6 +334,12 @@ impl StudyEngine {
     /// The shared cache, when enabled.
     pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
         self.cache.as_ref()
+    }
+
+    /// The engine's flight recorder (server wires the watchdog and
+    /// panic hook to it).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Total units currently queued (all studies).
@@ -253,47 +365,102 @@ impl StudyEngine {
     /// Runs one study, streaming events into `sink`. Returns how it
     /// ended; on [`StudyError::Disconnected`] the study's pending units
     /// have been dropped and its pool lane freed.
+    ///
+    /// The deterministic event stream (header, sections, progress,
+    /// done) is byte-identical regardless of tracing; the one
+    /// *non-deterministic* addition is the `timing` trailer emitted
+    /// just before `done`, attributing the request's latency to phases
+    /// ([`Phases`]). Callers without a front-end server pass
+    /// [`RequestInfo::local()`].
     pub fn run_streaming(
         &self,
         params: &StudyParams,
         sink: &mut dyn EventSink,
+        req: RequestInfo,
     ) -> Result<StudyOutcome, StudyError> {
-        let started = Instant::now();
         panoptes_obs::gauge_add!("serve.studies.inflight", 1);
-        let outcome = self.run_streaming_inner(params, sink);
+        self.recorder
+            .study_started(req.id, params.repro_args(), 2 * params.population + 6);
+        let mut phases = Phases {
+            admission_us: req.admission_us,
+            ..Phases::default()
+        };
+        let mut timed_sink = TimedSink {
+            inner: sink,
+            recorder: &self.recorder,
+            request: req.id,
+            started: req.started,
+            write_us: 0,
+            first_event_us: None,
+        };
+        let result = self.run_streaming_inner(params, &mut timed_sink, req, &mut phases);
+        let (write_us, first_event_us) = (timed_sink.write_us, timed_sink.first_event_us);
         panoptes_obs::gauge_add!("serve.studies.inflight", -1);
-        panoptes_obs::record!(
-            "serve.study.wall_us",
-            Runtime,
-            started.elapsed().as_micros() as u64
-        );
-        outcome
+        match result {
+            Ok(outcome) => {
+                phases.write_us = write_us;
+                let total_us = req.started.elapsed().as_micros() as u64;
+                let ttfe_us = first_event_us.unwrap_or(total_us);
+                let trailer = ev_timing(req.id, outcome.cached, total_us, ttfe_us, &phases);
+                sink.event(&trailer).map_err(StudyError::Disconnected)?;
+                sink.event(&ev_done(&outcome))
+                    .map_err(StudyError::Disconnected)?;
+                panoptes_obs::trace::point_with("serve.timing", None, || trailer.clone());
+                record_phase_histograms(total_us, ttfe_us, &phases);
+                self.recorder.study_finished(
+                    req.id,
+                    "study.done",
+                    format!(
+                        "cached={} bytes={} sections={} total_us={total_us}",
+                        outcome.cached, outcome.bytes, outcome.sections
+                    ),
+                );
+                Ok(outcome)
+            }
+            Err(e) => {
+                let kind = match &e {
+                    StudyError::Disconnected(_) => "study.disconnect",
+                    StudyError::Fleet(_) => "study.error",
+                };
+                self.recorder.study_finished(req.id, kind, e.to_string());
+                Err(e)
+            }
+        }
     }
 
     fn run_streaming_inner(
         &self,
         params: &StudyParams,
         sink: &mut dyn EventSink,
+        req: RequestInfo,
+        phases: &mut Phases,
     ) -> Result<StudyOutcome, StudyError> {
         let Some(cache) = &self.cache else {
-            let doc = self.build_streaming(params, sink)?;
-            let outcome =
-                StudyOutcome { cached: false, bytes: doc.bytes().len(), sections: doc.sections.len() };
-            sink.event(&ev_done(&outcome)).map_err(StudyError::Disconnected)?;
-            return Ok(outcome);
+            let doc = self.build_streaming(params, sink, req, phases)?;
+            return Ok(StudyOutcome {
+                cached: false,
+                bytes: doc.bytes().len(),
+                sections: doc.sections.len(),
+            });
         };
         // Whole-study single-flight: identical concurrent requests run
         // the study once; the losers wait and replay the finished
         // document. A mid-build disconnect abandons the slot (waiters
         // take over) rather than caching a half-built study.
         let mut built_here = false;
-        let doc = {
+        let resolved = {
             let built_here = &mut built_here;
-            cache.try_get_or_build::<StudyDoc, StudyError, _>(&params.doc_key(), 1 << 16, || {
+            let sink: &mut dyn EventSink = &mut *sink;
+            let phases: &mut Phases = &mut *phases;
+            cache.try_resolve::<StudyDoc, StudyError, _>(&params.doc_key(), 1 << 16, || {
                 *built_here = true;
-                self.build_streaming(params, sink)
+                self.build_streaming(params, sink, req, phases)
             })?
         };
+        // Time blocked on another request's in-flight build of this
+        // exact document (single-flight loser wait).
+        phases.cache_wait_us += resolved.wait_us;
+        let doc = resolved.value;
         let outcome = StudyOutcome {
             cached: !built_here,
             bytes: doc.bytes().len(),
@@ -301,9 +468,11 @@ impl StudyEngine {
         };
         if !built_here {
             // Replay the cached document: same events, zero units.
-            self.emit_doc(&doc, sink).map_err(StudyError::Disconnected)?;
+            self.recorder
+                .record(req.id, "study.replay", params.doc_key());
+            self.emit_doc(&doc, sink)
+                .map_err(StudyError::Disconnected)?;
         }
-        sink.event(&ev_done(&outcome)).map_err(StudyError::Disconnected)?;
         Ok(outcome)
     }
 
@@ -317,8 +486,10 @@ impl StudyEngine {
     }
 
     /// Resolves the study's shared build artifacts — through the cache
-    /// when enabled, freshly otherwise.
-    fn artifacts(&self, params: &StudyParams) -> Artifacts {
+    /// when enabled, freshly otherwise. Time spent building goes to
+    /// `phases.build_us`; time blocked on *another* request's in-flight
+    /// build of the same artifact goes to `phases.cache_wait_us`.
+    fn artifacts(&self, params: &StudyParams, phases: &mut Phases) -> Artifacts {
         let scale = params.scale();
         let generator = GeneratorConfig {
             seed: params.seed,
@@ -332,9 +503,11 @@ impl StudyEngine {
             // including the per-session filterlist compile the offline
             // path does (`shared_filterlist: None`).
             return Artifacts {
-                world: Arc::new(World::build(&generator)),
-                profiles: Arc::new(population(params.seed, params.population)),
-                res: Arc::new(AnalysisResources::standard()),
+                world: Arc::new(timed(&mut phases.build_us, || World::build(&generator))),
+                profiles: Arc::new(timed(&mut phases.build_us, || {
+                    population(params.seed, params.population)
+                })),
+                res: Arc::new(timed(&mut phases.build_us, AnalysisResources::standard)),
                 config: scale.config(),
             };
         };
@@ -342,17 +515,31 @@ impl StudyEngine {
             "world:seed={:#x}:popular={}:sensitive={}:tail={}",
             params.seed, params.popular, params.sensitive, params.tail
         );
-        let world = cache.get_or_build(&world_key, sites * 4096, || World::build(&generator));
+        let world = cache.resolve(&world_key, sites * 4096, || World::build(&generator));
         let pop_key = format!("population:seed={:#x}:n={}", params.seed, params.population);
-        let profiles = cache.get_or_build(&pop_key, 64 << 10, || {
+        let profiles = cache.resolve(&pop_key, 64 << 10, || {
             population(params.seed, params.population)
         });
-        let filter =
-            cache.get_or_build("filterlist:easylist-excerpt", 128 << 10, easylist_excerpt);
-        let res =
-            cache.get_or_build("resources:standard", 256 << 10, AnalysisResources::standard);
-        let config = scale.config().with_shared_filterlist(filter);
-        Artifacts { world, profiles, res, config }
+        let filter = cache.resolve("filterlist:easylist-excerpt", 128 << 10, easylist_excerpt);
+        let res = cache.resolve("resources:standard", 256 << 10, AnalysisResources::standard);
+        for r in [world.wait_us, profiles.wait_us, filter.wait_us, res.wait_us] {
+            phases.cache_wait_us += r;
+        }
+        for r in [
+            world.build_us,
+            profiles.build_us,
+            filter.build_us,
+            res.build_us,
+        ] {
+            phases.build_us += r;
+        }
+        let config = scale.config().with_shared_filterlist(filter.value);
+        Artifacts {
+            world: world.value,
+            profiles: profiles.value,
+            res: res.value,
+            config,
+        }
     }
 
     /// Runs the study's units on the pool and streams sections as their
@@ -361,13 +548,16 @@ impl StudyEngine {
         &self,
         params: &StudyParams,
         sink: &mut dyn EventSink,
+        req: RequestInfo,
+        phases: &mut Phases,
     ) -> Result<StudyDoc, StudyError> {
         let scale = params.scale();
-        let arts = self.artifacts(params);
+        let arts = self.artifacts(params, phases);
         let lane = self.next_lane.fetch_add(1, Ordering::Relaxed);
         let tag = format!("study-{lane}");
-        let header = render::header_md(&scale);
-        sink.event(&ev_header(&tag, &header)).map_err(StudyError::Disconnected)?;
+        let header = timed(&mut phases.render_us, || render::header_md(&scale));
+        sink.event(&ev_header(&tag, &header))
+            .map_err(StudyError::Disconnected)?;
 
         // Unit plan, in submission order: `n` crawls, the three §3.2
         // browsers re-crawled normal+incognito, `n` idles — exactly
@@ -391,8 +581,17 @@ impl StudyEngine {
         let total = units.len();
 
         self.pool.open_lane(lane, self.credits);
-        let mut lane_guard = LaneGuard { pool: &self.pool, lane, completed: false };
+        let mut lane_guard = LaneGuard {
+            pool: &self.pool,
+            lane,
+            completed: false,
+        };
         let (tx, rx) = mpsc::channel::<(usize, UnitOutput)>();
+        // The pool workers are long-lived threads with no thread-local
+        // context of their own: the request's trace context is captured
+        // here (it is `Copy`) and re-entered inside each job, so unit
+        // spans land on the request that scheduled them.
+        let ctx = panoptes_obs::ctx::current();
         for (idx, unit) in units.into_iter().enumerate() {
             let world = Arc::clone(&arts.world);
             let config = arts.config.clone();
@@ -403,6 +602,10 @@ impl StudyEngine {
             let accepted = self.pool.push(
                 lane,
                 Box::new(move || {
+                    let _ctx = ctx.map(panoptes_obs::ctx::enter);
+                    let _span = panoptes_obs::trace::span_with("serve.unit", None, || {
+                        format!("[{tag_for_job}] {label}")
+                    });
                     let output = fleet::run_unit(&world, &world.sites, &config, &unit);
                     if narrate {
                         panoptes_obs::progress::emit(
@@ -435,7 +638,7 @@ impl StudyEngine {
         let mut sections: Vec<(String, String)> = Vec::new();
 
         for received in 0..total {
-            let Ok((idx, output)) = rx.recv() else {
+            let Ok((idx, output)) = timed(&mut phases.capture_us, || rx.recv()) else {
                 // A unit panicked (its sender died without sending) —
                 // the lane guard cancels what's left.
                 return Err(StudyError::Fleet(
@@ -444,7 +647,9 @@ impl StudyEngine {
             };
             match output {
                 UnitOutput::Crawl(result) if idx < n => {
-                    crawl_analyses[idx] = Some(analyze_crawl(&result, &arts.res));
+                    crawl_analyses[idx] = Some(timed(&mut phases.analysis_us, || {
+                        analyze_crawl(&result, &arts.res)
+                    }));
                     crawl_results[idx] = Some(result);
                     crawls_done += 1;
                 }
@@ -453,39 +658,53 @@ impl StudyEngine {
                     incogs_done += 1;
                 }
                 UnitOutput::Idle(result) => {
-                    idle_analyses[idx - n - 6] = Some(analyze_idle(&result));
+                    idle_analyses[idx - n - 6] =
+                        Some(timed(&mut phases.analysis_us, || analyze_idle(&result)));
                     idles_done += 1;
                 }
             }
+            self.recorder.study_progress(req.id, received + 1, total);
             sink.event(&ev_progress(&tag, received + 1, total))
                 .map_err(StudyError::Disconnected)?;
 
             if !crawl_emitted && crawls_done == n {
                 let results: Vec<_> = crawl_results.drain(..).flatten().collect();
                 let analyses: Vec<_> = crawl_analyses.drain(..).flatten().collect();
-                for (name, text) in render::crawl_sections(&results, &analyses) {
-                    sink.event(&ev_section(name, &text)).map_err(StudyError::Disconnected)?;
+                let rendered = timed(&mut phases.render_us, || {
+                    render::crawl_sections(&results, &analyses)
+                });
+                for (name, text) in rendered {
+                    sink.event(&ev_section(name, &text))
+                        .map_err(StudyError::Disconnected)?;
                     sections.push((name.to_string(), text));
                 }
                 crawl_emitted = true;
             }
             if crawl_emitted && !incog_emitted && incogs_done == 6 {
                 let raw: Vec<_> = incog_results.drain(..).flatten().collect();
-                let pairs: Vec<_> = raw
-                    .chunks(2)
-                    .map(|pair| {
-                        (analyze_crawl(&pair[0], &arts.res), analyze_crawl(&pair[1], &arts.res))
-                    })
-                    .collect();
-                let (name, text) = render::incognito_section(&pairs);
-                sink.event(&ev_section(name, &text)).map_err(StudyError::Disconnected)?;
+                let pairs: Vec<_> = timed(&mut phases.analysis_us, || {
+                    raw.chunks(2)
+                        .map(|pair| {
+                            (
+                                analyze_crawl(&pair[0], &arts.res),
+                                analyze_crawl(&pair[1], &arts.res),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                });
+                let (name, text) =
+                    timed(&mut phases.render_us, || render::incognito_section(&pairs));
+                sink.event(&ev_section(name, &text))
+                    .map_err(StudyError::Disconnected)?;
                 sections.push((name.to_string(), text));
                 incog_emitted = true;
             }
             if incog_emitted && !idle_emitted && idles_done == n {
                 let analyses: Vec<_> = idle_analyses.drain(..).flatten().collect();
-                for (name, text) in render::idle_sections(&analyses) {
-                    sink.event(&ev_section(name, &text)).map_err(StudyError::Disconnected)?;
+                let rendered = timed(&mut phases.render_us, || render::idle_sections(&analyses));
+                for (name, text) in rendered {
+                    sink.event(&ev_section(name, &text))
+                        .map_err(StudyError::Disconnected)?;
                     sections.push((name.to_string(), text));
                 }
                 idle_emitted = true;
@@ -504,7 +723,9 @@ impl StudyEngine {
         }
 
         if !(crawl_emitted && incog_emitted && idle_emitted) {
-            return Err(StudyError::Fleet("study ended with incomplete groups".to_string()));
+            return Err(StudyError::Fleet(
+                "study ended with incomplete groups".to_string(),
+            ));
         }
         lane_guard.completed = true;
         drop(lane_guard);
@@ -568,6 +789,44 @@ fn ev_progress(tag: &str, done: usize, total: usize) -> String {
     )
 }
 
+/// `{"event":"timing",...}` — the non-deterministic latency-attribution
+/// trailer, emitted immediately before `done`. `other_us` is the
+/// unattributed remainder, so the seven phases plus `other_us` sum to
+/// `total_us` exactly (modulo saturation when clock granularity makes
+/// the phase sum overshoot by a few µs).
+fn ev_timing(request: u64, cached: bool, total_us: u64, ttfe_us: u64, phases: &Phases) -> String {
+    let other_us = total_us.saturating_sub(phases.sum());
+    format!(
+        "{{\"event\":\"timing\",\"request\":{request},\"cached\":{cached},\
+         \"total_us\":{total_us},\"ttfe_us\":{ttfe_us},\
+         \"admission_us\":{},\"cache_wait_us\":{},\"build_us\":{},\"capture_us\":{},\
+         \"analysis_us\":{},\"render_us\":{},\"write_us\":{},\"other_us\":{other_us}}}",
+        phases.admission_us,
+        phases.cache_wait_us,
+        phases.build_us,
+        phases.capture_us,
+        phases.analysis_us,
+        phases.render_us,
+        phases.write_us,
+    )
+}
+
+/// Feeds one finished request's attribution into the `/metrics` log2
+/// histograms (`serve.ttfe_us`, `serve.completion_us`, and one
+/// `serve.phase.*` histogram per phase).
+fn record_phase_histograms(total_us: u64, ttfe_us: u64, phases: &Phases) {
+    panoptes_obs::record!("serve.ttfe_us", Runtime, ttfe_us);
+    panoptes_obs::record!("serve.completion_us", Runtime, total_us);
+    panoptes_obs::record!("serve.study.wall_us", Runtime, total_us);
+    panoptes_obs::record!("serve.phase.admission_us", Runtime, phases.admission_us);
+    panoptes_obs::record!("serve.phase.cache_wait_us", Runtime, phases.cache_wait_us);
+    panoptes_obs::record!("serve.phase.build_us", Runtime, phases.build_us);
+    panoptes_obs::record!("serve.phase.capture_us", Runtime, phases.capture_us);
+    panoptes_obs::record!("serve.phase.analysis_us", Runtime, phases.analysis_us);
+    panoptes_obs::record!("serve.phase.render_us", Runtime, phases.render_us);
+    panoptes_obs::record!("serve.phase.write_us", Runtime, phases.write_us);
+}
+
 /// `{"event":"done",...}` — the stream's terminal event.
 fn ev_done(outcome: &StudyOutcome) -> String {
     format!(
@@ -578,5 +837,8 @@ fn ev_done(outcome: &StudyOutcome) -> String {
 
 /// `{"event":"error",...}` — emitted before closing on a failed study.
 pub fn ev_error(message: &str) -> String {
-    format!("{{\"event\":\"error\",\"message\":{}}}", json::quoted(message))
+    format!(
+        "{{\"event\":\"error\",\"message\":{}}}",
+        json::quoted(message)
+    )
 }

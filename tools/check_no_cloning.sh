@@ -169,3 +169,47 @@ if [ -n "$serve_offenders" ]; then
 fi
 
 echo "ok: no unwrap/expect on the serve request path"
+
+# Seventh gate: the trace hot path. Instrumented crates must annotate
+# spans with the *lazy* detail APIs (`span_with`/`point_with`, whose
+# closures only run when tracing is enabled) — the eager `span_at`,
+# which builds its detail String unconditionally, is reserved for the
+# obs crate's own internals and tests. And the trace context that is
+# stamped onto every event (`obs/src/ctx.rs`) must stay allocation-free:
+# it sits inside the disabled-path budget (one relaxed load + a
+# thread-local read), so no String/format!/Vec/Box may appear there.
+
+eager_offenders=$(find crates -type d -name src | grep -v 'crates/obs/src' \
+    | while read -r d; do
+    grep -rnE '\btrace::span_at\(|\bspan_at\(' "$d" --include='*.rs' || true
+done | grep -vE ':[0-9]+: *//' || true)
+
+if [ -n "$eager_offenders" ]; then
+    echo "error: eager span detail on the trace hot path:" >&2
+    echo "$eager_offenders" >&2
+    echo >&2
+    echo "Use trace::span_with / trace::point_with — their detail" >&2
+    echo "closures are skipped entirely while tracing is disabled, so" >&2
+    echo "instrumented code pays no allocation. span_at is internal to" >&2
+    echo "the obs crate." >&2
+    exit 1
+fi
+
+echo "ok: no eager span detail outside crates/obs/src"
+
+ctx_alloc_pattern='String|format!\(|to_string\(\)|to_owned\(\)|Vec<|Box<|\.clone\(\)'
+ctx_offenders=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' \
+    crates/obs/src/ctx.rs | grep -E "$ctx_alloc_pattern" \
+    | grep -vE ':[0-9]+: *(//|///|//!)' || true)
+
+if [ -n "$ctx_offenders" ]; then
+    echo "error: allocation in the trace-context hot path:" >&2
+    echo "$ctx_offenders" >&2
+    echo >&2
+    echo "TraceCtx is two u64s handed across threads by copy; keeping" >&2
+    echo "ctx.rs allocation-free keeps the disabled trace path at one" >&2
+    echo "relaxed load plus a thread-local read." >&2
+    exit 1
+fi
+
+echo "ok: trace-context hot path is allocation-free"
